@@ -1,0 +1,58 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index), asserts the qualitative result, and writes the rendered
+artifact to ``benchmarks/out/<name>.txt`` so the reproduction can be
+inspected after the run.
+
+Scale: by default the beam fluences are reduced ~50x from the paper's 1e5
+ions/cm2 so the whole suite runs in minutes (cross-sections are
+fluence-invariant).  Set ``REPRO_FULL=1`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Paper-scale switch.
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Beam fluence per campaign run (paper: 1e5 ions/cm2).
+FLUENCE = 1.0e5 if FULL else 2.0e3
+#: Virtual device speed (instructions per beam second).
+IPS = 50_000.0
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text)
+    print(f"\n{text}\n[artifact: {path}]")
+    return path
+
+
+def format_table(rows, columns) -> str:
+    """Plain-text table renderer for the artifacts."""
+    widths = {
+        column: max(len(str(column)),
+                    *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(
+            str(row.get(column, "")).ljust(widths[column]) for column in columns
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""E8 -- Ablations of the design choices DESIGN.md calls out.
+
+Each ablation flips one FT mechanism and demonstrates the failure mode (or
+cost) the paper's design avoids:
+
+  A. one vs two parity bits per cache word under MBU-heavy beam
+     (section 4.3: dual parity exists to catch adjacent doubles);
+  B. cache sub-blocking on/off under speculative refill of a poisoned
+     memory word (section 4.6);
+  C. TMR flip-flops on/off under direct flip-flop strikes (section 4.5);
+  D. register-file protection flavours: BCH vs duplicated-parity vs
+     detect-only parity under single and double-bit errors (section 4.4);
+  E. the FT double-store write-buffer delay (section 4.4's only
+     performance cost).
+"""
+
+import pytest
+
+from conftest import format_table, write_artifact
+from repro import LeonConfig, LeonSystem, ProtectionScheme, assemble
+from repro.core.config import CacheConfig, FtConfig
+from repro.fault.campaign import Campaign, CampaignConfig
+from repro.programs import ProgramHarness, build_iutest
+
+SRAM = 0x40000000
+ROWS = []
+
+
+def _row(ablation, variant, outcome):
+    ROWS.append({"ablation": ablation, "variant": variant, "outcome": outcome})
+
+
+# -- A: parity width under MBU ------------------------------------------------
+
+
+def _campaign_with_parity(scheme, seed=31):
+    base = LeonConfig.leon_express()
+    leon = base.with_changes(
+        icache=CacheConfig(size_bytes=base.icache.size_bytes, parity=scheme),
+        dcache=CacheConfig(size_bytes=base.dcache.size_bytes, parity=scheme),
+    )
+    config = CampaignConfig(program="iutest", let=110.0, flux=400.0,
+                            fluence=6.0e3, seed=seed,
+                            instructions_per_second=50_000.0, leon=leon)
+    return Campaign(config).run()
+
+
+@pytest.fixture(scope="module")
+def parity_ablation():
+    return (_campaign_with_parity(ProtectionScheme.PARITY),
+            _campaign_with_parity(ProtectionScheme.DUAL_PARITY))
+
+
+def test_ablation_parity_bits_vs_mbu(benchmark, parity_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    single, dual = parity_ablation
+    _row("A: cache parity", "1 bit", f"{single.failures} failures, "
+         f"{single.counts['Total']} corrected")
+    _row("A: cache parity", "2 bits (odd/even)", f"{dual.failures} failures, "
+         f"{dual.counts['Total']} corrected")
+    # At LET 110 the beam produces adjacent-cell doubles; one parity bit
+    # misses them (even error count), two parity bits catch every one.
+    assert dual.failures == 0
+    assert single.failures > 0
+
+
+# -- B: sub-blocking -----------------------------------------------------------
+
+
+def _speculative_poison_run(subblocking):
+    base = LeonConfig.fault_tolerant()
+    leon = base.with_changes(
+        dcache=CacheConfig(size_bytes=base.dcache.size_bytes,
+                           parity=base.dcache.parity,
+                           subblocking=subblocking))
+    system = LeonSystem(leon)
+    line = 0x40200000
+    for offset in range(0, 16, 4):
+        system.write_word(line + offset, offset)
+    system.memctrl.sram_memory.inject(line + 12 - SRAM, 1)
+    system.memctrl.sram_memory.inject(line + 12 - SRAM, 5)
+    program = assemble(f"""
+        set {line}, %g1
+        ld [%g1], %g2           ! speculative refill touches the bad word
+    done:
+        ba done
+        nop
+    """, base=SRAM)
+    system.load_program(program)
+    result = system.run(100, stop_pc=program.address_of("done"))
+    return result.halted.value
+
+
+def test_ablation_subblocking(benchmark):
+    with_sb = benchmark.pedantic(lambda: _speculative_poison_run(True),
+                                 rounds=1, iterations=1)
+    without_sb = _speculative_poison_run(False)
+    _row("B: sub-blocking", "on", f"speculative bad word harmless ({with_sb})")
+    _row("B: sub-blocking", "off", f"spurious error trap ({without_sb})")
+    assert with_sb == "running"
+    assert without_sb == "error-mode"
+
+
+# -- C: TMR flip-flops -----------------------------------------------------------
+
+
+def _ff_barrage(tmr, strikes=40, seed=17):
+    import random
+
+    base = LeonConfig.leon_express()
+    leon = base.with_changes(ft=FtConfig(
+        tmr_flipflops=tmr, regfile_protection=ProtectionScheme.BCH))
+    system = LeonSystem(leon)
+    program, _ = build_iutest(leon, iterations=1_000_000,
+                              scrub_words=256, icode_words=128)
+    harness = ProgramHarness(system, program)
+    rng = random.Random(seed)
+    from repro.fault.injector import FaultInjector
+
+    injector = FaultInjector(system)
+    ff_bits = injector.targets["flipflops"].bits
+    for _strike in range(strikes):
+        run = system.run(1500, stop_when=lambda r: system.special.pc
+                         == program.symbols["_trap_spin"])
+        if run.stop_reason in ("halted", "predicate"):
+            break
+        injector.inject("flipflops", rng.randrange(ff_bits))
+    result = harness.read_results(system.run(30_000))
+    return result
+
+
+def test_ablation_tmr_flipflops(benchmark):
+    protected = benchmark.pedantic(lambda: _ff_barrage(tmr=True), rounds=1, iterations=1)
+    unprotected = _ff_barrage(tmr=False)
+    _row("C: TMR flip-flops", "on",
+         f"failed={protected.failed} after 40 strikes")
+    _row("C: TMR flip-flops", "off",
+         f"failed={unprotected.failed} (trap tt={unprotected.trap_tt:#x})"
+         if unprotected.trapped else f"failed={unprotected.failed}")
+    assert not protected.failed  # every strike voted away
+    assert unprotected.failed  # state corruption kills the run
+
+
+# -- D: register-file protection flavours -------------------------------------------
+
+
+def _regfile_variant(protection, duplicated, bits):
+    base = LeonConfig.fault_tolerant()
+    leon = base.with_changes(ft=FtConfig(
+        tmr_flipflops=True, regfile_protection=protection,
+        regfile_duplicated=duplicated))
+    system = LeonSystem(leon)
+    program = assemble(f"""
+        set 777, %g1
+    inject_here:
+        add %g1, 1, %g2
+        set 0x40100000, %g4
+        st %g2, [%g4]
+    done:
+        ba done
+        nop
+    """, base=SRAM)
+    system.load_program(program)
+    system.run(stop_pc=program.address_of("inject_here"))
+    physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+    for bit in bits:
+        system.regfile.inject(physical, bit=bit)
+    result = system.run(100, stop_pc=program.address_of("done"))
+    if result.halted.value == "error-mode":
+        return "error trap"
+    if system.read_word(0x40100000) == 778:
+        corrected = "corrected" if system.errors.rfe else "clean"
+        return corrected
+    return "SILENT CORRUPTION"
+
+
+def test_ablation_regfile_protection(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cases = {
+        ("BCH", (3,)): _regfile_variant(ProtectionScheme.BCH, False, (3,)),
+        ("BCH", (3, 9)): _regfile_variant(ProtectionScheme.BCH, False, (3, 9)),
+        ("parity (3-port)", (3,)): _regfile_variant(ProtectionScheme.PARITY,
+                                                    False, (3,)),
+        ("parity duplicated", (3,)): _regfile_variant(ProtectionScheme.PARITY,
+                                                      True, (3,)),
+        ("none", (3,)): _regfile_variant(ProtectionScheme.NONE, False, (3,)),
+    }
+    for (variant, bits), outcome in cases.items():
+        _row("D: regfile", f"{variant}, {len(bits)}-bit error", outcome)
+    assert cases[("BCH", (3,))] == "corrected"
+    assert cases[("BCH", (3, 9))] == "error trap"  # SEC-DED limit
+    assert cases[("parity (3-port)", (3,))] == "error trap"  # detect-only
+    assert cases[("parity duplicated", (3,))] == "corrected"  # copy repairs
+    assert cases[("none", (3,))] == "SILENT CORRUPTION"
+
+
+# -- E: double-store delay ------------------------------------------------------------
+
+
+def test_ablation_double_store_delay(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cycles = {}
+    for name, config in (("standard", LeonConfig.standard()),
+                         ("FT", LeonConfig.fault_tolerant())):
+        system = LeonSystem(config)
+        program = assemble(f"""
+            set 0x40100000, %g4
+            set 1, %g2
+            set 2, %g3
+            std %g2, [%g4+8]
+            std %g2, [%g4+16]
+            std %g2, [%g4+24]
+        done:
+            ba done
+            nop
+        """, base=SRAM)
+        system.load_program(program)
+        system.run(stop_pc=program.address_of("done"))
+        cycles[name] = system.perf.cycles
+    _row("E: double-store", "standard", f"{cycles['standard']} cycles")
+    _row("E: double-store", "FT (+1/STD)", f"{cycles['FT']} cycles")
+    assert cycles["FT"] == cycles["standard"] + 3  # one cycle per STD
+
+
+def test_zz_write_ablation_artifact(benchmark):
+    """Collect every ablation row into one artifact (runs last by name)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = "E8 ablations: FT design choices\n\n"
+    text += format_table(ROWS, ["ablation", "variant", "outcome"])
+    write_artifact("ablations.txt", text)
+    assert len(ROWS) >= 10

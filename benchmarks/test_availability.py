@@ -1,0 +1,46 @@
+"""E10 (extension) -- mission availability across FT schemes.
+
+The paper's design goals (section 2) name availability explicitly; this
+bench closes the quantitative loop: orbital upset rates (ref [5] folding)
+through each section 7 scheme's coverage and recovery latency, against the
+unprotected baseline that motivated on-chip FT in the first place
+(section 4.1, the ERC32 lesson).
+"""
+
+import math
+
+import pytest
+
+from conftest import format_table, write_artifact
+from repro.alternatives.availability import compare_schemes
+
+
+def test_availability_comparison(benchmark):
+    estimates = benchmark.pedantic(lambda: compare_schemes("GEO"),
+                                   rounds=1, iterations=1)
+
+    rows = []
+    for name, estimate in estimates.items():
+        mtbf = estimate.mean_days_between_failures
+        rows.append({
+            "scheme": name,
+            "upsets/day": f"{estimate.upsets_per_day:.3f}",
+            "covered": f"{estimate.covered_fraction * 100:.1f}%",
+            "failures/day": f"{estimate.failures_per_day:.4f}",
+            "MTBF (days)": "inf" if math.isinf(mtbf) else f"{mtbf:.1f}",
+            "availability": f"{estimate.availability * 100:.5f}%",
+        })
+    text = "Mission availability, GEO environment (extension of §2/§7)\n\n"
+    text += format_table(rows, ["scheme", "upsets/day", "covered",
+                                "failures/day", "MTBF (days)", "availability"])
+    text += ("\n\n(every scheme folds the same ~0.3 upsets/day GEO rate;"
+             "\n what differs is coverage and recovery latency)")
+    write_artifact("availability.txt", text)
+
+    leon = estimates["LEON-FT"]
+    unprotected = estimates["unprotected"]
+    assert leon.availability > 0.9999
+    assert unprotected.mean_days_between_failures < 30
+    assert leon.availability >= estimates["IBM S/390 G5"].availability
+    assert estimates["IBM S/390 G5"].availability > \
+        estimates["Intel Itanium"].availability > unprotected.availability

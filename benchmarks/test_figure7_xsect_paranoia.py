@@ -1,0 +1,54 @@
+"""E5 -- Figure 7: cross-section per bit vs LET, PARANOIA.
+
+Same sweep as Figure 6 but running PARANOIA: the measured cross-section is
+activity-dependent, so PARANOIA (FPU-centric, no data-cache patrol) sits
+clearly below IUTEST at every LET -- the paper's figures 6 vs 7 contrast.
+"""
+
+import pytest
+
+from conftest import FLUENCE, IPS, write_artifact
+from repro.fault.crosssection import fit_weibull, measure_curve, render_curve
+
+LETS = (6.0, 15.0, 40.0, 75.0, 110.0)
+SEED = 700
+
+
+def _measure(program, seed):
+    return measure_curve(
+        program,
+        lets=LETS,
+        flux=400.0,
+        fluence=FLUENCE,
+        seed=seed,
+        instructions_per_second=IPS,
+    )
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return _measure("paranoia", SEED), _measure("iutest", SEED + 50)
+
+
+def test_figure7_cross_section_vs_let(benchmark, curves):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    paranoia, iutest = curves
+
+    lets, sigmas = paranoia.series("Total")
+    fit = fit_weibull(lets, sigmas)
+    text = render_curve(paranoia)
+    text += (
+        f"\n\nWeibull fit (Total, per bit): sat={fit.sat:.2e} cm2"
+        f"\nIUTEST-vs-PARANOIA measured sigma at LET 110: "
+        f"{iutest.series('Total')[1][-1]:.2e} vs {sigmas[-1]:.2e} cm2/bit"
+    )
+    write_artifact("figure7_xsect_paranoia.txt", text)
+
+    by_let = dict(zip(lets, sigmas))
+    # Shape: rises with LET.
+    assert by_let[110.0] > 0
+    assert by_let[110.0] >= by_let[15.0]
+    # PARANOIA's measured sigma is well below IUTEST's at saturation --
+    # program activity determines the measured (not physical) sensitivity.
+    iutest_saturated = iutest.series("Total")[1][-1]
+    assert by_let[110.0] < iutest_saturated

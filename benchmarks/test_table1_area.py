@@ -1,0 +1,46 @@
+"""E1 -- Table 1: LEON synthesis results, standard vs fault-tolerant.
+
+Regenerates the per-module area comparison (Atmel ATC25 model) and the
+timing-penalty statement of section 5.2.  Paper anchors: logic-only
+overhead ~100%, total overhead ~39%, register file +7/32, cache RAM +2/32,
+voter penalty ~8% of cycle time.
+"""
+
+import pytest
+
+from conftest import format_table, write_artifact
+from repro.area.model import TimingModel, table1
+
+
+def _build_table():
+    breakdown = table1()
+    timing = TimingModel()
+    return breakdown, timing
+
+
+def test_table1_area_breakdown(benchmark):
+    breakdown, timing = benchmark.pedantic(_build_table, rounds=3, iterations=1)
+
+    rows = breakdown.as_rows()
+    text = "TABLE 1. LEON synthesis results on Atmel ATC25 (model)\n\n"
+    text += format_table(rows, ["Module", "Area (mm2)", "Area incl. FT", "Increase"])
+    text += (
+        f"\n\nLogic only (no RAM blocks): +{breakdown.logic_only().increase_percent:.0f}%"
+        f"   (paper: ~100%)"
+        f"\nTotal:                      +{breakdown.total.increase_percent:.0f}%"
+        f"   (paper: 39%)"
+        f"\nTMR voter timing penalty:   {timing.penalty_fraction * 100:.0f}% of cycle"
+        f" ({timing.voter_gate_delays} gate delays)   (paper: ~8%)"
+        f"\nFT achievable clock from 100 MHz standard: "
+        f"{timing.ft_frequency(100.0):.1f} MHz"
+    )
+    write_artifact("table1_area.txt", text)
+
+    # Paper anchors.
+    assert breakdown.logic_only().increase_percent == pytest.approx(100, abs=10)
+    assert breakdown.total.increase_percent == pytest.approx(39, abs=3)
+    assert breakdown.row("Register file (136x32)").increase_percent == \
+        pytest.approx(21.9, abs=1)
+    assert breakdown.row("Cache mem. (16 Kbyte)").increase_percent == \
+        pytest.approx(6.25, abs=1)
+    assert timing.penalty_fraction == pytest.approx(0.08, abs=0.005)

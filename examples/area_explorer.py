@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Explore the synthesis-area trade-offs of the FT configuration space.
+
+Reproduces Table 1 and then sweeps the configuration package the way a
+designer would: cache size, register-file protection flavour, TMR on/off --
+printing the area overhead of each variant (the 'quickly analyze the impact
+of the fault-tolerance functions' workflow of section 5.2).
+
+Run:  python examples/area_explorer.py
+"""
+
+from repro import LeonConfig, ProtectionScheme
+from repro.area.model import AreaModel, TimingModel, table1
+from repro.core.config import CacheConfig, FtConfig
+
+
+def print_table1() -> None:
+    breakdown = table1()
+    print("TABLE 1. LEON synthesis results on Atmel ATC25 (model)\n")
+    print(f"{'Module':<28} {'Area (mm2)':>11} {'incl. FT':>9} {'Increase':>9}")
+    for module in breakdown.modules + [breakdown.total]:
+        print(f"{module.name:<28} {module.area_mm2:>11.3f} "
+              f"{module.area_ft_mm2:>9.3f} {module.increase_percent:>8.0f}%")
+    print(f"\nLogic only: +{breakdown.logic_only().increase_percent:.0f}%  "
+          f"(paper ~100%);  total +{breakdown.total.increase_percent:.0f}% "
+          f"(paper 39%)")
+    timing = TimingModel()
+    print(f"Voter timing penalty: {timing.penalty_fraction * 100:.0f}% "
+          f"-> {timing.ft_frequency(100):.1f} MHz from a 100 MHz standard build")
+
+
+def sweep() -> None:
+    print("\nConfiguration sweep (total area overhead vs standard build):\n")
+    standard = LeonConfig.standard()
+    variants = {
+        "full FT (TMR + BCH + dual parity)": LeonConfig.fault_tolerant(),
+        "FT with duplicated-parity regfile": LeonConfig.fault_tolerant().with_changes(
+            ft=FtConfig(tmr_flipflops=True,
+                        regfile_protection=ProtectionScheme.PARITY,
+                        regfile_duplicated=True)),
+        "FT without TMR (codes only)": LeonConfig.fault_tolerant().with_changes(
+            ft=FtConfig(tmr_flipflops=False,
+                        regfile_protection=ProtectionScheme.BCH)),
+        "single parity caches": LeonConfig.fault_tolerant().with_changes(
+            icache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.PARITY),
+            dcache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.PARITY)),
+        "FT with 2x larger caches": LeonConfig.fault_tolerant().with_changes(
+            icache=CacheConfig(size_bytes=16384,
+                               parity=ProtectionScheme.DUAL_PARITY),
+            dcache=CacheConfig(size_bytes=16384,
+                               parity=ProtectionScheme.DUAL_PARITY)),
+    }
+    for name, config in variants.items():
+        std = standard
+        if "larger caches" in name:
+            std = standard.with_changes(
+                icache=CacheConfig(size_bytes=16384),
+                dcache=CacheConfig(size_bytes=16384))
+        breakdown = AreaModel(std, config).breakdown()
+        print(f"  {name:<38} +{breakdown.total.increase_percent:5.1f}%  "
+              f"({breakdown.total.area_ft_mm2:.2f} mm2)")
+    print("\nBigger caches dilute the (fixed) logic overhead: the FT cost "
+          "of a cache-heavy\ndevice converges to the RAM check-bit ratio -- "
+          "which is why the paper notes the\npad-limited device had 0% "
+          "chip-level overhead.")
+
+
+if __name__ == "__main__":
+    print_table1()
+    sweep()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Chase an SEU with the debug support unit.
+
+Demonstrates the DSU workflow (the §9 "on-chip debug unit"): set a
+breakpoint, inject a fault at exactly the interesting moment, single-step
+through the FT machinery's reaction, and read the instruction trace --
+the way one would debug an anomaly report from a beam campaign.
+
+Run:  python examples/debug_session.py
+"""
+
+from repro import LeonConfig, LeonSystem, assemble
+from repro.debug import DebugSupportUnit
+
+SRAM = 0x40000000
+
+
+def main() -> None:
+    system = LeonSystem(LeonConfig.fault_tolerant())
+    program = assemble(
+        f"""
+            set {SRAM + 0x10000}, %g4
+            set 1000, %g1
+        work:
+            add %g1, 3, %g1
+        store_it:
+            st %g1, [%g4]
+            ld [%g4], %g2
+        done:
+            ba done
+            nop
+        """,
+        base=SRAM,
+    )
+    system.load_program(program)
+    dsu = DebugSupportUnit(system, trace_depth=64)
+
+    # 1. Break right before the interesting instruction.
+    dsu.add_breakpoint(program.address_of("work"), name="work")
+    stop = dsu.run()
+    print(f"stopped: {stop.reason} at {stop.pc:#010x} "
+          f"(breakpoint {stop.breakpoint.name!r})")
+
+    # 2. The beam strikes %g1 while we're parked here.
+    physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+    system.regfile.inject(physical, bit=9)
+    print("injected SEU into %g1 bit 9")
+
+    # 3. Single-step and watch the FT machinery react.
+    dsu.remove_breakpoint(program.address_of("work"))
+    for _ in range(2):  # the FT restart, then the clean re-execution
+        result = dsu.step()
+        print(f"  step: {result.event.value:10s} {result.cycles} cycles "
+              f"at {result.pc:#010x}")
+
+    # 4. A watchpoint on the output location catches the store.
+    dsu.add_watchpoint(SRAM + 0x10000, 4, name="output")
+    stop = dsu.run()
+    print(f"stopped: {stop.reason} (write to {stop.write_address:#010x})")
+    print(f"value stored: {system.read_word(SRAM + 0x10000)} (expected 1003)")
+
+    # 5. The trace shows the whole story, restart event included.
+    print("\ninstruction trace (newest last):")
+    print(dsu.render_trace(12))
+    print(f"\nevent counts: "
+          f"{ {event.value: count for event, count in dsu.event_counts.items()} }")
+    print(f"RFE corrections: {system.errors.rfe}")
+
+
+if __name__ == "__main__":
+    main()

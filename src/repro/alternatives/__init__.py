@@ -1,0 +1,32 @@
+"""Alternative fault-tolerance schemes (paper section 7).
+
+The paper compares LEON-FT against two contemporary FT processors: the IBM
+S/390 G5 (full pipeline duplication with compare-and-restart) and the Intel
+Itanium (ECC/parity on caches and TLBs, unprotected state-machine
+registers).  This package models all three schemes behaviourally so the
+comparison bench can reproduce the section's claims: similar area overhead
+for IBM and LEON, thousands-of-cycles recovery for IBM vs 4 cycles for
+LEON, and unprotected control state for Itanium.
+"""
+
+from repro.alternatives.schemes import (
+    FtScheme,
+    IbmG5Scheme,
+    ItaniumScheme,
+    LeonFtScheme,
+    UpsetClass,
+    UpsetOutcome,
+    all_schemes,
+    evaluate_scheme,
+)
+
+__all__ = [
+    "FtScheme",
+    "IbmG5Scheme",
+    "ItaniumScheme",
+    "LeonFtScheme",
+    "UpsetClass",
+    "UpsetOutcome",
+    "all_schemes",
+    "evaluate_scheme",
+]

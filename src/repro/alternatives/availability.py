@@ -1,0 +1,132 @@
+"""Mission availability: combining upset rates, coverage and recovery.
+
+The paper's design goals (section 2) are "performance, availability and
+low cost".  This module closes the loop quantitatively: given an orbital
+upset rate (from :mod:`repro.fault.rates`) and an FT scheme's coverage and
+recovery latency (from :mod:`repro.alternatives.schemes`), it estimates
+
+* the **unavailability due to recovery time** (corrected upsets x recovery
+  cycles -- negligible for LEON's 4-cycle restarts, visible for the IBM
+  scheme's thousands);
+* the **system failure rate** (uncovered upsets), and the availability
+  assuming each failure costs a watchdog-reset-and-reboot outage.
+
+The absolute numbers inherit the rate model's calibration; the comparison
+*between schemes on the same environment* is the meaningful output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.alternatives.schemes import (
+    DEFAULT_UPSET_MIX,
+    FtScheme,
+    UpsetClass,
+    all_schemes,
+)
+from repro.fault.rates import RatePredictor
+
+#: Device clock for converting recovery cycles to seconds.
+DEFAULT_CLOCK_HZ = 100e6
+
+#: Outage per uncovered failure: watchdog timeout + reboot + state reload
+#: (a typical on-board computer recovery budget).
+DEFAULT_REBOOT_SECONDS = 30.0
+
+
+@dataclass
+class AvailabilityEstimate:
+    """Availability of one scheme in one environment."""
+
+    scheme: str
+    environment: str
+    upsets_per_day: float
+    covered_fraction: float
+    failures_per_day: float
+    recovery_seconds_per_day: float
+    outage_seconds_per_day: float
+
+    @property
+    def availability(self) -> float:
+        day = 86_400.0
+        down = self.recovery_seconds_per_day + self.outage_seconds_per_day
+        return max(0.0, (day - down) / day)
+
+    @property
+    def mean_days_between_failures(self) -> float:
+        if self.failures_per_day == 0:
+            return float("inf")
+        return 1.0 / self.failures_per_day
+
+
+def estimate_availability(
+    scheme: FtScheme,
+    environment: str = "GEO",
+    *,
+    predictor: Optional[RatePredictor] = None,
+    mix: Optional[Dict[UpsetClass, float]] = None,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+    reboot_seconds: float = DEFAULT_REBOOT_SECONDS,
+) -> AvailabilityEstimate:
+    """Fold the environment's upset rate through one scheme's outcomes."""
+    predictor = predictor or RatePredictor()
+    mix = mix or DEFAULT_UPSET_MIX
+    rates = predictor.predict(environment)
+    upsets_per_day = rates.upsets_per_day
+
+    covered = failures = recovery_cycles = 0.0
+    for upset_class, weight in mix.items():
+        outcome = scheme.handle(upset_class)
+        share = upsets_per_day * weight
+        if outcome.corrected:
+            covered += share
+            recovery_cycles += share * outcome.recovery_cycles
+        else:
+            failures += share
+
+    # The scheme's clock penalty stretches every recovery (and is already a
+    # throughput cost, not unavailability, so it only scales the cycles).
+    effective_clock = clock_hz / (1.0 + scheme.timing_penalty)
+    recovery_seconds = recovery_cycles / effective_clock
+    return AvailabilityEstimate(
+        scheme=scheme.name,
+        environment=environment,
+        upsets_per_day=upsets_per_day,
+        covered_fraction=covered / upsets_per_day if upsets_per_day else 1.0,
+        failures_per_day=failures,
+        recovery_seconds_per_day=recovery_seconds,
+        outage_seconds_per_day=failures * reboot_seconds,
+    )
+
+
+def unprotected_estimate(environment: str = "GEO", *,
+                         predictor: Optional[RatePredictor] = None,
+                         reboot_seconds: float = DEFAULT_REBOOT_SECONDS
+                         ) -> AvailabilityEstimate:
+    """The no-FT baseline: every upset in live state is a failure."""
+    predictor = predictor or RatePredictor()
+    rates = predictor.predict(environment)
+    return AvailabilityEstimate(
+        scheme="unprotected",
+        environment=environment,
+        upsets_per_day=rates.upsets_per_day,
+        covered_fraction=0.0,
+        failures_per_day=rates.upsets_per_day,
+        recovery_seconds_per_day=0.0,
+        outage_seconds_per_day=rates.upsets_per_day * reboot_seconds,
+    )
+
+
+def compare_schemes(environment: str = "GEO") -> Dict[str, AvailabilityEstimate]:
+    """All three section 7 schemes plus the unprotected baseline."""
+    predictor = RatePredictor()
+    estimates = {
+        scheme.name: estimate_availability(scheme, environment,
+                                           predictor=predictor)
+        for scheme in all_schemes()
+    }
+    estimates["unprotected"] = unprotected_estimate(environment,
+                                                    predictor=predictor)
+    return estimates

@@ -1,0 +1,211 @@
+"""Behavioral models of the three FT schemes compared in section 7.
+
+Each scheme classifies what happens to an SEU by *where* it lands
+(:class:`UpsetClass`) and reports recovery latency, which together with the
+area/timing numbers reproduces the section's comparison:
+
+* **LEON-FT**: corrects register/memory soft errors with a 4-cycle restart
+  or a forced cache miss; TMR masks flip-flop upsets in one cycle with an
+  ~8% cycle-time penalty; combinational transients are (mostly) not covered
+  -- accepted because their latching probability is low [4].
+* **IBM S/390 G5**: the complete pipeline is duplicated up to the write
+  stage; *any* error inside the pipeline (including combinational) is
+  detected and the pipeline restarts from the last checkpoint -- "restarting
+  of the pipeline takes several thousand clock cycles", and units where
+  functional timing matters (bus interfaces, timers) cannot use the scheme.
+* **Intel Itanium**: ECC and parity protect caches and TLBs; state-machine
+  registers are not protected, so flip-flop upsets go undetected.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.iu import timing
+
+
+class UpsetClass(enum.Enum):
+    """Where an SEU lands (the paper's section 4.2 groups + combinational)."""
+
+    CACHE_RAM = "cache-ram"
+    REGISTER_FILE = "register-file"
+    FLIP_FLOP = "flip-flop"
+    PERIPHERAL_STATE = "peripheral-state"  # timers, bus interfaces
+    COMBINATIONAL = "combinational"
+
+
+@dataclass(frozen=True)
+class UpsetOutcome:
+    """What a scheme does with one upset."""
+
+    detected: bool
+    corrected: bool
+    recovery_cycles: int
+
+    @property
+    def failed(self) -> bool:
+        return not self.corrected
+
+
+@dataclass(frozen=True)
+class FtScheme:
+    """Common interface: per-class outcomes plus cost figures."""
+
+    name: str
+    #: Area overhead of the protected logic (fraction, e.g. 1.0 = +100%).
+    logic_area_overhead: float
+    #: Cycle-time penalty fraction (e.g. 0.08 = 8%).
+    timing_penalty: float
+    #: Whether peripherals with functional timing can use the scheme.
+    covers_peripherals: bool
+    #: Outcome per upset class.
+    outcomes: Dict[UpsetClass, UpsetOutcome]
+
+    def handle(self, upset: UpsetClass) -> UpsetOutcome:
+        return self.outcomes[upset]
+
+    @property
+    def worst_recovery_cycles(self) -> int:
+        return max(outcome.recovery_cycles for outcome in self.outcomes.values()
+                   if outcome.corrected)
+
+    @property
+    def realtime_suitable(self) -> bool:
+        """Usable under hard real-time constraints: bounded, short recovery
+        and protected peripheral/timer state."""
+        return self.covers_peripherals and self.worst_recovery_cycles <= 100
+
+
+#: Forced cache miss: a line refill from external memory (typical).
+_CACHE_REFILL_CYCLES = 8
+
+
+def LeonFtScheme() -> FtScheme:
+    """LEON-FT as built in this repository (sections 4.3-4.6)."""
+    return FtScheme(
+        name="LEON-FT",
+        logic_area_overhead=1.00,  # Table 1, logic-only
+        timing_penalty=0.08,  # TMR voter, section 5.2
+        covers_peripherals=True,  # TMR protects any register, incl. timers
+        outcomes={
+            UpsetClass.CACHE_RAM: UpsetOutcome(True, True, _CACHE_REFILL_CYCLES),
+            UpsetClass.REGISTER_FILE: UpsetOutcome(True, True, timing.CYCLES_TRAP),
+            UpsetClass.FLIP_FLOP: UpsetOutcome(True, True, 1),
+            UpsetClass.PERIPHERAL_STATE: UpsetOutcome(True, True, 1),
+            UpsetClass.COMBINATIONAL: UpsetOutcome(False, False, 0),
+        },
+    )
+
+
+def IbmG5Scheme(restart_cycles: int = 3000) -> FtScheme:
+    """IBM S/390 G5: duplicated pipeline, compare at the write stage [11].
+
+    "The IBM scheme is better in the sense that timing is not affected by a
+    TMR voter and that all types of errors are detected, not only soft
+    errors in registers.  The scheme is worse from a real-time
+    point-of-view since restarting of the pipeline takes several thousand
+    clock cycles.  The scheme can also only be used where (functional)
+    timing is not important; bus interfaces or timer units can not use this
+    scheme without loosing their function."
+    """
+    pipeline_recovery = UpsetOutcome(True, True, restart_cycles)
+    return FtScheme(
+        name="IBM S/390 G5",
+        logic_area_overhead=1.00,  # "the area overhead is similar to LEON, 100%"
+        timing_penalty=0.0,  # no voter in the path
+        covers_peripherals=False,
+        outcomes={
+            UpsetClass.CACHE_RAM: pipeline_recovery,
+            UpsetClass.REGISTER_FILE: pipeline_recovery,
+            UpsetClass.FLIP_FLOP: pipeline_recovery,
+            # Peripheral state cannot be replayed: detected at compare, not
+            # recoverable without losing the unit's function.
+            UpsetClass.PERIPHERAL_STATE: UpsetOutcome(True, False, 0),
+            UpsetClass.COMBINATIONAL: pipeline_recovery,
+        },
+    )
+
+
+def ItaniumScheme() -> FtScheme:
+    """Intel Itanium: ECC/parity on caches and TLBs [12].
+
+    "The Intel implementation [uses] a mix of ECC and parity codes to
+    detect and correct soft errors in caches and TLB memories.  State
+    machine registers are not protected."
+    """
+    return FtScheme(
+        name="Intel Itanium",
+        logic_area_overhead=0.10,  # codes on RAM arrays only
+        timing_penalty=0.0,
+        covers_peripherals=False,
+        outcomes={
+            UpsetClass.CACHE_RAM: UpsetOutcome(True, True, _CACHE_REFILL_CYCLES),
+            UpsetClass.REGISTER_FILE: UpsetOutcome(True, True, _CACHE_REFILL_CYCLES),
+            UpsetClass.FLIP_FLOP: UpsetOutcome(False, False, 0),
+            UpsetClass.PERIPHERAL_STATE: UpsetOutcome(False, False, 0),
+            UpsetClass.COMBINATIONAL: UpsetOutcome(False, False, 0),
+        },
+    )
+
+
+def all_schemes() -> List[FtScheme]:
+    return [LeonFtScheme(), IbmG5Scheme(), ItaniumScheme()]
+
+
+#: Upset-class mix for a LEON-like die: weighted by bit populations
+#: (~150k cache bits, ~5k register-file bits, ~2.5k flip-flops of which a
+#: few hundred are peripheral state) plus a small combinational-latch term
+#: ("the probability of such events is low", section 4.2 [4]).
+DEFAULT_UPSET_MIX = {
+    UpsetClass.CACHE_RAM: 0.88,
+    UpsetClass.REGISTER_FILE: 0.055,
+    UpsetClass.FLIP_FLOP: 0.04,
+    UpsetClass.PERIPHERAL_STATE: 0.015,
+    UpsetClass.COMBINATIONAL: 0.01,
+}
+
+
+@dataclass
+class SchemeEvaluation:
+    """Monte-Carlo summary of one scheme under an upset mix."""
+
+    scheme: str
+    upsets: int
+    detected: int
+    corrected: int
+    failures: int
+    total_recovery_cycles: int
+
+    @property
+    def coverage(self) -> float:
+        return self.corrected / self.upsets if self.upsets else 0.0
+
+    @property
+    def mean_recovery_cycles(self) -> float:
+        return self.total_recovery_cycles / self.corrected if self.corrected else 0.0
+
+
+def evaluate_scheme(scheme: FtScheme, upsets: int = 10_000, *,
+                    mix: Optional[Dict[UpsetClass, float]] = None,
+                    seed: int = 1) -> SchemeEvaluation:
+    """Drive a scheme with an upset mix and tally outcomes."""
+    mix = mix or DEFAULT_UPSET_MIX
+    rng = random.Random(seed)
+    classes = list(mix)
+    weights = [mix[upset_class] for upset_class in classes]
+    detected = corrected = failures = recovery = 0
+    for _ in range(upsets):
+        upset_class = rng.choices(classes, weights=weights, k=1)[0]
+        outcome = scheme.handle(upset_class)
+        if outcome.detected:
+            detected += 1
+        if outcome.corrected:
+            corrected += 1
+            recovery += outcome.recovery_cycles
+        else:
+            failures += 1
+    return SchemeEvaluation(scheme.name, upsets, detected, corrected,
+                            failures, recovery)

@@ -1,0 +1,19 @@
+"""AMBA-2.0 on-chip buses (paper section 3).
+
+A high-speed AHB bus connects the caches to the memory controller; a
+low-speed APB bus, reached through an AHB/APB bridge, carries the simple
+peripherals (timers, UARTs, interrupt controller, I/O port).
+"""
+
+from repro.amba.ahb import AhbBus, AhbMaster, AhbSlave, BusResult, TransferSize
+from repro.amba.apb import ApbBridge, ApbSlave
+
+__all__ = [
+    "AhbBus",
+    "AhbMaster",
+    "AhbSlave",
+    "ApbBridge",
+    "ApbSlave",
+    "BusResult",
+    "TransferSize",
+]

@@ -1,0 +1,106 @@
+"""AMBA APB: the low-speed peripheral bus behind the AHB/APB bridge.
+
+Peripherals expose word-wide registers at word-aligned offsets.  The bridge
+is itself an AHB slave; every APB access costs the bridge-crossing penalty
+on top of the single APB cycle, which is why nobody puts caches on APB.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.amba.ahb import AhbSlave, BusResult, TransferSize
+from repro.errors import ConfigurationError
+
+#: Extra AHB cycles consumed crossing the bridge (setup + enable phases).
+BRIDGE_PENALTY_CYCLES = 2
+
+
+class ApbSlave(abc.ABC):
+    """One peripheral on the APB bus, mapped at ``[offset, offset + size)``
+    relative to the bridge base address."""
+
+    def __init__(self, name: str, offset: int, size: int) -> None:
+        if size <= 0 or size % 4:
+            raise ConfigurationError(f"APB slave {name!r} needs a word-multiple size")
+        if offset % 4:
+            raise ConfigurationError(f"APB slave {name!r} offset not word aligned")
+        self.name = name
+        self.offset = offset
+        self.size = size
+
+    def covers(self, offset: int) -> bool:
+        return self.offset <= offset < self.offset + self.size
+
+    @abc.abstractmethod
+    def apb_read(self, offset: int) -> int:
+        """Read the 32-bit register at ``offset`` (relative to the slave)."""
+
+    @abc.abstractmethod
+    def apb_write(self, offset: int, value: int) -> None:
+        """Write the 32-bit register at ``offset`` (relative to the slave)."""
+
+    def tick(self, cycles: int) -> None:
+        """Advance peripheral-internal time (timers, UART shift registers).
+
+        The system calls this with the number of processor cycles elapsed;
+        peripherals that have no time-dependent behaviour ignore it.
+        """
+
+
+class ApbBridge(AhbSlave):
+    """The AHB/APB bridge plus the APB bus itself."""
+
+    def __init__(self, base: int, size: int = 0x100000) -> None:
+        super().__init__("apb-bridge", base, size)
+        self._slaves: List[ApbSlave] = []
+        self._tickable: List[ApbSlave] = []
+
+    def attach(self, slave: ApbSlave) -> ApbSlave:
+        for existing in self._slaves:
+            if (slave.offset < existing.offset + existing.size
+                    and existing.offset < slave.offset + slave.size):
+                raise ConfigurationError(
+                    f"APB ranges of {slave.name!r} and {existing.name!r} overlap"
+                )
+        if slave.offset + slave.size > self.size:
+            raise ConfigurationError(f"APB slave {slave.name!r} outside bridge window")
+        self._slaves.append(slave)
+        if type(slave).tick is not ApbSlave.tick:
+            self._tickable.append(slave)
+        return slave
+
+    def slaves(self) -> List[ApbSlave]:
+        return list(self._slaves)
+
+    def _decode(self, address: int) -> Optional[ApbSlave]:
+        offset = address - self.base
+        for slave in self._slaves:
+            if slave.covers(offset):
+                return slave
+        return None
+
+    def ahb_read(self, address: int, size: TransferSize) -> BusResult:
+        if size is not TransferSize.WORD:
+            # APB registers are word-wide; sub-word access is an error, as on
+            # the real device.
+            return BusResult(error=True, cycles=BRIDGE_PENALTY_CYCLES)
+        slave = self._decode(address)
+        if slave is None:
+            return BusResult(error=True, cycles=BRIDGE_PENALTY_CYCLES)
+        data = slave.apb_read(address - self.base - slave.offset) & 0xFFFFFFFF
+        return BusResult(data=data, cycles=1 + BRIDGE_PENALTY_CYCLES)
+
+    def ahb_write(self, address: int, value: int, size: TransferSize) -> BusResult:
+        if size is not TransferSize.WORD:
+            return BusResult(error=True, cycles=BRIDGE_PENALTY_CYCLES)
+        slave = self._decode(address)
+        if slave is None:
+            return BusResult(error=True, cycles=BRIDGE_PENALTY_CYCLES)
+        slave.apb_write(address - self.base - slave.offset, value & 0xFFFFFFFF)
+        return BusResult(cycles=1 + BRIDGE_PENALTY_CYCLES)
+
+    def tick(self, cycles: int) -> None:
+        for slave in self._tickable:
+            slave.tick(cycles)

@@ -1,0 +1,19 @@
+"""Synthesis area and timing model (paper section 5.2, Table 1).
+
+The paper quantifies the cost of the fault-tolerance functions by
+synthesizing the same FPU-less LEON twice on Atmel ATC25 (0.25 um CMOS):
+standard, and with TMR flip-flops + 2 parity bits on the cache RAMs + 7-bit
+BCH on the register file.  This package computes the same comparison from
+structural counts (flip-flops, RAM bits, check bits) and per-cell area
+constants calibrated to the paper's stated ratios.
+"""
+
+from repro.area.model import (
+    AreaBreakdown,
+    AreaModel,
+    ModuleArea,
+    TimingModel,
+    table1,
+)
+
+__all__ = ["AreaBreakdown", "AreaModel", "ModuleArea", "TimingModel", "table1"]

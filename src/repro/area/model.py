@@ -1,0 +1,217 @@
+"""Structural area/timing model for the Table 1 synthesis comparison.
+
+Model structure
+---------------
+Each logic module is ``comb_area + ff_bits * A_FF`` (standard) or
+``comb_area + edc_logic + ff_bits * A_TMR`` (FT): "a TMR cell is
+approximately 4 times the size of a normal flip-flop (3x flip-flops +
+voter), and a non-TMR configuration uses 20% of the area for flip-flops"
+(section 5.2).  The EDC logic term covers the parity/BCH encoders,
+checkers and correction muxes added to each module in the FT build.
+
+RAM areas are ``bits * per-bit area``; the FT overhead of a RAM is purely
+its check-bit ratio -- (32+2)/32 for dual-parity cache RAMs, (32+7)/32 for
+the BCH register file -- which is why "the overhead including ram cells is
+only 39%" while the logic-only overhead is ~100%.
+
+Calibration constants (ATC25-like, documented in EXPERIMENTS.md):
+
+* flip-flop 100 um2, TMR cell 4x;
+* cache RAM ~13 um2/bit (generated SRAM macro incl. periphery);
+* register file ~41 um2/bit (three-port cell) or ~25 um2/bit per copy for
+  the duplicated two-port implementation;
+* voter delay 2 gate delays of a ~25-gate-delay cycle: ~8% (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import LeonConfig
+from repro.ft.protection import ProtectionScheme
+
+#: mm^2 per flip-flop (standard cell, 0.25 um).
+A_FF = 1.0e-4
+#: TMR cell area relative to one flip-flop (3 FFs + voter).
+TMR_FACTOR = 4.0
+#: mm^2 per single-port cache RAM bit.
+A_CACHE_BIT = 1.03e-5
+#: mm^2 per three-port register file bit.
+A_REGFILE_BIT = 4.1e-5
+#: mm^2 per two-port register file bit (each copy of the duplicated file).
+A_REGFILE_2P_BIT = 2.5e-5
+
+#: Logic modules: (combinational area mm^2, flip-flop count).
+#: Sized so flip-flops are ~20% of each module's standard area and the
+#: total flip-flop population is ~2500 (section 4.5).
+_LOGIC_MODULES = {
+    "Integer unit (+ mul/div)": (0.48, 1200),
+    "Cache controllers": (0.1125, 375),
+    "Peripheral units": (0.14, 600),
+}
+
+#: EDC logic added per module in the FT build (BCH encoder + two checkers
+#: + correction path for the IU; parity trees for the cache controllers;
+#: the EDAC unit in the memory controller, booked under peripherals).
+_EDC_LOGIC = {
+    "Integer unit (+ mul/div)": 0.18,
+    "Cache controllers": 0.045,
+    "Peripheral units": 0.075,
+}
+
+#: Gate delays: majority voter in the register-to-register path, against a
+#: nominal cycle.  2 / 25 = 8% (section 5.2).
+VOTER_GATE_DELAYS = 2
+CYCLE_GATE_DELAYS = 25
+
+
+@dataclass(frozen=True)
+class ModuleArea:
+    """One Table 1 row."""
+
+    name: str
+    area_mm2: float
+    area_ft_mm2: float
+
+    @property
+    def increase_percent(self) -> float:
+        if self.area_mm2 == 0:
+            return 0.0
+        return (self.area_ft_mm2 / self.area_mm2 - 1.0) * 100.0
+
+
+@dataclass
+class AreaBreakdown:
+    """The full Table 1: per-module rows plus the total."""
+
+    modules: List[ModuleArea]
+
+    @property
+    def total(self) -> ModuleArea:
+        return ModuleArea(
+            "Total",
+            sum(module.area_mm2 for module in self.modules),
+            sum(module.area_ft_mm2 for module in self.modules),
+        )
+
+    def logic_only(self) -> ModuleArea:
+        """The 'LEON core without ram blocks' aggregate (section 5.2)."""
+        logic = [module for module in self.modules if module.name in _LOGIC_MODULES]
+        return ModuleArea(
+            "Logic (no RAM)",
+            sum(module.area_mm2 for module in logic),
+            sum(module.area_ft_mm2 for module in logic),
+        )
+
+    def row(self, name: str) -> ModuleArea:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(name)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for module in self.modules + [self.total]:
+            rows.append({
+                "Module": module.name,
+                "Area (mm2)": round(module.area_mm2, 3),
+                "Area incl. FT": round(module.area_ft_mm2, 3),
+                "Increase": f"{module.increase_percent:.0f}%",
+            })
+        return rows
+
+
+class AreaModel:
+    """Computes the synthesis comparison for any pair of configurations."""
+
+    def __init__(self, standard: Optional[LeonConfig] = None,
+                 fault_tolerant: Optional[LeonConfig] = None) -> None:
+        self.standard = standard or LeonConfig.standard()
+        self.fault_tolerant = fault_tolerant or LeonConfig.fault_tolerant()
+
+    # -- per-config component areas ------------------------------------------------
+
+    @staticmethod
+    def _ram_bits_cache(config: LeonConfig) -> int:
+        bits = 0
+        for cache in (config.icache, config.dcache):
+            per_word = 32 + cache.parity.check_bits
+            tag_words = cache.lines
+            data_words = cache.lines * cache.words_per_line
+            bits += (tag_words + data_words) * per_word
+        return bits
+
+    @staticmethod
+    def _regfile_area(config: LeonConfig) -> float:
+        words = config.regfile_words
+        per_word = 32 + config.ft.regfile_protection.check_bits
+        if config.ft.regfile_duplicated:
+            return 2 * words * per_word * A_REGFILE_2P_BIT
+        return words * per_word * A_REGFILE_BIT
+
+    @staticmethod
+    def _logic_module_area(name: str, config: LeonConfig) -> float:
+        comb, ffs = _LOGIC_MODULES[name]
+        ft = config.ft.tmr_flipflops
+        ff_area = ffs * A_FF * (TMR_FACTOR if ft else 1.0)
+        edc = _EDC_LOGIC[name] if _protected(config) else 0.0
+        return comb + ff_area + edc
+
+    def breakdown(self) -> AreaBreakdown:
+        modules = []
+        for name in _LOGIC_MODULES:
+            modules.append(ModuleArea(
+                name,
+                self._logic_module_area(name, self.standard),
+                self._logic_module_area(name, self.fault_tolerant),
+            ))
+        std_words = self.standard.regfile_words
+        modules.append(ModuleArea(
+            f"Register file ({std_words}x32)",
+            self._regfile_area(self.standard),
+            self._regfile_area(self.fault_tolerant),
+        ))
+        cache_kb = (self.standard.icache.size_bytes
+                    + self.standard.dcache.size_bytes) // 1024
+        modules.append(ModuleArea(
+            f"Cache mem. ({cache_kb} Kbyte)",
+            self._ram_bits_cache(self.standard) * A_CACHE_BIT,
+            self._ram_bits_cache(self.fault_tolerant) * A_CACHE_BIT,
+        ))
+        return AreaBreakdown(modules)
+
+
+def _protected(config: LeonConfig) -> bool:
+    return (config.ft.tmr_flipflops
+            or config.ft.regfile_protection is not ProtectionScheme.NONE
+            or config.icache.parity is not ProtectionScheme.NONE
+            or config.memory.edac)
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Cycle-time impact of the FT functions.
+
+    "The timing penalty for the fault-tolerant version is the extra delay
+    through the TMR voter, approximately two gate-delays or 8% of the cycle
+    time."  The parity/BCH checks run in parallel with tag compare /
+    execute and cost nothing.
+    """
+
+    voter_gate_delays: int = VOTER_GATE_DELAYS
+    cycle_gate_delays: int = CYCLE_GATE_DELAYS
+
+    @property
+    def penalty_fraction(self) -> float:
+        return self.voter_gate_delays / self.cycle_gate_delays
+
+    def ft_frequency(self, standard_mhz: float) -> float:
+        """Achievable clock of the FT build given the standard build's."""
+        return standard_mhz / (1.0 + self.penalty_fraction)
+
+
+def table1(standard: Optional[LeonConfig] = None,
+           fault_tolerant: Optional[LeonConfig] = None) -> AreaBreakdown:
+    """Convenience: the Table 1 breakdown for the default configurations."""
+    return AreaModel(standard, fault_tolerant).breakdown()

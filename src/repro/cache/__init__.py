@@ -1,0 +1,16 @@
+"""Instruction and data caches with parity protection and sub-blocking.
+
+Paper sections 4.3 (parity, forced miss) and 4.6 (sub-blocking for EDAC
+errors).  Both caches are direct-mapped over standard synchronous RAM cells,
+protected with one or two parity bits per tag and data word; a parity error
+on access simply forces a cache miss, and the uncorrupted data is re-fetched
+from external memory (the data cache is write-through, so memory always has
+a valid copy).
+"""
+
+from repro.cache.ram import CacheRam
+from repro.cache.dcache import DataCache
+from repro.cache.icache import InstructionCache
+from repro.cache.base import CacheAccess, CacheBase
+
+__all__ = ["CacheAccess", "CacheBase", "CacheRam", "DataCache", "InstructionCache"]

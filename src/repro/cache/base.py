@@ -1,0 +1,226 @@
+"""Shared direct-mapped cache machinery for the I- and D-caches.
+
+Address layout (direct-mapped):
+
+    | tag | line index | word offset | byte |
+
+The tag RAM stores, per line, one 32-bit word combining the address tag and
+the per-word valid bits (sub-blocking, section 4.6); the parity bits of the
+tag word therefore cover tag *and* valid bits.  The data RAM stores one
+32-bit word per cache word.  On any parity error the access is turned into
+a miss and the line is re-fetched from external memory -- parity errors are
+*corrected by refetch*, never by the code itself (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amba.ahb import AhbBus, AhbMaster, TransferSize
+from repro.cache.ram import CacheRam
+from repro.core.config import CacheConfig
+from repro.core.statistics import ErrorCounters, PerfCounters
+from repro.ft.protection import ErrorKind
+
+
+@dataclass
+class CacheAccess:
+    """Result of one cache access, as seen by the integer unit.
+
+    ``cycles`` counts *extra* cycles beyond the instruction's base timing:
+    zero for a hit, the bus transfer time for a miss or an uncached access.
+    ``mem_error`` reports an uncorrectable EDAC error on the requested word,
+    which the integer unit converts into a precise access-error trap.
+    """
+
+    data: int = 0
+    cycles: int = 0
+    hit: bool = True
+    mem_error: bool = False
+    tag_parity_error: bool = False
+    data_parity_error: bool = False
+    corrected: int = 0
+
+
+class CacheBase:
+    """One direct-mapped cache (instruction or data)."""
+
+    #: 'i' or 'd'; selects which ErrorCounters fields this cache increments.
+    kind = "?"
+
+    def __init__(self, config: CacheConfig, bus: AhbBus, master: AhbMaster,
+                 errors: ErrorCounters, perf: PerfCounters) -> None:
+        self.config = config
+        self.bus = bus
+        self.master = master
+        self.errors = errors
+        self.perf = perf
+        self.enabled = True
+
+        self.lines = config.lines
+        self.words_per_line = config.words_per_line
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = self.lines - 1
+        self._word_mask = self.words_per_line - 1
+        self._valid_mask = (1 << self.words_per_line) - 1
+
+        prefix = f"{self.kind}cache"
+        self.tag_ram = CacheRam(f"{prefix}-tags", self.lines, config.parity)
+        self.data_ram = CacheRam(
+            f"{prefix}-data", self.lines * self.words_per_line, config.parity
+        )
+
+    # -- address helpers ---------------------------------------------------------
+
+    def _index(self, address: int) -> int:
+        return (address >> self._offset_bits) & self._index_mask
+
+    def _word(self, address: int) -> int:
+        return (address >> 2) & self._word_mask
+
+    def _tag(self, address: int) -> int:
+        return address >> (self._offset_bits + (self.lines.bit_length() - 1))
+
+    def _line_base(self, address: int) -> int:
+        return address & ~(self.config.line_bytes - 1)
+
+    def _tag_entry(self, tag: int, valid: int) -> int:
+        return ((tag << self.words_per_line) | (valid & self._valid_mask)) & 0xFFFFFFFF
+
+    def _split_tag_entry(self, entry: int):
+        return entry >> self.words_per_line, entry & self._valid_mask
+
+    # -- counting ---------------------------------------------------------------
+
+    def _count_tag_error(self) -> None:
+        if self.kind == "i":
+            self.errors.ite += 1
+        else:
+            self.errors.dte += 1
+
+    def _count_data_error(self) -> None:
+        if self.kind == "i":
+            self.errors.ide += 1
+        else:
+            self.errors.dde += 1
+
+    def _count_hit(self) -> None:
+        if self.kind == "i":
+            self.perf.icache_hits += 1
+        else:
+            self.perf.dcache_hits += 1
+
+    def _count_miss(self) -> None:
+        if self.kind == "i":
+            self.perf.icache_misses += 1
+        else:
+            self.perf.dcache_misses += 1
+
+    # -- core lookup/refill -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Clear all valid bits (the FLUSH instruction / cache control
+        register).  Tag words are rewritten so their parity stays valid."""
+        for index in range(self.lines):
+            self.tag_ram.write(index, 0)
+
+    def invalidate_word(self, address: int) -> None:
+        """Clear the valid bit of one word (keeps the rest of the line)."""
+        index = self._index(address)
+        entry, kind = self.tag_ram.read(index)
+        if kind is not ErrorKind.NONE:
+            self.tag_ram.write(index, 0)
+            return
+        tag, valid = self._split_tag_entry(entry)
+        valid &= ~(1 << self._word(address))
+        self.tag_ram.write(index, self._tag_entry(tag, valid))
+
+    def lookup(self, address: int) -> CacheAccess:
+        """Read one word through the cache.
+
+        Implements the full section 4.3 policy: tag parity error -> forced
+        miss (count tag error); tag mismatch or invalid word -> plain miss;
+        data parity error -> forced miss (count data error); otherwise hit.
+        """
+        access = CacheAccess()
+        index = self._index(address)
+        entry, tag_kind = self.tag_ram.read(index)
+        if tag_kind is not ErrorKind.NONE:
+            self._count_tag_error()
+            access.tag_parity_error = True
+            return self._refill(address, access)
+        tag, valid = self._split_tag_entry(entry)
+        word = self._word(address)
+        if tag != self._tag(address) or not (valid >> word) & 1:
+            return self._refill(address, access)
+        data, data_kind = self.data_ram.read(index * self.words_per_line + word)
+        if data_kind is not ErrorKind.NONE:
+            self._count_data_error()
+            access.data_parity_error = True
+            return self._refill(address, access)
+        access.data = data
+        self._count_hit()
+        return access
+
+    def _refill(self, address: int, access: CacheAccess) -> CacheAccess:
+        """Fetch the whole line from memory, applying sub-blocking."""
+        access.hit = False
+        self._count_miss()
+        index = self._index(address)
+        base = self._line_base(address)
+        results = self.bus.read_burst(base, self.words_per_line, self.master)
+        valid = 0
+        any_error = False
+        requested_word = self._word(address)
+        for beat, result in enumerate(results):
+            access.cycles += result.cycles
+            access.corrected += result.corrected
+            self.errors.edac_corrected += result.corrected
+            if result.error:
+                any_error = True
+                continue
+            valid |= 1 << beat
+            self.data_ram.write(index * self.words_per_line + beat, result.data)
+            if beat == requested_word:
+                access.data = result.data
+        if not self.config.subblocking and any_error:
+            # Without sub-blocking the line has a single valid bit: any
+            # uncorrectable word poisons the whole line and the error is
+            # signalled even if the failed word was only fetched on
+            # speculation -- the spurious-trap problem sub-blocking solves.
+            self.tag_ram.write(index, self._tag_entry(self._tag(address), 0))
+            access.mem_error = True
+            return access
+        self.tag_ram.write(index, self._tag_entry(self._tag(address), valid))
+        if not (valid >> requested_word) & 1:
+            # The requested word itself is uncorrectable: its valid bit
+            # stays clear and the error propagates to the processor, which
+            # takes a precise access-error trap (section 4.6).
+            access.mem_error = True
+        return access
+
+    def uncached_read(self, address: int, size: TransferSize) -> CacheAccess:
+        """Bypass the cache (I/O space, or cache disabled)."""
+        result = self.bus.read(address, size, self.master)
+        return CacheAccess(
+            data=result.data,
+            cycles=result.cycles,
+            hit=False,
+            mem_error=result.error,
+            corrected=result.corrected,
+        )
+
+    # -- fault-injection surface ----------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return self.tag_ram.total_bits + self.data_ram.total_bits
+
+    def inject_flat(self, flat_bit: int) -> str:
+        """Flip one stored bit anywhere in this cache's RAMs; tag RAM bits
+        come first, then data RAM bits.  Returns 'tag' or 'data'."""
+        if flat_bit < self.tag_ram.total_bits:
+            self.tag_ram.inject_flat(flat_bit)
+            return "tag"
+        self.data_ram.inject_flat(flat_bit - self.tag_ram.total_bits)
+        return "data"

@@ -1,0 +1,23 @@
+"""The instruction cache."""
+
+from __future__ import annotations
+
+from repro.amba.ahb import TransferSize
+from repro.cache.base import CacheAccess, CacheBase
+
+
+class InstructionCache(CacheBase):
+    """Direct-mapped instruction cache.
+
+    The integer unit fetches one instruction word per cycle through
+    :meth:`fetch`; parity errors in the tag or data RAM force a miss and the
+    instruction stream is transparently re-fetched from memory.
+    """
+
+    kind = "i"
+
+    def fetch(self, address: int, *, cacheable: bool = True) -> CacheAccess:
+        """Fetch the instruction word at ``address``."""
+        if not self.enabled or not cacheable:
+            return self.uncached_read(address, TransferSize.WORD)
+        return self.lookup(address)

@@ -1,0 +1,86 @@
+"""Cache RAM arrays: bit-level word storage with parity check bits.
+
+These model the technology-specific single-port RAM mega-cells of section
+4.3.  Each entry stores the raw data word *and* its parity bits exactly as
+written; fault injection flips stored bits and the parity check discovers
+them on the next access.  The check is performed in parallel with tag
+comparison in hardware, so it costs no cycles in the timing model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.ft.protection import Codec, ErrorKind, ProtectionScheme, make_codec
+
+
+class CacheRam:
+    """One RAM block (a tag array or a data array) of 32-bit words."""
+
+    def __init__(self, name: str, words: int,
+                 scheme: ProtectionScheme = ProtectionScheme.NONE) -> None:
+        if words <= 0:
+            raise ConfigurationError(f"cache RAM {name!r} needs at least one word")
+        if scheme is ProtectionScheme.BCH:
+            raise ConfigurationError("cache RAMs use parity, not BCH")
+        self.name = name
+        self.words = words
+        self.scheme = scheme
+        self.codec: Codec = make_codec(scheme)
+        self._data: List[int] = [0] * words
+        self._check: List[int] = [0] * words
+
+    @property
+    def bits_per_word(self) -> int:
+        return 32 + self.scheme.check_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits_per_word
+
+    def write(self, index: int, value: int) -> None:
+        """Store a word, generating its parity bits (simultaneously, as in
+        hardware -- the parity always matches the written data)."""
+        value &= 0xFFFFFFFF
+        self._data[index] = value
+        self._check[index] = self.codec.encode(value)
+
+    def read(self, index: int) -> Tuple[int, ErrorKind]:
+        """Read a word, checking parity.  Returns the stored data and the
+        error classification; parity cannot correct, so callers treat any
+        non-NONE kind as 'force a miss'."""
+        data = self._data[index]
+        # Parity checking is re-encode-and-compare; no allocation needed.
+        if self.codec.encode(data) == self._check[index]:
+            return data, ErrorKind.NONE
+        return data, ErrorKind.DETECTED
+
+    def read_raw(self, index: int) -> Tuple[int, int]:
+        return self._data[index], self._check[index]
+
+    # -- fault injection --------------------------------------------------------
+
+    def inject(self, index: int, bit: int) -> None:
+        """Flip one stored bit: 0..31 data, 32.. check bits."""
+        if not 0 <= index < self.words:
+            raise InjectionError(f"index {index} outside {self.name}")
+        if 0 <= bit < 32:
+            self._data[index] ^= 1 << bit
+        elif 32 <= bit < self.bits_per_word:
+            self._check[index] ^= 1 << (bit - 32)
+        else:
+            raise InjectionError(f"bit {bit} out of range for {self.name}")
+
+    def inject_flat(self, flat_bit: int) -> Tuple[int, int]:
+        """Flip the ``flat_bit``-th stored bit; returns (index, bit).
+
+        The physical RAM is treated as a matrix with one word per row, so
+        consecutive flat bits are *adjacent cells in the same word* -- the
+        geometry that makes multiple-bit upsets dangerous (section 4.3).
+        """
+        if not 0 <= flat_bit < self.total_bits:
+            raise InjectionError(f"flat bit {flat_bit} outside {self.name}")
+        index, bit = divmod(flat_bit, self.bits_per_word)
+        self.inject(index, bit)
+        return index, bit

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+    run        assemble and run a SPARC V8 source file on a LEON system
+    campaign   one heavy-ion campaign run (Table 2 style row)
+    table1     print the synthesis-area comparison (Table 1)
+    figure2    print the pipeline diagrams (Figure 2)
+    rates      on-orbit SEU rate prediction
+    info       describe the simulated device configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.area.model import TimingModel, table1
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.fault.campaign import Campaign, CampaignConfig
+from repro.fault.report import render_table, render_table2
+from repro.fault.rates import ENVIRONMENTS, RatePredictor
+from repro.iu.pipetrace import PipelineTracer
+from repro.sparc.asm import assemble
+
+_CONFIGS = {
+    "standard": LeonConfig.standard,
+    "ft": LeonConfig.fault_tolerant,
+    "express": LeonConfig.leon_express,
+}
+
+
+def _add_config_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", choices=sorted(_CONFIGS), default="ft",
+                        help="device configuration (default: ft)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LEON-FT: fault-tolerant SPARC V8 processor simulator",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="assemble and run a source file")
+    run.add_argument("source", help="SPARC V8 assembly file")
+    run.add_argument("--base", type=lambda v: int(v, 0), default=0x40000000)
+    run.add_argument("--max-instructions", type=int, default=1_000_000)
+    run.add_argument("--entry", default=None,
+                     help="start label (default: image base)")
+    run.add_argument("--stop", default=None, help="stop label")
+    _add_config_argument(run)
+
+    campaign = subparsers.add_parser("campaign", help="one beam campaign run")
+    campaign.add_argument("--program", default="iutest",
+                          choices=["iutest", "paranoia", "cncf"])
+    campaign.add_argument("--let", type=float, default=110.0)
+    campaign.add_argument("--flux", type=float, default=400.0)
+    campaign.add_argument("--fluence", type=float, default=2.0e3)
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--ips", type=float, default=50_000.0,
+                          help="virtual device instructions per beam second")
+
+    subparsers.add_parser("table1", help="print the Table 1 area comparison")
+    subparsers.add_parser("figure2", help="print the Figure 2 diagrams")
+
+    rates = subparsers.add_parser("rates", help="on-orbit SEU rate prediction")
+    rates.add_argument("--environment", choices=sorted(ENVIRONMENTS),
+                       default=None, help="default: all environments")
+
+    info = subparsers.add_parser("info", help="describe the device")
+    _add_config_argument(info)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.source) as handle:
+        source = handle.read()
+    program = assemble(source, base=args.base)
+    system = LeonSystem(_CONFIGS[args.config]())
+    system.load_program(program)
+    if args.entry:
+        entry = program.address_of(args.entry)
+        system.special.pc, system.special.npc = entry, entry + 4
+    stop_pc = program.address_of(args.stop) if args.stop else None
+    result = system.run(args.max_instructions, stop_pc=stop_pc)
+    print(f"stopped: {result.stop_reason} at pc={result.pc:#010x} "
+          f"({result.instructions} instructions, {result.cycles} cycles, "
+          f"IPC {system.perf.ipc:.2f})")
+    if system.errors.total:
+        print(f"corrected SEU errors: {system.errors.as_dict()}")
+    output = system.uart_output()
+    if output:
+        print(f"uart: {output!r}")
+    return 0 if result.stop_reason != "halted" else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        program=args.program, let=args.let, flux=args.flux,
+        fluence=args.fluence, seed=args.seed,
+        instructions_per_second=args.ips,
+    )
+    result = Campaign(config).run()
+    print(render_table2([result]))
+    print(f"\nupsets: {result.upsets}  failures: {result.failures}  "
+          f"iterations: {result.iterations}")
+    return 0 if result.failures == 0 else 1
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    breakdown = table1()
+    rows = breakdown.as_rows()
+    print(render_table(rows, ["Module", "Area (mm2)", "Area incl. FT",
+                              "Increase"]))
+    timing = TimingModel()
+    print(f"\nlogic-only: +{breakdown.logic_only().increase_percent:.0f}%  "
+          f"voter penalty: {timing.penalty_fraction * 100:.0f}%")
+    return 0
+
+
+def _cmd_figure2(_args: argparse.Namespace) -> int:
+    print(PipelineTracer().render_all())
+    return 0
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    predictor = RatePredictor()
+    names = [args.environment] if args.environment else sorted(ENVIRONMENTS)
+    rows = []
+    for name in names:
+        rates = predictor.predict(name)
+        rows.append({
+            "environment": name,
+            "upsets/day": f"{rates.upsets_per_day:.3f}",
+            "interval (h)": f"{rates.seconds_between_upsets / 3600:.1f}",
+            "unprotected MTTF (d)":
+                f"{predictor.unprotected_failure_interval_days(name):.1f}",
+        })
+    print(render_table(rows, ["environment", "upsets/day", "interval (h)",
+                              "unprotected MTTF (d)"]))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    config = _CONFIGS[args.config]()
+    system = LeonSystem(config)
+    print(f"configuration: {config.name}")
+    print(f"  register windows: {config.nwindows} "
+          f"({config.regfile_words} x 32 registers)")
+    print(f"  icache: {config.icache.size_bytes // 1024} KiB, "
+          f"{config.icache.line_bytes}-byte lines, "
+          f"parity: {config.icache.parity.value}")
+    print(f"  dcache: {config.dcache.size_bytes // 1024} KiB, "
+          f"{config.dcache.line_bytes}-byte lines, "
+          f"parity: {config.dcache.parity.value}")
+    print(f"  regfile protection: {config.ft.regfile_protection.value}"
+          f"{' (duplicated 2-port RAMs)' if config.ft.regfile_duplicated else ''}")
+    print(f"  TMR flip-flops: {config.ft.tmr_flipflops} "
+          f"({system.ffbank.total_bits} architectural bits)")
+    print(f"  EDAC external memory: {config.memory.edac}")
+    print(f"  FPU: {config.has_fpu}")
+    print("  AHB slaves: " + ", ".join(
+        f"{slave.name}@{slave.base:#010x}" for slave in system.bus.slaves()))
+    print("  APB peripherals: " + ", ".join(
+        slave.name for slave in system.apb.slaves()))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "campaign": _cmd_campaign,
+    "table1": _cmd_table1,
+    "figure2": _cmd_figure2,
+    "rates": _cmd_rates,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

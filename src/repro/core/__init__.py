@@ -1,0 +1,24 @@
+"""Top-level LEON system: configuration, the assembled processor, statistics.
+
+`repro.core` is the paper's primary contribution layer: it wires the SPARC V8
+integer unit, FPU, caches, AMBA buses, memory controller and peripherals into
+a complete LEON processor, in either the standard or the fault-tolerant
+configuration, and provides the master/checker pairing of section 4.7.
+"""
+
+from repro.core.config import CacheConfig, FtConfig, LeonConfig, MemoryConfig
+from repro.core.master_checker import CompareError, MasterChecker
+from repro.core.statistics import ErrorCounters, PerfCounters
+from repro.core.system import LeonSystem
+
+__all__ = [
+    "CacheConfig",
+    "CompareError",
+    "ErrorCounters",
+    "FtConfig",
+    "LeonConfig",
+    "MasterChecker",
+    "MemoryConfig",
+    "PerfCounters",
+    "LeonSystem",
+]

@@ -1,0 +1,179 @@
+"""The LEON configuration package (paper section 5.1).
+
+The VHDL model is "extensively configurable through a configuration package:
+options such as cache size and organization, multiplier implementation,
+target technology, speed/area trade-off and fault-tolerance scheme can be set
+by editing constants".  :class:`LeonConfig` is the Python mirror of that
+package; two presets reproduce the two synthesis configurations compared in
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.ft.protection import ProtectionScheme
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache (instruction or data).
+
+    LEON-1 caches are direct-mapped with one or two parity bits per tag and
+    data word and per-word valid bits (sub-blocking, section 4.6).
+    """
+
+    size_bytes: int = 8192
+    line_bytes: int = 16
+    parity: ProtectionScheme = ProtectionScheme.NONE
+    subblocking: bool = True
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.size_bytes):
+            raise ConfigurationError(f"cache size {self.size_bytes} not a power of two")
+        if self.line_bytes not in (8, 16, 32):
+            raise ConfigurationError(f"cache line {self.line_bytes} must be 8, 16 or 32")
+        if self.size_bytes < self.line_bytes:
+            raise ConfigurationError("cache smaller than one line")
+        if self.parity is ProtectionScheme.BCH:
+            raise ConfigurationError(
+                "cache RAMs use parity, not BCH (they are in the critical path)"
+            )
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // 4
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """External memory controller layout (PROM / SRAM / memory-mapped I/O)."""
+
+    prom_base: int = 0x00000000
+    prom_bytes: int = 1 << 20
+    sram_base: int = 0x40000000
+    sram_bytes: int = 4 << 20
+    io_base: int = 0x20000000
+    io_bytes: int = 1 << 20
+    prom_waitstates: int = 3
+    sram_waitstates: int = 1
+    edac: bool = False  # on-chip EDAC over PROM and SRAM (section 4.6)
+
+    def __post_init__(self) -> None:
+        for name in ("prom_bytes", "sram_bytes", "io_bytes"):
+            if getattr(self, name) % 4:
+                raise ConfigurationError(f"{name} must be a multiple of 4")
+        if self.prom_waitstates < 0 or self.sram_waitstates < 0:
+            raise ConfigurationError("waitstates must be non-negative")
+
+
+@dataclass(frozen=True)
+class FtConfig:
+    """Which fault-tolerance features are enabled (paper section 4).
+
+    ``regfile_duplicated`` selects the two-parallel-two-port-RAM register
+    file implementation, where parity not only detects but also *corrects*
+    (copy from the error-free RAM, section 4.4); it requires a parity scheme
+    on the register file.
+    """
+
+    tmr_flipflops: bool = False
+    tmr_separate_clock_trees: bool = True
+    regfile_protection: ProtectionScheme = ProtectionScheme.NONE
+    regfile_duplicated: bool = False
+    master_checker: bool = False
+
+    def __post_init__(self) -> None:
+        if self.regfile_duplicated and self.regfile_protection not in (
+            ProtectionScheme.PARITY,
+            ProtectionScheme.DUAL_PARITY,
+        ):
+            raise ConfigurationError(
+                "the duplicated register file corrects through parity; "
+                "use PARITY or DUAL_PARITY (BCH corrects by itself)"
+            )
+
+
+@dataclass(frozen=True)
+class LeonConfig:
+    """Complete LEON configuration.
+
+    Use :meth:`standard` and :meth:`fault_tolerant` for the two
+    configurations compared in the paper, and :func:`dataclasses.replace`
+    (re-exported as :meth:`with_changes`) for variants.
+    """
+
+    name: str = "leon"
+    nwindows: int = 8
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    ft: FtConfig = field(default_factory=FtConfig)
+    has_fpu: bool = True
+    has_muldiv: bool = True
+    frequency_mhz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.nwindows <= 32:
+            raise ConfigurationError(f"nwindows {self.nwindows} out of SPARC range 2..32")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("frequency must be positive")
+
+    @property
+    def regfile_words(self) -> int:
+        """Register-file size: nwindows x 16 + 8 globals (136 for 8 windows,
+        matching Table 1's '136x32')."""
+        return self.nwindows * 16 + 8
+
+    def with_changes(self, **changes) -> "LeonConfig":
+        return replace(self, **changes)
+
+    @classmethod
+    def standard(cls, **overrides) -> "LeonConfig":
+        """The non-FT synthesis configuration of Table 1 (no FPU)."""
+        defaults = dict(
+            name="leon-standard",
+            has_fpu=False,
+            icache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.NONE),
+            dcache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.NONE),
+            memory=MemoryConfig(edac=False),
+            ft=FtConfig(),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def fault_tolerant(cls, **overrides) -> "LeonConfig":
+        """The FT configuration of Table 1: TMR on all flip-flops, two parity
+        bits on the cache RAMs, 7-bit BCH on the register file, EDAC on
+        external memory."""
+        defaults = dict(
+            name="leon-ft",
+            has_fpu=False,
+            icache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.DUAL_PARITY),
+            dcache=CacheConfig(size_bytes=8192, parity=ProtectionScheme.DUAL_PARITY),
+            memory=MemoryConfig(edac=True),
+            ft=FtConfig(
+                tmr_flipflops=True,
+                regfile_protection=ProtectionScheme.BCH,
+            ),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def leon_express(cls, **overrides) -> "LeonConfig":
+        """The LEON-Express flight-test device (section 5.3): the FT
+        configuration that went under the beam at Louvain, with an FPU so the
+        PARANOIA test program has something to exercise."""
+        config = cls.fault_tolerant(name="leon-express", has_fpu=True)
+        return config.with_changes(**overrides) if overrides else config

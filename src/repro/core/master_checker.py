@@ -1,0 +1,96 @@
+"""Master/checker operation (paper section 4.7).
+
+Two LEON processors run the same program in lock-step; the checker drives no
+outputs but compares, every clock, the values it *would* have driven against
+the master's.  A discrepancy asserts the compare-error output.
+
+The paper's SEU test campaign used exactly this: the master under the beam,
+the checker shielded, and the compare-error line as the error-detection
+signal.  Note the documented limitation: an internal correction (register
+file or cache) skews the master's timing, so a *corrected* error also raises
+a compare error; the test harness then verifies the checksum and the error
+counters to classify the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.iu.pipeline import StepResult
+
+
+@dataclass(frozen=True)
+class CompareError:
+    """One master/checker discrepancy."""
+
+    step: int
+    field: str
+    master_value: object
+    checker_value: object
+
+
+def _signature(result: StepResult) -> Tuple:
+    """What the checker compares each step: program counter, event class,
+    cycle count (timing skew!) and every external write."""
+    return (result.pc, result.event, result.cycles, tuple(result.writes))
+
+
+class MasterChecker:
+    """A lock-stepped master/checker pair of LEON systems."""
+
+    def __init__(self, config: Optional[LeonConfig] = None) -> None:
+        self.config = config or LeonConfig.fault_tolerant()
+        self.master = LeonSystem(self.config)
+        self.checker = LeonSystem(self.config)
+        self.compare_errors: List[CompareError] = []
+        self._steps = 0
+
+    def load_program(self, program) -> None:
+        self.master.load_program(program)
+        self.checker.load_program(program)
+
+    def step(self) -> Tuple[StepResult, Optional[CompareError]]:
+        """Step both devices one instruction and compare outputs."""
+        master_result = self.master.step()
+        checker_result = self.checker.step()
+        self._steps += 1
+        error = self._compare(master_result, checker_result)
+        if error is not None:
+            self.compare_errors.append(error)
+        return master_result, error
+
+    def _compare(self, master: StepResult, checker: StepResult) -> Optional[CompareError]:
+        master_sig = _signature(master)
+        checker_sig = _signature(checker)
+        if master_sig == checker_sig:
+            return None
+        for name, m_value, c_value in zip(
+            ("pc", "event", "cycles", "writes"), master_sig, checker_sig
+        ):
+            if m_value != c_value:
+                return CompareError(self._steps, name, m_value, c_value)
+        return None  # pragma: no cover
+
+    def run(self, max_steps: int, *, stop_on_compare_error: bool = False):
+        """Run the pair; returns (steps run, list of compare errors)."""
+        errors_before = len(self.compare_errors)
+        for step in range(max_steps):
+            _result, error = self.step()
+            if error is not None and stop_on_compare_error:
+                return step + 1, self.compare_errors[errors_before:]
+            if self.master.halted.value != "running":
+                return step + 1, self.compare_errors[errors_before:]
+        return max_steps, self.compare_errors[errors_before:]
+
+    def resynchronize(self) -> None:
+        """After a correction-induced skew the pair must be reset to get back
+        in step (the paper: "a reset is necessary to synchronize the two
+        processors").  We rebuild the checker from the master's memory image
+        equivalent -- in hardware this is a full reset of both devices; the
+        harness reloads and restarts instead."""
+        self.checker = LeonSystem(self.config)
+        self.compare_errors.clear()
+        self._steps = 0

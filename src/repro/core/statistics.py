@@ -1,0 +1,91 @@
+"""Error-monitoring and performance counters.
+
+The LEON-Express test chip provides "on-chip error-monitoring counters that
+increment automatically after each corrected SEU error" (section 6); the
+test software reports them to the host, which is how Table 2's ITE / IDE /
+DTE / DDE / RFE columns are produced.  :class:`ErrorCounters` is that
+hardware block's state; the APB ``errmon`` peripheral exposes it to software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ErrorCounters:
+    """Counters of *detected-and-corrected* SEU errors, by RAM type.
+
+    Field names follow the paper: ITE = instruction cache tag error, IDE =
+    instruction cache data error, DTE = data cache tag error, DDE = data
+    cache data error, RFE = register file error.
+    """
+
+    ite: int = 0
+    ide: int = 0
+    dte: int = 0
+    dde: int = 0
+    rfe: int = 0
+    #: EDAC corrections in external memory (not part of Table 2 -- the beam
+    #: only strikes the processor die -- but counted for the ablations).
+    edac_corrected: int = 0
+    #: Uncorrectable events that reached software as error traps.
+    register_error_traps: int = 0
+    memory_error_traps: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total corrected on-chip RAM errors (the paper's 'Total' column)."""
+        return self.ite + self.ide + self.dte + self.dde + self.rfe
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ITE": self.ite,
+            "IDE": self.ide,
+            "DTE": self.dte,
+            "DDE": self.dde,
+            "RFE": self.rfe,
+            "Total": self.total,
+        }
+
+    def reset(self) -> None:
+        self.ite = self.ide = self.dte = self.dde = self.rfe = 0
+        self.edac_corrected = 0
+        self.register_error_traps = self.memory_error_traps = 0
+
+
+@dataclass
+class PerfCounters:
+    """Cycle/instruction accounting for the performance experiments."""
+
+    cycles: int = 0
+    instructions: int = 0
+    icache_hits: int = 0
+    icache_misses: int = 0
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    traps: int = 0
+    pipeline_restarts: int = 0
+    restart_cycles: int = 0
+    stores: int = 0
+    loads: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (the paper targets ~1 MIPS/MHz peak)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def icache_hit_rate(self) -> float:
+        accesses = self.icache_hits + self.icache_misses
+        return self.icache_hits / accesses if accesses else 0.0
+
+    @property
+    def dcache_hit_rate(self) -> float:
+        accesses = self.dcache_hits + self.dcache_misses
+        return self.dcache_hits / accesses if accesses else 0.0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)

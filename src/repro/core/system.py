@@ -1,0 +1,257 @@
+"""The assembled LEON system (paper figure 1).
+
+``LeonSystem`` builds and wires every block of the block diagram: the SPARC
+V8 integer unit with its register file, the FPU, both caches, the AMBA AHB
+bus with the memory controller, and the APB bridge with timers, UARTs,
+interrupt controller, I/O port and the FT error monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.amba.ahb import AhbBus, TransferSize
+from repro.amba.apb import ApbBridge
+from repro.cache.dcache import DataCache
+from repro.cache.icache import InstructionCache
+from repro.core.config import LeonConfig
+from repro.core.statistics import ErrorCounters, PerfCounters
+from repro.errors import BusError, SimulationError
+from repro.fpu.fpu import Fpu
+from repro.ft.protection import ProtectionScheme
+from repro.ft.tmr import FlipFlopBank
+from repro.iu.pipeline import HaltReason, IntegerUnit, StepEvent, StepResult
+from repro.iu.psr import SpecialRegisters
+from repro.iu.regfile import RegisterFile
+from repro.mem.memctrl import MemoryController
+from repro.peripherals import (
+    IRQ_TIMER1,
+    IRQ_TIMER2,
+    IRQ_UART1,
+    IRQ_UART2,
+)
+from repro.peripherals.dma import DmaEngine
+from repro.peripherals.errmon import ErrorMonitor
+from repro.peripherals.ioport import IoPort
+from repro.peripherals.irqctrl import InterruptController
+from repro.peripherals.sysregs import SystemRegisters
+from repro.peripherals.timer import TimerUnit
+from repro.peripherals.uart import Uart
+from repro.sparc.asm import Program
+
+#: Base address of the APB bridge (LEON-2 register map).
+APB_BASE = 0x80000000
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`LeonSystem.run`."""
+
+    instructions: int
+    cycles: int
+    steps: int
+    halted: HaltReason
+    stop_reason: str
+    pc: int
+
+
+class LeonSystem:
+    """A complete LEON processor plus its memory system and peripherals."""
+
+    def __init__(self, config: Optional[LeonConfig] = None) -> None:
+        self.config = config or LeonConfig.fault_tolerant()
+        config = self.config
+
+        self.errors = ErrorCounters()
+        self.perf = PerfCounters()
+        self.ffbank = FlipFlopBank(
+            tmr=config.ft.tmr_flipflops,
+            separate_clock_trees=config.ft.tmr_separate_clock_trees,
+        )
+
+        # -- AHB: memory controller ----------------------------------------------
+        self.bus = AhbBus()
+        self.cpu_master = self.bus.add_master("cpu", priority=1)
+        self.memctrl = MemoryController(config.memory)
+        for bank in self.memctrl.banks():
+            self.bus.attach(bank)
+
+        # -- APB: peripherals ------------------------------------------------------
+        self.apb = ApbBridge(APB_BASE)
+        self.bus.attach(self.apb)
+        self.irqctrl = InterruptController(ffbank=self.ffbank)
+        raise_irq = self.irqctrl.raise_interrupt
+        self.sysregs = SystemRegisters(config, ffbank=self.ffbank)
+        self.timers = TimerUnit(irq_levels=(IRQ_TIMER1, IRQ_TIMER2),
+                                raise_irq=raise_irq, ffbank=self.ffbank)
+        self.uart1 = Uart("uart1", 0x70, irq_level=IRQ_UART1,
+                          raise_irq=raise_irq, ffbank=self.ffbank)
+        self.uart2 = Uart("uart2", 0x80, irq_level=IRQ_UART2,
+                          raise_irq=raise_irq, ffbank=self.ffbank)
+        self.ioport = IoPort(raise_irq=raise_irq, ffbank=self.ffbank)
+        self.errmon = ErrorMonitor(self.errors)
+        self.dma = DmaEngine(self.bus, ffbank=self.ffbank)
+        for slave in (self.sysregs, self.timers, self.uart1, self.uart2,
+                      self.irqctrl, self.ioport, self.errmon, self.dma):
+            self.apb.attach(slave)
+
+        # -- caches --------------------------------------------------------------------
+        self.icache = InstructionCache(config.icache, self.bus, self.cpu_master,
+                                       self.errors, self.perf)
+        self.dcache = DataCache(config.dcache, self.bus, self.cpu_master,
+                                self.errors, self.perf)
+        self.dcache.double_store_delay = (
+            config.ft.regfile_protection is not ProtectionScheme.NONE
+        )
+        self.sysregs.icache = self.icache
+        self.sysregs.dcache = self.dcache
+        self.sysregs.write_protector = self.memctrl.write_protector
+
+        # -- processor -------------------------------------------------------------------
+        self.regfile = RegisterFile(
+            config.nwindows,
+            config.ft.regfile_protection,
+            duplicated=config.ft.regfile_duplicated,
+        )
+        self.special = SpecialRegisters(self.ffbank, config.nwindows,
+                                        reset_pc=config.memory.prom_base)
+        if config.has_fpu:
+            def _count_fp_correction() -> None:
+                # The f-registers live in the register-file RAM: their
+                # corrections increment the same RFE counter (section 4.4).
+                self.errors.rfe += 1
+                self.perf.pipeline_restarts += 1
+
+            self.fpu = Fpu(self.ffbank,
+                           protection=config.ft.regfile_protection,
+                           on_corrected=_count_fp_correction)
+        else:
+            self.fpu = None
+        self.iu = IntegerUnit(
+            config=config,
+            regfile=self.regfile,
+            special=self.special,
+            icache=self.icache,
+            dcache=self.dcache,
+            fpu=self.fpu,
+            ffbank=self.ffbank,
+            errors=self.errors,
+            perf=self.perf,
+            is_cacheable=self.memctrl.is_cacheable,
+            irqctrl=self.irqctrl,
+        )
+        #: Set when an injection has touched the flip-flop bank since the
+        #: last step, to trigger a TMR scrub (hardware scrubs every edge).
+        self._ffbank_dirty = False
+
+    # -- program loading -------------------------------------------------------------
+
+    def load_program(self, program: Program, *, set_pc: bool = True) -> None:
+        """Load an assembled program image into PROM/SRAM and point the
+        processor at its base address."""
+        self.write_image(program.base, program.to_bytes())
+        if set_pc:
+            self.special.pc = program.base
+            self.special.npc = program.base + 4
+
+    def write_image(self, base: int, image: bytes) -> None:
+        for memory, bank in ((self.memctrl.prom_memory, self.memctrl.prom),
+                             (self.memctrl.sram_memory, self.memctrl.sram),
+                             (self.memctrl.io_memory, self.memctrl.io)):
+            if bank.covers(base):
+                if not bank.covers(base + max(len(image) - 1, 0)):
+                    raise SimulationError("image does not fit in one memory bank")
+                memory.load_image(base - bank.base, image)
+                return
+        raise SimulationError(f"address {base:#x} is not in PROM, SRAM or I/O space")
+
+    # -- direct memory access for tests/harnesses -----------------------------------------
+
+    def read_word(self, address: int) -> int:
+        result = self.bus.read(address, TransferSize.WORD)
+        if result.error:
+            raise BusError(address)
+        return result.data
+
+    def write_word(self, address: int, value: int) -> None:
+        result = self.bus.write(address, value, TransferSize.WORD)
+        if result.error:
+            raise BusError(address)
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def step(self) -> StepResult:
+        """Execute one instruction; advance peripherals by its cycle cost."""
+        if self._ffbank_dirty:
+            self.ffbank.scrub()
+            self._ffbank_dirty = False
+        if self.sysregs.power_down_requested:
+            self.sysregs.power_down_requested = False
+            self.iu.power_down = True
+        result = self.iu.step()
+        if result.cycles:
+            self.apb.tick(result.cycles)
+        return result
+
+    def mark_ffbank_dirty(self) -> None:
+        """Called by the fault injector after striking a flip-flop lane."""
+        self._ffbank_dirty = True
+
+    def run(
+        self,
+        max_instructions: int = 1_000_000,
+        *,
+        stop_pc: Optional[int] = None,
+        stop_when: Optional[Callable[[StepResult], bool]] = None,
+        max_idle_steps: int = 100_000,
+    ) -> RunResult:
+        """Run until a stop condition.
+
+        Stops on: the processor halting (error mode), ``stop_pc`` being
+        reached, ``stop_when`` returning True, the instruction budget, or
+        a power-down period exceeding ``max_idle_steps``.
+        """
+        instructions = 0
+        steps = 0
+        idle = 0
+        stop_reason = "budget"
+        while instructions < max_instructions:
+            if stop_pc is not None and self.special.pc == stop_pc \
+                    and self.iu.halted is HaltReason.RUNNING:
+                stop_reason = "stop-pc"
+                break
+            result = self.step()
+            steps += 1
+            if result.event is StepEvent.OK:
+                instructions += 1
+            if result.event is StepEvent.HALTED:
+                stop_reason = "halted"
+                break
+            if result.event is StepEvent.IDLE:
+                idle += 1
+                if idle > max_idle_steps:
+                    stop_reason = "idle"
+                    break
+            else:
+                idle = 0
+            if stop_when is not None and stop_when(result):
+                stop_reason = "predicate"
+                break
+        return RunResult(
+            instructions=instructions,
+            cycles=self.perf.cycles,
+            steps=steps,
+            halted=self.iu.halted,
+            stop_reason=stop_reason,
+            pc=self.special.pc,
+        )
+
+    # -- convenience -----------------------------------------------------------------------------
+
+    @property
+    def halted(self) -> HaltReason:
+        return self.iu.halted
+
+    def uart_output(self) -> bytes:
+        return self.uart1.transcript()

@@ -1,0 +1,13 @@
+"""Debug support: instruction trace, breakpoints, watchpoints.
+
+The ATC25 LEON (paper section 9) adds "an on-chip debug unit"; the later
+LEON2/3 DSU provides an instruction trace buffer and hardware breakpoints.
+This package models that facility at the harness level: it drives the
+processor step by step, records a ring-buffer trace, and stops on code
+breakpoints or data watchpoints -- the tooling one actually uses to chase
+an SEU-induced failure through the pipeline.
+"""
+
+from repro.debug.dsu import Breakpoint, DebugSupportUnit, TraceEntry, Watchpoint
+
+__all__ = ["Breakpoint", "DebugSupportUnit", "TraceEntry", "Watchpoint"]

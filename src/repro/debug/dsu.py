@@ -1,0 +1,168 @@
+"""The debug support unit: trace buffer, breakpoints, watchpoints."""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.core.system import LeonSystem
+from repro.iu.pipeline import StepEvent, StepResult
+from repro.sparc.disasm import disassemble
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed (or attempted) instruction in the trace buffer."""
+
+    sequence: int
+    pc: int
+    word: int
+    event: StepEvent
+    cycles: int
+    cwp: int
+
+    def render(self) -> str:
+        text = disassemble(self.word, self.pc)
+        marker = {
+            StepEvent.TRAP: " <trap>",
+            StepEvent.RESTART: " <ft-restart>",
+            StepEvent.ANNULLED: " <annulled>",
+            StepEvent.INTERRUPT: " <interrupt>",
+            StepEvent.HALTED: " <halted>",
+        }.get(self.event, "")
+        return f"{self.sequence:>8}  {self.pc:#010x}  {text}{marker}"
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """Stop before executing the instruction at ``address``."""
+
+    address: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Watchpoint:
+    """Stop after a store hits ``[address, address + length)``."""
+
+    address: int
+    length: int = 4
+    name: str = ""
+
+    def hit(self, write_address: int) -> bool:
+        return self.address <= write_address < self.address + self.length
+
+
+@dataclass
+class StopInfo:
+    """Why :meth:`DebugSupportUnit.run` returned."""
+
+    reason: str  # "breakpoint" | "watchpoint" | "halted" | "budget"
+    pc: int
+    breakpoint: Optional[Breakpoint] = None
+    watchpoint: Optional[Watchpoint] = None
+    write_address: Optional[int] = None
+    instructions: int = 0
+
+
+class DebugSupportUnit:
+    """Drives a :class:`LeonSystem` with trace and break/watch support.
+
+    The DSU is a harness-side monitor: it does not perturb the processor
+    (no extra cycles), it just observes every step.
+    """
+
+    def __init__(self, system: LeonSystem, *, trace_depth: int = 256) -> None:
+        self.system = system
+        self.trace_depth = trace_depth
+        self._trace: Deque[TraceEntry] = collections.deque(maxlen=trace_depth)
+        self._breakpoints: Dict[int, Breakpoint] = {}
+        self._watchpoints: List[Watchpoint] = []
+        self._sequence = 0
+        #: Event counters over the whole session.
+        self.event_counts: Dict[StepEvent, int] = collections.defaultdict(int)
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_breakpoint(self, address: int, name: str = "") -> Breakpoint:
+        breakpoint = Breakpoint(address & ~3, name)
+        self._breakpoints[breakpoint.address] = breakpoint
+        return breakpoint
+
+    def remove_breakpoint(self, address: int) -> None:
+        self._breakpoints.pop(address & ~3, None)
+
+    def add_watchpoint(self, address: int, length: int = 4,
+                       name: str = "") -> Watchpoint:
+        watchpoint = Watchpoint(address, length, name)
+        self._watchpoints.append(watchpoint)
+        return watchpoint
+
+    def breakpoints(self) -> Iterable[Breakpoint]:
+        return list(self._breakpoints.values())
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self) -> StepResult:
+        """Execute one instruction, recording it in the trace."""
+        pc = self.system.special.pc
+        word = self._peek_instruction(pc)
+        result = self.system.step()
+        self._sequence += 1
+        self.event_counts[result.event] += 1
+        self._trace.append(TraceEntry(
+            sequence=self._sequence,
+            pc=result.pc,
+            word=word,
+            event=result.event,
+            cycles=result.cycles,
+            cwp=self.system.special.psr.cwp,
+        ))
+        return result
+
+    def _peek_instruction(self, pc: int) -> int:
+        try:
+            return self.system.read_word(pc)
+        except Exception:
+            return 0
+
+    def run(self, max_instructions: int = 1_000_000) -> StopInfo:
+        """Run to a breakpoint, watchpoint, halt, or the budget."""
+        executed = 0
+        while executed < max_instructions:
+            pc = self.system.special.pc
+            hit = self._breakpoints.get(pc)
+            if hit is not None:
+                return StopInfo("breakpoint", pc, breakpoint=hit,
+                                instructions=executed)
+            result = self.step()
+            if result.event is StepEvent.OK:
+                executed += 1
+            if result.event is StepEvent.HALTED:
+                return StopInfo("halted", self.system.special.pc,
+                                instructions=executed)
+            for address, _value in result.writes:
+                for watchpoint in self._watchpoints:
+                    if watchpoint.hit(address):
+                        return StopInfo("watchpoint", self.system.special.pc,
+                                        watchpoint=watchpoint,
+                                        write_address=address,
+                                        instructions=executed)
+        return StopInfo("budget", self.system.special.pc,
+                        instructions=executed)
+
+    # -- trace access ------------------------------------------------------------------
+
+    def trace(self, last: Optional[int] = None) -> List[TraceEntry]:
+        entries = list(self._trace)
+        if last is not None:
+            entries = entries[-last:]
+        return entries
+
+    def render_trace(self, last: int = 16) -> str:
+        lines = [entry.render() for entry in self.trace(last)]
+        return "\n".join(lines) if lines else "(trace empty)"
+
+    def clear_trace(self) -> None:
+        self._trace.clear()

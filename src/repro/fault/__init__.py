@@ -1,0 +1,37 @@
+"""Heavy-ion fault injection (paper section 6).
+
+The LEON-Express device was irradiated at the Louvain Cyclotron with ions of
+6-110 MeV effective LET at fluxes of 400-5 000 ions/s/cm2.  This package is
+the simulator's cyclotron: a per-bit Weibull cross-section model, Poisson
+particle arrivals, a geometric multiple-bit-upset model for adjacent cells,
+and a campaign runner that reproduces the paper's measurement procedure
+(run a self-checking program, count the hardware error-monitor counters,
+verify the checksum, classify failures).
+"""
+
+from repro.fault.beam import BeamParameters, HeavyIonBeam, WeibullCrossSection
+from repro.fault.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.fault.crosssection import (
+    CrossSectionCurve,
+    WeibullFit,
+    fit_weibull,
+    measure_curve,
+    render_curve,
+)
+from repro.fault.injector import FaultInjector, SeuTarget
+
+__all__ = [
+    "BeamParameters",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CrossSectionCurve",
+    "FaultInjector",
+    "HeavyIonBeam",
+    "SeuTarget",
+    "WeibullCrossSection",
+    "WeibullFit",
+    "fit_weibull",
+    "measure_curve",
+    "render_curve",
+]

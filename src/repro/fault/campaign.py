@@ -1,0 +1,202 @@
+"""The SEU campaign runner: the simulator's Louvain test procedure.
+
+Reproduces the measurement loop of section 6: run a self-checking test
+program, let the beam strike the device, read the on-chip error-monitor
+counters (ITE / IDE / DTE / DDE / RFE), verify the program's checksum, and
+classify failures (error traps or software-detected corruption).
+
+Time scaling
+------------
+Real beam runs inject ~1 upset per hundreds of milliseconds while the
+device executes tens of millions of instructions per second.  Simulating
+that literally is infeasible, so the campaign maps beam time to simulated
+instructions through ``instructions_per_second`` -- the *virtual device
+speed*.  Error counts and cross-sections are unbiased under this scaling
+(every upset is still detected or missed by exactly the same program
+logic); what accelerates is the ratio of upset arrivals to storage
+*residency* time, which only matters for the multiple-error build-up
+experiment (E6) where the flux axis is scaled accordingly (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.errors import ConfigurationError
+from repro.fault.beam import BeamParameters, HeavyIonBeam
+from repro.fault.injector import FaultInjector
+from repro.iu.pipeline import HaltReason
+from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
+
+_BUILDERS = {
+    "iutest": build_iutest,
+    "paranoia": build_paranoia,
+    "cncf": build_cncf,
+}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign run: a program under one beam setting."""
+
+    program: str = "iutest"
+    let: float = 110.0
+    flux: float = 400.0  # ions / s / cm^2
+    fluence: float = 1.0e4  # ions / cm^2 (the paper's runs: 1e5)
+    seed: int = 1
+    #: Virtual device speed: simulated instructions per beam second.
+    instructions_per_second: float = 50_000.0
+    #: Hard cap on simulated instructions (safety valve).
+    max_instructions: int = 20_000_000
+    #: Periodic cache flush, in instructions (0 = never).  Section 4.8:
+    #: "In small programs, a cache flush could therefore periodically be
+    #: performed to force a refresh of all cache contents" -- flushing
+    #: discards latent cache errors before they can pair up.
+    flush_period_instructions: int = 0
+    leon: Optional[LeonConfig] = None
+    program_kwargs: Dict = field(default_factory=dict)
+
+    def beam_parameters(self) -> BeamParameters:
+        return BeamParameters(let=self.let, flux=self.flux,
+                              fluence=self.fluence, seed=self.seed)
+
+
+@dataclass
+class CampaignResult:
+    """What the host computer logged for one run."""
+
+    config: CampaignConfig
+    counts: Dict[str, int]  # ITE IDE DTE DDE RFE Total
+    upsets: int  # physical strikes applied
+    upsets_by_target: Dict[str, int]
+    sw_errors: int  # checksum mismatches the program caught
+    error_traps: int  # unexpected traps (incl. register/memory error traps)
+    halted: bool  # processor reached error mode
+    iterations: int  # completed program self-check iterations
+    instructions: int
+
+    @property
+    def failures(self) -> int:
+        """Paper terminology: "error traps or software failures"."""
+        return self.sw_errors + self.error_traps + (1 if self.halted else 0)
+
+    @property
+    def undetected_errors(self) -> int:
+        """Errors that escaped the FT machinery and corrupted results."""
+        return self.sw_errors
+
+    def cross_section(self, kind: str = "Total") -> float:
+        """Measured cross-section, cm^2: corrected errors per unit fluence."""
+        return self.counts[kind] / self.config.fluence
+
+    def cross_sections(self) -> Dict[str, float]:
+        return {kind: count / self.config.fluence
+                for kind, count in self.counts.items()}
+
+    def row(self) -> Dict[str, object]:
+        """One Table 2 row."""
+        out: Dict[str, object] = {
+            "TEST": self.config.program.upper()[:4],
+            "LET": self.config.let,
+        }
+        out.update(self.counts)
+        out["X-sect"] = self.cross_section("Total")
+        return out
+
+
+class Campaign:
+    """Builds the device + beam and executes one (or more) runs."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        if config.program not in _BUILDERS:
+            raise ConfigurationError(
+                f"unknown test program {config.program!r} "
+                f"(choose from {sorted(_BUILDERS)})")
+        self.config = config
+        self.leon_config = config.leon or LeonConfig.leon_express()
+
+    def build_system(self) -> LeonSystem:
+        return LeonSystem(self.leon_config)
+
+    def run(self) -> CampaignResult:
+        config = self.config
+        system = self.build_system()
+        builder = _BUILDERS[config.program]
+        program, _expected = builder(self.leon_config, iterations=1_000_000,
+                                     **config.program_kwargs)
+        harness = ProgramHarness(system, program)
+        injector = FaultInjector(system)
+        beam = HeavyIonBeam(injector)
+        params = config.beam_parameters()
+        strikes = beam.schedule(params)
+
+        spin = program.symbols["_trap_spin"]
+        total_instructions = min(
+            int(params.duration_s * config.instructions_per_second),
+            config.max_instructions,
+        )
+
+        upsets_by_target: Dict[str, int] = {}
+        state = {"executed": 0, "since_flush": 0, "failed": False}
+
+        def run_until(target_instructions: int) -> None:
+            """Advance execution, honouring the periodic cache flush."""
+            period = config.flush_period_instructions
+            while state["executed"] < target_instructions and not state["failed"]:
+                chunk = target_instructions - state["executed"]
+                if period:
+                    chunk = min(chunk, period - state["since_flush"])
+                run = system.run(chunk,
+                                 stop_when=lambda r: system.special.pc == spin)
+                state["executed"] += run.instructions
+                state["since_flush"] += run.instructions
+                if run.stop_reason in ("halted", "predicate"):
+                    state["failed"] = True
+                    return
+                if period and state["since_flush"] >= period:
+                    system.icache.flush()
+                    system.dcache.flush()
+                    state["since_flush"] = 0
+
+        for strike in strikes:
+            strike_at = int(strike.time_s * config.instructions_per_second)
+            strike_at = min(strike_at, total_instructions)
+            run_until(strike_at)
+            if state["failed"]:
+                break
+            beam.apply(strike)
+            upsets_by_target[strike.target] = \
+                upsets_by_target.get(strike.target, 0) + 1
+            if strike.mbu:
+                upsets_by_target[strike.target + "+mbu"] = \
+                    upsets_by_target.get(strike.target + "+mbu", 0) + 1
+        if not state["failed"]:
+            run_until(total_instructions)
+        executed = state["executed"]
+
+        # Read out the result area the way the host computer would.
+        layout = harness.layout
+        read = system.read_word
+        sw_errors = read(layout.result + 0x14)
+        trapped = read(layout.result + 0x08) == 1
+        iterations = read(layout.result + 0x10)
+
+        counts = dict(system.errors.as_dict())
+        upsets = sum(
+            count for name, count in upsets_by_target.items()
+            if not name.endswith("+mbu")
+        )
+        return CampaignResult(
+            config=config,
+            counts=counts,
+            upsets=upsets,
+            upsets_by_target=upsets_by_target,
+            sw_errors=sw_errors,
+            error_traps=int(trapped),
+            halted=system.iu.halted is not HaltReason.RUNNING,
+            iterations=iterations,
+            instructions=executed,
+        )

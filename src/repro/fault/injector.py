@@ -1,0 +1,146 @@
+"""The SEU target registry and deterministic fault injector.
+
+Every sequential-cell group of the device (the three groups of section 4.2
+plus the FPU register file) is an injectable target with a known bit count.
+The beam chooses *where* a strike lands weighted by bit count (uniform area
+density); tests use the deterministic per-target API directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.system import LeonSystem
+from repro.errors import InjectionError
+
+
+@dataclass(frozen=True)
+class SeuTarget:
+    """One injectable storage group."""
+
+    name: str
+    bits: int
+    inject_flat: Callable[[int], object]
+    #: Physical RAM geometry: consecutive flat bits within one word are
+    #: adjacent cells (for the MBU model); flip-flops have no row geometry.
+    bits_per_word: int = 0
+
+
+class FaultInjector:
+    """Enumerates and strikes the SEU-sensitive storage of one system."""
+
+    def __init__(self, system: LeonSystem, *,
+                 include_external_memory: bool = False) -> None:
+        self.system = system
+        self.targets: Dict[str, SeuTarget] = {}
+        self._build_targets(include_external_memory)
+        self.injections: List[str] = []
+
+    def _build_targets(self, include_external_memory: bool) -> None:
+        system = self.system
+        icache, dcache = system.icache, system.dcache
+        self._add(SeuTarget(
+            "icache-tag", icache.tag_ram.total_bits,
+            icache.tag_ram.inject_flat, icache.tag_ram.bits_per_word))
+        self._add(SeuTarget(
+            "icache-data", icache.data_ram.total_bits,
+            icache.data_ram.inject_flat, icache.data_ram.bits_per_word))
+        self._add(SeuTarget(
+            "dcache-tag", dcache.tag_ram.total_bits,
+            dcache.tag_ram.inject_flat, dcache.tag_ram.bits_per_word))
+        self._add(SeuTarget(
+            "dcache-data", dcache.data_ram.total_bits,
+            dcache.data_ram.inject_flat, dcache.data_ram.bits_per_word))
+        regfile = system.regfile
+        self._add(SeuTarget(
+            "regfile", regfile.total_bits, regfile.inject_flat,
+            regfile.bits_per_word))
+        if system.fpu is not None:
+            fpu = system.fpu
+            per_word = fpu.bits_per_word  # f-regs share the regfile scheme
+
+            def inject_fpreg(flat_bit: int):
+                index, bit = divmod(flat_bit, per_word)
+                fpu.inject(index, bit)
+                return index, bit
+
+            self._add(SeuTarget("fpregs", 32 * per_word, inject_fpreg, per_word))
+
+        ffbank = system.ffbank
+
+        def inject_ff(flat_bit: int):
+            name = ffbank.inject_flat(flat_bit, lane=0)
+            system.mark_ffbank_dirty()
+            return name
+
+        self._add(SeuTarget("flipflops", ffbank.total_bits, inject_ff, 0))
+
+        if include_external_memory:
+            for memory in (system.memctrl.prom_memory, system.memctrl.sram_memory):
+                self._add(SeuTarget(
+                    f"ext-{memory.name}", memory.total_bits, memory.inject_flat,
+                    39 if memory.edac else 32))
+
+    def _add(self, target: SeuTarget) -> None:
+        self.targets[target.name] = target
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return sum(target.bits for target in self.targets.values())
+
+    def target(self, name: str) -> SeuTarget:
+        try:
+            return self.targets[name]
+        except KeyError:
+            known = ", ".join(sorted(self.targets))
+            raise InjectionError(f"unknown target {name!r} (known: {known})") from None
+
+    # -- injection ----------------------------------------------------------------
+
+    def inject(self, name: str, flat_bit: int) -> None:
+        """Deterministic strike: flip one specific stored bit."""
+        target = self.target(name)
+        if not 0 <= flat_bit < target.bits:
+            raise InjectionError(
+                f"flat bit {flat_bit} outside target {name!r} ({target.bits} bits)")
+        target.inject_flat(flat_bit)
+        self.injections.append(name)
+
+    def inject_random(self, rng: random.Random,
+                      weights: Optional[Dict[str, float]] = None) -> str:
+        """Area-weighted random strike; returns the struck target name.
+
+        ``weights`` scales each target's effective area (the beam passes
+        sigma(LET) ratios here); unlisted targets get weight 1.
+        """
+        names = list(self.targets)
+        areas = [
+            self.targets[name].bits * (weights.get(name, 1.0) if weights else 1.0)
+            for name in names
+        ]
+        name = rng.choices(names, weights=areas, k=1)[0]
+        target = self.targets[name]
+        self.inject(name, rng.randrange(target.bits))
+        return name
+
+    def inject_adjacent(self, name: str, flat_bit: int) -> int:
+        """MBU companion strike: flip the cell adjacent to ``flat_bit``.
+
+        Adjacent means the next bit in the same physical RAM row; at a row
+        boundary the previous bit is used instead.  Flip-flop targets have
+        no row geometry; the companion is the next flip-flop bit.
+        """
+        target = self.target(name)
+        row = target.bits_per_word or target.bits
+        neighbour = flat_bit + 1
+        if neighbour % row == 0 or neighbour >= target.bits:
+            neighbour = flat_bit - 1
+        if neighbour < 0:
+            raise InjectionError("target too small for an adjacent strike")
+        target.inject_flat(neighbour)
+        self.injections.append(f"{name}+mbu")
+        return neighbour

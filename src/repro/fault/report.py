@@ -1,0 +1,97 @@
+"""Reporting helpers for campaign results: tables, CSV, JSON.
+
+The paper's host computer logged counter read-outs per run; these helpers
+are the modern equivalent for downstream users -- render Table 2-style
+text, or export the raw rows for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+from repro.fault.campaign import CampaignResult
+
+#: Column order of a Table 2 row.
+TABLE2_COLUMNS = ("TEST", "LET", "ITE", "IDE", "DTE", "DDE", "RFE",
+                  "Total", "X-sect")
+
+
+def table2_rows(results: Sequence[CampaignResult]) -> List[Dict[str, object]]:
+    """One dict per campaign run, in Table 2 column order."""
+    rows = []
+    for result in results:
+        row = result.row()
+        row["X-sect"] = f"{result.cross_section():.2E}"
+        rows.append(row)
+    return rows
+
+
+def render_table(rows: Sequence[Dict[str, object]],
+                 columns: Sequence[str]) -> str:
+    """Fixed-width plain-text table."""
+    widths = {
+        column: max(len(str(column)),
+                    *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(
+            str(row.get(column, "")).ljust(widths[column]) for column in columns
+        ))
+    return "\n".join(lines)
+
+
+def render_table2(results: Sequence[CampaignResult]) -> str:
+    """The full Table 2 text block for a list of runs."""
+    return render_table(table2_rows(results), TABLE2_COLUMNS)
+
+
+def to_csv(results: Sequence[CampaignResult]) -> str:
+    """CSV export (string) of the Table 2 rows plus failure bookkeeping."""
+    buffer = io.StringIO()
+    columns = list(TABLE2_COLUMNS) + ["upsets", "sw_errors", "error_traps",
+                                      "halted", "fluence", "flux"]
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for result in results:
+        row = result.row()
+        row["X-sect"] = result.cross_section()
+        row.update({
+            "upsets": result.upsets,
+            "sw_errors": result.sw_errors,
+            "error_traps": result.error_traps,
+            "halted": int(result.halted),
+            "fluence": result.config.fluence,
+            "flux": result.config.flux,
+        })
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(results: Sequence[CampaignResult]) -> str:
+    """JSON export with the full per-run detail."""
+    payload = []
+    for result in results:
+        payload.append({
+            "program": result.config.program,
+            "let": result.config.let,
+            "flux": result.config.flux,
+            "fluence": result.config.fluence,
+            "seed": result.config.seed,
+            "counts": result.counts,
+            "cross_sections": result.cross_sections(),
+            "upsets": result.upsets,
+            "upsets_by_target": result.upsets_by_target,
+            "sw_errors": result.sw_errors,
+            "error_traps": result.error_traps,
+            "halted": result.halted,
+            "iterations": result.iterations,
+            "instructions": result.instructions,
+            "failures": result.failures,
+        })
+    return json.dumps(payload, indent=2)

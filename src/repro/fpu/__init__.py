@@ -1,0 +1,13 @@
+"""Behavioral SPARC V8 floating-point unit.
+
+The PARANOIA test program of the heavy-ion campaign "checks the FPU
+operation" (section 6); this package provides the FPU it exercises.  LEON
+attaches the FPU through one of its two co-processor interfaces; here the
+integer unit calls it directly, which is observationally equivalent for a
+non-pipelined FPU.
+"""
+
+from repro.fpu.fpu import Fpu, FPU_TIMING
+from repro.fpu.fsr import Fcc, Fsr
+
+__all__ = ["Fcc", "Fpu", "FPU_TIMING", "Fsr"]

@@ -1,0 +1,77 @@
+"""The Floating-point State Register."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ft.tmr import FlipFlopBank
+
+
+class Fcc(enum.IntEnum):
+    """Floating-point condition codes (FSR.fcc)."""
+
+    EQUAL = 0
+    LESS = 1
+    GREATER = 2
+    UNORDERED = 3
+
+
+#: cexc/aexc bit positions (SPARC V8 manual 4.4): NX DZ UF OF NV.
+EXC_INEXACT = 1 << 0
+EXC_DIVZERO = 1 << 1
+EXC_UNDERFLOW = 1 << 2
+EXC_OVERFLOW = 1 << 3
+EXC_INVALID = 1 << 4
+
+
+class Fsr:
+    """FSR fields: fcc, current/accrued exceptions, trap-enable mask.
+
+    The FSR is a flip-flop register, TMR protected in the FT configuration.
+    Trap enables (TEM) default to zero, so IEEE exceptions set flags rather
+    than trap -- which is how the PARANOIA-style self-checks observe them.
+    """
+
+    def __init__(self, bank: FlipFlopBank) -> None:
+        self._reg = bank.register("fpu.fsr", 32)
+
+    @property
+    def value(self) -> int:
+        return self._reg.value
+
+    def write(self, value: int) -> None:
+        self._reg.load(value)
+
+    @property
+    def fcc(self) -> Fcc:
+        return Fcc((self._reg.value >> 10) & 3)
+
+    @fcc.setter
+    def fcc(self, value: Fcc) -> None:
+        self._reg.load((self._reg.value & ~(3 << 10)) | ((int(value) & 3) << 10))
+
+    @property
+    def tem(self) -> int:
+        """Trap-enable mask (bits 27:23)."""
+        return (self._reg.value >> 23) & 0x1F
+
+    @property
+    def cexc(self) -> int:
+        """Current exception flags (bits 4:0)."""
+        return self._reg.value & 0x1F
+
+    @cexc.setter
+    def cexc(self, flags: int) -> None:
+        self._reg.load((self._reg.value & ~0x1F) | (flags & 0x1F))
+
+    @property
+    def aexc(self) -> int:
+        """Accrued exception flags (bits 9:5)."""
+        return (self._reg.value >> 5) & 0x1F
+
+    def accrue(self, flags: int) -> None:
+        """Set cexc and OR the flags into aexc (non-trapping behaviour)."""
+        value = self._reg.value
+        value = (value & ~0x1F) | (flags & 0x1F)
+        value |= (flags & 0x1F) << 5
+        self._reg.load(value)

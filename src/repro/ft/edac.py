@@ -1,0 +1,64 @@
+"""On-chip EDAC protecting external memory (paper section 4.6).
+
+External PROM/SRAM is stored with a (32,7) BCH codeword per 32-bit word.
+Error detection and correction happens during cache refill without timing
+penalty.  Because the caches refill whole lines speculatively, an
+uncorrectable error is *not* signalled immediately; instead the cache leaves
+the corresponding per-word valid bit clear (sub-blocking) so that a later
+access by the processor misses, re-fetches, and only then takes a precise
+data/instruction error trap.  The EDAC itself just classifies words; the
+sub-blocking policy lives in :mod:`repro.cache`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ft.bch import BchCodec
+from repro.ft.protection import ErrorKind
+
+
+class EdacStatus(enum.Enum):
+    """Result of passing one word through the EDAC."""
+
+    OK = "ok"
+    CORRECTED = "corrected"  # single error repaired on the fly
+    UNCORRECTABLE = "uncorrectable"  # double error; word must not be used
+
+
+@dataclass(frozen=True)
+class EdacResult:
+    """One EDAC read: the delivered data word and its status."""
+
+    data: int
+    status: EdacStatus
+    check: int
+
+
+class Edac:
+    """The EDAC unit: a (32,7) BCH codec plus correction/error counters."""
+
+    def __init__(self) -> None:
+        self._codec = BchCodec()
+        self.corrected = 0
+        self.uncorrectable = 0
+
+    def encode(self, data: int) -> int:
+        """Check bits to store alongside a data word on write."""
+        return self._codec.encode(data)
+
+    def read(self, data: int, check: int) -> EdacResult:
+        """Classify and (if possible) correct one stored word on read."""
+        result = self._codec.check(data, check)
+        if result.kind is ErrorKind.NONE:
+            return EdacResult(result.data, EdacStatus.OK, result.check)
+        if result.kind is ErrorKind.CORRECTABLE:
+            self.corrected += 1
+            return EdacResult(result.data, EdacStatus.CORRECTED, result.check)
+        self.uncorrectable += 1
+        return EdacResult(result.data, EdacStatus.UNCORRECTABLE, result.check)
+
+    def reset_counters(self) -> None:
+        self.corrected = 0
+        self.uncorrectable = 0

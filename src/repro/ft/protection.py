@@ -1,0 +1,129 @@
+"""Common protection-scheme interface shared by parity and BCH codecs.
+
+Every protected storage element in the design (cache tag/data words, register
+file words, external memory words) stores a 32-bit data word plus a small
+number of *check bits*.  A :class:`Codec` computes the check bits on write and
+classifies the (data, check) pair on read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+
+class ProtectionScheme(enum.Enum):
+    """Which error-detection/correction code protects a storage group.
+
+    Mirrors the options of the VHDL configuration package (paper section 5.1):
+    register file and cache RAMs can each use no protection, one parity bit,
+    two parity bits (odd/even data bits), or the (32,7) BCH checksum.
+    """
+
+    NONE = "none"
+    PARITY = "parity"
+    DUAL_PARITY = "dual-parity"
+    BCH = "bch"
+
+    @property
+    def check_bits(self) -> int:
+        """Number of check bits stored per 32-bit word."""
+        return _CHECK_BITS[self]
+
+
+_CHECK_BITS = {
+    ProtectionScheme.NONE: 0,
+    ProtectionScheme.PARITY: 1,
+    ProtectionScheme.DUAL_PARITY: 2,
+    ProtectionScheme.BCH: 7,
+}
+
+
+class ErrorKind(enum.Enum):
+    """Classification of a protected word on read."""
+
+    NONE = "none"  # check bits consistent with data
+    CORRECTABLE = "correctable"  # single error, codec can repair it
+    DETECTED = "detected"  # error detected but not locatable by this code
+    # Undetected errors do not produce an ErrorKind -- by definition the
+    # codec reports NONE; campaigns discover them through checksums or the
+    # master/checker compare, exactly as the paper's test setup does.
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one stored word.
+
+    Attributes:
+        kind: the error classification.
+        data: the (possibly corrected) 32-bit data word.  For
+            ``ErrorKind.DETECTED`` this is the raw stored data.
+        check: the recomputed check bits for the corrected data.
+    """
+
+    kind: ErrorKind
+    data: int
+    check: int
+
+
+class Codec(Protocol):
+    """Protocol implemented by every protection codec."""
+
+    scheme: ProtectionScheme
+
+    def encode(self, data: int) -> int:
+        """Return the check bits for a 32-bit data word."""
+
+    def check(self, data: int, check: int) -> CheckResult:
+        """Classify a stored (data, check) pair, correcting if possible."""
+
+
+class NullCodec:
+    """Codec for unprotected storage: zero check bits, never reports errors."""
+
+    scheme = ProtectionScheme.NONE
+
+    def encode(self, data: int) -> int:
+        return 0
+
+    def check(self, data: int, check: int) -> CheckResult:
+        return CheckResult(ErrorKind.NONE, data & 0xFFFFFFFF, 0)
+
+
+def make_codec(scheme: ProtectionScheme) -> Codec:
+    """Build the codec for a :class:`ProtectionScheme`.
+
+    Raises:
+        ConfigurationError: if the scheme is unknown.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.ft.bch import BchCodec
+    from repro.ft.parity import DualParityCodec, SingleParityCodec
+
+    codecs = {
+        ProtectionScheme.NONE: NullCodec,
+        ProtectionScheme.PARITY: SingleParityCodec,
+        ProtectionScheme.DUAL_PARITY: DualParityCodec,
+        ProtectionScheme.BCH: BchCodec,
+    }
+    try:
+        return codecs[scheme]()
+    except KeyError:  # pragma: no cover - enum exhausts the dict
+        raise ConfigurationError(f"unknown protection scheme: {scheme!r}") from None
+
+
+def describe(scheme: ProtectionScheme) -> str:
+    """Human-readable one-line description of a scheme (used in reports)."""
+    descriptions = {
+        ProtectionScheme.NONE: "unprotected",
+        ProtectionScheme.PARITY: "1 parity bit per word (detects odd-count errors)",
+        ProtectionScheme.DUAL_PARITY: (
+            "2 parity bits per word, odd/even data bits "
+            "(detects any double error in adjacent cells)"
+        ),
+        ProtectionScheme.BCH: "(32,7) BCH checksum (corrects 1, detects 2 errors)",
+    }
+    return descriptions[scheme]

@@ -1,0 +1,256 @@
+"""Triple modular redundancy for the processor flip-flops (paper section 4.5).
+
+The LEON integer unit contains roughly 2 500 D-flip-flops holding pipeline
+registers, state machines and status/control functions.  In the FT
+configuration every flip-flop is implemented as a TMR cell: three flip-flops
+clocked continuously, with a majority voter on the outputs.  An SEU in one
+lane is out-voted immediately (the voter output never glitches) and is
+*scrubbed* on the next clock edge when all three lanes reload the voted
+value.
+
+Each of the three lanes can be driven by a separate clock tree, so an SEU in
+one clock-tree buffer -- corrupting the state of an entire lane of 2 500
+flip-flops -- is also removed after one clock edge.  A strike on the single
+clock pad is not tolerated (it reaches all three trees), but its large
+capacitance makes that event unlikely; the beam model treats the pad as
+having a vanishing cross-section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InjectionError
+
+#: Number of redundant lanes in a TMR cell.
+TMR_LANES = 3
+
+
+def vote3(a: int, b: int, c: int) -> int:
+    """Bitwise 2-of-3 majority of three equal-width integers."""
+    return (a & b) | (a & c) | (b & c)
+
+
+class Voter:
+    """A majority voter over three lanes, with an error-observation output.
+
+    ``disagreement`` reports whether the last vote saw any lane differ from
+    the majority -- hardware LEON does *not* expose this (the paper notes the
+    TMR cross-section could not be measured because "no SEU monitoring
+    capability is implemented in the TMR cells"); the simulator keeps the
+    count available for analysis but campaigns that reproduce the paper
+    ignore it.
+    """
+
+    def __init__(self) -> None:
+        self.disagreements = 0
+
+    def vote(self, lanes: Tuple[int, int, int]) -> int:
+        value = vote3(*lanes)
+        if not lanes[0] == lanes[1] == lanes[2]:
+            self.disagreements += 1
+        return value
+
+
+class TmrRegister:
+    """One TMR-protected register of ``width`` bits.
+
+    Without TMR (``tmr=False``) the register is a single flip-flop rank and
+    an injected SEU directly corrupts the visible value.
+    """
+
+    def __init__(self, name: str, width: int, *, tmr: bool = True, reset: int = 0) -> None:
+        if width <= 0:
+            raise InjectionError(f"register {name!r} must have positive width")
+        self.name = name
+        self.width = width
+        self.tmr = tmr
+        self._mask = (1 << width) - 1
+        reset &= self._mask
+        self._lanes: List[int] = [reset] * (TMR_LANES if tmr else 1)
+        self.voter = Voter()
+        # Fast path: lanes are known-equal until an injection marks the
+        # register dirty, so the common case skips the majority vote.
+        self._dirty = False
+
+    @property
+    def value(self) -> int:
+        """The (voted) register output."""
+        if not self._dirty:
+            return self._lanes[0]
+        if self.tmr:
+            return self.voter.vote((self._lanes[0], self._lanes[1], self._lanes[2]))
+        return self._lanes[0]
+
+    def load(self, value: int) -> None:
+        """Clock a new value into every lane (a normal register write).
+
+        This is also the *scrub* operation: any lane corrupted by an SEU is
+        overwritten, which in hardware happens on every clock edge.
+        """
+        value &= self._mask
+        lanes = self._lanes
+        if len(lanes) == 3:
+            lanes[0] = lanes[1] = lanes[2] = value
+        else:
+            lanes[0] = value
+        self._dirty = False
+
+    def refresh(self) -> None:
+        """Model one clock edge with unchanged data (recirculation).
+
+        The voted output is reloaded into all lanes, removing any single-lane
+        SEU -- the "automatically removed within one clock cycle" behaviour
+        of section 4.5.
+        """
+        self.load(self.value)
+
+    def inject(self, bit: int, lane: int = 0) -> None:
+        """Flip one stored bit in one lane (an SEU strike)."""
+        if not 0 <= bit < self.width:
+            raise InjectionError(f"bit {bit} out of range for {self.name!r} (width {self.width})")
+        if not 0 <= lane < len(self._lanes):
+            raise InjectionError(f"lane {lane} out of range for {self.name!r}")
+        self._lanes[lane] ^= 1 << bit
+        self._dirty = True
+
+    def lane_value(self, lane: int) -> int:
+        """Raw content of one lane (for tests and the injector)."""
+        return self._lanes[lane]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TmrRegister({self.name!r}, width={self.width}, value={self.value:#x})"
+
+
+@dataclass
+class ClockTree:
+    """One of the three clock trees feeding the TMR lanes.
+
+    An SEU in a clock-tree buffer can corrupt the whole lane it drives; the
+    corruption is removed on the following clock edge (section 4.5).  A
+    strike on the shared clock *pad* would corrupt all three lanes and is
+    not tolerated; the beam model gives the pad a negligible cross-section.
+    """
+
+    lane: int
+    strikes: int = 0
+
+
+class FlipFlopBank:
+    """The full population of on-chip flip-flops, addressable for injection.
+
+    Registers are created by name; the bank tracks the total bit count so
+    the beam model can weight strikes by storage size (the paper's LEON has
+    ~2 500 flip-flops against ~170 kbit of RAM).
+    """
+
+    def __init__(self, *, tmr: bool = True,
+                 separate_clock_trees: bool = True) -> None:
+        self.tmr = tmr
+        #: Section 4.5 / figure 3: with separate clock trees a glitched
+        #: tree corrupts a single lane (voted away); with one shared tree
+        #: a clock glitch reaches all three lanes at once and TMR cannot
+        #: help -- the reason the FT implementation triplicates the trees.
+        self.separate_clock_trees = separate_clock_trees
+        self._registers: Dict[str, TmrRegister] = {}
+        self.clock_trees = [ClockTree(lane) for lane in range(TMR_LANES)]
+
+    def register(self, name: str, width: int, reset: int = 0) -> TmrRegister:
+        """Create (or fetch) a named register of ``width`` bits."""
+        existing = self._registers.get(name)
+        if existing is not None:
+            if existing.width != width:
+                raise InjectionError(
+                    f"register {name!r} re-registered with width {width}, had {existing.width}"
+                )
+            return existing
+        reg = TmrRegister(name, width, tmr=self.tmr, reset=reset)
+        self._registers[name] = reg
+        return reg
+
+    def get(self, name: str) -> TmrRegister:
+        try:
+            return self._registers[name]
+        except KeyError:
+            raise InjectionError(f"no flip-flop register named {name!r}") from None
+
+    @property
+    def total_bits(self) -> int:
+        """Architectural flip-flop count (one per bit, lanes not counted)."""
+        return sum(reg.width for reg in self._registers.values())
+
+    @property
+    def total_cells(self) -> int:
+        """Physical flip-flop count (3x when TMR is enabled)."""
+        lanes = TMR_LANES if self.tmr else 1
+        return self.total_bits * lanes
+
+    def names(self) -> List[str]:
+        return list(self._registers)
+
+    def registers(self) -> Iterator[TmrRegister]:
+        return iter(self._registers.values())
+
+    def locate_bit(self, flat_index: int) -> Tuple[TmrRegister, int]:
+        """Map a flat bit index in ``[0, total_bits)`` to (register, bit).
+
+        The beam model picks a uniform flat index to decide where a strike
+        lands, mirroring a uniform spatial distribution over the flip-flop
+        area.
+        """
+        if flat_index < 0:
+            raise InjectionError("flat index must be non-negative")
+        for reg in self._registers.values():
+            if flat_index < reg.width:
+                return reg, flat_index
+            flat_index -= reg.width
+        raise InjectionError("flat index beyond flip-flop population")
+
+    def inject_flat(self, flat_index: int, lane: int = 0) -> str:
+        """Inject an SEU at a flat bit index; returns the register name."""
+        reg, bit = self.locate_bit(flat_index)
+        reg.inject(bit, lane=lane)
+        return reg.name
+
+    def inject_clock_tree(self, lane: int, corrupt_value: Optional[int] = None) -> int:
+        """Model an SEU in one clock tree: corrupt lane ``lane`` of *every*
+        register.
+
+        Each register's lane is XORed with a pseudo-pattern derived from
+        ``corrupt_value`` (all-ones when ``None``), standing in for the
+        arbitrary garbage a glitched clock edge latches.  Returns the number
+        of registers touched.  On the next :meth:`scrub` (clock edge) all
+        corruption disappears -- unless TMR is disabled, in which case a
+        clock-tree strike is catastrophic.
+        """
+        if not 0 <= lane < TMR_LANES:
+            raise InjectionError(f"clock tree lane {lane} out of range")
+        self.clock_trees[lane].strikes += 1
+        # With a single shared tree (no triplication), the glitch clocks
+        # every lane of every register simultaneously.
+        lanes = [lane] if self.separate_clock_trees else list(range(TMR_LANES))
+        touched = 0
+        for reg in self._registers.values():
+            pattern = reg._mask if corrupt_value is None else (corrupt_value & reg._mask)
+            for struck_lane in lanes:
+                if struck_lane >= len(reg._lanes):
+                    continue
+                reg._lanes[struck_lane] ^= pattern
+            reg._dirty = True
+            touched += 1
+        return touched
+
+    def scrub(self) -> None:
+        """Model one clock edge over the whole bank (recirculate all data).
+
+        Only registers touched by an injection actually need the vote; the
+        rest recirculate their (known-equal) lanes for free.
+        """
+        for reg in self._registers.values():
+            if reg._dirty:
+                reg.refresh()
+
+    def lane_disagreements(self) -> int:
+        """Total voter disagreements observed so far (diagnostic only)."""
+        return sum(reg.voter.disagreements for reg in self._registers.values())

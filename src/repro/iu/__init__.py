@@ -1,0 +1,25 @@
+"""The LEON integer unit: a SPARC V8 5-stage pipeline (paper section 3).
+
+Stages: FE (fetch), DE (decode / register read), EX (execute / operand
+check), ME (memory), WR (write-back / check-bit generation).  The model is
+instruction-stepped with exact cycle accounting; :mod:`repro.iu.pipetrace`
+replays short windows stage-by-stage to regenerate the Figure 2 diagrams.
+"""
+
+from repro.iu.pipeline import HaltReason, IntegerUnit, StepEvent, StepResult
+from repro.iu.psr import PSR, SpecialRegisters
+from repro.iu.regfile import RegisterFile, RegfileCheck
+from repro.iu.pipetrace import PipelineTracer, render_diagram
+
+__all__ = [
+    "HaltReason",
+    "IntegerUnit",
+    "PSR",
+    "PipelineTracer",
+    "RegfileCheck",
+    "RegisterFile",
+    "SpecialRegisters",
+    "StepEvent",
+    "StepResult",
+    "render_diagram",
+]

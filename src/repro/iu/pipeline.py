@@ -1,0 +1,940 @@
+"""The integer unit executor: SPARC V8 semantics with LEON-FT behaviour.
+
+The model is instruction-stepped: :meth:`IntegerUnit.step` executes one
+instruction (or one pipeline event -- an annulled delay slot, a trap entry,
+an FT restart) and returns a :class:`StepResult` with exact cycle cost.
+The fault-tolerance behaviour of section 4.4 is implemented literally:
+
+* operands are read raw in the decode stage and *checked in the execute
+  stage*; a correctable error corrects one register, restarts the pipeline
+  at the failing instruction (4 cycles, like a trap) and re-executes -- a
+  double-store touching four bad registers restarts up to four times;
+* an uncorrectable register error takes the ``r_register_access_error``
+  trap;
+* uncorrectable memory errors arrive as precise instruction/data access
+  error traps through cache sub-blocking (section 4.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.amba.ahb import TransferSize
+from repro.cache.dcache import DataCache
+from repro.cache.icache import InstructionCache
+from repro.core.config import LeonConfig
+from repro.core.statistics import ErrorCounters, PerfCounters
+from repro.errors import SimulationError, UncorrectableError
+from repro.fpu.fpu import Fpu
+from repro.fpu.fsr import Fcc
+from repro.ft.protection import ErrorKind, ProtectionScheme
+from repro.ft.tmr import FlipFlopBank
+from repro.iu import timing
+from repro.iu.psr import SpecialRegisters
+from repro.iu.regfile import RegisterFile
+from repro.peripherals.irqctrl import InterruptController
+from repro.sparc.decode import Instr, decode
+from repro.sparc.isa import Cond, FCond, Op, Op2, Op3, Op3Mem, to_s32, to_u32
+from repro.sparc.traps import TrapType
+
+
+class StepEvent(enum.Enum):
+    """What happened during one :meth:`IntegerUnit.step`."""
+
+    OK = "ok"
+    ANNULLED = "annulled"  # annulled delay slot (occupies one cycle)
+    TRAP = "trap"
+    INTERRUPT = "interrupt"
+    RESTART = "restart"  # FT pipeline restart after a regfile correction
+    HALTED = "halted"
+    IDLE = "idle"  # power-down, waiting for an interrupt
+
+
+class HaltReason(enum.Enum):
+    RUNNING = "running"
+    ERROR_MODE = "error-mode"  # trap taken while ET = 0
+    EXTERNAL = "external"  # harness-requested stop
+
+
+@dataclass
+class StepResult:
+    """One step's outcome (the master/checker compare signature includes
+    ``cycles``, so internal corrections skew the pair -- section 4.7)."""
+
+    event: StepEvent
+    cycles: int
+    pc: int
+    instr: Optional[Instr] = None
+    trap_tt: Optional[int] = None
+    corrected_register: Optional[int] = None
+    writes: List[Tuple[int, int]] = field(default_factory=list)
+
+
+_INTEGER_LOADS = {Op3Mem.LD, Op3Mem.LDUB, Op3Mem.LDUH, Op3Mem.LDSB, Op3Mem.LDSH,
+                  Op3Mem.LDD, Op3Mem.LDA, Op3Mem.LDUBA, Op3Mem.LDUHA,
+                  Op3Mem.LDSBA, Op3Mem.LDSHA, Op3Mem.LDDA}
+_INTEGER_STORES = {Op3Mem.ST, Op3Mem.STB, Op3Mem.STH, Op3Mem.STD,
+                   Op3Mem.STA, Op3Mem.STBA, Op3Mem.STHA, Op3Mem.STDA}
+
+
+class IntegerUnit:
+    """The LEON SPARC V8 integer unit."""
+
+    def __init__(
+        self,
+        config: LeonConfig,
+        regfile: RegisterFile,
+        special: SpecialRegisters,
+        icache: InstructionCache,
+        dcache: DataCache,
+        fpu: Optional[Fpu],
+        ffbank: FlipFlopBank,
+        errors: ErrorCounters,
+        perf: PerfCounters,
+        is_cacheable: Callable[[int], bool],
+        irqctrl: Optional[InterruptController] = None,
+    ) -> None:
+        self.config = config
+        self.regfile = regfile
+        self.r = special
+        self.icache = icache
+        self.dcache = dcache
+        self.fpu = fpu
+        self.ffbank = ffbank
+        self.errors = errors
+        self.perf = perf
+        self.is_cacheable = is_cacheable
+        self.irqctrl = irqctrl
+
+        self.halted = HaltReason.RUNNING
+        self.power_down = False
+        #: Set when a branch annuls its delay slot.
+        self._annul = ffbank.register("iu.annul", 1)
+        #: Outputs of the current step, for the master/checker compare.
+        self._writes: List[Tuple[int, int]] = []
+        self._check_operands = regfile.protection is not ProtectionScheme.NONE
+
+    # ------------------------------------------------------------------ helpers
+
+    def _reg_read(self, reg: int) -> int:
+        data, _check, _physical = self.regfile.read_raw(self.r.psr.cwp, reg)
+        return data
+
+    def _reg_write(self, reg: int, value: int) -> None:
+        self.regfile.write(self.r.psr.cwp, reg, value)
+
+    def _operand2(self, instr: Instr) -> int:
+        if instr.imm is not None:
+            return to_u32(instr.imm)
+        return self._reg_read(instr.rs2)
+
+    def _advance(self) -> None:
+        self.r.pc = self.r.npc
+        self.r.npc = self.r.npc + 4
+
+    def _jump(self, target: int) -> None:
+        """Delayed control transfer: the delay slot (current npc) executes,
+        then control reaches ``target``."""
+        self.r.pc = self.r.npc
+        self.r.npc = target
+
+    # ------------------------------------------------------------------ traps
+
+    def _enter_trap(self, tt: int, *, pc: Optional[int] = None,
+                    npc: Optional[int] = None) -> Optional[int]:
+        """Take a trap: returns the trap tt, or None if the processor went
+        into error mode (trap with ET = 0)."""
+        psr = self.r.psr
+        if not psr.et:
+            # SPARC V8: a synchronous trap with traps disabled halts the
+            # processor in error mode.  This is the paper's "error trap or
+            # software failure" outcome.
+            self.halted = HaltReason.ERROR_MODE
+            return None
+        self.perf.traps += 1
+        pc = self.r.pc if pc is None else pc
+        npc = self.r.npc if npc is None else npc
+        psr.et = 0
+        psr.ps = psr.s
+        psr.s = 1
+        psr.cwp = (psr.cwp - 1) % self.config.nwindows
+        # Locals l1/l2 of the new window get pc/npc.
+        self.regfile.write(psr.cwp, 17, pc)
+        self.regfile.write(psr.cwp, 18, npc)
+        self.r.set_tt(tt)
+        vector = self.r.trap_vector
+        self.r.pc = vector
+        self.r.npc = vector + 4
+        self._annul.load(0)
+        return tt
+
+    def _trap_result(self, tt: int, cycles: int, pc: int,
+                     instr: Optional[Instr] = None) -> StepResult:
+        taken = self._enter_trap(tt)
+        cycles += timing.CYCLES_TRAP
+        if taken is None:
+            return StepResult(StepEvent.HALTED, cycles, pc, instr=instr, trap_tt=tt)
+        return StepResult(StepEvent.TRAP, cycles, pc, instr=instr, trap_tt=tt,
+                          writes=list(self._writes))
+
+    # ------------------------------------------------------------------ stepping
+
+    def step(self) -> StepResult:
+        """Execute one instruction (or pipeline event)."""
+        result = self._step()
+        self.perf.cycles += result.cycles
+        if result.event is StepEvent.OK:
+            self.perf.instructions += 1
+        return result
+
+    def _step(self) -> StepResult:
+        if self.halted is not HaltReason.RUNNING:
+            return StepResult(StepEvent.HALTED, 0, self.r.pc)
+        self._writes = []
+
+        # Interrupts are sampled between instructions.
+        psr = self.r.psr
+        if self.irqctrl is not None and psr.et:
+            level = self.irqctrl.pending_level(psr.pil)
+            if level:
+                self.power_down = False
+                self.irqctrl.acknowledge(level)
+                pc = self.r.pc
+                tt = self._enter_trap(int(TrapType.interrupt(level)))
+                event = StepEvent.INTERRUPT if tt is not None else StepEvent.HALTED
+                return StepResult(event, timing.CYCLES_TRAP, pc, trap_tt=tt)
+
+        if self.power_down:
+            return StepResult(StepEvent.IDLE, 1, self.r.pc)
+
+        pc = self.r.pc
+        fetch = self.icache.fetch(pc, cacheable=self.is_cacheable(pc))
+        cycles = 1 + fetch.cycles
+        if fetch.mem_error:
+            self.errors.memory_error_traps += 1
+            return self._trap_result(int(TrapType.INSTRUCTION_ACCESS_ERROR), cycles, pc)
+
+        instr = decode(fetch.data)
+
+        if self._annul.value:
+            # Annulled delay slot: fetched but not executed.
+            self._annul.load(0)
+            self._advance()
+            return StepResult(StepEvent.ANNULLED, cycles, pc, instr=instr)
+
+        # Execute-stage operand check (section 4.4).
+        if self._check_operands:
+            restart = self._check_sources(instr)
+            if restart is not None:
+                kind, physical = restart
+                if kind is ErrorKind.CORRECTABLE:
+                    self.perf.pipeline_restarts += 1
+                    self.perf.restart_cycles += timing.CYCLES_TRAP
+                    cycles += timing.CYCLES_TRAP
+                    # pc unchanged: the instruction re-executes from fetch.
+                    return StepResult(StepEvent.RESTART, cycles, pc, instr=instr,
+                                      corrected_register=physical)
+                self.errors.register_error_traps += 1
+                return self._trap_result(
+                    int(TrapType.R_REGISTER_ACCESS_ERROR), cycles, pc, instr
+                )
+
+        if not instr.valid:
+            return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION), cycles, pc, instr)
+
+        return self._execute(instr, pc, cycles)
+
+    def _check_sources(self, instr: Instr) -> Optional[Tuple[ErrorKind, int]]:
+        """Check every register the instruction reads; on the first error
+        return (kind, physical index) after correcting one register.
+
+        One register is corrected per restart: "if more than one correctable
+        error occurs, the instruction will be restarted once for each error,
+        correcting and storing one register value each time."
+        """
+        cwp = self.r.psr.cwp
+        for reg in self._source_registers(instr):
+            if self.regfile.operand_ok(cwp, reg):
+                continue
+            check = self.regfile.check_operand(cwp, reg)
+            if check.kind is ErrorKind.NONE:  # pragma: no cover - fast path agrees
+                continue
+            if check.kind is ErrorKind.CORRECTABLE:
+                self.regfile.correct(check)
+                self.errors.rfe += 1
+            return check.kind, check.physical
+        return None
+
+    @staticmethod
+    def _source_registers(instr: Instr) -> Tuple[int, ...]:
+        if instr.op == Op.ARITH:
+            if instr.op3 in (Op3.FPOP1, Op3.FPOP2):
+                return ()
+            if instr.imm is not None:
+                return (instr.rs1,)
+            return (instr.rs1, instr.rs2)
+        if instr.op == Op.MEM:
+            regs = [instr.rs1]
+            if instr.imm is None:
+                regs.append(instr.rs2)
+            if instr.op3 in _INTEGER_STORES:
+                regs.append(instr.rd)
+                if instr.op3 in (Op3Mem.STD, Op3Mem.STDA):
+                    regs.append(instr.rd | 1)
+            return tuple(regs)
+        return ()
+
+    # ------------------------------------------------------------------ execution
+
+    def _execute(self, instr: Instr, pc: int, cycles: int) -> StepResult:
+        if instr.op == Op.CALL:
+            self._reg_write(15, pc)
+            self._jump(to_u32(pc + instr.disp))
+            return StepResult(StepEvent.OK, cycles, pc, instr=instr,
+                              writes=list(self._writes))
+        if instr.op == Op.FORMAT2:
+            return self._execute_format2(instr, pc, cycles)
+        if instr.op == Op.ARITH:
+            return self._execute_arith(instr, pc, cycles)
+        return self._execute_mem(instr, pc, cycles)
+
+    # -- format 2 ---------------------------------------------------------------
+
+    def _execute_format2(self, instr: Instr, pc: int, cycles: int) -> StepResult:
+        if instr.op2 == Op2.SETHI:
+            self._reg_write(instr.rd, instr.imm22)
+            self._advance()
+            return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+        if instr.op2 == Op2.UNIMP:
+            return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION), cycles, pc, instr)
+        if instr.op2 == Op2.BICC:
+            taken = self._icc_condition(instr.cond)
+        elif instr.op2 == Op2.FBFCC:
+            if self.fpu is None or not self.r.psr.ef:
+                return self._trap_result(int(TrapType.FP_DISABLED), cycles, pc, instr)
+            taken = self._fcc_condition(instr.cond)
+        else:  # CBccc: no co-processor attached
+            return self._trap_result(int(TrapType.CP_DISABLED), cycles, pc, instr)
+
+        if taken:
+            self._jump(to_u32(pc + instr.disp))
+            # "branch always" with the annul bit annuls its own delay slot.
+            if instr.annul and instr.cond in (Cond.A, FCond.A):
+                self._annul.load(1)
+        else:
+            self._advance()
+            if instr.annul:
+                self._annul.load(1)
+        return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+
+    def _icc_condition(self, cond: int) -> bool:
+        icc = self.r.psr.icc  # NZVC, N = bit 3
+        n = (icc >> 3) & 1
+        z = (icc >> 2) & 1
+        v = (icc >> 1) & 1
+        c = icc & 1
+        base = cond & 7
+        if base == Cond.N:
+            result = False
+        elif base == Cond.E:
+            result = bool(z)
+        elif base == Cond.LE:
+            result = bool(z or (n ^ v))
+        elif base == Cond.L:
+            result = bool(n ^ v)
+        elif base == Cond.LEU:
+            result = bool(c or z)
+        elif base == Cond.CS:
+            result = bool(c)
+        elif base == Cond.NEG:
+            result = bool(n)
+        else:  # VS
+            result = bool(v)
+        # Conditions 8..15 are the negations of 0..7 (A = not N, etc.).
+        return result if cond < 8 else not result
+
+    def _fcc_condition(self, cond: int) -> bool:
+        fcc = self.fpu.fsr.fcc
+        lt = fcc is Fcc.LESS
+        gt = fcc is Fcc.GREATER
+        u = fcc is Fcc.UNORDERED
+        base = cond & 7
+        if base == FCond.N:
+            result = False
+        elif base == FCond.NE:
+            result = lt or gt or u
+        elif base == FCond.LG:
+            result = lt or gt
+        elif base == FCond.UL:
+            result = u or lt
+        elif base == FCond.L:
+            result = lt
+        elif base == FCond.UG:
+            result = u or gt
+        elif base == FCond.G:
+            result = gt
+        else:  # U
+            result = u
+        # Conditions 8..15 are the negations of 0..7 (FBA = not FBN, ...).
+        return result if cond < 8 else not result
+
+    # -- format 3, op = 2 -----------------------------------------------------------
+
+    def _set_icc(self, n: int, z: int, v: int, c: int) -> None:
+        self.r.psr.icc = (n << 3) | (z << 2) | (v << 1) | c
+
+    def _icc_from_result(self, result: int, v: int = 0, c: int = 0) -> None:
+        result = to_u32(result)
+        self._set_icc(result >> 31, int(result == 0), v, c)
+
+    def _execute_arith(self, instr: Instr, pc: int, cycles: int) -> StepResult:
+        op3 = instr.op3
+        psr = self.r.psr
+
+        if op3 in (Op3.FPOP1, Op3.FPOP2):
+            if self.fpu is None or not psr.ef:
+                return self._trap_result(int(TrapType.FP_DISABLED), cycles, pc, instr)
+            try:
+                fpu_cycles = self.fpu.execute(instr.opf, instr.rs1,
+                                              instr.rs2, instr.rd)
+            except UncorrectableError:
+                # Double-bit error in an f-register operand: same register
+                # error trap as the integer file (the f-regs share its RAM).
+                self.errors.register_error_traps += 1
+                return self._trap_result(int(TrapType.R_REGISTER_ACCESS_ERROR),
+                                         cycles, pc, instr)
+            self._advance()
+            return StepResult(StepEvent.OK, cycles + fpu_cycles - 1, pc, instr=instr)
+        if op3 in (Op3.CPOP1, Op3.CPOP2):
+            return self._trap_result(int(TrapType.CP_DISABLED), cycles, pc, instr)
+
+        a = self._reg_read(instr.rs1)
+        b = self._operand2(instr)
+
+        if op3 == Op3.JMPL:
+            target = to_u32(a + b)
+            if target & 3:
+                return self._trap_result(
+                    int(TrapType.MEM_ADDRESS_NOT_ALIGNED), cycles, pc, instr
+                )
+            self._reg_write(instr.rd, pc)
+            self._jump(target)
+            return StepResult(StepEvent.OK, cycles + timing.CYCLES_JMPL - 1, pc,
+                              instr=instr)
+        if op3 == Op3.RETT:
+            return self._execute_rett(instr, pc, cycles, a, b)
+        if op3 == Op3.TICC:
+            if self._icc_condition(instr.cond):
+                tt = TrapType.software(b)
+                return self._trap_result(tt, cycles, pc, instr)
+            self._advance()
+            return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+        if op3 == Op3.FLUSH:
+            self.icache.invalidate_word(to_u32(a + b))
+            self._advance()
+            return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+        if op3 in (Op3.SAVE, Op3.RESTORE):
+            return self._execute_window(instr, pc, cycles, a, b)
+        if op3 in _RDWR_OPS:
+            return self._execute_rdwr(instr, pc, cycles, a, b)
+
+        handler = _ALU_HANDLERS.get(op3)
+        if handler is None:
+            return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION), cycles, pc, instr)
+        try:
+            value, extra = handler(self, a, b)
+        except _DivisionByZero:
+            return self._trap_result(int(TrapType.DIVISION_BY_ZERO), cycles, pc, instr)
+        except _TagOverflow:
+            return self._trap_result(int(TrapType.TAG_OVERFLOW), cycles, pc, instr)
+        self._reg_write(instr.rd, value)
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + extra, pc, instr=instr)
+
+    def _execute_rett(self, instr: Instr, pc: int, cycles: int,
+                      a: int, b: int) -> StepResult:
+        psr = self.r.psr
+        if psr.et:
+            tt = (TrapType.ILLEGAL_INSTRUCTION if psr.s
+                  else TrapType.PRIVILEGED_INSTRUCTION)
+            return self._trap_result(int(tt), cycles, pc, instr)
+        if not psr.s:
+            self.halted = HaltReason.ERROR_MODE
+            return StepResult(StepEvent.HALTED, cycles, pc, instr=instr)
+        new_cwp = (psr.cwp + 1) % self.config.nwindows
+        if (self.r.wim >> new_cwp) & 1:
+            # Window underflow with ET = 0: error mode.
+            self.halted = HaltReason.ERROR_MODE
+            return StepResult(StepEvent.HALTED, cycles, pc, instr=instr,
+                              trap_tt=int(TrapType.WINDOW_UNDERFLOW))
+        target = to_u32(a + b)
+        if target & 3:
+            self.halted = HaltReason.ERROR_MODE
+            return StepResult(StepEvent.HALTED, cycles, pc, instr=instr,
+                              trap_tt=int(TrapType.MEM_ADDRESS_NOT_ALIGNED))
+        psr.cwp = new_cwp
+        psr.s = psr.ps
+        psr.et = 1
+        self._jump(target)
+        return StepResult(StepEvent.OK, cycles + timing.CYCLES_JMPL - 1, pc, instr=instr)
+
+    def _execute_window(self, instr: Instr, pc: int, cycles: int,
+                        a: int, b: int) -> StepResult:
+        psr = self.r.psr
+        if instr.op3 == Op3.SAVE:
+            new_cwp = (psr.cwp - 1) % self.config.nwindows
+            trap = TrapType.WINDOW_OVERFLOW
+        else:
+            new_cwp = (psr.cwp + 1) % self.config.nwindows
+            trap = TrapType.WINDOW_UNDERFLOW
+        if (self.r.wim >> new_cwp) & 1:
+            return self._trap_result(int(trap), cycles, pc, instr)
+        # Source operands come from the old window, the destination is
+        # written in the new window.
+        psr.cwp = new_cwp
+        self._reg_write(instr.rd, to_u32(a + b))
+        self._advance()
+        return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+
+    def _execute_rdwr(self, instr: Instr, pc: int, cycles: int,
+                      a: int, b: int) -> StepResult:
+        psr = self.r.psr
+        op3 = instr.op3
+        privileged = op3 in (Op3.RDPSR, Op3.RDWIM, Op3.RDTBR,
+                             Op3.WRPSR, Op3.WRWIM, Op3.WRTBR)
+        if privileged and not psr.s:
+            return self._trap_result(int(TrapType.PRIVILEGED_INSTRUCTION),
+                                     cycles, pc, instr)
+        if op3 == Op3.RDASR:  # rs1 = 0 -> RDY
+            self._reg_write(instr.rd, self.r.y)
+        elif op3 == Op3.RDPSR:
+            self._reg_write(instr.rd, psr.value)
+        elif op3 == Op3.RDWIM:
+            self._reg_write(instr.rd, self.r.wim)
+        elif op3 == Op3.RDTBR:
+            self._reg_write(instr.rd, self.r.tbr_read)
+        elif op3 == Op3.WRASR:
+            self.r.y = a ^ b
+        elif op3 == Op3.WRPSR:
+            value = a ^ b
+            if (value & 0x1F) >= self.config.nwindows:
+                return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION),
+                                         cycles, pc, instr)
+            psr.write(value)
+        elif op3 == Op3.WRWIM:
+            self.r.wim = a ^ b
+        elif op3 == Op3.WRTBR:
+            self.r.tbr = a ^ b
+        else:  # pragma: no cover
+            raise SimulationError(f"unhandled rd/wr op3 {op3:#x}")
+        self._advance()
+        return StepResult(StepEvent.OK, cycles, pc, instr=instr)
+
+    # -- format 3, op = 3 (memory) -----------------------------------------------------
+
+    def _execute_mem(self, instr: Instr, pc: int, cycles: int) -> StepResult:
+        op3 = instr.op3
+        psr = self.r.psr
+
+        if op3 in (Op3Mem.LDF, Op3Mem.LDDF, Op3Mem.LDFSR,
+                   Op3Mem.STF, Op3Mem.STDF, Op3Mem.STFSR, Op3Mem.STDFQ):
+            if self.fpu is None or not psr.ef:
+                return self._trap_result(int(TrapType.FP_DISABLED), cycles, pc, instr)
+
+        alternate = op3 >= 0x10 and op3 <= 0x1F
+        if alternate:
+            if instr.imm is not None:
+                return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION),
+                                         cycles, pc, instr)
+            if not psr.s:
+                return self._trap_result(int(TrapType.PRIVILEGED_INSTRUCTION),
+                                         cycles, pc, instr)
+
+        address = to_u32(self._reg_read(instr.rs1) + self._operand2(instr))
+
+        alignment = _ALIGNMENT.get(op3, 4)
+        if address % alignment:
+            return self._trap_result(int(TrapType.MEM_ADDRESS_NOT_ALIGNED),
+                                     cycles, pc, instr)
+        if op3 in (Op3Mem.LDD, Op3Mem.STD, Op3Mem.LDDA, Op3Mem.STDA,
+                   Op3Mem.LDDF, Op3Mem.STDF) and instr.rd & 1:
+            return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION),
+                                     cycles, pc, instr)
+
+        if alternate and instr.asi not in (0x8, 0x9, 0xA, 0xB):
+            return self._execute_asi(instr, pc, cycles, address)
+
+        cacheable = self.is_cacheable(address)
+        if op3 in _INTEGER_LOADS or op3 in (Op3Mem.LDF, Op3Mem.LDDF, Op3Mem.LDFSR):
+            return self._execute_load(instr, pc, cycles, address, cacheable)
+        if op3 in _INTEGER_STORES or op3 in (Op3Mem.STF, Op3Mem.STDF, Op3Mem.STFSR):
+            return self._execute_store(instr, pc, cycles, address, cacheable)
+        if op3 in (Op3Mem.LDSTUB, Op3Mem.LDSTUBA):
+            return self._execute_ldstub(instr, pc, cycles, address, cacheable)
+        if op3 in (Op3Mem.SWAP, Op3Mem.SWAPA):
+            return self._execute_swap(instr, pc, cycles, address, cacheable)
+        return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION), cycles, pc, instr)
+
+    def _data_error(self, cycles: int, pc: int, instr: Instr) -> StepResult:
+        self.errors.memory_error_traps += 1
+        return self._trap_result(int(TrapType.DATA_ACCESS_ERROR), cycles, pc, instr)
+
+    def _execute_load(self, instr: Instr, pc: int, cycles: int, address: int,
+                      cacheable: bool) -> StepResult:
+        op3 = instr.op3
+        self.perf.loads += 1
+        size = _SIZES.get(op3, TransferSize.WORD)
+        access = self.dcache.read(address, size, cacheable=cacheable)
+        cycles += access.cycles
+        if access.mem_error:
+            return self._data_error(cycles, pc, instr)
+        data = access.data
+        if op3 in (Op3Mem.LDSB, Op3Mem.LDSBA):
+            data = to_u32(to_s32((data & 0xFF) << 24) >> 24)
+        elif op3 in (Op3Mem.LDSH, Op3Mem.LDSHA):
+            data = to_u32(to_s32((data & 0xFFFF) << 16) >> 16)
+
+        base = timing.CYCLES_LOAD
+        if op3 in (Op3Mem.LDD, Op3Mem.LDDA, Op3Mem.LDDF):
+            second = self.dcache.read(address + 4, TransferSize.WORD,
+                                      cacheable=cacheable)
+            cycles += second.cycles
+            if second.mem_error:
+                return self._data_error(cycles, pc, instr)
+            base = timing.CYCLES_LDD
+            if op3 == Op3Mem.LDDF:
+                self.fpu.write_reg(instr.rd & 0x1E, data)
+                self.fpu.write_reg((instr.rd & 0x1E) + 1, second.data)
+            else:
+                self._reg_write(instr.rd & 0x1E, data)
+                self._reg_write((instr.rd & 0x1E) + 1, second.data)
+        elif op3 == Op3Mem.LDF:
+            self.fpu.write_reg(instr.rd, data)
+        elif op3 == Op3Mem.LDFSR:
+            self.fpu.fsr.write(data)
+        else:
+            self._reg_write(instr.rd, data)
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + base - 1, pc, instr=instr)
+
+    def _execute_store(self, instr: Instr, pc: int, cycles: int, address: int,
+                       cacheable: bool) -> StepResult:
+        op3 = instr.op3
+        self.perf.stores += 1
+        size = _SIZES.get(op3, TransferSize.WORD)
+        try:
+            if op3 == Op3Mem.STF:
+                value = self.fpu.read_reg(instr.rd)
+            elif op3 == Op3Mem.STDF:
+                value = self.fpu.read_reg(instr.rd & 0x1E)
+            else:
+                value = None
+        except UncorrectableError:
+            self.errors.register_error_traps += 1
+            return self._trap_result(int(TrapType.R_REGISTER_ACCESS_ERROR),
+                                     cycles, pc, instr)
+        if value is not None:
+            cycles += self.fpu.take_restart_cycles()
+        elif op3 == Op3Mem.STFSR:
+            value = self.fpu.fsr.value
+        elif op3 in (Op3Mem.STD, Op3Mem.STDA):
+            value = self._reg_read(instr.rd & 0x1E)
+        else:
+            value = self._reg_read(instr.rd)
+        if size is TransferSize.BYTE:
+            value &= 0xFF
+        elif size is TransferSize.HALFWORD:
+            value &= 0xFFFF
+
+        access = self.dcache.write(address, value, size, cacheable=cacheable)
+        cycles += access.cycles
+        self._writes.append((address, value))
+        if access.mem_error:
+            self.errors.memory_error_traps += 1
+            return self._trap_result(int(TrapType.DATA_STORE_ERROR), cycles, pc, instr)
+
+        base = timing.CYCLES_STORE
+        if op3 in (Op3Mem.STD, Op3Mem.STDA, Op3Mem.STDF):
+            if op3 == Op3Mem.STDF:
+                try:
+                    second_value = self.fpu.read_reg((instr.rd & 0x1E) + 1)
+                except UncorrectableError:
+                    self.errors.register_error_traps += 1
+                    return self._trap_result(
+                        int(TrapType.R_REGISTER_ACCESS_ERROR), cycles, pc, instr)
+                cycles += self.fpu.take_restart_cycles()
+            else:
+                second_value = self._reg_read((instr.rd & 0x1E) + 1)
+            second = self.dcache.write(address + 4, second_value,
+                                       TransferSize.WORD, cacheable=cacheable,
+                                       double=True)
+            cycles += second.cycles
+            self._writes.append((address + 4, second_value))
+            if second.mem_error:
+                self.errors.memory_error_traps += 1
+                return self._trap_result(int(TrapType.DATA_STORE_ERROR),
+                                         cycles, pc, instr)
+            base = timing.CYCLES_STD
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + base - 1, pc, instr=instr,
+                          writes=list(self._writes))
+
+    def _execute_ldstub(self, instr: Instr, pc: int, cycles: int, address: int,
+                        cacheable: bool) -> StepResult:
+        access = self.dcache.read(address, TransferSize.BYTE, cacheable=cacheable)
+        cycles += access.cycles
+        if access.mem_error:
+            return self._data_error(cycles, pc, instr)
+        write = self.dcache.write(address, 0xFF, TransferSize.BYTE,
+                                  cacheable=cacheable)
+        cycles += write.cycles
+        self._writes.append((address, 0xFF))
+        self._reg_write(instr.rd, access.data & 0xFF)
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + timing.CYCLES_ATOMIC - 1, pc,
+                          instr=instr, writes=list(self._writes))
+
+    def _execute_swap(self, instr: Instr, pc: int, cycles: int, address: int,
+                      cacheable: bool) -> StepResult:
+        old = self._reg_read(instr.rd)
+        access = self.dcache.read(address, TransferSize.WORD, cacheable=cacheable)
+        cycles += access.cycles
+        if access.mem_error:
+            return self._data_error(cycles, pc, instr)
+        write = self.dcache.write(address, old, TransferSize.WORD,
+                                  cacheable=cacheable)
+        cycles += write.cycles
+        self._writes.append((address, old))
+        self._reg_write(instr.rd, access.data)
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + timing.CYCLES_ATOMIC - 1, pc,
+                          instr=instr, writes=list(self._writes))
+
+    # -- diagnostic ASI space (LEON cache diagnostics) -----------------------------------
+
+    def _execute_asi(self, instr: Instr, pc: int, cycles: int,
+                     address: int) -> StepResult:
+        """LEON ASIs: 0x5/0x6 flush, 0xC..0xF cache RAM diagnostics."""
+        asi = instr.asi
+        is_load = instr.op3 in _INTEGER_LOADS
+        if asi == 0x05:
+            self.icache.flush()
+        elif asi == 0x06:
+            self.dcache.flush()
+        elif asi in (0x0C, 0x0D, 0x0E, 0x0F):
+            ram = {
+                0x0C: self.icache.tag_ram,
+                0x0D: self.icache.data_ram,
+                0x0E: self.dcache.tag_ram,
+                0x0F: self.dcache.data_ram,
+            }[asi]
+            index = (address >> 2) % ram.words
+            if is_load:
+                data, _kind = ram.read(index)
+                self._reg_write(instr.rd, data)
+            else:
+                ram.write(index, self._reg_read(instr.rd))
+        else:
+            return self._trap_result(int(TrapType.DATA_ACCESS_EXCEPTION),
+                                     cycles, pc, instr)
+        self._advance()
+        return StepResult(StepEvent.OK, cycles + 1, pc, instr=instr)
+
+
+# ------------------------------------------------------------------ ALU handlers
+
+
+class _DivisionByZero(Exception):
+    pass
+
+
+class _TagOverflow(Exception):
+    pass
+
+
+def _add(iu: IntegerUnit, a: int, b: int, *, cc: bool, carry_in: int = 0):
+    result = a + b + carry_in
+    r32 = to_u32(result)
+    if cc:
+        v = ((~(a ^ b)) & (a ^ r32)) >> 31 & 1
+        c = int(result > 0xFFFFFFFF)
+        iu._icc_from_result(r32, v, c)
+    return r32, 0
+
+
+def _sub(iu: IntegerUnit, a: int, b: int, *, cc: bool, borrow_in: int = 0):
+    result = a - b - borrow_in
+    r32 = to_u32(result)
+    if cc:
+        v = ((a ^ b) & (a ^ r32)) >> 31 & 1
+        c = int(result < 0)
+        iu._icc_from_result(r32, v, c)
+    return r32, 0
+
+
+def _logic(op, cc: bool):
+    def handler(iu: IntegerUnit, a: int, b: int):
+        result = to_u32(op(a, b))
+        if cc:
+            iu._icc_from_result(result)
+        return result, 0
+
+    return handler
+
+
+def _umul(iu: IntegerUnit, a: int, b: int, *, cc: bool):
+    product = a * b
+    iu.r.y = product >> 32
+    result = to_u32(product)
+    if cc:
+        iu._icc_from_result(result)
+    return result, timing.CYCLES_MUL - 1
+
+
+def _smul(iu: IntegerUnit, a: int, b: int, *, cc: bool):
+    product = to_s32(a) * to_s32(b)
+    iu.r.y = (product >> 32) & 0xFFFFFFFF
+    result = to_u32(product)
+    if cc:
+        iu._icc_from_result(result)
+    return result, timing.CYCLES_MUL - 1
+
+
+def _udiv(iu: IntegerUnit, a: int, b: int, *, cc: bool):
+    if b == 0:
+        raise _DivisionByZero
+    dividend = (iu.r.y << 32) | a
+    quotient = dividend // b
+    v = 0
+    if quotient > 0xFFFFFFFF:
+        quotient = 0xFFFFFFFF
+        v = 1
+    if cc:
+        iu._icc_from_result(quotient, v, 0)
+    return quotient, timing.CYCLES_DIV - 1
+
+
+def _sdiv(iu: IntegerUnit, a: int, b: int, *, cc: bool):
+    divisor = to_s32(b)
+    if divisor == 0:
+        raise _DivisionByZero
+    dividend = (iu.r.y << 32) | a
+    if dividend & (1 << 63):
+        dividend -= 1 << 64
+    # SPARC divides toward zero.
+    quotient = abs(dividend) // abs(divisor)
+    if (dividend < 0) != (divisor < 0):
+        quotient = -quotient
+    v = 0
+    if quotient > 0x7FFFFFFF:
+        quotient, v = 0x7FFFFFFF, 1
+    elif quotient < -(1 << 31):
+        quotient, v = -(1 << 31), 1
+    if cc:
+        iu._icc_from_result(to_u32(quotient), v, 0)
+    return to_u32(quotient), timing.CYCLES_DIV - 1
+
+
+def _mulscc(iu: IntegerUnit, a: int, b: int):
+    psr = iu.r.psr
+    op1 = (((psr.n ^ psr.v) & 1) << 31) | (a >> 1)
+    op2 = b if (iu.r.y & 1) else 0
+    result = op1 + op2
+    r32 = to_u32(result)
+    v = ((~(op1 ^ op2)) & (op1 ^ r32)) >> 31 & 1
+    c = int(result > 0xFFFFFFFF)
+    iu._icc_from_result(r32, v, c)
+    iu.r.y = ((a & 1) << 31) | (iu.r.y >> 1)
+    return r32, 0
+
+
+def _tagged_add(iu: IntegerUnit, a: int, b: int, *, trapping: bool):
+    result = a + b
+    r32 = to_u32(result)
+    overflow = ((~(a ^ b)) & (a ^ r32)) >> 31 & 1
+    tagged = int((a | b) & 3 != 0)
+    v = overflow | tagged
+    if trapping and v:
+        raise _TagOverflow
+    c = int(result > 0xFFFFFFFF)
+    iu._icc_from_result(r32, v, c)
+    return r32, 0
+
+
+def _tagged_sub(iu: IntegerUnit, a: int, b: int, *, trapping: bool):
+    result = a - b
+    r32 = to_u32(result)
+    overflow = ((a ^ b) & (a ^ r32)) >> 31 & 1
+    tagged = int((a | b) & 3 != 0)
+    v = overflow | tagged
+    if trapping and v:
+        raise _TagOverflow
+    c = int(result < 0)
+    iu._icc_from_result(r32, v, c)
+    return r32, 0
+
+
+_ALU_HANDLERS = {
+    Op3.ADD: lambda iu, a, b: _add(iu, a, b, cc=False),
+    Op3.ADDCC: lambda iu, a, b: _add(iu, a, b, cc=True),
+    Op3.ADDX: lambda iu, a, b: _add(iu, a, b, cc=False, carry_in=iu.r.psr.c),
+    Op3.ADDXCC: lambda iu, a, b: _add(iu, a, b, cc=True, carry_in=iu.r.psr.c),
+    Op3.SUB: lambda iu, a, b: _sub(iu, a, b, cc=False),
+    Op3.SUBCC: lambda iu, a, b: _sub(iu, a, b, cc=True),
+    Op3.SUBX: lambda iu, a, b: _sub(iu, a, b, cc=False, borrow_in=iu.r.psr.c),
+    Op3.SUBXCC: lambda iu, a, b: _sub(iu, a, b, cc=True, borrow_in=iu.r.psr.c),
+    Op3.AND: _logic(lambda a, b: a & b, False),
+    Op3.ANDCC: _logic(lambda a, b: a & b, True),
+    Op3.ANDN: _logic(lambda a, b: a & ~b, False),
+    Op3.ANDNCC: _logic(lambda a, b: a & ~b, True),
+    Op3.OR: _logic(lambda a, b: a | b, False),
+    Op3.ORCC: _logic(lambda a, b: a | b, True),
+    Op3.ORN: _logic(lambda a, b: a | ~b, False),
+    Op3.ORNCC: _logic(lambda a, b: a | ~b, True),
+    Op3.XOR: _logic(lambda a, b: a ^ b, False),
+    Op3.XORCC: _logic(lambda a, b: a ^ b, True),
+    Op3.XNOR: _logic(lambda a, b: ~(a ^ b), False),
+    Op3.XNORCC: _logic(lambda a, b: ~(a ^ b), True),
+    Op3.SLL: _logic(lambda a, b: a << (b & 31), False),
+    Op3.SRL: _logic(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31), False),
+    Op3.SRA: _logic(lambda a, b: to_s32(a) >> (b & 31), False),
+    Op3.UMUL: lambda iu, a, b: _umul(iu, a, b, cc=False),
+    Op3.UMULCC: lambda iu, a, b: _umul(iu, a, b, cc=True),
+    Op3.SMUL: lambda iu, a, b: _smul(iu, a, b, cc=False),
+    Op3.SMULCC: lambda iu, a, b: _smul(iu, a, b, cc=True),
+    Op3.UDIV: lambda iu, a, b: _udiv(iu, a, b, cc=False),
+    Op3.UDIVCC: lambda iu, a, b: _udiv(iu, a, b, cc=True),
+    Op3.SDIV: lambda iu, a, b: _sdiv(iu, a, b, cc=False),
+    Op3.SDIVCC: lambda iu, a, b: _sdiv(iu, a, b, cc=True),
+    Op3.MULSCC: _mulscc,
+    Op3.TADDCC: lambda iu, a, b: _tagged_add(iu, a, b, trapping=False),
+    Op3.TADDCCTV: lambda iu, a, b: _tagged_add(iu, a, b, trapping=True),
+    Op3.TSUBCC: lambda iu, a, b: _tagged_sub(iu, a, b, trapping=False),
+    Op3.TSUBCCTV: lambda iu, a, b: _tagged_sub(iu, a, b, trapping=True),
+}
+
+_RDWR_OPS = {Op3.RDASR, Op3.RDPSR, Op3.RDWIM, Op3.RDTBR,
+             Op3.WRASR, Op3.WRPSR, Op3.WRWIM, Op3.WRTBR}
+
+_SIZES = {
+    Op3Mem.LDUB: TransferSize.BYTE, Op3Mem.LDSB: TransferSize.BYTE,
+    Op3Mem.LDUBA: TransferSize.BYTE, Op3Mem.LDSBA: TransferSize.BYTE,
+    Op3Mem.STB: TransferSize.BYTE, Op3Mem.STBA: TransferSize.BYTE,
+    Op3Mem.LDUH: TransferSize.HALFWORD, Op3Mem.LDSH: TransferSize.HALFWORD,
+    Op3Mem.LDUHA: TransferSize.HALFWORD, Op3Mem.LDSHA: TransferSize.HALFWORD,
+    Op3Mem.STH: TransferSize.HALFWORD, Op3Mem.STHA: TransferSize.HALFWORD,
+}
+
+_ALIGNMENT = {
+    Op3Mem.LDUB: 1, Op3Mem.LDSB: 1, Op3Mem.STB: 1, Op3Mem.LDSTUB: 1,
+    Op3Mem.LDUBA: 1, Op3Mem.LDSBA: 1, Op3Mem.STBA: 1, Op3Mem.LDSTUBA: 1,
+    Op3Mem.LDUH: 2, Op3Mem.LDSH: 2, Op3Mem.STH: 2,
+    Op3Mem.LDUHA: 2, Op3Mem.LDSHA: 2, Op3Mem.STHA: 2,
+    Op3Mem.LD: 4, Op3Mem.ST: 4, Op3Mem.SWAP: 4, Op3Mem.LDA: 4, Op3Mem.STA: 4,
+    Op3Mem.SWAPA: 4, Op3Mem.LDF: 4, Op3Mem.STF: 4, Op3Mem.LDFSR: 4,
+    Op3Mem.STFSR: 4,
+    Op3Mem.LDD: 8, Op3Mem.STD: 8, Op3Mem.LDDA: 8, Op3Mem.STDA: 8,
+    Op3Mem.LDDF: 8, Op3Mem.STDF: 8,
+}

@@ -1,0 +1,213 @@
+"""Stage-level pipeline diagrams: the Figure 2 reproduction.
+
+The executor in :mod:`repro.iu.pipeline` is instruction-stepped with exact
+cycle costs; this module replays short windows through an explicit 5-stage
+(FE DE EX ME WR) pipeline model to draw the four diagrams of Figure 2:
+
+    A. normal execution,
+    B. normal trap operation (a trapped instruction),
+    C. register-file error detection/correction (pipeline restart),
+    D. uncorrectable register-file error (error trap).
+
+The diagrams are structural: what matters (and what the tests assert) is
+that the flush/restart behaviour matches the executor -- the trap and the
+restart cost the same 4 cycles, the restart re-fetches the *failing*
+instruction while the trap fetches the handler, and no instruction after
+the failing one reaches WR before the event resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.iu import timing
+
+#: Pipeline stages, fetch first.
+STAGES = ("FE", "DE", "EX", "ME", "WR")
+
+#: Cell shown for a bubble / flushed slot.
+BUBBLE = "."
+
+
+@dataclass
+class Diagram:
+    """One pipeline diagram: per-stage cell labels over consecutive cycles."""
+
+    title: str
+    cells: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return max((len(row) for row in self.cells.values()), default=0)
+
+    def stage_row(self, stage: str) -> List[str]:
+        row = self.cells.get(stage, [])
+        return row + [BUBBLE] * (self.cycles - len(row))
+
+    def completion_cycle(self, label: str) -> Optional[int]:
+        """Cycle (0-based) at which ``label`` passes the WR stage, if ever."""
+        row = self.stage_row("WR")
+        for cycle, cell in enumerate(row):
+            if cell == label:
+                return cycle
+        return None
+
+
+class _Pipe:
+    """A simple in-order pipeline filler used to build diagrams."""
+
+    def __init__(self, title: str) -> None:
+        self.diagram = Diagram(title, {stage: [] for stage in STAGES})
+        # queue[s] = labels that still have to traverse stage index s.
+        self._inflight: List[Optional[str]] = [None] * len(STAGES)
+
+    def tick(self, fetch: Optional[str], *, overrides: Optional[Dict[str, str]] = None,
+             squash_behind: bool = False) -> None:
+        """Advance one cycle: shift every instruction one stage and fetch.
+
+        ``overrides`` forces specific stage cells this cycle (e.g. TRAP).
+        ``squash_behind`` turns everything in FE/DE/EX into bubbles *after*
+        recording the shift (a flush).
+        """
+        self._inflight = [fetch] + self._inflight[:-1]
+        if squash_behind:
+            # The failing instruction is in EX; everything younger dies.
+            self._inflight[0] = None
+            self._inflight[1] = None
+        for index, stage in enumerate(STAGES):
+            label = self._inflight[index]
+            if overrides and stage in overrides:
+                label = overrides[stage]
+            self.diagram.cells[stage].append(label if label else BUBBLE)
+
+    def squash_all(self) -> None:
+        self._inflight = [None] * len(STAGES)
+
+    def squash_through_ex(self) -> None:
+        """Flush FE/DE/EX (the failing instruction and everything younger);
+        older instructions in ME/WR drain normally."""
+        self._inflight[0] = None
+        self._inflight[1] = None
+        self._inflight[2] = None
+
+    def drain(self) -> None:
+        while any(self._inflight):
+            self.tick(None)
+
+
+def trace_normal(labels: Sequence[str]) -> Diagram:
+    """Figure 2-A: normal execution, one instruction per cycle."""
+    pipe = _Pipe("A. Normal execution")
+    for label in labels:
+        pipe.tick(label)
+    pipe.drain()
+    return pipe.diagram
+
+
+def trace_trap(labels: Sequence[str], trap_index: int,
+               handler_labels: Sequence[str] = ("TA1", "TA2")) -> Diagram:
+    """Figure 2-B: instruction ``labels[trap_index]`` traps.
+
+    The trap is recognized in the execute stage; younger instructions are
+    flushed, two internal trap cycles follow (save PC/nPC, decrement CWP,
+    fetch redirect) and the handler stream enters.  End to end the trapped
+    instruction's slot to the handler's first fetch is
+    ``timing.CYCLES_TRAP`` cycles.
+    """
+    pipe = _Pipe("B. Normal trap operation")
+    for cycle, label in enumerate(labels):
+        if cycle == trap_index + 2:
+            break
+        pipe.tick(label)
+    # The trapping instruction is now in EX: flush and run the trap cycles.
+    pipe.tick(None, overrides={"EX": "TRAP"}, squash_behind=True)
+    pipe.squash_through_ex()
+    pipe.tick(None, overrides={"ME": "TRAP"})
+    for label in handler_labels:
+        pipe.tick(label)
+    pipe.drain()
+    return pipe.diagram
+
+
+def trace_restart(labels: Sequence[str], error_index: int) -> Diagram:
+    """Figure 2-C: a correctable register-file error on one instruction.
+
+    The check unit fires in EX (CHECK); the pipeline flushes, the corrected
+    operand is written back (CORR., UPDATE), and the *failing instruction
+    itself* is re-fetched -- "a jump is made to the address of the failed
+    instruction rather than to a trap vector".
+    """
+    pipe = _Pipe("C. Regfile error detection/correction")
+    for cycle, label in enumerate(labels):
+        if cycle == error_index + 2:
+            break
+        pipe.tick(label)
+    pipe.tick(None, overrides={"EX": "CHECK"}, squash_behind=True)
+    pipe.squash_through_ex()
+    pipe.tick(None, overrides={"ME": "CORR."})
+    # The corrected value is written back (UPDATE) in the same cycle the
+    # failing instruction is re-fetched -- 4 cycles end to end, "the same
+    # as for taking a normal trap".
+    first_overrides: Optional[Dict[str, str]] = {"WR": "UPDATE"}
+    for label in labels[error_index:]:
+        pipe.tick(label, overrides=first_overrides)
+        first_overrides = None
+    pipe.drain()
+    return pipe.diagram
+
+
+def trace_uncorrectable(labels: Sequence[str], error_index: int,
+                        handler_labels: Sequence[str] = ("TA1", "TA2")) -> Diagram:
+    """Figure 2-D: an uncorrectable register-file error -> error trap."""
+    pipe = _Pipe("D. Uncorrectable regfile error, error trap")
+    for cycle, label in enumerate(labels):
+        if cycle == error_index + 2:
+            break
+        pipe.tick(label)
+    pipe.tick(None, overrides={"EX": "CHECK"}, squash_behind=True)
+    pipe.squash_through_ex()
+    pipe.tick(None, overrides={"ME": "ERROR"})
+    first_overrides: Optional[Dict[str, str]] = {"WR": "TRAP"}
+    for label in handler_labels:
+        pipe.tick(label, overrides=first_overrides)
+        first_overrides = None
+    pipe.drain()
+    return pipe.diagram
+
+
+def render_diagram(diagram: Diagram, *, cell_width: int = 7) -> str:
+    """ASCII rendering in the style of the paper's Figure 2."""
+    lines = [diagram.title]
+    header = "      " + "".join(
+        f"{cycle:^{cell_width}}" for cycle in range(diagram.cycles)
+    )
+    lines.append(header)
+    for stage in STAGES:
+        row = diagram.stage_row(stage)
+        cells = "".join(f"{cell:^{cell_width}}" for cell in row)
+        lines.append(f"{stage:>4}  {cells}")
+    return "\n".join(lines)
+
+
+class PipelineTracer:
+    """Convenience bundle producing all four Figure 2 diagrams."""
+
+    def __init__(self, labels: Optional[Sequence[str]] = None) -> None:
+        self.labels = list(labels) if labels else [f"INST{i}" for i in range(1, 6)]
+
+    def figure2(self, event_index: int = 1) -> List[Diagram]:
+        return [
+            trace_normal(self.labels),
+            trace_trap(self.labels, event_index),
+            trace_restart(self.labels, event_index),
+            trace_uncorrectable(self.labels, event_index),
+        ]
+
+    def render_all(self, event_index: int = 1) -> str:
+        return "\n\n".join(render_diagram(d) for d in self.figure2(event_index))
+
+    @staticmethod
+    def restart_penalty_cycles() -> int:
+        """The restart penalty both the diagram and the executor charge."""
+        return timing.CYCLES_TRAP

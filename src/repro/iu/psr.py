@@ -1,0 +1,199 @@
+"""The SPARC V8 special registers: PSR, WIM, TBR and Y.
+
+These are synchronous flip-flops in hardware (not RAM cells), so they live
+in the :class:`~repro.ft.tmr.FlipFlopBank` and are TMR-protected in the FT
+configuration -- an SEU in the PSR is voted away before it can change the
+processor mode.
+"""
+
+from __future__ import annotations
+
+from repro.ft.tmr import FlipFlopBank
+
+#: PSR implementation/version fields for this model.
+PSR_IMPL = 0xF
+PSR_VER = 0x3
+
+
+class PSR:
+    """The Processor State Register, bit-accurate over a flip-flop register.
+
+    Layout (SPARC V8 manual 4.2):  impl[31:28] ver[27:24] icc[23:20]
+    reserved[19:14] EC[13] EF[12] PIL[11:8] S[7] PS[6] ET[5] CWP[4:0].
+    """
+
+    def __init__(self, bank: FlipFlopBank, nwindows: int) -> None:
+        self.nwindows = nwindows
+        # Reset: supervisor mode, traps disabled, window 0.
+        self._reg = bank.register("iu.psr", 32, reset=(1 << 7))
+
+    # -- raw access ------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        return (self._reg.value & 0x00FFFFFF) | (PSR_IMPL << 28) | (PSR_VER << 24)
+
+    def write(self, value: int) -> None:
+        """WRPSR: impl/ver are read-only; reserved bits read as zero."""
+        self._reg.load(value & 0x00FFFFFF)
+
+    # -- condition codes ----------------------------------------------------------
+
+    @property
+    def icc(self) -> int:
+        """NZVC as a 4-bit field (N = bit 3)."""
+        return (self._reg.value >> 20) & 0xF
+
+    @icc.setter
+    def icc(self, nzvc: int) -> None:
+        self._reg.load((self._reg.value & ~(0xF << 20)) | ((nzvc & 0xF) << 20))
+
+    @property
+    def n(self) -> int:
+        return (self._reg.value >> 23) & 1
+
+    @property
+    def z(self) -> int:
+        return (self._reg.value >> 22) & 1
+
+    @property
+    def v(self) -> int:
+        return (self._reg.value >> 21) & 1
+
+    @property
+    def c(self) -> int:
+        return (self._reg.value >> 20) & 1
+
+    # -- mode fields -----------------------------------------------------------------
+
+    def _get(self, shift: int, mask: int) -> int:
+        return (self._reg.value >> shift) & mask
+
+    def _set(self, shift: int, mask: int, value: int) -> None:
+        self._reg.load((self._reg.value & ~(mask << shift)) | ((value & mask) << shift))
+
+    @property
+    def ef(self) -> int:
+        """FPU enable."""
+        return self._get(12, 1)
+
+    @ef.setter
+    def ef(self, value: int) -> None:
+        self._set(12, 1, value)
+
+    @property
+    def pil(self) -> int:
+        """Processor interrupt level: interrupts at or below are masked."""
+        return self._get(8, 0xF)
+
+    @pil.setter
+    def pil(self, value: int) -> None:
+        self._set(8, 0xF, value)
+
+    @property
+    def s(self) -> int:
+        """Supervisor mode."""
+        return self._get(7, 1)
+
+    @s.setter
+    def s(self, value: int) -> None:
+        self._set(7, 1, value)
+
+    @property
+    def ps(self) -> int:
+        """Previous supervisor (saved by traps, restored by RETT)."""
+        return self._get(6, 1)
+
+    @ps.setter
+    def ps(self, value: int) -> None:
+        self._set(6, 1, value)
+
+    @property
+    def et(self) -> int:
+        """Enable traps.  A trap with ET = 0 puts the processor in error mode."""
+        return self._get(5, 1)
+
+    @et.setter
+    def et(self, value: int) -> None:
+        self._set(5, 1, value)
+
+    @property
+    def cwp(self) -> int:
+        """Current window pointer."""
+        return self._get(0, 0x1F)
+
+    @cwp.setter
+    def cwp(self, value: int) -> None:
+        self._set(0, 0x1F, value % self.nwindows)
+
+
+class SpecialRegisters:
+    """WIM, TBR, Y and the PC pair, all in the flip-flop bank."""
+
+    def __init__(self, bank: FlipFlopBank, nwindows: int, reset_pc: int = 0) -> None:
+        self.psr = PSR(bank, nwindows)
+        self._wim = bank.register("iu.wim", nwindows)
+        self._tbr = bank.register("iu.tbr", 32)
+        self._y = bank.register("iu.y", 32)
+        self._pc = bank.register("iu.pc", 32, reset=reset_pc)
+        self._npc = bank.register("iu.npc", 32, reset=(reset_pc + 4) & 0xFFFFFFFF)
+        self.nwindows = nwindows
+
+    @property
+    def wim(self) -> int:
+        return self._wim.value
+
+    @property
+    def tbr_read(self) -> int:
+        """RDTBR value: base address + trap type, low four bits zero."""
+        return self._tbr.value & 0xFFFFFFF0
+
+    @wim.setter
+    def wim(self, value: int) -> None:
+        self._wim.load(value & ((1 << self.nwindows) - 1))
+
+    @property
+    def tbr(self) -> int:
+        return self.tbr_read
+
+    @tbr.setter
+    def tbr(self, value: int) -> None:
+        """WRTBR writes only the trap base address (bits 31:12)."""
+        self._tbr.load((value & 0xFFFFF000) | (self._tbr.value & 0xFF0))
+
+    @property
+    def tbr_raw(self) -> int:
+        return self._tbr.value
+
+    def set_tt(self, tt: int) -> None:
+        """Hardware sets the trap type field when a trap is taken."""
+        self._tbr.load((self._tbr.value & 0xFFFFF000) | ((tt & 0xFF) << 4))
+
+    @property
+    def trap_vector(self) -> int:
+        """The address traps jump to: TBA | tt << 4."""
+        return self._tbr.value & 0xFFFFFFF0
+
+    @property
+    def y(self) -> int:
+        return self._y.value
+
+    @y.setter
+    def y(self, value: int) -> None:
+        self._y.load(value & 0xFFFFFFFF)
+
+    @property
+    def pc(self) -> int:
+        return self._pc.value
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self._pc.load(value & 0xFFFFFFFF)
+
+    @property
+    def npc(self) -> int:
+        return self._npc.value
+
+    @npc.setter
+    def npc(self, value: int) -> None:
+        self._npc.load(value & 0xFFFFFFFF)

@@ -1,0 +1,31 @@
+"""Instruction timing model (cycles per instruction class).
+
+LEON-1 approximate base timings on cache hits; cache misses, bus wait
+states, the FT double-store delay (section 4.4) and trap/restart refill
+(section 4.4, Figure 2) are added on top by the respective components.
+"""
+
+from __future__ import annotations
+
+#: Base cycles for simple ALU / control instructions.
+CYCLES_ALU = 1
+#: Single-word load (cache hit): address in EX, data in ME.
+CYCLES_LOAD = 2
+#: Double-word load.
+CYCLES_LDD = 3
+#: Single store (hand-off to the write buffer).
+CYCLES_STORE = 2
+#: Double store.
+CYCLES_STD = 3
+#: Atomic LDSTUB / SWAP (read + write, bus locked).
+CYCLES_ATOMIC = 3
+#: JMPL / RETT flush the fetch stage.
+CYCLES_JMPL = 2
+#: Iterative 32x32 multiplier.
+CYCLES_MUL = 5
+#: Radix-2 divider.
+CYCLES_DIV = 35
+#: Complete trap entry, and equally the FT pipeline restart: "the time for
+#: the complete restart operation takes 4 clock cycles, the same as for
+#: taking a normal trap" (section 4.4).
+CYCLES_TRAP = 4

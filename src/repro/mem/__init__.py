@@ -1,0 +1,21 @@
+"""External memory and the on-chip memory controller (paper sections 3, 4.6).
+
+The memory controller decodes PROM, SRAM and memory-mapped I/O areas on the
+AHB bus.  In the FT configuration every stored word carries a (32,7) BCH
+codeword maintained by the on-chip EDAC: single errors are corrected during
+cache refill with no timing penalty, double errors return an AHB ERROR
+response which the caches convert into a missing valid bit (sub-blocking).
+"""
+
+from repro.mem.memctrl import MemoryBank, MemoryController
+from repro.mem.storage import ExternalMemory
+from repro.mem.writeprotect import WpMode, WriteProtector, WriteProtectUnit
+
+__all__ = [
+    "ExternalMemory",
+    "MemoryBank",
+    "MemoryController",
+    "WpMode",
+    "WriteProtectUnit",
+    "WriteProtector",
+]

@@ -1,0 +1,93 @@
+"""Memory write protection (the LEON memory controller's WP registers).
+
+Space software protects its code and constant areas against *wild writes*
+-- stores issued by a processor that has gone off the rails after an
+uncorrected upset.  The LEON memory controller provides write-protection
+units: address-range guards that turn a store into an AHB ERROR response
+(which reaches software as a precise ``data_store_error`` trap) instead of
+letting it corrupt memory.
+
+Two guard modes per unit, as on LEON-2:
+
+* ``PROTECT_INSIDE``: writes inside [start, end) are blocked;
+* ``PROTECT_OUTSIDE``: only writes inside the range are *allowed* --
+  everything else is blocked (a write-allow window for the data segment).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class WpMode(enum.Enum):
+    DISABLED = "disabled"
+    PROTECT_INSIDE = "protect-inside"
+    PROTECT_OUTSIDE = "protect-outside"
+
+
+@dataclass
+class WriteProtectUnit:
+    """One programmable write-protection range."""
+
+    start: int = 0
+    end: int = 0
+    mode: WpMode = WpMode.DISABLED
+    #: Diagnostic: blocked write attempts (address of the last one).
+    violations: int = 0
+    last_violation: int = 0
+
+    def configure(self, start: int, end: int, mode: WpMode) -> None:
+        if end < start:
+            raise ConfigurationError("write-protect range end before start")
+        self.start = start & ~3
+        self.end = end & ~3
+        self.mode = mode
+
+    def blocks(self, address: int) -> bool:
+        if self.mode is WpMode.DISABLED:
+            return False
+        inside = self.start <= address < self.end
+        blocked = inside if self.mode is WpMode.PROTECT_INSIDE else not inside
+        if blocked:
+            self.violations += 1
+            self.last_violation = address
+        return blocked
+
+
+class WriteProtector:
+    """The set of write-protection units guarding the memory bus."""
+
+    def __init__(self, units: int = 2) -> None:
+        if units < 1:
+            raise ConfigurationError("need at least one write-protect unit")
+        self.units: List[WriteProtectUnit] = [WriteProtectUnit()
+                                              for _ in range(units)]
+
+    def blocks(self, address: int) -> bool:
+        """True when any unit vetoes a write at ``address``.
+
+        With multiple active units a write survives only if *no* unit
+        blocks it (each unit is an independent guard).
+        """
+        # Evaluate all units so violation counters stay accurate.
+        verdicts = [unit.blocks(address) for unit in self.units]
+        return any(verdicts)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(unit.violations for unit in self.units)
+
+    def protect_range(self, start: int, end: int, *, unit: int = 0) -> None:
+        """Convenience: make [start, end) read-only."""
+        self.units[unit].configure(start, end, WpMode.PROTECT_INSIDE)
+
+    def allow_only(self, start: int, end: int, *, unit: int = 0) -> None:
+        """Convenience: allow writes only inside [start, end)."""
+        self.units[unit].configure(start, end, WpMode.PROTECT_OUTSIDE)
+
+    def disable(self, *, unit: int = 0) -> None:
+        self.units[unit].mode = WpMode.DISABLED

@@ -1,0 +1,47 @@
+"""On-chip peripherals on the APB bus (paper section 3, figure 1).
+
+LEON attaches its simple peripherals -- timers, UARTs, interrupt controller
+and I/O port -- to the low-speed APB bus behind the AHB/APB bridge.  The
+FT test chip adds the error-monitoring counters the test software reports
+to the host during beam campaigns (section 6).
+
+APB register map (offsets relative to the bridge base, LEON-2 style):
+
+    0x00  system registers (cache control 0x14, config 0x24, power-down 0x18)
+    0x40  timer unit (timer1, timer2, prescaler, watchdog)
+    0x70  UART 1        0x80  UART 2
+    0x90  interrupt controller
+    0xA0  parallel I/O port
+    0xB0  FT error-monitoring counters
+    0xD0  DMA engine
+"""
+
+from repro.peripherals.dma import DmaEngine
+from repro.peripherals.errmon import ErrorMonitor
+from repro.peripherals.ioport import IoPort
+from repro.peripherals.irqctrl import InterruptController
+from repro.peripherals.sysregs import SystemRegisters
+from repro.peripherals.timer import TimerUnit
+from repro.peripherals.uart import Uart
+
+#: Interrupt levels assigned to on-chip sources (LEON-2 defaults).
+IRQ_UART2 = 2
+IRQ_UART1 = 3
+IRQ_IOPORT = 4
+IRQ_TIMER1 = 8
+IRQ_TIMER2 = 9
+
+__all__ = [
+    "DmaEngine",
+    "ErrorMonitor",
+    "InterruptController",
+    "IoPort",
+    "SystemRegisters",
+    "TimerUnit",
+    "Uart",
+    "IRQ_UART1",
+    "IRQ_UART2",
+    "IRQ_IOPORT",
+    "IRQ_TIMER1",
+    "IRQ_TIMER2",
+]

@@ -1,0 +1,51 @@
+"""The FT error-monitoring counters (paper section 6).
+
+"The register file and cache memories are provided with on-chip
+error-monitoring counters that increment automatically after each corrected
+SEU error.  The test software continuously reports the value of these
+counters to an external host computer."
+
+Registers (relative offsets, all read-only; any write clears all counters):
+
+    0x00  ITE   instruction cache tag errors corrected
+    0x04  IDE   instruction cache data errors corrected
+    0x08  DTE   data cache tag errors corrected
+    0x0C  DDE   data cache data errors corrected
+    0x10  RFE   register file errors corrected
+    0x14  total
+    0x18  EDAC corrections in external memory
+"""
+
+from __future__ import annotations
+
+from repro.amba.apb import ApbSlave
+from repro.core.statistics import ErrorCounters
+
+
+class ErrorMonitor(ApbSlave):
+    """APB window onto the hardware :class:`ErrorCounters`."""
+
+    def __init__(self, counters: ErrorCounters, offset: int = 0xB0) -> None:
+        super().__init__("errmon", offset, 0x20)
+        self.counters = counters
+
+    def apb_read(self, offset: int) -> int:
+        counters = self.counters
+        if offset == 0x00:
+            return counters.ite
+        if offset == 0x04:
+            return counters.ide
+        if offset == 0x08:
+            return counters.dte
+        if offset == 0x0C:
+            return counters.dde
+        if offset == 0x10:
+            return counters.rfe
+        if offset == 0x14:
+            return counters.total
+        if offset == 0x18:
+            return counters.edac_corrected
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        self.counters.reset()

@@ -1,0 +1,70 @@
+"""The parallel I/O port.
+
+Registers (relative offsets):
+
+    0x00  data       (read: input pins; write: output latch)
+    0x04  direction  (bit n = 1 drives pin n as output)
+    0x08  interrupt configuration (which pin raises which level; simplified
+          to: bit 0 enables an interrupt on any input edge)
+
+The campaign harness uses the port as the paper's test board used the LEDs
+and compare-error line: software writes progress codes that the host can
+sample without touching the UART.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.amba.apb import ApbSlave
+from repro.ft.tmr import FlipFlopBank
+
+
+class IoPort(ApbSlave):
+    """16-bit bidirectional parallel port."""
+
+    def __init__(self, offset: int = 0xA0, *, irq_level: int = 4,
+                 raise_irq: Optional[Callable[[int], None]] = None,
+                 ffbank: Optional[FlipFlopBank] = None) -> None:
+        super().__init__("ioport", offset, 0x10)
+        bank = ffbank if ffbank is not None else FlipFlopBank(tmr=False)
+        self.irq_level = irq_level
+        self._raise_irq = raise_irq or (lambda level: None)
+        self._output = bank.register("ioport.output", 16)
+        self._direction = bank.register("ioport.direction", 16)
+        self._irq_config = bank.register("ioport.irqcfg", 1)
+        self._input_pins = 0
+
+    # -- host-side test interface -------------------------------------------------
+
+    def drive_inputs(self, value: int) -> None:
+        """Set the external input pin levels."""
+        old = self._input_pins
+        self._input_pins = value & 0xFFFF
+        if self._irq_config.value & 1 and old != self._input_pins:
+            self._raise_irq(self.irq_level)
+
+    @property
+    def outputs(self) -> int:
+        """Pin levels driven by the chip (output latch masked by direction)."""
+        return self._output.value & self._direction.value
+
+    # -- APB interface ---------------------------------------------------------------
+
+    def apb_read(self, offset: int) -> int:
+        if offset == 0x00:
+            direction = self._direction.value
+            return (self._output.value & direction) | (self._input_pins & ~direction)
+        if offset == 0x04:
+            return self._direction.value
+        if offset == 0x08:
+            return self._irq_config.value
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        if offset == 0x00:
+            self._output.load(value)
+        elif offset == 0x04:
+            self._direction.load(value)
+        elif offset == 0x08:
+            self._irq_config.load(value)

@@ -1,0 +1,71 @@
+"""The interrupt controller: 15 prioritized interrupt levels.
+
+Registers (relative offsets):
+
+    0x00  mask      (bit n enables level n; level 15 is non-maskable on the
+                     real device but we follow the mask for simplicity of
+                     the test programs)
+    0x04  pending   (read)
+    0x08  force     (write: set pending bits directly, for software tests)
+    0x0C  clear     (write: clear pending bits)
+
+Peripheral interrupt lines call :meth:`raise_interrupt`; the integer unit
+polls :meth:`pending_level` against the PSR processor-interrupt-level and
+calls :meth:`acknowledge` when it takes the trap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.amba.apb import ApbSlave
+from repro.ft.tmr import FlipFlopBank
+
+_LEVEL_MASK = 0xFFFE  # levels 1..15
+
+
+class InterruptController(ApbSlave):
+    """15-level interrupt controller with mask / pending / force / clear."""
+
+    def __init__(self, offset: int = 0x90, *,
+                 ffbank: Optional[FlipFlopBank] = None) -> None:
+        super().__init__("irqctrl", offset, 0x10)
+        bank = ffbank if ffbank is not None else FlipFlopBank(tmr=False)
+        self._mask = bank.register("irqctrl.mask", 16)
+        self._pending = bank.register("irqctrl.pending", 16)
+
+    # -- APB interface ---------------------------------------------------------
+
+    def apb_read(self, offset: int) -> int:
+        if offset == 0x00:
+            return self._mask.value
+        if offset == 0x04:
+            return self._pending.value
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        if offset == 0x00:
+            self._mask.load(value & _LEVEL_MASK)
+        elif offset == 0x08:
+            self._pending.load(self._pending.value | (value & _LEVEL_MASK))
+        elif offset == 0x0C:
+            self._pending.load(self._pending.value & ~value)
+
+    # -- interrupt lines ----------------------------------------------------------
+
+    def raise_interrupt(self, level: int) -> None:
+        """Assert interrupt line ``level`` (1..15)."""
+        if 1 <= level <= 15:
+            self._pending.load(self._pending.value | (1 << level))
+
+    def pending_level(self, pil: int) -> int:
+        """Highest pending, unmasked level strictly above ``pil`` (0 = none)."""
+        active = self._pending.value & self._mask.value & _LEVEL_MASK
+        if not active:
+            return 0
+        level = active.bit_length() - 1
+        return level if level > pil else 0
+
+    def acknowledge(self, level: int) -> None:
+        """The processor took the interrupt trap for ``level``."""
+        self._pending.load(self._pending.value & ~(1 << level))

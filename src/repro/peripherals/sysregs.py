@@ -1,0 +1,126 @@
+"""System registers: cache control, LEON configuration, power-down.
+
+Registers (relative offsets):
+
+    0x14  cache control  (bit 0: I-cache enable, bit 1: D-cache enable,
+                          bit 2: flush I-cache, bit 3: flush D-cache --
+                          flush bits read back as zero)
+    0x18  power-down     (any write idles the processor until an interrupt)
+    0x24  configuration  (read-only encoding of the synthesis configuration,
+                          so software can discover cache sizes and FT mode)
+    0x28  write-protect unit 0: start address
+    0x2C  write-protect unit 0: end address
+    0x30  write-protect unit 0: control (0 off, 1 protect-inside,
+                                         2 protect-outside)
+    0x34/0x38/0x3C  write-protect unit 1 (same layout)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.amba.apb import ApbSlave
+from repro.core.config import LeonConfig
+from repro.ft.protection import ProtectionScheme
+from repro.ft.tmr import FlipFlopBank
+from repro.mem.writeprotect import WpMode
+
+_CCR_ICACHE_ENABLE = 1
+_CCR_DCACHE_ENABLE = 2
+_CCR_FLUSH_ICACHE = 4
+_CCR_FLUSH_DCACHE = 8
+
+#: Write-protect control encoding (register value <-> WpMode).
+_WP_MODES = {0: WpMode.DISABLED, 1: WpMode.PROTECT_INSIDE,
+             2: WpMode.PROTECT_OUTSIDE}
+_WP_MODE_CODES = {mode: code for code, mode in _WP_MODES.items()}
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+class SystemRegisters(ApbSlave):
+    """Cache control / configuration / power-down block."""
+
+    def __init__(self, config: LeonConfig, offset: int = 0x00, *,
+                 ffbank: Optional[FlipFlopBank] = None) -> None:
+        super().__init__("sysregs", offset, 0x40)
+        bank = ffbank if ffbank is not None else FlipFlopBank(tmr=False)
+        self.config = config
+        self._cache_control = bank.register(
+            "sysregs.ccr", 2, reset=_CCR_ICACHE_ENABLE | _CCR_DCACHE_ENABLE
+        )
+        self.power_down_requested = False
+        # Wired by the system so flush bits reach the caches.
+        self.icache = None
+        self.dcache = None
+        #: Wired by the system: the memory controller's write protector.
+        self.write_protector = None
+
+    @property
+    def icache_enabled(self) -> bool:
+        return bool(self._cache_control.value & _CCR_ICACHE_ENABLE)
+
+    @property
+    def dcache_enabled(self) -> bool:
+        return bool(self._cache_control.value & _CCR_DCACHE_ENABLE)
+
+    def apb_read(self, offset: int) -> int:
+        if offset == 0x14:
+            return self._cache_control.value
+        if offset == 0x24:
+            return self._config_word()
+        if 0x28 <= offset < 0x40 and self.write_protector is not None:
+            unit = self.write_protector.units[(offset - 0x28) // 0xC]
+            field = (offset - 0x28) % 0xC
+            if field == 0x0:
+                return unit.start
+            if field == 0x4:
+                return unit.end
+            return _WP_MODE_CODES[unit.mode]
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        if offset == 0x14:
+            self._cache_control.load(value & 3)
+            if value & _CCR_FLUSH_ICACHE and self.icache is not None:
+                self.icache.flush()
+            if value & _CCR_FLUSH_DCACHE and self.dcache is not None:
+                self.dcache.flush()
+            if self.icache is not None:
+                self.icache.enabled = self.icache_enabled
+            if self.dcache is not None:
+                self.dcache.enabled = self.dcache_enabled
+        elif offset == 0x18:
+            self.power_down_requested = True
+        elif 0x28 <= offset < 0x40 and self.write_protector is not None:
+            unit = self.write_protector.units[(offset - 0x28) // 0xC]
+            field = (offset - 0x28) % 0xC
+            if field == 0x0:
+                unit.start = value & ~3
+            elif field == 0x4:
+                unit.end = value & ~3
+            else:
+                unit.mode = _WP_MODES.get(value & 3, unit.mode)
+
+    def _config_word(self) -> int:
+        """Encode the build configuration (LEON configuration register)."""
+        config = self.config
+        word = _log2(config.icache.size_bytes // 1024) & 0xF
+        word |= (_log2(config.dcache.size_bytes // 1024) & 0xF) << 4
+        word |= (config.nwindows - 1) << 8
+        word |= int(config.has_fpu) << 13
+        word |= int(config.has_muldiv) << 14
+        word |= int(config.memory.edac) << 15
+        word |= int(config.ft.tmr_flipflops) << 16
+        schemes = {
+            ProtectionScheme.NONE: 0,
+            ProtectionScheme.PARITY: 1,
+            ProtectionScheme.DUAL_PARITY: 2,
+            ProtectionScheme.BCH: 3,
+        }
+        word |= schemes[config.ft.regfile_protection] << 17
+        word |= schemes[config.icache.parity] << 19
+        word |= schemes[config.dcache.parity] << 21
+        return word

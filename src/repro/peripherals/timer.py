@@ -1,0 +1,155 @@
+"""The timer unit: two 24-bit decrementing timers behind a 10-bit prescaler.
+
+Registers (relative offsets within the unit):
+
+    0x00  timer 1 counter        0x10  timer 2 counter
+    0x04  timer 1 reload         0x14  timer 2 reload
+    0x08  timer 1 control        0x18  timer 2 control
+    0x20  prescaler counter      0x24  prescaler reload
+    0x28  watchdog counter (write to refresh; reaching zero asserts the
+          watchdog output, normally wired to system reset)
+
+Control bits: 0 = enable, 1 = reload on underflow, 2 = load (write-only,
+loads the reload value into the counter).  Underflow raises the timer's
+interrupt level.  Timer state lives in the flip-flop bank: a timer counter
+is exactly the kind of state-machine register TMR protects, and the kind
+the IBM duplicate-pipeline scheme cannot (section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.amba.apb import ApbSlave
+from repro.ft.tmr import FlipFlopBank
+
+_CTRL_ENABLE = 1
+_CTRL_RELOAD = 2
+_CTRL_LOAD = 4
+
+_COUNTER_MASK = 0xFFFFFF
+_PRESCALER_MASK = 0x3FF
+
+
+class _Timer:
+    """One 24-bit decrementing timer."""
+
+    def __init__(self, name: str, bank: FlipFlopBank, irq_level: int,
+                 raise_irq: Callable[[int], None]) -> None:
+        self.counter = bank.register(f"{name}.counter", 24)
+        self.reload = bank.register(f"{name}.reload", 24)
+        self.control = bank.register(f"{name}.control", 2)
+        self.irq_level = irq_level
+        self._raise_irq = raise_irq
+        self.underflows = 0
+
+    def write_control(self, value: int) -> None:
+        if value & _CTRL_LOAD:
+            self.counter.load(self.reload.value)
+        self.control.load(value & (_CTRL_ENABLE | _CTRL_RELOAD))
+
+    def tick(self, ticks: int) -> None:
+        control = self.control.value
+        if not control & _CTRL_ENABLE or ticks <= 0:
+            return
+        remaining = self.counter.value
+        while ticks > 0:
+            if ticks <= remaining:
+                remaining -= ticks
+                break
+            # Underflow: consume (remaining + 1) ticks crossing zero.
+            ticks -= remaining + 1
+            self.underflows += 1
+            self._raise_irq(self.irq_level)
+            if control & _CTRL_RELOAD:
+                remaining = self.reload.value
+            else:
+                self.control.load(control & ~_CTRL_ENABLE)
+                remaining = _COUNTER_MASK
+                break
+        self.counter.load(remaining)
+
+
+class TimerUnit(ApbSlave):
+    """Two timers plus the shared prescaler."""
+
+    def __init__(self, offset: int = 0x40, *, irq_levels=(8, 9),
+                 raise_irq: Optional[Callable[[int], None]] = None,
+                 ffbank: Optional[FlipFlopBank] = None) -> None:
+        super().__init__("timers", offset, 0x30)
+        bank = ffbank if ffbank is not None else FlipFlopBank(tmr=False)
+        raise_irq = raise_irq or (lambda level: None)
+        self.timer1 = _Timer("timer1", bank, irq_levels[0], raise_irq)
+        self.timer2 = _Timer("timer2", bank, irq_levels[1], raise_irq)
+        self.prescaler_counter = bank.register("prescaler.counter", 10)
+        self.prescaler_reload = bank.register("prescaler.reload", 10)
+        self.watchdog = bank.register("watchdog.counter", 24)
+        #: Latched when the watchdog reaches zero (wired to reset on the
+        #: real device; the harness observes it).
+        self.watchdog_expired = False
+        self._residual = 0
+
+    def apb_read(self, offset: int) -> int:
+        if offset == 0x00:
+            return self.timer1.counter.value
+        if offset == 0x04:
+            return self.timer1.reload.value
+        if offset == 0x08:
+            return self.timer1.control.value
+        if offset == 0x10:
+            return self.timer2.counter.value
+        if offset == 0x14:
+            return self.timer2.reload.value
+        if offset == 0x18:
+            return self.timer2.control.value
+        if offset == 0x20:
+            return self.prescaler_counter.value
+        if offset == 0x24:
+            return self.prescaler_reload.value
+        if offset == 0x28:
+            return self.watchdog.value
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        if offset == 0x00:
+            self.timer1.counter.load(value & _COUNTER_MASK)
+        elif offset == 0x04:
+            self.timer1.reload.load(value & _COUNTER_MASK)
+        elif offset == 0x08:
+            self.timer1.write_control(value)
+        elif offset == 0x10:
+            self.timer2.counter.load(value & _COUNTER_MASK)
+        elif offset == 0x14:
+            self.timer2.reload.load(value & _COUNTER_MASK)
+        elif offset == 0x18:
+            self.timer2.write_control(value)
+        elif offset == 0x20:
+            self.prescaler_counter.load(value & _PRESCALER_MASK)
+        elif offset == 0x24:
+            self.prescaler_reload.load(value & _PRESCALER_MASK)
+        elif offset == 0x28:
+            self.watchdog.load(value & _COUNTER_MASK)
+            self.watchdog_expired = False
+
+    def tick(self, cycles: int) -> None:
+        """Advance by processor cycles; the prescaler divides them into
+        timer ticks."""
+        watchdog_live = self.watchdog.value > 0
+        if not watchdog_live and \
+                not (self.timer1.control.value
+                     | self.timer2.control.value) & _CTRL_ENABLE:
+            return  # nothing counting: skip the prescaler arithmetic
+        period = self.prescaler_reload.value + 1
+        total = self._residual + cycles
+        ticks, self._residual = divmod(total, period)
+        if not ticks:
+            return
+        self.timer1.tick(ticks)
+        self.timer2.tick(ticks)
+        if watchdog_live:
+            remaining = self.watchdog.value - ticks
+            if remaining <= 0:
+                self.watchdog.load(0)
+                self.watchdog_expired = True
+            else:
+                self.watchdog.load(remaining)

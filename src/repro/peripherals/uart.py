@@ -1,0 +1,137 @@
+"""The UART: byte-wide serial port with status/control registers.
+
+Registers (relative offsets):
+
+    0x00  data     (write: transmit; read: next received byte)
+    0x04  status   (bit 0: data ready, bit 1: TX shift empty, bit 2: TX
+                    holding empty, bit 3: RX overrun)
+    0x08  control  (bit 0: RX enable, bit 1: TX enable, bit 2: RX irq
+                    enable, bit 3: TX irq enable)
+    0x0C  scaler   (baud-rate divider)
+
+Transmission is modelled with a cycle-accurate scaler: a byte occupies the
+shifter for ``10 * (scaler + 1)`` cycles (8 data bits + start/stop).  The
+campaign harness reads :attr:`transmitted` to collect the test program's
+console output -- that is the paper's "reports the value of these counters
+to an external host computer" channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.amba.apb import ApbSlave
+from repro.ft.tmr import FlipFlopBank
+
+_STATUS_DATA_READY = 1
+_STATUS_TX_SHIFT_EMPTY = 2
+_STATUS_TX_HOLD_EMPTY = 4
+_STATUS_RX_OVERRUN = 8
+
+_CTRL_RX_ENABLE = 1
+_CTRL_TX_ENABLE = 2
+_CTRL_RX_IRQ = 4
+_CTRL_TX_IRQ = 8
+
+
+class Uart(ApbSlave):
+    """One UART channel."""
+
+    def __init__(self, name: str = "uart1", offset: int = 0x70, *, irq_level: int = 3,
+                 raise_irq: Optional[Callable[[int], None]] = None,
+                 ffbank: Optional[FlipFlopBank] = None) -> None:
+        super().__init__(name, offset, 0x10)
+        bank = ffbank if ffbank is not None else FlipFlopBank(tmr=False)
+        self.irq_level = irq_level
+        self._raise_irq = raise_irq or (lambda level: None)
+        self._control = bank.register(f"{name}.control", 4)
+        self._scaler = bank.register(f"{name}.scaler", 12)
+        self._tx_hold = bank.register(f"{name}.txhold", 8)
+        self._tx_shift = bank.register(f"{name}.txshift", 8)
+        self._rx_hold = bank.register(f"{name}.rxhold", 8)
+        self._status = bank.register(
+            f"{name}.status", 4, reset=_STATUS_TX_SHIFT_EMPTY | _STATUS_TX_HOLD_EMPTY
+        )
+        self._tx_cycles_left = 0
+        #: Every byte the UART has transmitted (host-side capture).
+        self.transmitted: List[int] = []
+        self._rx_queue: List[int] = []
+
+    # -- host-side test interface ------------------------------------------------
+
+    def receive(self, data: bytes) -> None:
+        """Feed bytes into the receiver (as if from the external line)."""
+        self._rx_queue.extend(data)
+        self._pump_rx()
+
+    def transcript(self) -> bytes:
+        return bytes(self.transmitted)
+
+    def _pump_rx(self) -> None:
+        status = self._status.value
+        if self._rx_queue and not status & _STATUS_DATA_READY:
+            if self._control.value & _CTRL_RX_ENABLE:
+                self._rx_hold.load(self._rx_queue.pop(0))
+                self._status.load(status | _STATUS_DATA_READY)
+                if self._control.value & _CTRL_RX_IRQ:
+                    self._raise_irq(self.irq_level)
+
+    # -- APB interface --------------------------------------------------------------
+
+    def apb_read(self, offset: int) -> int:
+        if offset == 0x00:
+            status = self._status.value
+            data = self._rx_hold.value
+            self._status.load(status & ~_STATUS_DATA_READY)
+            self._pump_rx()
+            return data
+        if offset == 0x04:
+            return self._status.value
+        if offset == 0x08:
+            return self._control.value
+        if offset == 0x0C:
+            return self._scaler.value
+        return 0
+
+    def apb_write(self, offset: int, value: int) -> None:
+        if offset == 0x00:
+            self._write_data(value & 0xFF)
+        elif offset == 0x08:
+            self._control.load(value)
+            self._pump_rx()
+        elif offset == 0x0C:
+            self._scaler.load(value)
+
+    def _write_data(self, byte: int) -> None:
+        if not self._control.value & _CTRL_TX_ENABLE:
+            return
+        status = self._status.value
+        if status & _STATUS_TX_SHIFT_EMPTY:
+            # Straight into the shifter.
+            self._tx_shift.load(byte)
+            self._tx_cycles_left = self._frame_cycles()
+            self._status.load(status & ~_STATUS_TX_SHIFT_EMPTY)
+        elif status & _STATUS_TX_HOLD_EMPTY:
+            self._tx_hold.load(byte)
+            self._status.load(status & ~_STATUS_TX_HOLD_EMPTY)
+        # else: byte lost, as on hardware when software ignores the status.
+
+    def _frame_cycles(self) -> int:
+        return 10 * (self._scaler.value + 1)
+
+    def tick(self, cycles: int) -> None:
+        while cycles > 0 and not self._status.value & _STATUS_TX_SHIFT_EMPTY:
+            step = min(cycles, self._tx_cycles_left)
+            self._tx_cycles_left -= step
+            cycles -= step
+            if self._tx_cycles_left == 0:
+                self.transmitted.append(self._tx_shift.value)
+                status = self._status.value
+                if not status & _STATUS_TX_HOLD_EMPTY:
+                    self._tx_shift.load(self._tx_hold.value)
+                    self._tx_cycles_left = self._frame_cycles()
+                    self._status.load(status | _STATUS_TX_HOLD_EMPTY)
+                else:
+                    self._status.load(status | _STATUS_TX_SHIFT_EMPTY)
+                    if self._control.value & _CTRL_TX_IRQ:
+                        self._raise_irq(self.irq_level)

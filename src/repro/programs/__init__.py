@@ -1,0 +1,33 @@
+"""Self-checking test programs (paper section 6).
+
+"Three types of test programs were used: IUTEST that continuously checks the
+register file and caches memories for errors, PARANOIA that checks the FPU
+operation, and CNCF which is based on real spacecraft navigation software.
+Each test program is self-checking and calculates a checksum of all
+operations that are made."
+
+The originals are not published; these are same-purpose rebuilds for the
+simulator's assembler.  What the experiments depend on is preserved: each
+program's *access pattern* (which RAM types it exercises, how often) and its
+self-checking checksum discipline.
+"""
+
+from repro.programs.builder import (
+    EXIT_MAGIC,
+    ProgramHarness,
+    TestLayout,
+    build_test_program,
+)
+from repro.programs.cncf import build_cncf
+from repro.programs.iutest import build_iutest
+from repro.programs.paranoia import build_paranoia
+
+__all__ = [
+    "EXIT_MAGIC",
+    "ProgramHarness",
+    "TestLayout",
+    "build_cncf",
+    "build_iutest",
+    "build_paranoia",
+    "build_test_program",
+]

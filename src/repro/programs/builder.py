@@ -1,0 +1,311 @@
+"""Runtime scaffolding for test programs: trap table, crt0, result area.
+
+Every test program is assembled as::
+
+    <base>        trap table   (256 entries x 16 bytes)
+    <base+4K>     _start       (crt0: WIM/TBR/PSR setup, stack, call main)
+    ...           main         (the program body)
+
+and reports through a fixed result area in SRAM:
+
+    RESULT+0x00  EXIT_FLAG    EXIT_MAGIC when main returned normally
+    RESULT+0x04  TRAP_TT      tt of the first unexpected trap (if any)
+    RESULT+0x08  TRAP_FLAG    1 when an unexpected trap was taken
+    RESULT+0x0C  CHECKSUM     the program's running checksum
+    RESULT+0x10  ITERATIONS   completed self-check iterations
+    RESULT+0x14  SW_ERRORS    self-check mismatches the program detected
+
+Unexpected traps park the processor on the ``_trap_spin`` loop, which the
+harness recognizes; this mirrors the paper's campaign where "error traps or
+software failures" are the observable failure modes (section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem, RunResult
+from repro.sparc.asm import Program, assemble
+
+#: Value written to EXIT_FLAG by a normal main return.
+EXIT_MAGIC = 0x900DD00D
+
+#: Trap-table size: 256 entries of 16 bytes.
+TRAP_TABLE_BYTES = 0x1000
+
+
+@dataclass(frozen=True)
+class TestLayout:
+    """Fixed addresses a test program and its harness agree on."""
+
+    base: int  # program load address (= trap table base)
+    result: int  # result area base
+    data: int  # scratch data area for workloads
+    stack_top: int
+
+    @classmethod
+    def for_config(cls, config: LeonConfig) -> "TestLayout":
+        sram = config.memory.sram_base
+        size = config.memory.sram_bytes
+        return cls(
+            base=sram,
+            result=sram + size // 2,
+            data=sram + size // 2 + 0x100,
+            stack_top=sram + size - 64,
+        )
+
+    @property
+    def scrub_base(self) -> int:
+        """Cache-aligned base for IUTEST's whole-cache scrub region."""
+        return self.base + (self.stack_top - self.base) // 4 * 3 & ~0xFFFF
+
+    @property
+    def symbols(self) -> Dict[str, int]:
+        return {
+            "RESULT": self.result,
+            "EXIT_FLAG": self.result + 0x00,
+            "TRAP_TT": self.result + 0x04,
+            "TRAP_FLAG": self.result + 0x08,
+            "CHECKSUM": self.result + 0x0C,
+            "ITERATIONS": self.result + 0x10,
+            "SW_ERRORS": self.result + 0x14,
+            "INIT_DONE": self.result + 0x18,
+            "DATA": self.data,
+            "WRITE_BASE": self.data + 0x100,
+            "SCRUB_BASE": self.scrub_base,
+            "STACK_TOP": self.stack_top,
+            "EXIT_MAGIC": EXIT_MAGIC,
+        }
+
+
+def _window_handlers_source(nwindows: int) -> str:
+    """The classic SPARC V8 window overflow/underflow trap handlers.
+
+    Tasking kernels rely on these to spill/fill register windows to the
+    stack (section 4.8 notes the side benefit: the spill traffic scrubs
+    latent register-file errors).  The overflow handler rotates WIM right,
+    steps into the oldest window and flushes its locals+ins to its own
+    stack; the underflow handler rotates WIM left and reloads.
+    """
+    spills = "\n".join(
+        f"    std %l{2 * i}, [%sp + {8 * i}]" for i in range(4)
+    ) + "\n" + "\n".join(
+        f"    std %i{2 * i}, [%sp + {32 + 8 * i}]" for i in range(4)
+    )
+    fills = "\n".join(
+        f"    ldd [%sp + {8 * i}], %l{2 * i}" for i in range(4)
+    ) + "\n" + "\n".join(
+        f"    ldd [%sp + {32 + 8 * i}], %i{2 * i}" for i in range(4)
+    )
+    return f"""
+_window_overflow:
+    ! CWP is the invalid window.  Compute the rotated-right WIM in a local
+    ! of *this* window, disable window traps, step into the oldest window
+    ! and flush it to its stack, come back, then install the new WIM --
+    ! the classic LEON/BCC handler sequence.
+    rd %wim, %l3
+    sll %l3, {nwindows - 1}, %l4
+    srl %l3, 1, %l3
+    or %l3, %l4, %l3
+    wr %g0, %wim            ! window traps off while we move around
+    nop
+    nop
+    nop
+    save                    ! into the window to be flushed
+{spills}
+    restore                 ! back to the trap window (%l3 still live)
+    wr %l3, %wim
+    nop
+    nop
+    nop
+    jmp [%l1]
+    rett [%l2]
+
+_window_underflow:
+    ! Rotate WIM left, reload the window being restored into.
+    rd %wim, %l3
+    srl %l3, {nwindows - 1}, %l4
+    sll %l3, 1, %l3
+    or %l3, %l4, %l3
+    wr %g0, %wim
+    nop
+    nop
+    nop
+    restore                 ! to the window that executed the restore
+    restore                 ! into the window to reload
+{fills}
+    save
+    save                    ! back to the trap window
+    wr %l3, %wim
+    nop
+    nop
+    nop
+    jmp [%l1]
+    rett [%l2]
+"""
+
+
+def _trap_table_source(handlers: Optional[Dict[int, str]] = None) -> str:
+    """256 trap entries; unhandled traps record their tt and spin."""
+    handlers = handlers or {}
+    lines = ["trap_table:"]
+    for tt in range(256):
+        target = handlers.get(tt, "_unexpected_trap")
+        lines.append(f"    mov {tt}, %l3")
+        lines.append(f"    ba {target}")
+        lines.append("    nop")
+        lines.append("    nop")
+    return "\n".join(lines)
+
+
+_RUNTIME = """
+_start:
+    set _wim_init, %g1
+    wr %g1, %wim
+    set trap_table, %g1
+    wr %g1, %tbr
+    set _psr_init, %g1
+    wr %g1, %psr
+    nop
+    nop
+    nop
+    set STACK_TOP, %sp
+    call main
+    nop
+    ! main returned: flag a clean exit
+    set EXIT_MAGIC, %g1
+    set EXIT_FLAG, %g2
+    st %g1, [%g2]
+_exit:
+    ba _exit
+    nop
+
+_unexpected_trap:
+    set TRAP_TT, %l4
+    st %l3, [%l4]
+    set TRAP_FLAG, %l4
+    mov 1, %l5
+    st %l5, [%l4]
+_trap_spin:
+    ba _trap_spin
+    nop
+"""
+
+
+def build_test_program(
+    body: str,
+    config: LeonConfig,
+    *,
+    name: str = "test",
+    handlers: Optional[Dict[int, str]] = None,
+    window_handlers: bool = False,
+    extra_symbols: Optional[Dict[str, int]] = None,
+) -> Program:
+    """Assemble trap table + crt0 + ``body`` (which must define ``main:``).
+
+    With ``window_handlers=True`` the runtime installs the classic SPARC
+    window overflow/underflow spill/fill handlers and marks one window
+    invalid in WIM, so programs may nest calls arbitrarily deep.
+    """
+    layout = TestLayout.for_config(config)
+    psr_init = (1 << 7) | (1 << 5)  # S = 1, ET = 1
+    if config.has_fpu:
+        psr_init |= 1 << 12  # EF
+    symbols = dict(layout.symbols)
+    symbols["_psr_init"] = psr_init
+    handlers = dict(handlers or {})
+    pieces = []
+    if window_handlers:
+        handlers.setdefault(0x05, "_window_overflow")
+        handlers.setdefault(0x06, "_window_underflow")
+        pieces.append(_window_handlers_source(config.nwindows))
+        # CWP starts at 0 and save decrements: with the boundary at window
+        # 1, exactly nwindows-1 frames fit before the first spill.
+        symbols["_wim_init"] = 1 << 1
+    else:
+        symbols.setdefault("_wim_init", 0)
+    if extra_symbols:
+        symbols.update(extra_symbols)
+    source = "\n".join([_trap_table_source(handlers)] + pieces
+                       + [_RUNTIME, body])
+    return assemble(source, base=layout.base, name=name, symbols=symbols)
+
+
+def emit_icode_block(lines, words: int, const_base: int = 0x0F0F) -> None:
+    """Unrolled straight-line code block: one xor per I-cache word.
+
+    Models the code footprint of a large self-checking program (the real
+    IUTEST/PARANOIA executables are far bigger than these rebuilt kernels);
+    every executed word contributes to the checksum, so an SEU in any
+    occupied I-cache line is either corrected (parity -> forced miss) or
+    caught by the final compare.
+    """
+    for i in range(words):
+        lines.append(f"    xor %g6, {(const_base + i) & 0xFFF}, %g6")
+
+
+def icode_checksum(words: int, const_base: int = 0x0F0F) -> int:
+    """The XOR contribution of :func:`emit_icode_block`."""
+    checksum = 0
+    for i in range(words):
+        checksum ^= (const_base + i) & 0xFFF
+    return checksum
+
+
+@dataclass
+class HarnessResult:
+    """Post-run interpretation of the result area."""
+
+    run: RunResult
+    exited: bool
+    trapped: bool
+    trap_tt: int
+    checksum: int
+    iterations: int
+    sw_errors: int
+
+    @property
+    def failed(self) -> bool:
+        """An observable failure: error trap, error mode, or self-check
+        mismatch (the paper's 'error traps or software failures')."""
+        return self.trapped or self.sw_errors > 0 or \
+            self.run.halted.value == "error-mode"
+
+
+class ProgramHarness:
+    """Loads a test program and interprets its result area after a run."""
+
+    def __init__(self, system: LeonSystem, program: Program) -> None:
+        self.system = system
+        self.program = program
+        self.layout = TestLayout.for_config(system.config)
+        system.load_program(program)
+        # The image starts with the trap table; execution starts at _start.
+        entry = program.address_of("_start")
+        system.special.pc = entry
+        system.special.npc = entry + 4
+
+    def run(self, max_instructions: int = 2_000_000) -> HarnessResult:
+        spin = self.program.symbols.get("_trap_spin")
+        exit_label = self.program.symbols.get("_exit")
+
+        def stop(result) -> bool:
+            return self.system.special.pc in (spin, exit_label)
+
+        run = self.system.run(max_instructions, stop_when=stop)
+        return self.read_results(run)
+
+    def read_results(self, run: RunResult) -> HarnessResult:
+        read = self.system.read_word
+        result = self.layout.result
+        return HarnessResult(
+            run=run,
+            exited=read(result + 0x00) == EXIT_MAGIC,
+            trapped=read(result + 0x08) == 1,
+            trap_tt=read(result + 0x04),
+            checksum=read(result + 0x0C),
+            iterations=read(result + 0x10),
+            sw_errors=read(result + 0x14),
+        )

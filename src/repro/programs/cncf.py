@@ -1,0 +1,213 @@
+"""CNCF: a navigation workload (paper section 6).
+
+The original CNCF "is based on real spacecraft navigation software".  This
+rebuild propagates an orbital state (2-D Kepler problem, double precision)
+with a fixed-step symplectic Euler integrator -- inverse-square gravity,
+square root, division -- plus an integer telemetry/housekeeping loop, and
+checksums the final state bit patterns.  The mix of double-precision FP,
+integer bookkeeping and moderate memory traffic mirrors the character of
+on-board navigation filters.
+
+The expected checksum is produced by a bit-exact Python mirror of the same
+operation sequence (IEEE-754 double throughout, matching the FPU model).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.config import LeonConfig
+from repro.errors import ConfigurationError
+from repro.programs.builder import build_test_program, emit_icode_block, icode_checksum
+from repro.sparc.asm import Program
+
+#: Constant base for the straight-line code block (distinct per program).
+_ICODE_BASE = 0x2B1
+
+#: Initial orbit state: slightly eccentric orbit around a unit-mu body.
+_RX0, _RY0 = 1.0, 0.0
+_VX0, _VY0 = 0.0, 1.1
+_DT = 0.01
+_ONE = 1.0
+
+_TELEMETRY_WORDS = 64
+_TELEMETRY_STRIDE = 0x21
+
+
+def _f64_bits(value: float) -> Tuple[int, int]:
+    raw = struct.unpack(">Q", struct.pack(">d", value))[0]
+    return (raw >> 32) & 0xFFFFFFFF, raw & 0xFFFFFFFF
+
+
+def _propagate(steps: int) -> Tuple[float, float, float, float]:
+    """Bit-exact mirror of the assembly integrator."""
+    rx, ry, vx, vy = _RX0, _RY0, _VX0, _VY0
+    for _ in range(steps):
+        t_a = rx * rx
+        t_b = ry * ry
+        r2 = t_a + t_b
+        rt = math.sqrt(r2)
+        r3 = r2 * rt
+        inv = _ONE / r3
+        ax = -(rx * inv)
+        ay = -(ry * inv)
+        vx = vx + ax * _DT
+        vy = vy + ay * _DT
+        rx = rx + vx * _DT
+        ry = ry + vy * _DT
+    return rx, ry, vx, vy
+
+
+def _expected_checksum(steps: int, icode_words: int) -> int:
+    checksum = icode_checksum(icode_words, _ICODE_BASE)
+    for value in _propagate(steps):
+        high, low = _f64_bits(value)
+        checksum ^= high
+        checksum ^= low
+    value = 0
+    for _ in range(_TELEMETRY_WORDS):
+        checksum ^= value
+        value = (value + _TELEMETRY_STRIDE) & 0xFFFFFFFF
+    return checksum & 0xFFFFFFFF
+
+
+def build_cncf(
+    config: Optional[LeonConfig] = None,
+    *,
+    iterations: int = 10,
+    steps: int = 50,
+    icode_words: int = 384,
+) -> Tuple[Program, int]:
+    """Build CNCF; returns (program, expected checksum per iteration).
+
+    ``icode_words`` models the code footprint of the full navigation
+    software around this propagation kernel.
+    """
+    config = config or LeonConfig.leon_express()
+    if not config.has_fpu:
+        raise ConfigurationError("CNCF needs an FPU (use LeonConfig.leon_express)")
+    expected = _expected_checksum(steps, icode_words)
+
+    lines: List[str] = []
+    lines.append("main:")
+    lines.append("    save %sp, -96, %sp")
+    lines.append("    set ITER_COUNT, %i1")
+    lines.append("cncf_iteration:")
+    lines.append("    clr %g6")
+    # Reload the initial state and constants each iteration.
+    lines.append("    set cncf_constants, %o0")
+    lines.append("    lddf [%o0], %f16")       # rx
+    lines.append("    lddf [%o0+8], %f18")     # ry
+    lines.append("    lddf [%o0+16], %f20")    # vx
+    lines.append("    lddf [%o0+24], %f22")    # vy
+    lines.append("    lddf [%o0+32], %f2")     # dt
+    lines.append("    lddf [%o0+40], %f4")     # 1.0
+    lines.append("    set STEPS, %o1")
+
+    lines.append("cncf_step:")
+    # r2 = rx*rx + ry*ry
+    lines.append("    fmuld %f16, %f16, %f24")
+    lines.append("    fmuld %f18, %f18, %f26")
+    lines.append("    faddd %f24, %f26, %f24")
+    # r3 = r2 * sqrt(r2); inv = 1 / r3
+    lines.append("    fsqrtd %f24, %f26")
+    lines.append("    fmuld %f24, %f26, %f26")
+    lines.append("    fdivd %f4, %f26, %f28")
+    # a = -r * inv  (FNEGS on the high word flips a double's sign)
+    lines.append("    fmuld %f16, %f28, %f24")
+    lines.append("    fmuld %f18, %f28, %f26")
+    lines.append("    fnegs %f24, %f24")
+    lines.append("    fnegs %f26, %f26")
+    # v += a*dt ; r += v*dt
+    lines.append("    fmuld %f24, %f2, %f24")
+    lines.append("    faddd %f20, %f24, %f20")
+    lines.append("    fmuld %f26, %f2, %f26")
+    lines.append("    faddd %f22, %f26, %f22")
+    lines.append("    fmuld %f20, %f2, %f24")
+    lines.append("    faddd %f16, %f24, %f16")
+    lines.append("    fmuld %f22, %f2, %f26")
+    lines.append("    faddd %f18, %f26, %f18")
+    # Telemetry: store the live state for the (simulated) downlink.
+    lines.append("    set DATA, %o2")
+    lines.append("    stdf %f16, [%o2]")
+    lines.append("    stdf %f18, [%o2+8]")
+    lines.append("    stdf %f20, [%o2+16]")
+    lines.append("    stdf %f22, [%o2+24]")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne cncf_step")
+    lines.append("    nop")
+
+    # Fold the final state into the checksum.
+    for offset in (0, 4, 8, 12, 16, 20, 24, 28):
+        lines.append("    set DATA, %o2")
+        lines.append(f"    ld [%o2+{offset}], %o3")
+        lines.append("    xor %g6, %o3, %g6")
+
+    # Integer housekeeping table (write then read back).
+    lines.append("    set DATA, %o0")
+    lines.append("    add %o0, 64, %o0")
+    lines.append(f"    set {_TELEMETRY_WORDS}, %o1")
+    lines.append("    clr %o2")
+    lines.append("cncf_tel_write:")
+    lines.append("    st %o2, [%o0]")
+    lines.append(f"    add %o2, {_TELEMETRY_STRIDE}, %o2")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne cncf_tel_write")
+    lines.append("    nop")
+    lines.append("    set DATA, %o0")
+    lines.append("    add %o0, 64, %o0")
+    lines.append(f"    set {_TELEMETRY_WORDS}, %o1")
+    lines.append("cncf_tel_read:")
+    lines.append("    ld [%o0], %o3")
+    lines.append("    xor %g6, %o3, %g6")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne cncf_tel_read")
+    lines.append("    nop")
+
+    # Code footprint of the surrounding navigation software.
+    emit_icode_block(lines, icode_words, _ICODE_BASE)
+
+    # Self-check and bookkeeping.
+    lines.append("    set EXPECTED_CHECKSUM, %o0")
+    lines.append("    cmp %g6, %o0")
+    lines.append("    be cncf_checksum_ok")
+    lines.append("    nop")
+    lines.append("    set SW_ERRORS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("cncf_checksum_ok:")
+    lines.append("    set CHECKSUM, %o1")
+    lines.append("    st %g6, [%o1]")
+    lines.append("    set ITERATIONS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("    subcc %i1, 1, %i1")
+    lines.append("    bne cncf_iteration")
+    lines.append("    nop")
+    lines.append("    ret")
+    lines.append("    restore")
+
+    # Constant pool: rx ry vx vy dt one (doubles).
+    lines.append(".align 8")
+    lines.append("cncf_constants:")
+    for value in (_RX0, _RY0, _VX0, _VY0, _DT, _ONE):
+        high, low = _f64_bits(value)
+        lines.append(f"    .word {high}, {low}")
+
+    program = build_test_program(
+        "\n".join(lines),
+        config,
+        name="cncf",
+        extra_symbols={
+            "ITER_COUNT": iterations,
+            "STEPS": steps,
+            "EXPECTED_CHECKSUM": expected,
+        },
+    )
+    return program, expected

@@ -1,0 +1,255 @@
+"""IUTEST: the register-file / cache scrubbing self-test (paper section 6).
+
+IUTEST "continuously checks the register file and caches memories for
+errors".  This rebuild exercises, every iteration:
+
+* the **register file**: writes a distinct pattern into every testable
+  register of every window (globals, locals/outs across a full window walk)
+  and folds every read-back into a running XOR checksum;
+* the **data cache**: a *scrub region* sized to the whole data cache is
+  initialized once and then re-read every iteration -- reads are what
+  detect parity errors (a rewrite would silently mask them), so this is the
+  access pattern that maximizes the measured cross-section, as the real
+  IUTEST did; a small separate region exercises the write path;
+* the **instruction cache**: straight-line execution through an unrolled
+  code block sized to occupy most I-cache lines.
+
+The expected checksum is computed by the generator at build time, so a
+single compare per iteration detects any *undetected* (escaped) storage
+error, while corrected errors stay invisible to software -- exactly the
+paper's self-checking discipline.  Detected mismatches increment SW_ERRORS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import LeonConfig
+from repro.programs.builder import build_test_program
+from repro.sparc.asm import Program
+
+#: Registers patrolled in the *current* window: globals g1..g5 (g6/g7 are
+#: the checksum accumulator and pattern seed) and the locals.  The outs are
+#: the program's own working registers (memory phase, self-check), so they
+#: are excluded from the latent patrol -- a scrubber cannot patrol its own
+#: scratch space.  Window-walk phases patrol the other windows' locals/outs.
+_PHASE_A_REGS = (
+    [f"%g{i}" for i in range(1, 6)]
+    + [f"%l{i}" for i in range(8)]
+)
+
+_WALK_REGS = [f"%l{i}" for i in range(8)] + [f"%o{i}" for i in range(6)]
+
+_SEED = 0x5A5A0000
+_SCRUB_INIT = 0x1000
+_SCRUB_STRIDE = 0x777
+_WRITE_INIT = 0x2000
+_WRITE_STRIDE = 0x123
+_WRITE_WORDS = 64
+_ICODE_CONST = 0x0F0F
+
+
+def _u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def _pattern(depth: int, slot: int) -> int:
+    """The constant added to the seed for window depth / register slot."""
+    return depth * 256 + slot * 8 + 1
+
+
+def _expected_checksum(walk_depth: int, scrub_words: int, icode_words: int) -> int:
+    checksum = 0
+    for slot, _reg in enumerate(_PHASE_A_REGS):
+        checksum ^= _u32(_SEED + _pattern(0, slot))
+    for depth in range(1, walk_depth + 1):
+        for slot, _reg in enumerate(_WALK_REGS):
+            checksum ^= _u32(_SEED + _pattern(depth, slot))
+    value = _SCRUB_INIT
+    for _ in range(scrub_words):
+        checksum ^= value
+        value = _u32(value + _SCRUB_STRIDE)
+    value = _WRITE_INIT
+    for _ in range(_WRITE_WORDS):
+        checksum ^= value
+        value = _u32(value + _WRITE_STRIDE)
+    for i in range(icode_words):
+        checksum ^= (_ICODE_CONST + i) & 0xFFF
+    return checksum
+
+
+def _register_init_phase(lines: List[str], walk_depth: int) -> None:
+    """One-time pattern installation (before the patrol loop starts)."""
+    for slot, reg in enumerate(_PHASE_A_REGS):
+        lines.append(f"    add %g7, {_pattern(0, slot)}, {reg}")
+    for depth in range(1, walk_depth + 1):
+        lines.append("    save %sp, -96, %sp")
+        for slot, reg in enumerate(_WALK_REGS):
+            lines.append(f"    add %g7, {_pattern(depth, slot)}, {reg}")
+    for _depth in range(walk_depth, 0, -1):
+        lines.append("    restore")
+
+
+def _register_phase(lines: List[str], walk_depth: int) -> None:
+    """The patrol pass: *read first* (check), then rewrite the pattern.
+
+    Reading before rewriting is what makes IUTEST a register-file checker:
+    an SEU that landed any time since the previous pass is still there to
+    be read (and corrected by the hardware, counting an RFE) instead of
+    being silently overwritten.
+    """
+    # Current window: read-back, then refresh.
+    for reg in _PHASE_A_REGS:
+        lines.append(f"    xor %g6, {reg}, %g6")
+    for slot, reg in enumerate(_PHASE_A_REGS):
+        lines.append(f"    add %g7, {_pattern(0, slot)}, {reg}")
+    # Window walk: in each window, read-back then refresh before moving on.
+    for depth in range(1, walk_depth + 1):
+        lines.append("    save %sp, -96, %sp")
+        for reg in _WALK_REGS:
+            lines.append(f"    xor %g6, {reg}, %g6")
+        for slot, reg in enumerate(_WALK_REGS):
+            lines.append(f"    add %g7, {_pattern(depth, slot)}, {reg}")
+    for _depth in range(walk_depth, 0, -1):
+        lines.append("    restore")
+
+
+def _scrub_init(lines: List[str]) -> None:
+    """One-time initialization of the scrub region (the region is
+    *read-only* afterwards: reads detect, rewrites would mask)."""
+    lines.append("    set SCRUB_BASE, %o0")
+    lines.append("    set SCRUB_WORDS, %o1")
+    lines.append(f"    set {_SCRUB_INIT}, %o2")
+    lines.append("iutest_scrub_init:")
+    lines.append("    st %o2, [%o0]")
+    lines.append(f"    set {_SCRUB_STRIDE}, %o3")
+    lines.append("    add %o2, %o3, %o2")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne iutest_scrub_init")
+    lines.append("    nop")
+
+
+def _memory_phase(lines: List[str]) -> None:
+    # The scrub pass: read-only sweep over a whole-cache-sized region.
+    lines.append("iutest_scrub_read:")
+    lines.append("    set SCRUB_BASE, %o0")
+    lines.append("    set SCRUB_WORDS, %o1")
+    lines.append("iutest_scrub_loop:")
+    lines.append("    ld [%o0], %o3")
+    lines.append("    xor %g6, %o3, %g6")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne iutest_scrub_loop")
+    lines.append("    nop")
+    # Write-path exercise: a small region written and read back every pass.
+    lines.append("    set WRITE_BASE, %o0")
+    lines.append(f"    set {_WRITE_WORDS}, %o1")
+    lines.append(f"    set {_WRITE_INIT}, %o2")
+    lines.append("iutest_write_loop:")
+    lines.append("    st %o2, [%o0]")
+    lines.append(f"    add %o2, {_WRITE_STRIDE}, %o2")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne iutest_write_loop")
+    lines.append("    nop")
+    lines.append("    set WRITE_BASE, %o0")
+    lines.append(f"    set {_WRITE_WORDS}, %o1")
+    lines.append("iutest_wread_loop:")
+    lines.append("    ld [%o0], %o3")
+    lines.append("    xor %g6, %o3, %g6")
+    lines.append("    add %o0, 4, %o0")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne iutest_wread_loop")
+    lines.append("    nop")
+
+
+def _icode_phase(lines: List[str], icode_words: int) -> None:
+    # Straight-line code: one xor per I-cache word touched.
+    for i in range(icode_words):
+        lines.append(f"    xor %g6, {(_ICODE_CONST + i) & 0xFFF}, %g6")
+
+
+def build_iutest(
+    config: Optional[LeonConfig] = None,
+    *,
+    iterations: int = 10,
+    scrub_words: Optional[int] = None,
+    icode_words: Optional[int] = None,
+    walk_depth: Optional[int] = None,
+) -> Tuple[Program, int]:
+    """Build IUTEST; returns (program, expected checksum per iteration).
+
+    ``scrub_words`` defaults to the full data-cache capacity and
+    ``icode_words`` to ~80 % of the instruction-cache capacity, so the test
+    patrols (nearly) every cache RAM cell -- which is what makes IUTEST the
+    highest-cross-section program in Table 2.  ``walk_depth`` defaults to
+    nwindows - 2, covering every register window except the runtime's two
+    anchor windows.
+    """
+    config = config or LeonConfig.fault_tolerant()
+    if walk_depth is None:
+        walk_depth = config.nwindows - 2
+    if scrub_words is None:
+        scrub_words = config.dcache.size_bytes // 4
+    if icode_words is None:
+        icode_words = (config.icache.size_bytes // 4) * 4 // 5
+    expected = _expected_checksum(walk_depth, scrub_words, icode_words)
+
+    lines: List[str] = []
+    lines.append("main:")
+    lines.append("    save %sp, -96, %sp")
+    lines.append("    set ITER_COUNT, %i1")
+    lines.append(f"    set {_SEED}, %g7")
+    # One-time setup (guarded so a restarted main does not redo it):
+    # install the register patterns and initialize the scrub region.
+    lines.append("    set INIT_DONE, %o4")
+    lines.append("    ld [%o4], %o5")
+    lines.append("    cmp %o5, 1")
+    lines.append("    be iutest_iteration")
+    lines.append("    nop")
+    _register_init_phase(lines, walk_depth)
+    _scrub_init(lines)
+    lines.append("    set INIT_DONE, %o4")
+    lines.append("    mov 1, %o5")
+    lines.append("    st %o5, [%o4]")
+    lines.append("iutest_iteration:")
+    lines.append("    clr %g6")
+    lines.append(f"    set {_SEED}, %g7")
+    _register_phase(lines, walk_depth)
+    _memory_phase(lines)
+    _icode_phase(lines, icode_words)
+    # Self-check: compare against the build-time expected checksum.
+    lines.append("    set EXPECTED_CHECKSUM, %o0")
+    lines.append("    cmp %g6, %o0")
+    lines.append("    be iutest_checksum_ok")
+    lines.append("    nop")
+    lines.append("    set SW_ERRORS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("iutest_checksum_ok:")
+    lines.append("    set CHECKSUM, %o1")
+    lines.append("    st %g6, [%o1]")
+    lines.append("    set ITERATIONS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("    subcc %i1, 1, %i1")
+    lines.append("    bne iutest_iteration")
+    lines.append("    nop")
+    lines.append("    ret")
+    lines.append("    restore")
+
+    layout_extra = {
+        "ITER_COUNT": iterations,
+        "SCRUB_WORDS": scrub_words,
+        "EXPECTED_CHECKSUM": expected,
+    }
+    program = build_test_program(
+        "\n".join(lines),
+        config,
+        name="iutest",
+        extra_symbols=layout_extra,
+    )
+    return program, expected

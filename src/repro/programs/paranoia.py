@@ -1,0 +1,249 @@
+"""PARANOIA: the FPU self-check program (paper section 6).
+
+The original campaign used a PARANOIA-style floating-point test "that checks
+the FPU operation".  This rebuild runs four arithmetic chains per iteration
+-- a single-precision multiply/add/divide chain, a square-root chain, a
+double-precision chain, and integer<->float conversion round-trips -- plus
+comparison/branch checks, folding every result's bit pattern into the XOR
+checksum.  The expected checksum is computed at build time with bit-exact
+mirrors of the FPU's rounding behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.config import LeonConfig
+from repro.errors import ConfigurationError
+from repro.programs.builder import build_test_program, emit_icode_block, icode_checksum
+from repro.sparc.asm import Program
+
+#: Constant base for the straight-line code block (distinct from IUTEST's).
+_ICODE_BASE = 0x3A1
+
+
+def _f32(value: float) -> float:
+    """Round a Python float to single precision (the FPU's write path)."""
+    return struct.unpack(">f", struct.pack(">f", value))[0]
+
+
+def _f32_bits(value: float) -> int:
+    return struct.unpack(">I", struct.pack(">f", value))[0]
+
+
+def _f64_bits(value: float) -> Tuple[int, int]:
+    raw = struct.unpack(">Q", struct.pack(">d", value))[0]
+    return (raw >> 32) & 0xFFFFFFFF, raw & 0xFFFFFFFF
+
+
+#: Single-precision chain constants.
+_A, _B, _C, _D = 1.5, 1.25, 0.5, 1.125
+#: Double-precision chain constants.
+_E, _F = 0.7071067811865476, 1.0000152587890625
+#: Conversion test integers.
+_CONV_INTS = (0, 1, -1, 12345, -67890, 2**20 + 3)
+
+
+def _expected_checksum(chain1: int, chain2: int, chain3: int,
+                       icode_words: int) -> int:
+    checksum = icode_checksum(icode_words, _ICODE_BASE)
+    # Chain 1: x = ((x * b) + c) / d, single precision.
+    x = _f32(_A)
+    for _ in range(chain1):
+        x = _f32(x * _f32(_B))
+        x = _f32(x + _f32(_C))
+        x = _f32(x / _f32(_D))
+    checksum ^= _f32_bits(x)
+    # Chain 2: y = sqrt(y + b), single precision.
+    y = _f32(_A)
+    for _ in range(chain2):
+        y = _f32(y + _f32(_B))
+        y = _f32(math.sqrt(y))
+    checksum ^= _f32_bits(y)
+    # Chain 3: z = z * f + e, double precision.
+    z = _E
+    for _ in range(chain3):
+        z = z * _F
+        z = z + _E
+    high, low = _f64_bits(z)
+    checksum ^= high
+    checksum ^= low
+    # Conversions: int -> single -> int and int -> single -> double -> int.
+    for value in _CONV_INTS:
+        single = _f32(float(value))
+        checksum ^= int(single) & 0xFFFFFFFF
+        double = float(single)
+        checksum ^= int(double) & 0xFFFFFFFF
+    return checksum & 0xFFFFFFFF
+
+
+def build_paranoia(
+    config: Optional[LeonConfig] = None,
+    *,
+    iterations: int = 10,
+    chain1: int = 40,
+    chain2: int = 20,
+    chain3: int = 40,
+    icode_words: int = 768,
+) -> Tuple[Program, int]:
+    """Build PARANOIA; returns (program, expected checksum per iteration).
+
+    ``icode_words`` sizes the straight-line code block modelling the real
+    PARANOIA's large instruction footprint (it occupies a substantial part
+    of the I-cache, which is what gives PARANOIA a measurable instruction
+    cache cross-section in Table 2).
+    """
+    config = config or LeonConfig.leon_express()
+    if not config.has_fpu:
+        raise ConfigurationError("PARANOIA needs an FPU (use LeonConfig.leon_express)")
+    expected = _expected_checksum(chain1, chain2, chain3, icode_words)
+
+    lines: List[str] = []
+    lines.append("main:")
+    lines.append("    save %sp, -96, %sp")
+    lines.append("    set ITER_COUNT, %i1")
+    lines.append("par_iteration:")
+    lines.append("    clr %g6")
+    lines.append("    set par_constants, %o0")
+    lines.append("    ldf [%o0], %f0")        # a
+    lines.append("    ldf [%o0+4], %f1")      # b
+    lines.append("    ldf [%o0+8], %f2")      # c
+    lines.append("    ldf [%o0+12], %f3")     # d
+    lines.append("    lddf [%o0+16], %f8")    # e (double)
+    lines.append("    lddf [%o0+24], %f10")   # f (double)
+
+    # Chain 1 (single): f4 = ((f4 * b) + c) / d.
+    lines.append("    fmovs %f0, %f4")
+    lines.append("    set CHAIN1, %o1")
+    lines.append("par_chain1:")
+    lines.append("    fmuls %f4, %f1, %f4")
+    lines.append("    fadds %f4, %f2, %f4")
+    lines.append("    fdivs %f4, %f3, %f4")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne par_chain1")
+    lines.append("    nop")
+    _fold_single(lines, "%f4")
+
+    # Chain 2 (single): f5 = sqrt(f5 + b).
+    lines.append("    fmovs %f0, %f5")
+    lines.append("    set CHAIN2, %o1")
+    lines.append("par_chain2:")
+    lines.append("    fadds %f5, %f1, %f5")
+    lines.append("    fsqrts %f5, %f5")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne par_chain2")
+    lines.append("    nop")
+    _fold_single(lines, "%f5")
+
+    # Chain 3 (double): f12 = f12 * f + e.
+    lines.append("    fmovs %f8, %f12")
+    lines.append("    fmovs %f9, %f13")
+    lines.append("    set CHAIN3, %o1")
+    lines.append("par_chain3:")
+    lines.append("    fmuld %f12, %f10, %f12")
+    lines.append("    faddd %f12, %f8, %f12")
+    lines.append("    subcc %o1, 1, %o1")
+    lines.append("    bne par_chain3")
+    lines.append("    nop")
+    _fold_double(lines, "%f12")
+
+    # Conversions.
+    for value in _CONV_INTS:
+        lines.append(f"    set {value & 0xFFFFFFFF}, %o2")
+        lines.append("    set DATA, %o3")
+        lines.append("    st %o2, [%o3]")
+        lines.append("    ldf [%o3], %f6")
+        lines.append("    fitos %f6, %f6")  # int -> single
+        lines.append("    fstoi %f6, %f7")  # single -> int
+        lines.append("    stf %f7, [%o3]")
+        lines.append("    ld [%o3], %o2")
+        lines.append("    xor %g6, %o2, %g6")
+        lines.append("    fstod %f6, %f14")  # single -> double
+        lines.append("    fdtoi %f14, %f7")  # double -> int
+        lines.append("    stf %f7, [%o3]")
+        lines.append("    ld [%o3], %o2")
+        lines.append("    xor %g6, %o2, %g6")
+
+    # Comparison checks: b > c, e < f (as doubles), a == a.
+    _compare_check(lines, "fcmps %f1, %f2", "fbg", "cmp1")
+    _compare_check(lines, "fcmpd %f8, %f10", "fbl", "cmp2")
+    _compare_check(lines, "fcmps %f0, %f0", "fbe", "cmp3")
+
+    # Straight-line code footprint (the real PARANOIA is a large program).
+    emit_icode_block(lines, icode_words, _ICODE_BASE)
+
+    # Self-check and bookkeeping.
+    lines.append("    set EXPECTED_CHECKSUM, %o0")
+    lines.append("    cmp %g6, %o0")
+    lines.append("    be par_checksum_ok")
+    lines.append("    nop")
+    _count_sw_error(lines)
+    lines.append("par_checksum_ok:")
+    lines.append("    set CHECKSUM, %o1")
+    lines.append("    st %g6, [%o1]")
+    lines.append("    set ITERATIONS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("    subcc %i1, 1, %i1")
+    lines.append("    bne par_iteration")
+    lines.append("    nop")
+    lines.append("    ret")
+    lines.append("    restore")
+
+    # Constant pool.
+    e_high, e_low = _f64_bits(_E)
+    f_high, f_low = _f64_bits(_F)
+    lines.append(".align 8")
+    lines.append("par_constants:")
+    lines.append(f"    .word {_f32_bits(_A)}, {_f32_bits(_B)}, "
+                 f"{_f32_bits(_C)}, {_f32_bits(_D)}")
+    lines.append(f"    .word {e_high}, {e_low}, {f_high}, {f_low}")
+
+    program = build_test_program(
+        "\n".join(lines),
+        config,
+        name="paranoia",
+        extra_symbols={
+            "ITER_COUNT": iterations,
+            "CHAIN1": chain1,
+            "CHAIN2": chain2,
+            "CHAIN3": chain3,
+            "EXPECTED_CHECKSUM": expected,
+        },
+    )
+    return program, expected
+
+
+def _fold_single(lines: List[str], freg: str) -> None:
+    lines.append("    set DATA, %o3")
+    lines.append(f"    stf {freg}, [%o3]")
+    lines.append("    ld [%o3], %o2")
+    lines.append("    xor %g6, %o2, %g6")
+
+
+def _fold_double(lines: List[str], freg: str) -> None:
+    lines.append("    set DATA, %o3")
+    lines.append(f"    stdf {freg}, [%o3]")
+    lines.append("    ld [%o3], %o2")
+    lines.append("    xor %g6, %o2, %g6")
+    lines.append("    ld [%o3+4], %o2")
+    lines.append("    xor %g6, %o2, %g6")
+
+
+def _compare_check(lines: List[str], cmp_instr: str, branch: str, tag: str) -> None:
+    lines.append(f"    {cmp_instr}")
+    lines.append("    nop")  # fcmp / branch interlock slot
+    lines.append(f"    {branch} par_{tag}_ok")
+    lines.append("    nop")
+    _count_sw_error(lines)
+    lines.append(f"par_{tag}_ok:")
+
+
+def _count_sw_error(lines: List[str]) -> None:
+    lines.append("    set SW_ERRORS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")

@@ -1,0 +1,32 @@
+"""SPARC V8 instruction-set architecture: formats, decoder, assembler.
+
+LEON implements the full SPARC V8 integer instruction set [SPARC Architecture
+Manual Version 8, 1992].  This package is the architectural layer shared by
+the integer unit, the assembler used to build the test programs, and the
+disassembler used in traces.
+"""
+
+from repro.sparc.asm import Assembler, Program, assemble
+from repro.sparc.decode import Instr, decode
+from repro.sparc.disasm import disassemble
+from repro.sparc.isa import Cond, FCond, Op, Op2, Op3, Op3Mem, Opf, Reg
+from repro.sparc.traps import Trap, TrapType
+
+__all__ = [
+    "Assembler",
+    "Cond",
+    "FCond",
+    "Instr",
+    "Op",
+    "Op2",
+    "Op3",
+    "Op3Mem",
+    "Opf",
+    "Program",
+    "Reg",
+    "Trap",
+    "TrapType",
+    "assemble",
+    "decode",
+    "disassemble",
+]

@@ -1,0 +1,960 @@
+"""A two-pass SPARC V8 text assembler.
+
+The heavy-ion campaigns of the paper run three self-checking test programs
+(IUTEST, PARANOIA, CNCF).  We rebuild equivalents of those programs from
+source text, so the repository carries a small but complete assembler using
+(mostly) GNU ``as`` syntax:
+
+* labels (``loop:``), ``!`` or ``//`` comments;
+* directives ``.word``, ``.align``, ``.skip``/``.space``, ``.equ``/``.set``,
+  ``.org``;
+* ``%hi(expr)`` / ``%lo(expr)`` relocations and constant expressions with
+  ``+ - * ( )`` over labels and integers;
+* the synthetic instructions ``set``, ``mov``, ``cmp``, ``tst``, ``clr``,
+  ``nop``, ``not``, ``neg``, ``inc``, ``dec``, ``ret``, ``retl``, ``jmp``,
+  ``restore`` (no operands), ``call`` to a register address.
+
+The output :class:`Program` is a relocated word image plus the symbol table.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AssemblerError
+from repro.sparc import encode
+from repro.sparc.isa import (
+    BRANCH_CONDS,
+    FBRANCH_CONDS,
+    REGISTER_ALIASES,
+    TRAP_CONDS,
+    Op,
+    Op2,
+    Op3,
+    Op3Mem,
+    Opf,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"[A-Za-z_.$][\w.$]*")
+
+
+@dataclass
+class Program:
+    """An assembled, relocated program image."""
+
+    base: int
+    words: List[int]
+    symbols: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    @property
+    def size(self) -> int:
+        """Image size in bytes."""
+        return len(self.words) * 4
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def word_at(self, address: int) -> int:
+        """The 32-bit word stored at ``address`` (must be in the image)."""
+        offset = address - self.base
+        if offset % 4 or not 0 <= offset < self.size:
+            raise AssemblerError(f"address {address:#x} outside program image")
+        return self.words[offset // 4]
+
+    def to_bytes(self) -> bytes:
+        """Big-endian byte image (SPARC is big-endian)."""
+        return b"".join(word.to_bytes(4, "big") for word in self.words)
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise AssemblerError(f"undefined symbol {symbol!r}") from None
+
+
+# --------------------------------------------------------------------------
+# Expression evaluation
+# --------------------------------------------------------------------------
+
+
+class _ExprParser:
+    """Recursive-descent parser for integer expressions with symbols."""
+
+    def __init__(self, text: str, symbols: Dict[str, int]) -> None:
+        self.text = text
+        self.pos = 0
+        self.symbols = symbols
+
+    def parse(self) -> int:
+        value = self._additive()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise AssemblerError(f"junk after expression: {self.text[self.pos:]!r}")
+        return value
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _additive(self) -> int:
+        value = self._multiplicative()
+        while True:
+            ch = self._peek()
+            if ch == "+":
+                self.pos += 1
+                value += self._multiplicative()
+            elif ch == "-":
+                self.pos += 1
+                value -= self._multiplicative()
+            else:
+                return value
+
+    def _multiplicative(self) -> int:
+        value = self._unary()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                value *= self._unary()
+            elif self.text.startswith("<<", self.pos):
+                self.pos += 2
+                value <<= self._unary()
+            elif self.text.startswith(">>", self.pos):
+                self.pos += 2
+                value >>= self._unary()
+            else:
+                return value
+
+    def _unary(self) -> int:
+        ch = self._peek()
+        if ch == "-":
+            self.pos += 1
+            return -self._unary()
+        if ch == "~":
+            self.pos += 1
+            return ~self._unary()
+        return self._primary()
+
+    def _primary(self) -> int:
+        ch = self._peek()
+        if ch == "(":
+            self.pos += 1
+            value = self._additive()
+            if self._peek() != ")":
+                raise AssemblerError(f"missing ')' in expression {self.text!r}")
+            self.pos += 1
+            return value
+        match = _SYMBOL_RE.match(self.text, self.pos)
+        if match and not self.text[self.pos].isdigit():
+            name = match.group(0)
+            self.pos = match.end()
+            if name not in self.symbols:
+                raise AssemblerError(f"undefined symbol {name!r}")
+            return self.symbols[name]
+        num = re.match(r"0[xX][0-9a-fA-F]+|0[bB][01]+|\d+", self.text[self.pos:])
+        if not num:
+            raise AssemblerError(f"cannot parse expression at {self.text[self.pos:]!r}")
+        self.pos += num.end()
+        return int(num.group(0), 0)
+
+
+def _evaluate(expr: str, symbols: Dict[str, int]) -> int:
+    return _ExprParser(expr.strip(), symbols).parse()
+
+
+# --------------------------------------------------------------------------
+# Operand model
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Operand:
+    """A parsed operand: register, f-register, immediate expression,
+    memory reference, special register, or %hi/%lo relocation."""
+
+    kind: str  # "reg" | "freg" | "imm" | "mem" | "special" | "hi" | "lo"
+    reg: int = 0
+    expr: str = ""
+    mem_rs1: int = 0
+    mem_rs2: Optional[int] = None
+    mem_expr: str = ""  # immediate offset expression ("" means 0)
+
+
+_SPECIAL_REGS = {"psr", "wim", "tbr", "y", "fsr", "asr17"}
+
+
+def _parse_register(token: str) -> Optional[int]:
+    if not token.startswith("%"):
+        return None
+    name = token[1:].lower()
+    return REGISTER_ALIASES.get(name)
+
+
+def _parse_operand(token: str) -> _Operand:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        return _parse_mem(token[1:-1].strip())
+    if token.startswith("%"):
+        lowered = token[1:].lower()
+        if lowered in _SPECIAL_REGS:
+            return _Operand("special", expr=lowered)
+        if re.fullmatch(r"f\d{1,2}", lowered):
+            freg = int(lowered[1:])
+            if freg > 31:
+                raise AssemblerError(f"f-register {token} out of range")
+            return _Operand("freg", reg=freg)
+        reloc = re.fullmatch(r"(hi|lo)\((.+)\)", lowered, re.DOTALL)
+        if reloc:
+            return _Operand(reloc.group(1), expr=token[len(reloc.group(1)) + 2 : -1])
+        reg = _parse_register(token)
+        if reg is not None:
+            return _Operand("reg", reg=reg)
+        raise AssemblerError(f"unknown register {token!r}")
+    return _Operand("imm", expr=token)
+
+
+def _parse_mem(inner: str) -> _Operand:
+    """Parse a memory reference: ``reg``, ``reg+reg``, ``reg+expr``,
+    ``reg-expr`` or a bare absolute expression."""
+    match = re.match(r"(%\w+)\s*([+-])?\s*(.*)$", inner)
+    if match and _parse_register(match.group(1)) is not None:
+        rs1 = _parse_register(match.group(1))
+        sign, rest = match.group(2), match.group(3).strip()
+        if not sign or not rest:
+            return _Operand("mem", mem_rs1=rs1)
+        rs2 = _parse_register(rest)
+        if rs2 is not None and sign == "+":
+            return _Operand("mem", mem_rs1=rs1, mem_rs2=rs2)
+        expr = rest if sign == "+" else f"-({rest})"
+        return _Operand("mem", mem_rs1=rs1, mem_expr=expr)
+    # Absolute address with %g0 as the base.
+    return _Operand("mem", mem_rs1=0, mem_expr=inner)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside () or []."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+# --------------------------------------------------------------------------
+# Mnemonic tables
+# --------------------------------------------------------------------------
+
+_ALU_OPS: Dict[str, int] = {
+    "add": Op3.ADD,
+    "addcc": Op3.ADDCC,
+    "addx": Op3.ADDX,
+    "addxcc": Op3.ADDXCC,
+    "sub": Op3.SUB,
+    "subcc": Op3.SUBCC,
+    "subx": Op3.SUBX,
+    "subxcc": Op3.SUBXCC,
+    "and": Op3.AND,
+    "andcc": Op3.ANDCC,
+    "andn": Op3.ANDN,
+    "andncc": Op3.ANDNCC,
+    "or": Op3.OR,
+    "orcc": Op3.ORCC,
+    "orn": Op3.ORN,
+    "orncc": Op3.ORNCC,
+    "xor": Op3.XOR,
+    "xorcc": Op3.XORCC,
+    "xnor": Op3.XNOR,
+    "xnorcc": Op3.XNORCC,
+    "sll": Op3.SLL,
+    "srl": Op3.SRL,
+    "sra": Op3.SRA,
+    "umul": Op3.UMUL,
+    "umulcc": Op3.UMULCC,
+    "smul": Op3.SMUL,
+    "smulcc": Op3.SMULCC,
+    "udiv": Op3.UDIV,
+    "udivcc": Op3.UDIVCC,
+    "sdiv": Op3.SDIV,
+    "sdivcc": Op3.SDIVCC,
+    "mulscc": Op3.MULSCC,
+    "taddcc": Op3.TADDCC,
+    "tsubcc": Op3.TSUBCC,
+    "taddcctv": Op3.TADDCCTV,
+    "tsubcctv": Op3.TSUBCCTV,
+    "save": Op3.SAVE,
+    "restore": Op3.RESTORE,
+    "jmpl": Op3.JMPL,
+    "flush": Op3.FLUSH,
+}
+
+_LOAD_OPS: Dict[str, int] = {
+    "ld": Op3Mem.LD,
+    "ldub": Op3Mem.LDUB,
+    "lduh": Op3Mem.LDUH,
+    "ldsb": Op3Mem.LDSB,
+    "ldsh": Op3Mem.LDSH,
+    "ldd": Op3Mem.LDD,
+    "ldstub": Op3Mem.LDSTUB,
+    "swap": Op3Mem.SWAP,
+}
+
+_STORE_OPS: Dict[str, int] = {
+    "st": Op3Mem.ST,
+    "stb": Op3Mem.STB,
+    "sth": Op3Mem.STH,
+    "std": Op3Mem.STD,
+}
+
+_FLOAT_LOAD_OPS = {"ldf": Op3Mem.LDF, "lddf": Op3Mem.LDDF, "ldfsr": Op3Mem.LDFSR}
+_FLOAT_STORE_OPS = {"stf": Op3Mem.STF, "stdf": Op3Mem.STDF, "stfsr": Op3Mem.STFSR}
+
+_FP_BINOPS: Dict[str, int] = {
+    "fadds": Opf.FADDS,
+    "faddd": Opf.FADDD,
+    "fsubs": Opf.FSUBS,
+    "fsubd": Opf.FSUBD,
+    "fmuls": Opf.FMULS,
+    "fmuld": Opf.FMULD,
+    "fdivs": Opf.FDIVS,
+    "fdivd": Opf.FDIVD,
+}
+
+_FP_UNOPS: Dict[str, int] = {
+    "fmovs": Opf.FMOVS,
+    "fnegs": Opf.FNEGS,
+    "fabss": Opf.FABSS,
+    "fsqrts": Opf.FSQRTS,
+    "fsqrtd": Opf.FSQRTD,
+    "fitos": Opf.FITOS,
+    "fitod": Opf.FITOD,
+    "fstoi": Opf.FSTOI,
+    "fdtoi": Opf.FDTOI,
+    "fstod": Opf.FSTOD,
+    "fdtos": Opf.FDTOS,
+}
+
+_FP_CMPS: Dict[str, int] = {
+    "fcmps": Opf.FCMPS,
+    "fcmpd": Opf.FCMPD,
+    "fcmpes": Opf.FCMPES,
+    "fcmped": Opf.FCMPED,
+}
+
+_RD_OPS = {"psr": Op3.RDPSR, "wim": Op3.RDWIM, "tbr": Op3.RDTBR, "y": Op3.RDASR}
+_WR_OPS = {"psr": Op3.WRPSR, "wim": Op3.WRWIM, "tbr": Op3.WRTBR, "y": Op3.WRASR}
+
+
+# --------------------------------------------------------------------------
+# The assembler
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Item:
+    """One object produced by pass 1: a fixed-size hole to encode in pass 2."""
+
+    address: int
+    size_words: int
+    encoder: Callable[[int, Dict[str, int]], List[int]]
+    line: int
+    source: str
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`.
+
+    Pass 1 parses every line, assigns addresses (all instructions have a
+    fixed size, synthetic ``set`` is always two words) and collects labels.
+    Pass 2 encodes against the complete symbol table.
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
+
+    def assemble(self, source: str, *, name: str = "program",
+                 symbols: Optional[Dict[str, int]] = None) -> Program:
+        items, labels = self._pass1(source, symbols or {})
+        table = dict(symbols or {})
+        table.update(labels)
+        words: List[int] = []
+        address = self.base
+        for item in items:
+            if item.address != address:
+                # .org / .align created a gap; pad with zeros (unimp).
+                gap = (item.address - address) // 4
+                words.extend([0] * gap)
+                address = item.address
+            try:
+                encoded = item.encoder(item.address, table)
+            except AssemblerError as exc:
+                raise AssemblerError(str(exc), line=item.line, source=item.source) from None
+            if len(encoded) != item.size_words:
+                raise AssemblerError(
+                    f"internal: size mismatch on line {item.line}", line=item.line
+                )
+            words.extend(word & 0xFFFFFFFF for word in encoded)
+            address += 4 * item.size_words
+        return Program(self.base, words, table, name=name)
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def _pass1(
+        self, source: str, predefined: Dict[str, int]
+    ) -> Tuple[List[_Item], Dict[str, int]]:
+        items: List[_Item] = []
+        labels: Dict[str, int] = {}
+        equates: Dict[str, int] = dict(predefined)
+        address = self.base
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in labels:
+                    raise AssemblerError(f"duplicate label {label!r}", line=lineno)
+                labels[label] = address
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            mnemonic, _, rest = line.partition(" ")
+            mnemonic = mnemonic.lower()
+            rest = rest.strip()
+            if mnemonic.startswith("."):
+                address = self._directive(
+                    items, equates, mnemonic, rest, address, lineno, line
+                )
+                continue
+            size, encoder = self._instruction(mnemonic, rest, lineno)
+            items.append(_Item(address, size, encoder, lineno, line))
+            address += 4 * size
+        labels.update(equates)
+        return items, labels
+
+    def _directive(
+        self,
+        items: List[_Item],
+        equates: Dict[str, int],
+        mnemonic: str,
+        rest: str,
+        address: int,
+        lineno: int,
+        source: str,
+    ) -> int:
+        if mnemonic == ".word":
+            exprs = _split_operands(rest)
+            if not exprs:
+                raise AssemblerError(".word needs at least one value", line=lineno)
+
+            def encode_words(_addr: int, table: Dict[str, int],
+                             exprs: Sequence[str] = tuple(exprs)) -> List[int]:
+                return [_evaluate(expr, table) & 0xFFFFFFFF for expr in exprs]
+
+            items.append(_Item(address, len(exprs), encode_words, lineno, source))
+            return address + 4 * len(exprs)
+        if mnemonic == ".align":
+            boundary = _evaluate(rest or "4", equates)
+            if boundary <= 0 or boundary % 4:
+                raise AssemblerError(f"bad alignment {boundary}", line=lineno)
+            aligned = (address + boundary - 1) // boundary * boundary
+            return aligned
+        if mnemonic in (".skip", ".space"):
+            count = _evaluate(rest, equates)
+            if count < 0 or count % 4:
+                raise AssemblerError(".skip must be a multiple of 4 bytes", line=lineno)
+
+            def encode_skip(_addr: int, _table: Dict[str, int],
+                            words: int = count // 4) -> List[int]:
+                return [0] * words
+
+            items.append(_Item(address, count // 4, encode_skip, lineno, source))
+            return address + count
+        if mnemonic in (".equ", ".set"):
+            name_part, _, value_part = rest.partition(",")
+            name = name_part.strip()
+            if not name or not value_part.strip():
+                raise AssemblerError(f"{mnemonic} needs 'name, value'", line=lineno)
+            equates[name] = _evaluate(value_part, equates)
+            return address
+        if mnemonic == ".org":
+            target = _evaluate(rest, equates)
+            if target < address:
+                raise AssemblerError(".org cannot move backwards", line=lineno)
+            if (target - self.base) % 4:
+                raise AssemblerError(".org target not word aligned", line=lineno)
+            return target
+        raise AssemblerError(f"unknown directive {mnemonic!r}", line=lineno)
+
+    # -- instruction parsing -------------------------------------------------
+
+    def _instruction(
+        self, mnemonic: str, rest: str, lineno: int
+    ) -> Tuple[int, Callable[[int, Dict[str, int]], List[int]]]:
+        annul = False
+        if mnemonic.endswith(",a"):
+            mnemonic, annul = mnemonic[:-2], True
+        operands = _split_operands(rest) if rest else []
+
+        if mnemonic == "set":
+            return 2, _make_set(operands, lineno)
+        if mnemonic in BRANCH_CONDS:
+            cond = BRANCH_CONDS[mnemonic]
+            return 1, _make_branch(Op2.BICC, cond, annul, operands, lineno)
+        if mnemonic in FBRANCH_CONDS:
+            cond = FBRANCH_CONDS[mnemonic]
+            return 1, _make_branch(Op2.FBFCC, cond, annul, operands, lineno)
+        if mnemonic in TRAP_CONDS:
+            return 1, _make_ticc(TRAP_CONDS[mnemonic], operands, lineno)
+        if mnemonic == "call":
+            return 1, _make_call(operands, lineno)
+        if mnemonic == "sethi":
+            return 1, _make_sethi(operands, lineno)
+        if mnemonic in _ALU_OPS:
+            return 1, _make_alu(mnemonic, operands, lineno)
+        if mnemonic in _LOAD_OPS or mnemonic in _FLOAT_LOAD_OPS:
+            return 1, _make_load(mnemonic, operands, lineno)
+        if mnemonic in _STORE_OPS or mnemonic in _FLOAT_STORE_OPS:
+            return 1, _make_store(mnemonic, operands, lineno)
+        if mnemonic in _FP_BINOPS or mnemonic in _FP_UNOPS or mnemonic in _FP_CMPS:
+            return 1, _make_fpop(mnemonic, operands, lineno)
+        if mnemonic == "rd":
+            return 1, _make_rd(operands, lineno)
+        if mnemonic == "wr":
+            return 1, _make_wr(operands, lineno)
+        if mnemonic == "rett":
+            return 1, _make_rett(operands, lineno)
+        if mnemonic == "unimp":
+            const = operands[0] if operands else "0"
+            return 1, lambda _a, table: [encode.fmt2_unimp(_evaluate(const, table))]
+        maker = _SYNTHETICS.get(mnemonic)
+        if maker is not None:
+            return 1, maker(operands, lineno)
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line=lineno)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("!", "//", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def _expect(operands: Sequence[_Operand], kinds: str, lineno: int, what: str) -> None:
+    actual = "".join(_KIND_CODE[operand.kind] for operand in operands)
+    if actual != kinds:
+        raise AssemblerError(f"bad operands for {what}", line=lineno)
+
+
+_KIND_CODE = {"reg": "r", "freg": "f", "imm": "i", "mem": "m", "special": "s",
+              "hi": "h", "lo": "l"}
+
+
+def _reg_or_simm(
+    operand: _Operand, address: int, table: Dict[str, int]
+) -> Tuple[Optional[int], int]:
+    """Return (rs2, 0) for a register operand or (None, simm13 value)."""
+    if operand.kind == "reg":
+        return operand.reg, 0
+    if operand.kind == "lo":
+        return None, _evaluate(operand.expr, table) & 0x3FF
+    if operand.kind == "hi":
+        raise AssemblerError("%hi() is only valid with sethi/set")
+    return None, _evaluate(operand.expr, table)
+
+
+def _encode_alu(op3: int, rd: int, rs1: int, operand: _Operand,
+                address: int, table: Dict[str, int]) -> int:
+    rs2, simm = _reg_or_simm(operand, address, table)
+    if rs2 is not None:
+        return encode.fmt3_reg(Op.ARITH, op3, rd, rs1, rs2)
+    return encode.fmt3_imm(Op.ARITH, op3, rd, rs1, simm)
+
+
+def _make_alu(mnemonic: str, tokens: Sequence[str], lineno: int):
+    op3 = _ALU_OPS[mnemonic]
+    operands = [_parse_operand(token) for token in tokens]
+    if mnemonic == "restore" and not operands:
+        operands = [_Operand("reg", reg=0), _Operand("reg", reg=0), _Operand("reg", reg=0)]
+    if mnemonic == "save" and not operands:
+        operands = [_Operand("reg", reg=0), _Operand("reg", reg=0), _Operand("reg", reg=0)]
+    if mnemonic == "flush":
+        if len(operands) == 1 and operands[0].kind == "mem":
+            mem = operands[0]
+
+            def encode_flush(address: int, table: Dict[str, int]) -> List[int]:
+                if mem.mem_rs2 is not None:
+                    return [encode.fmt3_reg(Op.ARITH, op3, 0, mem.mem_rs1, mem.mem_rs2)]
+                offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+                return [encode.fmt3_imm(Op.ARITH, op3, 0, mem.mem_rs1, offset)]
+
+            return encode_flush
+        raise AssemblerError("flush needs a [address] operand", line=lineno)
+    if mnemonic == "jmpl":
+        if len(operands) != 2 or operands[0].kind != "mem" or operands[1].kind != "reg":
+            raise AssemblerError("jmpl needs [address], reg", line=lineno)
+        mem, rd_op = operands
+
+        def encode_jmpl(address: int, table: Dict[str, int]) -> List[int]:
+            if mem.mem_rs2 is not None:
+                return [encode.fmt3_reg(Op.ARITH, op3, rd_op.reg, mem.mem_rs1, mem.mem_rs2)]
+            offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+            return [encode.fmt3_imm(Op.ARITH, op3, rd_op.reg, mem.mem_rs1, offset)]
+
+        return encode_jmpl
+    if len(operands) != 3 or operands[0].kind != "reg" or operands[2].kind != "reg":
+        raise AssemblerError(f"bad operands for {mnemonic}", line=lineno)
+    rs1_op, src2, rd_op = operands
+
+    def encode_op(address: int, table: Dict[str, int]) -> List[int]:
+        return [_encode_alu(op3, rd_op.reg, rs1_op.reg, src2, address, table)]
+
+    return encode_op
+
+
+def _make_branch(op2: int, cond: int, annul: bool, tokens: Sequence[str], lineno: int):
+    if len(tokens) != 1:
+        raise AssemblerError("branch needs one target", line=lineno)
+    target = tokens[0]
+
+    def encode_branch(address: int, table: Dict[str, int]) -> List[int]:
+        dest = _evaluate(target, table)
+        return [encode.fmt2_branch(op2, cond, annul, dest - address)]
+
+    return encode_branch
+
+
+def _make_call(tokens: Sequence[str], lineno: int):
+    if len(tokens) != 1:
+        raise AssemblerError("call needs one target", line=lineno)
+    operand = _parse_operand(tokens[0])
+    if operand.kind == "mem":
+        # call to a register address: jmpl [addr], %o7
+
+        def encode_call_reg(address: int, table: Dict[str, int]) -> List[int]:
+            if operand.mem_rs2 is not None:
+                return [encode.fmt3_reg(Op.ARITH, Op3.JMPL, 15, operand.mem_rs1,
+                                        operand.mem_rs2)]
+            offset = _evaluate(operand.mem_expr, table) if operand.mem_expr else 0
+            return [encode.fmt3_imm(Op.ARITH, Op3.JMPL, 15, operand.mem_rs1, offset)]
+
+        return encode_call_reg
+    target = tokens[0]
+
+    def encode_call(address: int, table: Dict[str, int]) -> List[int]:
+        dest = _evaluate(target, table)
+        return [encode.fmt1_call(dest - address)]
+
+    return encode_call
+
+
+def _make_sethi(tokens: Sequence[str], lineno: int):
+    if len(tokens) != 2:
+        raise AssemblerError("sethi needs %hi(value), reg", line=lineno)
+    value_op = _parse_operand(tokens[0])
+    rd_op = _parse_operand(tokens[1])
+    if rd_op.kind != "reg":
+        raise AssemblerError("sethi destination must be a register", line=lineno)
+
+    def encode_sethi(address: int, table: Dict[str, int]) -> List[int]:
+        if value_op.kind == "hi":
+            value = _evaluate(value_op.expr, table)
+        elif value_op.kind == "imm":
+            value = _evaluate(value_op.expr, table) << 10
+        else:
+            raise AssemblerError("sethi needs %hi(value) or an immediate")
+        return [encode.fmt2_sethi(rd_op.reg, value)]
+
+    return encode_sethi
+
+
+def _make_set(tokens: Sequence[str], lineno: int):
+    if len(tokens) != 2:
+        raise AssemblerError("set needs value, reg", line=lineno)
+    expr, rd_token = tokens
+    rd_op = _parse_operand(rd_token)
+    if rd_op.kind != "reg":
+        raise AssemblerError("set destination must be a register", line=lineno)
+
+    def encode_set(address: int, table: Dict[str, int]) -> List[int]:
+        value = _evaluate(expr, table) & 0xFFFFFFFF
+        return [
+            encode.fmt2_sethi(rd_op.reg, value),
+            encode.fmt3_imm(Op.ARITH, Op3.OR, rd_op.reg, rd_op.reg, value & 0x3FF),
+        ]
+
+    return encode_set
+
+
+def _make_load(mnemonic: str, tokens: Sequence[str], lineno: int):
+    float_dest = mnemonic in _FLOAT_LOAD_OPS
+    op3 = _FLOAT_LOAD_OPS[mnemonic] if float_dest else _LOAD_OPS[mnemonic]
+    if len(tokens) != 2:
+        raise AssemblerError(f"{mnemonic} needs [address], reg", line=lineno)
+    mem = _parse_operand(tokens[0])
+    dest = _parse_operand(tokens[1])
+    if mem.kind != "mem":
+        raise AssemblerError(f"{mnemonic} source must be a memory reference", line=lineno)
+    expected = "freg" if float_dest and mnemonic != "ldfsr" else "reg"
+    if mnemonic == "ldfsr":
+        expected = "special"
+    if dest.kind != expected:
+        raise AssemblerError(f"bad destination for {mnemonic}", line=lineno)
+    rd = dest.reg
+
+    def encode_load(address: int, table: Dict[str, int]) -> List[int]:
+        if mem.mem_rs2 is not None:
+            return [encode.fmt3_reg(Op.MEM, op3, rd, mem.mem_rs1, mem.mem_rs2)]
+        offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+        return [encode.fmt3_imm(Op.MEM, op3, rd, mem.mem_rs1, offset)]
+
+    return encode_load
+
+
+def _make_store(mnemonic: str, tokens: Sequence[str], lineno: int):
+    float_src = mnemonic in _FLOAT_STORE_OPS
+    op3 = _FLOAT_STORE_OPS[mnemonic] if float_src else _STORE_OPS[mnemonic]
+    if len(tokens) != 2:
+        raise AssemblerError(f"{mnemonic} needs reg, [address]", line=lineno)
+    src = _parse_operand(tokens[0])
+    mem = _parse_operand(tokens[1])
+    if mem.kind != "mem":
+        raise AssemblerError(f"{mnemonic} target must be a memory reference", line=lineno)
+    expected = "freg" if float_src and mnemonic != "stfsr" else "reg"
+    if mnemonic == "stfsr":
+        expected = "special"
+    if src.kind != expected:
+        raise AssemblerError(f"bad source for {mnemonic}", line=lineno)
+    rd = src.reg
+
+    def encode_store(address: int, table: Dict[str, int]) -> List[int]:
+        if mem.mem_rs2 is not None:
+            return [encode.fmt3_reg(Op.MEM, op3, rd, mem.mem_rs1, mem.mem_rs2)]
+        offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+        return [encode.fmt3_imm(Op.MEM, op3, rd, mem.mem_rs1, offset)]
+
+    return encode_store
+
+
+def _make_fpop(mnemonic: str, tokens: Sequence[str], lineno: int):
+    operands = [_parse_operand(token) for token in tokens]
+    if mnemonic in _FP_BINOPS:
+        _expect(operands, "fff", lineno, mnemonic)
+        opf = _FP_BINOPS[mnemonic]
+        rs1, rs2, rd = operands
+        return lambda _a, _t: [encode.fmt3_fp(Op3.FPOP1, opf, rd.reg, rs1.reg, rs2.reg)]
+    if mnemonic in _FP_UNOPS:
+        _expect(operands, "ff", lineno, mnemonic)
+        opf = _FP_UNOPS[mnemonic]
+        rs2, rd = operands
+        return lambda _a, _t: [encode.fmt3_fp(Op3.FPOP1, opf, rd.reg, 0, rs2.reg)]
+    _expect(operands, "ff", lineno, mnemonic)
+    opf = _FP_CMPS[mnemonic]
+    rs1, rs2 = operands
+    return lambda _a, _t: [encode.fmt3_fp(Op3.FPOP2, opf, 0, rs1.reg, rs2.reg)]
+
+
+def _make_rd(tokens: Sequence[str], lineno: int):
+    if len(tokens) != 2:
+        raise AssemblerError("rd needs %special, reg", line=lineno)
+    special = _parse_operand(tokens[0])
+    rd_op = _parse_operand(tokens[1])
+    if special.kind != "special" or rd_op.kind != "reg":
+        raise AssemblerError("rd needs %special, reg", line=lineno)
+    op3 = _RD_OPS.get(special.expr)
+    if op3 is None:
+        raise AssemblerError(f"cannot rd %{special.expr}", line=lineno)
+    rs1 = 17 if special.expr == "asr17" else 0
+    return lambda _a, _t: [encode.fmt3_reg(Op.ARITH, op3, rd_op.reg, rs1, 0)]
+
+
+def _make_wr(tokens: Sequence[str], lineno: int):
+    if len(tokens) == 2:
+        tokens = [tokens[0], "%g0", tokens[1]]
+    if len(tokens) != 3:
+        raise AssemblerError("wr needs reg, reg_or_imm, %special", line=lineno)
+    rs1_op = _parse_operand(tokens[0])
+    src2 = _parse_operand(tokens[1])
+    special = _parse_operand(tokens[2])
+    if rs1_op.kind != "reg" or special.kind != "special":
+        raise AssemblerError("wr needs reg, reg_or_imm, %special", line=lineno)
+    op3 = _WR_OPS.get(special.expr)
+    if op3 is None:
+        raise AssemblerError(f"cannot wr %{special.expr}", line=lineno)
+
+    def encode_wr(address: int, table: Dict[str, int]) -> List[int]:
+        return [_encode_alu(op3, 0, rs1_op.reg, src2, address, table)]
+
+    return encode_wr
+
+
+def _make_rett(tokens: Sequence[str], lineno: int):
+    if len(tokens) != 1:
+        raise AssemblerError("rett needs [address]", line=lineno)
+    mem = _parse_operand(tokens[0])
+    if mem.kind != "mem":
+        raise AssemblerError("rett needs [address]", line=lineno)
+
+    def encode_rett(address: int, table: Dict[str, int]) -> List[int]:
+        if mem.mem_rs2 is not None:
+            return [encode.fmt3_reg(Op.ARITH, Op3.RETT, 0, mem.mem_rs1, mem.mem_rs2)]
+        offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+        return [encode.fmt3_imm(Op.ARITH, Op3.RETT, 0, mem.mem_rs1, offset)]
+
+    return encode_rett
+
+
+def _make_ticc(cond: int, tokens: Sequence[str], lineno: int):
+    if len(tokens) != 1:
+        raise AssemblerError("trap needs one software trap number", line=lineno)
+    expr = tokens[0]
+
+    def encode_ticc(address: int, table: Dict[str, int]) -> List[int]:
+        value = _evaluate(expr, table)
+        word = (Op.ARITH << 30) | (cond << 25) | (Op3.TICC << 19)
+        word |= 1 << 13  # immediate form
+        word |= value & 0x7F
+        return [word]
+
+    return encode_ticc
+
+
+# -- simple synthetic instructions ------------------------------------------
+
+
+def _simple_synthetic(build: Callable[[Sequence[_Operand], int, Dict[str, int]], int]):
+    def factory(tokens: Sequence[str], lineno: int):
+        operands = [_parse_operand(token) for token in tokens]
+
+        def encoder(address: int, table: Dict[str, int]) -> List[int]:
+            return [build(operands, address, table)]
+
+        return encoder
+
+    return factory
+
+
+def _syn_nop(operands, address, table):
+    return encode.fmt2_sethi(0, 0)
+
+
+def _syn_mov(operands, address, table):
+    if len(operands) != 2:
+        raise AssemblerError("mov needs source, destination")
+    src, dst = operands
+    if dst.kind != "reg":
+        raise AssemblerError("mov destination must be a register")
+    return _encode_alu(Op3.OR, dst.reg, 0, src, address, table)
+
+
+def _syn_cmp(operands, address, table):
+    if len(operands) != 2 or operands[0].kind != "reg":
+        raise AssemblerError("cmp needs reg, reg_or_imm")
+    return _encode_alu(Op3.SUBCC, 0, operands[0].reg, operands[1], address, table)
+
+
+def _syn_tst(operands, address, table):
+    if len(operands) != 1 or operands[0].kind != "reg":
+        raise AssemblerError("tst needs a register")
+    return encode.fmt3_reg(Op.ARITH, Op3.ORCC, 0, 0, operands[0].reg)
+
+
+def _syn_clr(operands, address, table):
+    if len(operands) != 1 or operands[0].kind != "reg":
+        raise AssemblerError("clr needs a register")
+    return encode.fmt3_reg(Op.ARITH, Op3.OR, operands[0].reg, 0, 0)
+
+
+def _syn_not(operands, address, table):
+    if not operands or operands[0].kind != "reg":
+        raise AssemblerError("not needs a register")
+    rs = operands[0].reg
+    rd = operands[1].reg if len(operands) > 1 else rs
+    return encode.fmt3_reg(Op.ARITH, Op3.XNOR, rd, rs, 0)
+
+
+def _syn_neg(operands, address, table):
+    if not operands or operands[0].kind != "reg":
+        raise AssemblerError("neg needs a register")
+    rs = operands[0].reg
+    rd = operands[1].reg if len(operands) > 1 else rs
+    return encode.fmt3_reg(Op.ARITH, Op3.SUB, rd, 0, rs)
+
+
+def _syn_inc(operands, address, table):
+    if not operands or operands[0].kind != "reg":
+        raise AssemblerError("inc needs a register")
+    amount = 1
+    if len(operands) > 1:
+        amount = _evaluate(operands[1].expr, table)
+    return encode.fmt3_imm(Op.ARITH, Op3.ADD, operands[0].reg, operands[0].reg, amount)
+
+
+def _syn_dec(operands, address, table):
+    if not operands or operands[0].kind != "reg":
+        raise AssemblerError("dec needs a register")
+    amount = 1
+    if len(operands) > 1:
+        amount = _evaluate(operands[1].expr, table)
+    return encode.fmt3_imm(Op.ARITH, Op3.SUB, operands[0].reg, operands[0].reg, amount)
+
+
+def _syn_ret(operands, address, table):
+    return encode.fmt3_imm(Op.ARITH, Op3.JMPL, 0, 31, 8)  # jmpl %i7+8, %g0
+
+
+def _syn_retl(operands, address, table):
+    return encode.fmt3_imm(Op.ARITH, Op3.JMPL, 0, 15, 8)  # jmpl %o7+8, %g0
+
+
+def _syn_jmp(operands, address, table):
+    if len(operands) != 1 or operands[0].kind != "mem":
+        raise AssemblerError("jmp needs [address]")
+    mem = operands[0]
+    if mem.mem_rs2 is not None:
+        return encode.fmt3_reg(Op.ARITH, Op3.JMPL, 0, mem.mem_rs1, mem.mem_rs2)
+    offset = _evaluate(mem.mem_expr, table) if mem.mem_expr else 0
+    return encode.fmt3_imm(Op.ARITH, Op3.JMPL, 0, mem.mem_rs1, offset)
+
+
+_SYNTHETICS = {
+    "nop": _simple_synthetic(_syn_nop),
+    "mov": _simple_synthetic(_syn_mov),
+    "cmp": _simple_synthetic(_syn_cmp),
+    "tst": _simple_synthetic(_syn_tst),
+    "clr": _simple_synthetic(_syn_clr),
+    "not": _simple_synthetic(_syn_not),
+    "neg": _simple_synthetic(_syn_neg),
+    "inc": _simple_synthetic(_syn_inc),
+    "dec": _simple_synthetic(_syn_dec),
+    "ret": _simple_synthetic(_syn_ret),
+    "retl": _simple_synthetic(_syn_retl),
+    "jmp": _simple_synthetic(_syn_jmp),
+}
+
+
+def assemble(source: str, base: int = 0x40000000, *, name: str = "program",
+             symbols: Optional[Dict[str, int]] = None) -> Program:
+    """Assemble ``source`` at ``base`` and return the :class:`Program`."""
+    return Assembler(base).assemble(source, name=name, symbols=symbols)

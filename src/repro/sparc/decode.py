@@ -1,0 +1,136 @@
+"""Binary decoder: 32-bit instruction words to :class:`Instr` records.
+
+Decoding is pure and cached per word value, so the integer unit can decode
+each distinct instruction once per program regardless of how many times it
+executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.sparc.isa import Op, Op2, Op3, Op3Mem, Opf, sign_extend
+
+#: op3 values (op = 2) that every LEON configuration implements.
+_ARITH_OP3 = {member.value for member in Op3}
+#: op3 values (op = 3) implemented by LEON (normal + alternate space + FP).
+_MEM_OP3 = {member.value for member in Op3Mem}
+_FPOP_OPF = {member.value for member in Opf}
+
+_ARITH_NAMES = {member.value: member.name.lower() for member in Op3}
+_MEM_NAMES = {member.value: member.name.lower() for member in Op3Mem}
+_FP_NAMES = {member.value: member.name.lower() for member in Opf}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded SPARC V8 instruction.
+
+    ``valid`` is False for words that do not decode to an implemented
+    instruction; executing such an instruction takes an
+    ``illegal_instruction`` trap rather than failing decode, matching
+    hardware behaviour.
+    """
+
+    word: int
+    op: int
+    mnemonic: str
+    valid: bool = True
+    op2: int = 0
+    op3: int = 0
+    opf: int = 0
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: Optional[int] = None  # sign-extended simm13 when the i bit is set
+    cond: int = 0
+    annul: bool = False
+    disp: int = 0  # branch/call displacement in *bytes*, sign-extended
+    imm22: int = 0  # SETHI immediate (already shifted to bits 31:10)
+    asi: int = 0
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op == Op.FORMAT2 and self.op2 in (Op2.BICC, Op2.FBFCC, Op2.CBCCC)
+
+    @property
+    def is_fpop(self) -> bool:
+        return self.op == Op.ARITH and self.op3 in (Op3.FPOP1, Op3.FPOP2)
+
+    @property
+    def uses_immediate(self) -> bool:
+        return self.imm is not None
+
+
+def _decode_uncached(word: int) -> Instr:
+    word &= 0xFFFFFFFF
+    op = word >> 30
+    if op == Op.CALL:
+        disp30 = sign_extend(word, 30) * 4
+        return Instr(word, op, "call", disp=disp30, rd=15)
+    if op == Op.FORMAT2:
+        return _decode_format2(word)
+    return _decode_format3(word, op)
+
+
+def _decode_format2(word: int) -> Instr:
+    op2 = (word >> 22) & 7
+    rd = (word >> 25) & 0x1F
+    if op2 == Op2.SETHI:
+        imm22 = (word & 0x3FFFFF) << 10
+        mnemonic = "nop" if rd == 0 and imm22 == 0 else "sethi"
+        return Instr(word, Op.FORMAT2, mnemonic, op2=op2, rd=rd, imm22=imm22)
+    if op2 in (Op2.BICC, Op2.FBFCC, Op2.CBCCC):
+        cond = (word >> 25) & 0xF
+        annul = bool((word >> 29) & 1)
+        disp22 = sign_extend(word, 22) * 4
+        mnemonic = {Op2.BICC: "bicc", Op2.FBFCC: "fbfcc", Op2.CBCCC: "cbccc"}[Op2(op2)]
+        return Instr(word, Op.FORMAT2, mnemonic, op2=op2, cond=cond, annul=annul, disp=disp22)
+    if op2 == Op2.UNIMP:
+        return Instr(word, Op.FORMAT2, "unimp", op2=op2, imm22=word & 0x3FFFFF)
+    return Instr(word, Op.FORMAT2, "invalid", valid=False, op2=op2)
+
+
+def _decode_format3(word: int, op: int) -> Instr:
+    op3 = (word >> 19) & 0x3F
+    rd = (word >> 25) & 0x1F
+    rs1 = (word >> 14) & 0x1F
+    i_bit = (word >> 13) & 1
+    rs2 = word & 0x1F
+    imm = sign_extend(word, 13) if i_bit else None
+    asi = (word >> 5) & 0xFF if not i_bit else 0
+
+    if op == Op.ARITH:
+        if op3 in (Op3.FPOP1, Op3.FPOP2):
+            opf = (word >> 5) & 0x1FF
+            valid = opf in _FPOP_OPF
+            mnemonic = _FP_NAMES.get(opf, "invalid-fpop")
+            return Instr(
+                word, op, mnemonic, valid=valid, op3=op3, opf=opf, rd=rd, rs1=rs1, rs2=rs2
+            )
+        if op3 in (Op3.CPOP1, Op3.CPOP2):
+            # LEON has co-processor interfaces but the simulated device does
+            # not attach one; the instruction decodes and traps cp_disabled.
+            return Instr(word, op, "cpop", op3=op3, rd=rd, rs1=rs1, rs2=rs2)
+        if op3 not in _ARITH_OP3:
+            return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd, rs1=rs1)
+        mnemonic = _ARITH_NAMES[op3]
+        if op3 == Op3.TICC:
+            cond = (word >> 25) & 0xF
+            return Instr(word, op, "ticc", op3=op3, cond=cond, rs1=rs1, rs2=rs2, imm=imm)
+        return Instr(word, op, mnemonic, op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    # op == Op.MEM
+    if op3 not in _MEM_OP3:
+        return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd, rs1=rs1)
+    return Instr(
+        word, op, _MEM_NAMES[op3], op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm, asi=asi
+    )
+
+
+@lru_cache(maxsize=65536)
+def decode(word: int) -> Instr:
+    """Decode one 32-bit instruction word (memoized)."""
+    return _decode_uncached(word)

@@ -1,0 +1,168 @@
+"""Disassembler: instruction words back to readable SPARC assembly.
+
+Used by pipeline traces (Figure 2 reproduction), the campaign logs, and in
+tests as a round-trip check on the assembler.
+"""
+
+from __future__ import annotations
+
+from repro.sparc.decode import Instr, decode
+from repro.sparc.isa import (
+    BRANCH_CONDS,
+    FBRANCH_CONDS,
+    TRAP_CONDS,
+    Op,
+    Op2,
+    Op3,
+    Op3Mem,
+)
+
+_REG_NAMES = (
+    [f"%g{i}" for i in range(8)]
+    + [f"%o{i}" for i in range(6)]
+    + ["%sp", "%o7"]
+    + [f"%l{i}" for i in range(8)]
+    + [f"%i{i}" for i in range(6)]
+    + ["%fp", "%i7"]
+)
+
+_BRANCH_BY_COND = {cond: name for name, cond in BRANCH_CONDS.items() if name != "b"}
+_BRANCH_BY_COND.update({BRANCH_CONDS["be"]: "be", BRANCH_CONDS["bne"]: "bne",
+                        BRANCH_CONDS["bcs"]: "bcs", BRANCH_CONDS["bcc"]: "bcc"})
+_FBRANCH_BY_COND = {cond: name for name, cond in FBRANCH_CONDS.items()}
+_TRAP_BY_COND = {cond: name for name, cond in TRAP_CONDS.items()}
+
+_LOAD_NAMES = {
+    Op3Mem.LD: "ld", Op3Mem.LDUB: "ldub", Op3Mem.LDUH: "lduh", Op3Mem.LDD: "ldd",
+    Op3Mem.LDSB: "ldsb", Op3Mem.LDSH: "ldsh", Op3Mem.LDSTUB: "ldstub",
+    Op3Mem.SWAP: "swap", Op3Mem.LDF: "ldf", Op3Mem.LDFSR: "ldfsr",
+    Op3Mem.LDDF: "lddf",
+}
+_STORE_NAMES = {
+    Op3Mem.ST: "st", Op3Mem.STB: "stb", Op3Mem.STH: "sth", Op3Mem.STD: "std",
+    Op3Mem.STF: "stf", Op3Mem.STFSR: "stfsr", Op3Mem.STDF: "stdf",
+    Op3Mem.STDFQ: "stdfq",
+}
+
+
+def _reg(index: int) -> str:
+    return _REG_NAMES[index & 0x1F]
+
+
+def _src2(instr: Instr) -> str:
+    if instr.imm is not None:
+        return f"{instr.imm:#x}" if abs(instr.imm) > 9 else str(instr.imm)
+    return _reg(instr.rs2)
+
+
+def _addr(instr: Instr) -> str:
+    if instr.imm is not None:
+        if instr.imm == 0:
+            return f"[{_reg(instr.rs1)}]"
+        sign = "+" if instr.imm >= 0 else "-"
+        return f"[{_reg(instr.rs1)}{sign}{abs(instr.imm):#x}]"
+    # Keep the register form explicit (even for %g0) so the text
+    # reassembles to the identical encoding.
+    return f"[{_reg(instr.rs1)}+{_reg(instr.rs2)}]"
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Disassemble one instruction word (``pc`` resolves branch targets)."""
+    instr = decode(word)
+    if not instr.valid:
+        return f".word {word:#010x}"
+    if instr.op == Op.CALL:
+        return f"call {pc + instr.disp:#x}"
+    if instr.op == Op.FORMAT2:
+        return _disasm_format2(instr, pc)
+    if instr.op == Op.ARITH:
+        return _disasm_arith(instr)
+    return _disasm_mem(instr)
+
+
+def _disasm_format2(instr: Instr, pc: int) -> str:
+    if instr.op2 == Op2.SETHI:
+        if instr.rd == 0 and instr.imm22 == 0:
+            return "nop"
+        return f"sethi %hi({instr.imm22:#x}), {_reg(instr.rd)}"
+    if instr.op2 == Op2.UNIMP:
+        return f"unimp {instr.imm22:#x}"
+    table = _BRANCH_BY_COND if instr.op2 == Op2.BICC else _FBRANCH_BY_COND
+    name = table.get(instr.cond, f"b<{instr.cond}>")
+    suffix = ",a" if instr.annul else ""
+    return f"{name}{suffix} {pc + instr.disp:#x}"
+
+
+def _disasm_arith(instr: Instr) -> str:
+    op3 = instr.op3
+    if op3 in (Op3.FPOP1, Op3.FPOP2):
+        return _disasm_fpop(instr)
+    if op3 == Op3.TICC:
+        name = _TRAP_BY_COND.get(instr.cond, f"t<{instr.cond}>")
+        return f"{name} {instr.imm if instr.imm is not None else instr.rs2}"
+    if op3 == Op3.JMPL:
+        if instr.rd == 0:
+            if instr.rs1 == 31 and instr.imm == 8:
+                return "ret"
+            if instr.rs1 == 15 and instr.imm == 8:
+                return "retl"
+            return f"jmp {_addr(instr)}"
+        return f"jmpl {_addr(instr)}, {_reg(instr.rd)}"
+    if op3 == Op3.RETT:
+        return f"rett {_addr(instr)}"
+    if op3 == Op3.FLUSH:
+        return f"flush {_addr(instr)}"
+    if op3 == Op3.RDASR:
+        return f"rd %y, {_reg(instr.rd)}"
+    if op3 == Op3.RDPSR:
+        return f"rd %psr, {_reg(instr.rd)}"
+    if op3 == Op3.RDWIM:
+        return f"rd %wim, {_reg(instr.rd)}"
+    if op3 == Op3.RDTBR:
+        return f"rd %tbr, {_reg(instr.rd)}"
+    if op3 == Op3.WRASR:
+        return f"wr {_reg(instr.rs1)}, {_src2(instr)}, %y"
+    if op3 == Op3.WRPSR:
+        return f"wr {_reg(instr.rs1)}, {_src2(instr)}, %psr"
+    if op3 == Op3.WRWIM:
+        return f"wr {_reg(instr.rs1)}, {_src2(instr)}, %wim"
+    if op3 == Op3.WRTBR:
+        return f"wr {_reg(instr.rs1)}, {_src2(instr)}, %tbr"
+    name = instr.mnemonic
+    if name == "or" and instr.rs1 == 0 and instr.imm is None and instr.rs2 == 0:
+        return f"clr {_reg(instr.rd)}"
+    if name == "or" and instr.rs1 == 0:
+        return f"mov {_src2(instr)}, {_reg(instr.rd)}"
+    if name == "subcc" and instr.rd == 0:
+        return f"cmp {_reg(instr.rs1)}, {_src2(instr)}"
+    if name in ("save", "restore") and instr.rs1 == 0 and instr.rd == 0 \
+            and instr.imm is None and instr.rs2 == 0:
+        return name
+    return f"{name} {_reg(instr.rs1)}, {_src2(instr)}, {_reg(instr.rd)}"
+
+
+def _disasm_fpop(instr: Instr) -> str:
+    name = instr.mnemonic
+    if name.startswith("fcmp"):
+        return f"{name} %f{instr.rs1}, %f{instr.rs2}"
+    if name in ("fmovs", "fnegs", "fabss", "fsqrts", "fsqrtd",
+                "fitos", "fitod", "fstoi", "fdtoi", "fstod", "fdtos"):
+        return f"{name} %f{instr.rs2}, %f{instr.rd}"
+    return f"{name} %f{instr.rs1}, %f{instr.rs2}, %f{instr.rd}"
+
+
+def _disasm_mem(instr: Instr) -> str:
+    op3 = instr.op3
+    if op3 in _LOAD_NAMES:
+        name = _LOAD_NAMES[op3]
+        dest = "%fsr" if name == "ldfsr" else (
+            f"%f{instr.rd}" if name in ("ldf", "lddf") else _reg(instr.rd)
+        )
+        return f"{name} {_addr(instr)}, {dest}"
+    if op3 in _STORE_NAMES:
+        name = _STORE_NAMES[op3]
+        src = "%fsr" if name == "stfsr" else (
+            f"%f{instr.rd}" if name in ("stf", "stdf", "stdfq") else _reg(instr.rd)
+        )
+        return f"{name} {src}, {_addr(instr)}"
+    return f"{instr.mnemonic} {_addr(instr)}, {_reg(instr.rd)}"

@@ -1,0 +1,86 @@
+"""Instruction encoders: build 32-bit SPARC V8 instruction words.
+
+These are the primitives under the text assembler; they are also handy in
+tests that need a single instruction without assembling source text.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.sparc.isa import Op, Op2
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value <= 31:
+        raise AssemblerError(f"{what} {value} out of range 0..31")
+    return value
+
+
+def _check_simm13(value: int) -> int:
+    if not -4096 <= value <= 4095:
+        raise AssemblerError(f"immediate {value} does not fit in simm13")
+    return value & 0x1FFF
+
+
+def fmt1_call(disp_bytes: int) -> int:
+    """CALL with a byte displacement (must be word aligned)."""
+    if disp_bytes % 4:
+        raise AssemblerError(f"call displacement {disp_bytes} not word aligned")
+    disp30 = (disp_bytes // 4) & 0x3FFFFFFF
+    return (Op.CALL << 30) | disp30
+
+
+def fmt2_sethi(rd: int, value: int) -> int:
+    """SETHI %hi(value), rd -- stores bits 31:10 of ``value``."""
+    _check_reg(rd, "rd")
+    imm22 = (value >> 10) & 0x3FFFFF
+    return (Op.FORMAT2 << 30) | (rd << 25) | (Op2.SETHI << 22) | imm22
+
+
+def fmt2_branch(op2: int, cond: int, annul: bool, disp_bytes: int) -> int:
+    """Bicc / FBfcc / CBccc with a byte displacement."""
+    if disp_bytes % 4:
+        raise AssemblerError(f"branch displacement {disp_bytes} not word aligned")
+    disp22 = disp_bytes // 4
+    if not -(1 << 21) <= disp22 < (1 << 21):
+        raise AssemblerError(f"branch displacement {disp_bytes} does not fit in disp22")
+    word = (Op.FORMAT2 << 30) | (int(annul) << 29) | ((cond & 0xF) << 25)
+    word |= (op2 & 7) << 22
+    word |= disp22 & 0x3FFFFF
+    return word
+
+
+def fmt2_unimp(const22: int = 0) -> int:
+    return (Op.FORMAT2 << 30) | (Op2.UNIMP << 22) | (const22 & 0x3FFFFF)
+
+
+def fmt3_reg(op: int, op3: int, rd: int, rs1: int, rs2: int, asi: int = 0) -> int:
+    """Format 3 with a register second operand (i = 0)."""
+    _check_reg(rd, "rd")
+    _check_reg(rs1, "rs1")
+    _check_reg(rs2, "rs2")
+    word = (op << 30) | (rd << 25) | ((op3 & 0x3F) << 19) | (rs1 << 14)
+    word |= (asi & 0xFF) << 5
+    word |= rs2
+    return word
+
+
+def fmt3_imm(op: int, op3: int, rd: int, rs1: int, simm13: int) -> int:
+    """Format 3 with a signed 13-bit immediate (i = 1)."""
+    _check_reg(rd, "rd")
+    _check_reg(rs1, "rs1")
+    word = (op << 30) | (rd << 25) | ((op3 & 0x3F) << 19) | (rs1 << 14)
+    word |= 1 << 13
+    word |= _check_simm13(simm13)
+    return word
+
+
+def fmt3_fp(op3: int, opf: int, rd: int, rs1: int, rs2: int) -> int:
+    """FPop1 / FPop2 format."""
+    _check_reg(rd, "rd (f-register)")
+    _check_reg(rs1, "rs1 (f-register)")
+    _check_reg(rs2, "rs2 (f-register)")
+    word = (Op.ARITH << 30) | (rd << 25) | ((op3 & 0x3F) << 19) | (rs1 << 14)
+    word |= (opf & 0x1FF) << 5
+    word |= rs2
+    return word

@@ -1,0 +1,331 @@
+"""SPARC V8 encoding constants: formats, opcodes, condition codes, registers.
+
+Field layout (SPARC V8 manual, section 5):
+
+* Format 1 (``op`` = 1): ``CALL`` with a 30-bit word displacement.
+* Format 2 (``op`` = 0): ``SETHI`` and branches, selected by ``op2``.
+* Format 3 (``op`` = 2 or 3): arithmetic/control and memory, selected by
+  ``op3``, with either a register (``i`` = 0) or a 13-bit signed immediate
+  (``i`` = 1) second operand.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Top-level 2-bit opcode field (bits 31:30)."""
+
+    FORMAT2 = 0  # SETHI / branches / UNIMP
+    CALL = 1
+    ARITH = 2  # format 3: arithmetic, logical, shift, control
+    MEM = 3  # format 3: loads and stores
+
+
+class Op2(enum.IntEnum):
+    """``op2`` field of format 2 (bits 24:22)."""
+
+    UNIMP = 0
+    BICC = 2
+    SETHI = 4
+    FBFCC = 6
+    CBCCC = 7
+
+
+class Op3(enum.IntEnum):
+    """``op3`` field of format 3 for ``op`` = 2 (arithmetic/control)."""
+
+    ADD = 0x00
+    AND = 0x01
+    OR = 0x02
+    XOR = 0x03
+    SUB = 0x04
+    ANDN = 0x05
+    ORN = 0x06
+    XNOR = 0x07
+    ADDX = 0x08
+    UMUL = 0x0A
+    SMUL = 0x0B
+    SUBX = 0x0C
+    UDIV = 0x0E
+    SDIV = 0x0F
+    ADDCC = 0x10
+    ANDCC = 0x11
+    ORCC = 0x12
+    XORCC = 0x13
+    SUBCC = 0x14
+    ANDNCC = 0x15
+    ORNCC = 0x16
+    XNORCC = 0x17
+    ADDXCC = 0x18
+    UMULCC = 0x1A
+    SMULCC = 0x1B
+    SUBXCC = 0x1C
+    UDIVCC = 0x1E
+    SDIVCC = 0x1F
+    TADDCC = 0x20
+    TSUBCC = 0x21
+    TADDCCTV = 0x22
+    TSUBCCTV = 0x23
+    MULSCC = 0x24
+    SLL = 0x25
+    SRL = 0x26
+    SRA = 0x27
+    RDASR = 0x28  # rs1 = 0 encodes RDY
+    RDPSR = 0x29
+    RDWIM = 0x2A
+    RDTBR = 0x2B
+    WRASR = 0x30  # rd = 0 encodes WRY
+    WRPSR = 0x31
+    WRWIM = 0x32
+    WRTBR = 0x33
+    FPOP1 = 0x34
+    FPOP2 = 0x35
+    CPOP1 = 0x36
+    CPOP2 = 0x37
+    JMPL = 0x38
+    RETT = 0x39
+    TICC = 0x3A
+    FLUSH = 0x3B
+    SAVE = 0x3C
+    RESTORE = 0x3D
+
+
+class Op3Mem(enum.IntEnum):
+    """``op3`` field of format 3 for ``op`` = 3 (loads and stores)."""
+
+    LD = 0x00
+    LDUB = 0x01
+    LDUH = 0x02
+    LDD = 0x03
+    ST = 0x04
+    STB = 0x05
+    STH = 0x06
+    STD = 0x07
+    LDSB = 0x09
+    LDSH = 0x0A
+    LDSTUB = 0x0D
+    SWAP = 0x0F
+    LDA = 0x10
+    LDUBA = 0x11
+    LDUHA = 0x12
+    LDDA = 0x13
+    STA = 0x14
+    STBA = 0x15
+    STHA = 0x16
+    STDA = 0x17
+    LDSBA = 0x19
+    LDSHA = 0x1A
+    LDSTUBA = 0x1D
+    SWAPA = 0x1F
+    LDF = 0x20
+    LDFSR = 0x21
+    LDDF = 0x23
+    STF = 0x24
+    STFSR = 0x25
+    STDFQ = 0x26
+    STDF = 0x27
+
+
+class Opf(enum.IntEnum):
+    """``opf`` field of the floating-point operate formats (bits 13:5)."""
+
+    FMOVS = 0x01
+    FNEGS = 0x05
+    FABSS = 0x09
+    FSQRTS = 0x29
+    FSQRTD = 0x2A
+    FADDS = 0x41
+    FADDD = 0x42
+    FSUBS = 0x45
+    FSUBD = 0x46
+    FMULS = 0x49
+    FMULD = 0x4A
+    FDIVS = 0x4D
+    FDIVD = 0x4E
+    FITOS = 0xC4
+    FDTOS = 0xC6
+    FITOD = 0xC8
+    FSTOD = 0xC9
+    FSTOI = 0xD1
+    FDTOI = 0xD2
+    FCMPS = 0x51
+    FCMPD = 0x52
+    FCMPES = 0x55
+    FCMPED = 0x56
+
+
+class Cond(enum.IntEnum):
+    """Integer condition codes for Bicc / Ticc (``cond`` field)."""
+
+    N = 0  # never
+    E = 1  # equal (Z)
+    LE = 2  # less or equal
+    L = 3  # less
+    LEU = 4  # less or equal unsigned
+    CS = 5  # carry set (less unsigned)
+    NEG = 6
+    VS = 7  # overflow set
+    A = 8  # always
+    NE = 9
+    G = 10
+    GE = 11
+    GU = 12
+    CC = 13  # carry clear (greater or equal unsigned)
+    POS = 14
+    VC = 15
+
+
+class FCond(enum.IntEnum):
+    """Floating-point condition codes for FBfcc."""
+
+    N = 0
+    NE = 1  # L or G or U
+    LG = 2
+    UL = 3
+    L = 4
+    UG = 5
+    G = 6
+    U = 7
+    A = 8
+    E = 9
+    UE = 10
+    GE = 11
+    UGE = 12
+    LE = 13
+    ULE = 14
+    O = 15  # noqa: E741 - SPARC mnemonic "ordered"
+
+
+class Reg(enum.IntEnum):
+    """Conventional integer register names (current window view)."""
+
+    G0 = 0
+    G1 = 1
+    G2 = 2
+    G3 = 3
+    G4 = 4
+    G5 = 5
+    G6 = 6
+    G7 = 7
+    O0 = 8
+    O1 = 9
+    O2 = 10
+    O3 = 11
+    O4 = 12
+    O5 = 13
+    SP = 14  # %o6
+    O7 = 15
+    L0 = 16
+    L1 = 17
+    L2 = 18
+    L3 = 19
+    L4 = 20
+    L5 = 21
+    L6 = 22
+    L7 = 23
+    I0 = 24
+    I1 = 25
+    I2 = 26
+    I3 = 27
+    I4 = 28
+    I5 = 29
+    FP = 30  # %i6
+    I7 = 31
+
+
+#: Register-name aliases accepted by the assembler, mapping to window-relative
+#: register numbers 0..31.
+REGISTER_ALIASES = {
+    **{f"g{i}": i for i in range(8)},
+    **{f"o{i}": 8 + i for i in range(8)},
+    **{f"l{i}": 16 + i for i in range(8)},
+    **{f"i{i}": 24 + i for i in range(8)},
+    **{f"r{i}": i for i in range(32)},
+    "sp": 14,
+    "fp": 30,
+}
+
+#: Integer branch mnemonic -> condition field value.
+BRANCH_CONDS = {
+    "bn": Cond.N,
+    "be": Cond.E,
+    "bz": Cond.E,
+    "ble": Cond.LE,
+    "bl": Cond.L,
+    "bleu": Cond.LEU,
+    "bcs": Cond.CS,
+    "blu": Cond.CS,
+    "bneg": Cond.NEG,
+    "bvs": Cond.VS,
+    "ba": Cond.A,
+    "b": Cond.A,
+    "bne": Cond.NE,
+    "bnz": Cond.NE,
+    "bg": Cond.G,
+    "bge": Cond.GE,
+    "bgu": Cond.GU,
+    "bcc": Cond.CC,
+    "bgeu": Cond.CC,
+    "bpos": Cond.POS,
+    "bvc": Cond.VC,
+}
+
+#: Trap mnemonic -> condition field value (Ticc).
+TRAP_CONDS = {
+    "tn": Cond.N,
+    "te": Cond.E,
+    "tle": Cond.LE,
+    "tl": Cond.L,
+    "tleu": Cond.LEU,
+    "tcs": Cond.CS,
+    "tneg": Cond.NEG,
+    "tvs": Cond.VS,
+    "ta": Cond.A,
+    "tne": Cond.NE,
+    "tg": Cond.G,
+    "tge": Cond.GE,
+    "tgu": Cond.GU,
+    "tcc": Cond.CC,
+    "tpos": Cond.POS,
+    "tvc": Cond.VC,
+}
+
+#: Floating branch mnemonic -> condition field value (FBfcc).
+FBRANCH_CONDS = {
+    "fbn": FCond.N,
+    "fbne": FCond.NE,
+    "fblg": FCond.LG,
+    "fbul": FCond.UL,
+    "fbl": FCond.L,
+    "fbug": FCond.UG,
+    "fbg": FCond.G,
+    "fbu": FCond.U,
+    "fba": FCond.A,
+    "fbe": FCond.E,
+    "fbue": FCond.UE,
+    "fbge": FCond.GE,
+    "fbuge": FCond.UGE,
+    "fble": FCond.LE,
+    "fbule": FCond.ULE,
+    "fbo": FCond.O,
+}
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a two's-complement number."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_u32(value: int) -> int:
+    """Truncate a Python integer to an unsigned 32-bit word."""
+    return value & 0xFFFFFFFF
+
+
+def to_s32(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    return sign_extend(value, 32)

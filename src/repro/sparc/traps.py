@@ -1,0 +1,113 @@
+"""SPARC V8 trap model: trap types, numbers, and priorities.
+
+LEON's fault-tolerance reuses the normal trap machinery: a correctable
+register-file error restarts the pipeline exactly like a trap (but jumps to
+the failing instruction instead of a trap vector), and an uncorrectable
+error takes the ``r_register_access_error`` trap.  Uncorrectable EDAC errors
+reach the processor as precise instruction/data access *error* traps via
+cache sub-blocking (section 4.6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TrapType(enum.IntEnum):
+    """Trap type (``tt``) values from the SPARC V8 manual, table 7-1."""
+
+    RESET = 0x00
+    INSTRUCTION_ACCESS_EXCEPTION = 0x01
+    ILLEGAL_INSTRUCTION = 0x02
+    PRIVILEGED_INSTRUCTION = 0x03
+    FP_DISABLED = 0x04
+    WINDOW_OVERFLOW = 0x05
+    WINDOW_UNDERFLOW = 0x06
+    MEM_ADDRESS_NOT_ALIGNED = 0x07
+    FP_EXCEPTION = 0x08
+    DATA_ACCESS_EXCEPTION = 0x09
+    TAG_OVERFLOW = 0x0A
+    CP_DISABLED = 0x24
+    R_REGISTER_ACCESS_ERROR = 0x20
+    INSTRUCTION_ACCESS_ERROR = 0x21
+    DATA_ACCESS_ERROR = 0x29
+    DIVISION_BY_ZERO = 0x2A
+    DATA_STORE_ERROR = 0x2B
+    INTERRUPT_LEVEL_1 = 0x11
+    INTERRUPT_LEVEL_2 = 0x12
+    INTERRUPT_LEVEL_3 = 0x13
+    INTERRUPT_LEVEL_4 = 0x14
+    INTERRUPT_LEVEL_5 = 0x15
+    INTERRUPT_LEVEL_6 = 0x16
+    INTERRUPT_LEVEL_7 = 0x17
+    INTERRUPT_LEVEL_8 = 0x18
+    INTERRUPT_LEVEL_9 = 0x19
+    INTERRUPT_LEVEL_10 = 0x1A
+    INTERRUPT_LEVEL_11 = 0x1B
+    INTERRUPT_LEVEL_12 = 0x1C
+    INTERRUPT_LEVEL_13 = 0x1D
+    INTERRUPT_LEVEL_14 = 0x1E
+    INTERRUPT_LEVEL_15 = 0x1F
+    TRAP_INSTRUCTION = 0x80  # 0x80 + software trap number
+
+    @classmethod
+    def interrupt(cls, level: int) -> "TrapType":
+        """The trap type for interrupt level 1..15."""
+        if not 1 <= level <= 15:
+            raise ValueError(f"interrupt level {level} out of range 1..15")
+        return cls(0x10 + level)
+
+    @classmethod
+    def software(cls, number: int) -> int:
+        """The tt value for ``ta number`` (software trap)."""
+        return 0x80 + (number & 0x7F)
+
+
+#: Synchronous trap priorities (1 = highest), SPARC V8 manual table 7-1.
+#: Used when several trap conditions occur on the same instruction.
+TRAP_PRIORITIES = {
+    TrapType.RESET: 1,
+    TrapType.INSTRUCTION_ACCESS_ERROR: 3,
+    TrapType.R_REGISTER_ACCESS_ERROR: 4,
+    TrapType.INSTRUCTION_ACCESS_EXCEPTION: 5,
+    TrapType.PRIVILEGED_INSTRUCTION: 6,
+    TrapType.ILLEGAL_INSTRUCTION: 7,
+    TrapType.FP_DISABLED: 8,
+    TrapType.CP_DISABLED: 8,
+    TrapType.WINDOW_OVERFLOW: 9,
+    TrapType.WINDOW_UNDERFLOW: 9,
+    TrapType.MEM_ADDRESS_NOT_ALIGNED: 10,
+    TrapType.FP_EXCEPTION: 11,
+    TrapType.DATA_ACCESS_ERROR: 12,
+    TrapType.DATA_ACCESS_EXCEPTION: 13,
+    TrapType.TAG_OVERFLOW: 14,
+    TrapType.DIVISION_BY_ZERO: 15,
+    TrapType.DATA_STORE_ERROR: 2,
+    TrapType.TRAP_INSTRUCTION: 16,
+}
+
+
+@dataclass(frozen=True)
+class Trap:
+    """One pending trap: its tt value and (for diagnostics) the address."""
+
+    tt: int
+    address: int = 0
+    description: str = ""
+
+    @property
+    def priority(self) -> int:
+        if 0x11 <= self.tt <= 0x1F:
+            # Interrupts: priority 17..31, level 15 highest.
+            return 17 + (0x1F - self.tt)
+        if self.tt >= 0x80:
+            return TRAP_PRIORITIES[TrapType.TRAP_INSTRUCTION]
+        try:
+            return TRAP_PRIORITIES[TrapType(self.tt)]
+        except (ValueError, KeyError):
+            return 32
+
+    def outranks(self, other: "Trap") -> bool:
+        """True when this trap takes precedence over ``other``."""
+        return self.priority < other.priority

@@ -1,0 +1,71 @@
+"""Mission availability estimates across FT schemes."""
+
+import math
+
+import pytest
+
+from repro.alternatives.availability import (
+    compare_schemes,
+    estimate_availability,
+    unprotected_estimate,
+)
+from repro.alternatives.schemes import IbmG5Scheme, LeonFtScheme
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    return compare_schemes("GEO")
+
+
+def test_leon_availability_is_excellent(estimates):
+    leon = estimates["LEON-FT"]
+    assert leon.availability > 0.9999
+    assert leon.covered_fraction > 0.95
+    # Recovery time per day is microscopic: 4-cycle restarts at 92.6 MHz.
+    assert leon.recovery_seconds_per_day < 1e-3
+
+
+def test_unprotected_baseline_fails_regularly(estimates):
+    unprotected = estimates["unprotected"]
+    assert unprotected.covered_fraction == 0.0
+    assert unprotected.mean_days_between_failures < 30
+    assert unprotected.availability < estimates["LEON-FT"].availability
+
+
+def test_scheme_ordering(estimates):
+    """LEON >= IBM > Itanium > unprotected on overall availability."""
+    assert estimates["LEON-FT"].availability >= \
+        estimates["IBM S/390 G5"].availability
+    assert estimates["IBM S/390 G5"].availability > \
+        estimates["Intel Itanium"].availability
+    assert estimates["Intel Itanium"].availability > \
+        estimates["unprotected"].availability
+
+
+def test_ibm_recovery_time_visible(estimates):
+    """The IBM scheme's thousands-of-cycles restarts cost measurably more
+    recovery time than LEON's 4-cycle restarts."""
+    assert estimates["IBM S/390 G5"].recovery_seconds_per_day > \
+        10 * estimates["LEON-FT"].recovery_seconds_per_day
+
+
+def test_environment_scaling():
+    leon = LeonFtScheme()
+    geo = estimate_availability(leon, "GEO")
+    equatorial = estimate_availability(leon, "LEO-equatorial")
+    assert geo.upsets_per_day > equatorial.upsets_per_day
+    assert geo.failures_per_day >= equatorial.failures_per_day
+
+
+def test_infinite_mtbf_when_no_failures():
+    ibm = IbmG5Scheme()
+    estimate = estimate_availability(ibm, "LEO-equatorial")
+    if estimate.failures_per_day == 0:
+        assert math.isinf(estimate.mean_days_between_failures)
+    else:
+        assert estimate.mean_days_between_failures > 0
+
+
+def test_unprotected_helper_matches_rates():
+    estimate = unprotected_estimate("GEO")
+    assert estimate.failures_per_day == pytest.approx(estimate.upsets_per_day)

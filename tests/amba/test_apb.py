@@ -1,0 +1,74 @@
+"""APB bridge: decoding, word-only access, bridge penalty, ticking."""
+
+import pytest
+
+from repro.amba.apb import BRIDGE_PENALTY_CYCLES, ApbBridge, ApbSlave
+from repro.amba.ahb import TransferSize
+from repro.errors import ConfigurationError
+
+
+class Reg(ApbSlave):
+    def __init__(self, name, offset, size=0x10):
+        super().__init__(name, offset, size)
+        self.regs = {}
+        self.ticks = 0
+
+    def apb_read(self, offset):
+        return self.regs.get(offset, 0)
+
+    def apb_write(self, offset, value):
+        self.regs[offset] = value
+
+    def tick(self, cycles):
+        self.ticks += cycles
+
+
+@pytest.fixture
+def bridge():
+    bridge = ApbBridge(0x80000000)
+    bridge.attach(Reg("a", 0x00))
+    bridge.attach(Reg("b", 0x40))
+    return bridge
+
+
+def test_decode_and_roundtrip(bridge):
+    bridge.ahb_write(0x80000044, 123, TransferSize.WORD)
+    assert bridge.ahb_read(0x80000044, TransferSize.WORD).data == 123
+    # Slave "a" unaffected.
+    assert bridge.ahb_read(0x80000004, TransferSize.WORD).data == 0
+
+
+def test_unmapped_offset_errors(bridge):
+    assert bridge.ahb_read(0x80000800, TransferSize.WORD).error
+
+
+def test_subword_access_rejected(bridge):
+    assert bridge.ahb_read(0x80000000, TransferSize.BYTE).error
+    assert bridge.ahb_write(0x80000000, 0, TransferSize.HALFWORD).error
+
+
+def test_bridge_penalty_in_cycles(bridge):
+    result = bridge.ahb_read(0x80000000, TransferSize.WORD)
+    assert result.cycles == 1 + BRIDGE_PENALTY_CYCLES
+
+
+def test_overlap_rejected(bridge):
+    with pytest.raises(ConfigurationError):
+        bridge.attach(Reg("clash", 0x08))
+
+
+def test_outside_window_rejected():
+    bridge = ApbBridge(0x80000000, size=0x100)
+    with pytest.raises(ConfigurationError):
+        bridge.attach(Reg("far", 0x200))
+
+
+def test_tick_reaches_tickable_slaves(bridge):
+    bridge.tick(10)
+    for slave in bridge.slaves():
+        assert slave.ticks == 10
+
+
+def test_misaligned_slave_rejected():
+    with pytest.raises(ConfigurationError):
+        Reg("odd", 0x02)

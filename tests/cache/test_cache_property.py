@@ -1,0 +1,134 @@
+"""Property test: the data cache against a flat reference memory model.
+
+Random sequences of reads/writes/flushes/invalidations must always observe
+the same values as a plain dict-backed memory -- regardless of hits,
+misses, evictions, or write-through traffic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amba.ahb import AhbBus, TransferSize
+from repro.cache.dcache import DataCache
+from repro.core.config import CacheConfig, MemoryConfig
+from repro.core.statistics import ErrorCounters, PerfCounters
+from repro.ft.protection import ProtectionScheme
+from repro.mem.memctrl import MemoryController
+
+SRAM = 0x40000000
+#: A tiny cache over a small footprint maximizes evictions and conflicts.
+FOOTPRINT_WORDS = 256
+
+
+def make_dcache(size=256, line=16):
+    bus = AhbBus()
+    master = bus.add_master("cpu")
+    controller = MemoryController(MemoryConfig(
+        edac=True, prom_bytes=4096, sram_bytes=64 * 1024, io_bytes=4096))
+    for bank in controller.banks():
+        bus.attach(bank)
+    dcache = DataCache(
+        CacheConfig(size_bytes=size, line_bytes=line,
+                    parity=ProtectionScheme.DUAL_PARITY),
+        bus, master, ErrorCounters(), PerfCounters())
+    return dcache
+
+
+operation = st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(min_value=0, max_value=FOOTPRINT_WORDS - 1),
+              st.integers(min_value=0, max_value=0xFFFFFFFF)),
+    st.tuples(st.just("read"),
+              st.integers(min_value=0, max_value=FOOTPRINT_WORDS - 1)),
+    st.tuples(st.just("write-byte"),
+              st.integers(min_value=0, max_value=FOOTPRINT_WORDS * 4 - 1),
+              st.integers(min_value=0, max_value=0xFF)),
+    st.tuples(st.just("flush")),
+    st.tuples(st.just("invalidate"),
+              st.integers(min_value=0, max_value=FOOTPRINT_WORDS - 1)),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=60))
+def test_dcache_matches_reference_memory(operations):
+    dcache = make_dcache()
+    reference = {}
+
+    def ref_read(word_index):
+        return reference.get(word_index, 0)
+
+    for op in operations:
+        kind = op[0]
+        if kind == "write":
+            _, word_index, value = op
+            dcache.write(SRAM + word_index * 4, value, TransferSize.WORD)
+            reference[word_index] = value
+        elif kind == "read":
+            _, word_index = op
+            access = dcache.read(SRAM + word_index * 4, TransferSize.WORD)
+            assert not access.mem_error
+            assert access.data == ref_read(word_index)
+        elif kind == "write-byte":
+            _, byte_address, value = op
+            dcache.write(SRAM + byte_address, value, TransferSize.BYTE)
+            word_index, offset = divmod(byte_address, 4)
+            shift = (3 - offset) * 8
+            current = ref_read(word_index)
+            reference[word_index] = (current & ~(0xFF << shift)) | (value << shift)
+        elif kind == "flush":
+            dcache.flush()
+        elif kind == "invalidate":
+            _, word_index = op
+            dcache.invalidate_word(SRAM + word_index * 4)
+
+    # Final sweep: every word agrees.
+    for word_index in range(FOOTPRINT_WORDS):
+        access = dcache.read(SRAM + word_index * 4, TransferSize.WORD)
+        assert access.data == ref_read(word_index)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=40),
+       st.lists(st.integers(min_value=0, max_value=10_000), max_size=8))
+def test_dcache_consistent_under_parity_strikes(operations, strikes):
+    """Same property with SEUs landing in the cache RAMs mid-sequence:
+    parity + forced miss must keep the observed values correct."""
+    dcache = make_dcache()
+    reference = {}
+    strike_iter = iter(sorted(strikes))
+    next_strike = next(strike_iter, None)
+    struck_words = set()
+
+    for step, op in enumerate(operations):
+        if next_strike is not None and step * 100 >= next_strike:
+            flat = (next_strike * 7919) % dcache.total_bits
+            # One strike per word: two hits in the same word could defeat
+            # parity (that failure mode is exercised deterministically in
+            # test_ft_restart; here we verify single-strike transparency).
+            word = flat // 34
+            if word not in struck_words:
+                struck_words.add(word)
+                dcache.inject_flat(flat)
+            next_strike = next(strike_iter, None)
+        kind = op[0]
+        if kind == "write":
+            _, word_index, value = op
+            dcache.write(SRAM + word_index * 4, value, TransferSize.WORD)
+            reference[word_index] = value
+        elif kind == "read":
+            _, word_index = op
+            access = dcache.read(SRAM + word_index * 4, TransferSize.WORD)
+            assert access.data == reference.get(word_index, 0)
+        elif kind == "write-byte":
+            _, byte_address, value = op
+            dcache.write(SRAM + byte_address, value, TransferSize.BYTE)
+            word_index, offset = divmod(byte_address, 4)
+            shift = (3 - offset) * 8
+            current = reference.get(word_index, 0)
+            reference[word_index] = (current & ~(0xFF << shift)) | (value << shift)
+        elif kind == "flush":
+            dcache.flush()
+        elif kind == "invalidate":
+            _, word_index = op
+            dcache.invalidate_word(SRAM + word_index * 4)

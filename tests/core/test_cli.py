@@ -1,0 +1,68 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Register file" in out
+    assert "+100%" in out
+
+
+def test_figure2(capsys):
+    assert main(["figure2"]) == 0
+    out = capsys.readouterr().out
+    assert "CHECK" in out and "TRAP" in out
+
+
+def test_rates_single_environment(capsys):
+    assert main(["rates", "--environment", "GEO"]) == 0
+    out = capsys.readouterr().out
+    assert "GEO" in out and "upsets/day" in out
+    assert "LEO-polar" not in out
+
+
+def test_info(capsys):
+    assert main(["info", "--config", "express"]) == 0
+    out = capsys.readouterr().out
+    assert "leon-express" in out
+    assert "TMR flip-flops: True" in out
+    assert "apb-bridge" in out or "APB peripherals" in out
+
+
+def test_run_source_file(tmp_path, capsys):
+    source = tmp_path / "prog.s"
+    source.write_text("""
+        set 0x40100000, %g1
+        set 7, %g2
+        st %g2, [%g1]
+    done:
+        ba done
+        nop
+    """)
+    assert main(["run", str(source), "--stop", "done"]) == 0
+    out = capsys.readouterr().out
+    assert "stopped: stop-pc" in out
+
+
+def test_run_halting_program_exit_code(tmp_path, capsys):
+    source = tmp_path / "crash.s"
+    source.write_text("    ta 0\n    nop\n")
+    assert main(["run", str(source)]) == 1
+
+
+def test_campaign(capsys):
+    code = main(["campaign", "--program", "cncf", "--let", "60",
+                 "--fluence", "300", "--ips", "30000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "X-sect" in out
+    assert "failures: 0" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

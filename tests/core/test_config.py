@@ -1,0 +1,80 @@
+"""Configuration package validation (the VHDL config package mirror)."""
+
+import pytest
+
+from repro.core.config import CacheConfig, FtConfig, LeonConfig, MemoryConfig
+from repro.errors import ConfigurationError
+from repro.ft.protection import ProtectionScheme
+
+
+def test_standard_preset_matches_table1():
+    config = LeonConfig.standard()
+    assert not config.has_fpu
+    assert config.regfile_words == 136
+    assert config.icache.size_bytes + config.dcache.size_bytes == 16384
+    assert not config.ft.tmr_flipflops
+    assert config.icache.parity is ProtectionScheme.NONE
+
+
+def test_ft_preset_matches_table1():
+    config = LeonConfig.fault_tolerant()
+    assert config.ft.tmr_flipflops
+    assert config.ft.regfile_protection is ProtectionScheme.BCH
+    assert config.icache.parity is ProtectionScheme.DUAL_PARITY
+    assert config.memory.edac
+
+
+def test_leon_express_has_fpu():
+    config = LeonConfig.leon_express()
+    assert config.has_fpu
+    assert config.ft.tmr_flipflops
+
+
+def test_with_changes_returns_new_config():
+    config = LeonConfig.standard()
+    changed = config.with_changes(nwindows=4)
+    assert changed.nwindows == 4
+    assert config.nwindows == 8
+    assert changed.regfile_words == 4 * 16 + 8
+
+
+def test_cache_validation():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size_bytes=1000)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        CacheConfig(line_bytes=64)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size_bytes=8, line_bytes=16)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(parity=ProtectionScheme.BCH)
+
+
+def test_cache_derived_fields():
+    cache = CacheConfig(size_bytes=8192, line_bytes=16)
+    assert cache.lines == 512
+    assert cache.words_per_line == 4
+
+
+def test_memory_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(sram_bytes=10)
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(prom_waitstates=-1)
+
+
+def test_ft_validation():
+    with pytest.raises(ConfigurationError):
+        FtConfig(regfile_duplicated=True,
+                 regfile_protection=ProtectionScheme.BCH)
+    with pytest.raises(ConfigurationError):
+        FtConfig(regfile_duplicated=True,
+                 regfile_protection=ProtectionScheme.NONE)
+    FtConfig(regfile_duplicated=True,
+             regfile_protection=ProtectionScheme.PARITY)  # fine
+
+
+def test_nwindows_bounds():
+    with pytest.raises(ConfigurationError):
+        LeonConfig(nwindows=1)
+    with pytest.raises(ConfigurationError):
+        LeonConfig(nwindows=33)

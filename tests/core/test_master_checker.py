@@ -1,0 +1,80 @@
+"""Master/checker lock-step operation (section 4.7)."""
+
+from repro import LeonConfig, MasterChecker, assemble
+from repro.fault.injector import FaultInjector
+
+SRAM = 0x40000000
+
+PROGRAM = """
+    set 0x40100000, %g4
+    clr %g1
+loop:
+    add %g1, 1, %g1
+    st %g1, [%g4]
+    cmp %g1, 50
+    bne loop
+    nop
+end:
+    ba end
+    nop
+"""
+
+
+def test_identical_devices_never_mismatch():
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    steps, errors = pair.run(500)
+    assert errors == []
+    assert pair.master.read_word(0x40100000) == pair.checker.read_word(0x40100000)
+
+
+def test_correction_skews_the_pair():
+    """Section 4.7: 'the correction of register file or cache memory errors
+    will also result in a master/checker error since the execution in the
+    two processors will be skewed.'"""
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(20)
+    # Inject a correctable error into the master only.
+    cwp = pair.master.special.psr.cwp
+    physical = pair.master.regfile.physical_index(cwp, 1)
+    pair.master.regfile.inject(physical, bit=2)
+    _steps, errors = pair.run(100, stop_on_compare_error=True)
+    assert errors  # compare error raised even though the master corrected
+    assert pair.master.errors.rfe == 1
+    assert pair.checker.errors.rfe == 0
+
+
+def test_uncorrected_corruption_also_caught():
+    """An upset the FT logic cannot see (unprotected config) still trips
+    the checker -- the high-coverage detection mode used during SEU tests."""
+    pair = MasterChecker(LeonConfig.standard())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(20)
+    cwp = pair.master.special.psr.cwp
+    physical = pair.master.regfile.physical_index(cwp, 1)
+    pair.master.regfile.inject(physical, bit=2)
+    _steps, errors = pair.run(200, stop_on_compare_error=True)
+    assert errors
+    assert errors[0].field in ("writes", "pc", "cycles", "event")
+
+
+def test_flipflop_upset_with_tmr_stays_in_step():
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(10)
+    injector = FaultInjector(pair.master)
+    injector.inject("flipflops", 40)
+    _steps, errors = pair.run(200, stop_on_compare_error=True)
+    # TMR masks the upset: no skew, no compare error.
+    assert errors == []
+
+
+def test_resynchronize_resets_checker():
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(10)
+    pair.master.regfile.inject(1, bit=0)
+    pair.run(100, stop_on_compare_error=True)
+    pair.resynchronize()
+    assert pair.compare_errors == []

@@ -1,0 +1,46 @@
+"""Error and performance counters."""
+
+from repro.core.statistics import ErrorCounters, PerfCounters
+
+
+class TestErrorCounters:
+    def test_total_sums_table2_columns(self):
+        counters = ErrorCounters(ite=1, ide=2, dte=3, dde=4, rfe=5)
+        assert counters.total == 15
+        assert counters.as_dict() == {
+            "ITE": 1, "IDE": 2, "DTE": 3, "DDE": 4, "RFE": 5, "Total": 15,
+        }
+
+    def test_edac_not_in_table2_total(self):
+        counters = ErrorCounters(edac_corrected=100)
+        assert counters.total == 0
+
+    def test_reset(self):
+        counters = ErrorCounters(ite=1, rfe=2, edac_corrected=3,
+                                 register_error_traps=4, memory_error_traps=5)
+        counters.reset()
+        assert counters.total == 0
+        assert counters.edac_corrected == 0
+        assert counters.register_error_traps == 0
+        assert counters.memory_error_traps == 0
+
+
+class TestPerfCounters:
+    def test_ipc(self):
+        perf = PerfCounters(cycles=200, instructions=100)
+        assert perf.ipc == 0.5
+        assert PerfCounters().ipc == 0.0
+
+    def test_hit_rates(self):
+        perf = PerfCounters(icache_hits=90, icache_misses=10,
+                            dcache_hits=30, dcache_misses=10)
+        assert perf.icache_hit_rate == 0.9
+        assert perf.dcache_hit_rate == 0.75
+        assert PerfCounters().icache_hit_rate == 0.0
+
+    def test_reset_clears_everything(self):
+        perf = PerfCounters(cycles=10, instructions=5, traps=2,
+                            pipeline_restarts=1, restart_cycles=4)
+        perf.reset()
+        assert perf.cycles == perf.instructions == perf.traps == 0
+        assert perf.pipeline_restarts == perf.restart_cycles == 0

@@ -1,0 +1,123 @@
+"""The debug support unit: trace, breakpoints, watchpoints."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, assemble
+from repro.debug import DebugSupportUnit
+from repro.iu.pipeline import StepEvent
+
+SRAM = 0x40000000
+
+
+@pytest.fixture
+def system():
+    return LeonSystem(LeonConfig.fault_tolerant())
+
+
+def load(system, body):
+    program = assemble(body + "\ndone:\n    ba done\n    nop", base=SRAM)
+    system.load_program(program)
+    return program
+
+
+def test_trace_records_execution(system):
+    program = load(system, """
+        mov 1, %g1
+        add %g1, 2, %g1
+        sub %g1, 1, %g1
+    """)
+    dsu = DebugSupportUnit(system)
+    for _ in range(3):
+        dsu.step()
+    entries = dsu.trace()
+    assert len(entries) == 3
+    assert entries[0].pc == SRAM
+    assert "mov 1, %g1" in entries[0].render()
+    assert entries[2].pc == SRAM + 8
+
+
+def test_trace_ring_buffer_depth(system):
+    load(system, "\n".join(["    nop"] * 50))
+    dsu = DebugSupportUnit(system, trace_depth=8)
+    for _ in range(20):
+        dsu.step()
+    assert len(dsu.trace()) == 8
+    assert dsu.trace()[-1].sequence == 20
+
+
+def test_breakpoint_stops_before_execution(system):
+    program = load(system, """
+        mov 1, %g1
+    target:
+        mov 2, %g2
+    """)
+    dsu = DebugSupportUnit(system)
+    dsu.add_breakpoint(program.address_of("target"), "at-target")
+    stop = dsu.run()
+    assert stop.reason == "breakpoint"
+    assert stop.pc == program.address_of("target")
+    assert stop.breakpoint.name == "at-target"
+    # The breakpointed instruction has NOT executed.
+    assert system.regfile.read_raw(0, 2)[0] == 0
+    # Resuming re-hits immediately; removing it lets execution continue.
+    dsu.remove_breakpoint(program.address_of("target"))
+    dsu.add_breakpoint(program.address_of("done"))
+    stop = dsu.run()
+    assert stop.reason == "breakpoint"
+    assert system.regfile.read_raw(0, 2)[0] == 2
+
+
+def test_watchpoint_fires_on_store(system):
+    program = load(system, f"""
+        set {SRAM + 0x1000}, %g1
+        mov 7, %g2
+        st %g2, [%g1+8]
+        st %g2, [%g1+16]
+    """)
+    dsu = DebugSupportUnit(system)
+    dsu.add_watchpoint(SRAM + 0x1010, 4, "spot")
+    stop = dsu.run()
+    assert stop.reason == "watchpoint"
+    assert stop.write_address == SRAM + 0x1010
+    assert stop.watchpoint.name == "spot"
+
+
+def test_halt_reported(system):
+    load(system, "    ta 0")  # no trap table -> error mode
+    dsu = DebugSupportUnit(system)
+    stop = dsu.run()
+    assert stop.reason == "halted"
+
+
+def test_budget_stop(system):
+    load(system, "loop:\n    ba loop\n    nop")
+    dsu = DebugSupportUnit(system)
+    stop = dsu.run(max_instructions=10)
+    assert stop.reason == "budget"
+    assert stop.instructions == 10
+
+
+def test_ft_restart_visible_in_trace(system):
+    """Chasing an SEU with the DSU: the restart event shows in the trace."""
+    program = load(system, """
+        set 5, %g1
+    inject:
+        add %g1, 1, %g2
+    """)
+    dsu = DebugSupportUnit(system)
+    dsu.add_breakpoint(program.address_of("inject"))
+    dsu.run()
+    physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+    system.regfile.inject(physical, bit=1)
+    dsu.remove_breakpoint(program.address_of("inject"))
+    dsu.add_breakpoint(program.address_of("done"))
+    dsu.run()
+    events = [entry.event for entry in dsu.trace()]
+    assert StepEvent.RESTART in events
+    assert dsu.event_counts[StepEvent.RESTART] == 1
+    assert "<ft-restart>" in dsu.render_trace()
+
+
+def test_render_trace_empty(system):
+    dsu = DebugSupportUnit(system)
+    assert dsu.render_trace() == "(trace empty)"

@@ -1,0 +1,101 @@
+"""The campaign runner: the simulated Louvain measurement procedure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.campaign import Campaign, CampaignConfig
+
+#: Small, fast campaign settings shared by the tests (fluence is scaled
+#: down from the paper's 1e5; cross-sections are scale-invariant).
+FAST = dict(flux=400.0, fluence=1.0e3, instructions_per_second=40_000.0,
+            program_kwargs={})
+
+
+def run(program="iutest", let=110.0, seed=1, **overrides):
+    settings = dict(FAST)
+    settings.update(overrides)
+    return Campaign(CampaignConfig(program=program, let=let, seed=seed,
+                                   **settings)).run()
+
+
+def test_unknown_program_rejected():
+    with pytest.raises(ConfigurationError):
+        Campaign(CampaignConfig(program="nosuch"))
+
+
+def test_iutest_campaign_corrects_without_failures():
+    """The headline result: every injected error corrected, no timing or
+    software impact (beyond counted corrections)."""
+    result = run("iutest", seed=11)
+    assert result.upsets > 0
+    assert result.counts["Total"] > 0
+    assert result.failures == 0
+    assert result.sw_errors == 0
+    assert not result.halted
+    assert result.iterations > 0
+
+
+def test_cross_section_grows_with_let():
+    low = run("iutest", let=8.0, seed=3)
+    high = run("iutest", let=110.0, seed=3)
+    assert high.counts["Total"] > low.counts["Total"]
+    assert high.cross_section() > low.cross_section()
+
+
+def test_below_threshold_no_errors():
+    result = run("iutest", let=3.0, seed=5)
+    assert result.upsets == 0
+    assert result.counts["Total"] == 0
+
+
+def test_iutest_has_highest_cross_section():
+    """Table 2: IUTEST patrols the caches and register file continuously,
+    so its measured sigma tops PARANOIA and CNCF."""
+    iutest = run("iutest", seed=7)
+    paranoia = run("paranoia", seed=7)
+    cncf = run("cncf", seed=7)
+    assert iutest.counts["Total"] > paranoia.counts["Total"]
+    assert iutest.counts["Total"] > cncf.counts["Total"]
+
+
+def test_detected_errors_bounded_by_upsets():
+    result = run("iutest", seed=13)
+    # Corrected errors cannot exceed physical strikes (incl. MBU doubles).
+    mbu = sum(count for name, count in result.upsets_by_target.items()
+              if name.endswith("+mbu"))
+    assert result.counts["Total"] <= result.upsets + mbu
+
+
+def test_result_row_shape():
+    result = run("iutest", seed=1, fluence=500.0)
+    row = result.row()
+    assert row["TEST"] == "IUTE"
+    assert set(row) >= {"LET", "ITE", "IDE", "DTE", "DDE", "RFE", "Total",
+                        "X-sect"}
+    sections = result.cross_sections()
+    assert sections["Total"] == pytest.approx(result.counts["Total"] / 500.0)
+
+
+def test_deterministic_given_seed():
+    first = run("iutest", seed=21)
+    second = run("iutest", seed=21)
+    assert first.counts == second.counts
+    assert first.upsets == second.upsets
+
+
+def test_periodic_cache_flush_runs_clean():
+    """Section 4.8: 'a cache flush could periodically be performed to
+    force a refresh of all cache contents' -- the flush must not disturb a
+    clean run (and discards latent errors before they can pair up)."""
+    result = run("iutest", seed=17, flush_period_instructions=25_000)
+    assert result.failures == 0
+    assert result.iterations > 0
+
+
+def test_campaign_reads_counters_like_the_host():
+    """The campaign's counts must equal the APB error-monitor registers."""
+    config = CampaignConfig(program="iutest", let=110.0, seed=2, **FAST)
+    campaign = Campaign(config)
+    result = campaign.run()
+    # as_dict keys mirror the errmon register order.
+    assert list(result.counts) == ["ITE", "IDE", "DTE", "DDE", "RFE", "Total"]

@@ -1,0 +1,64 @@
+"""Cross-section sweeps and Weibull fitting (the Figure 6/7 machinery)."""
+
+import pytest
+
+from repro.fault.crosssection import (
+    COUNTER_TARGETS,
+    fit_weibull,
+    measure_curve,
+    render_curve,
+    target_bits,
+)
+
+
+def test_target_bits_per_ram_type():
+    bits = target_bits()
+    assert set(bits) == set(COUNTER_TARGETS)
+    assert bits["IDE"] > bits["ITE"]  # data arrays dwarf tag arrays
+    assert bits["RFE"] < bits["IDE"]
+
+
+def test_fit_weibull_recovers_parameters():
+    from repro.fault.beam import WeibullCrossSection
+
+    truth = WeibullCrossSection(sat=5e-8, onset=4.0, width=35.0, shape=1.5)
+    lets = [6, 10, 20, 40, 60, 80, 110]
+    sigmas = [truth.at(let) for let in lets]
+    fit = fit_weibull(lets, sigmas)
+    assert fit.sat == pytest.approx(5e-8, rel=0.1)
+    for let in lets:
+        assert fit.at(let) == pytest.approx(truth.at(let), rel=0.1)
+
+
+def test_fit_weibull_degenerate_input():
+    fit = fit_weibull([10, 20], [0.0, 1e-9])
+    assert fit.sat >= 0
+
+
+@pytest.fixture(scope="module")
+def small_curve():
+    return measure_curve(
+        "iutest",
+        lets=(8.0, 40.0, 110.0),
+        fluence=800.0,
+        instructions_per_second=40_000.0,
+        seed=5,
+    )
+
+
+def test_measured_curve_shape(small_curve):
+    """Per-bit sigma rises with LET for the well-sampled series."""
+    lets, sigmas = small_curve.series("Total")
+    assert lets == [8.0, 40.0, 110.0]
+    assert sigmas[0] < sigmas[-1]
+    assert sigmas[-1] > 0
+
+
+def test_curve_has_all_ram_types(small_curve):
+    assert set(small_curve.kinds()) == set(COUNTER_TARGETS) | {"Total"}
+
+
+def test_render_curve_ascii(small_curve):
+    text = render_curve(small_curve)
+    assert "IUTEST" in text
+    assert "LET" in text

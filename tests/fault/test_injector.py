@@ -1,0 +1,107 @@
+"""The SEU target registry and deterministic injector."""
+
+import random
+
+import pytest
+
+from repro import LeonConfig, LeonSystem
+from repro.errors import InjectionError
+from repro.fault.injector import FaultInjector
+
+
+@pytest.fixture
+def injector():
+    return FaultInjector(LeonSystem(LeonConfig.leon_express()))
+
+
+def test_targets_cover_section_4_2_groups(injector):
+    names = set(injector.targets)
+    assert {"icache-tag", "icache-data", "dcache-tag", "dcache-data",
+            "regfile", "flipflops", "fpregs"} <= names
+
+
+def test_bit_populations_match_structures(injector):
+    system = injector.system
+    assert injector.targets["icache-data"].bits == \
+        system.icache.data_ram.total_bits
+    assert injector.targets["regfile"].bits == system.regfile.total_bits
+    assert injector.targets["flipflops"].bits == system.ffbank.total_bits
+    assert injector.targets["fpregs"].bits == 32 * system.fpu.bits_per_word
+    assert injector.total_bits == sum(t.bits for t in injector.targets.values())
+
+
+def test_ram_dominates_bit_population(injector):
+    """The paper's geometry: ~10 mm2 of RAM vs ~2500 flip-flops."""
+    ram_bits = sum(injector.targets[name].bits
+                   for name in ("icache-tag", "icache-data",
+                                "dcache-tag", "dcache-data", "regfile"))
+    assert ram_bits > 20 * injector.targets["flipflops"].bits
+
+
+def test_deterministic_injection_lands(injector):
+    system = injector.system
+    system.regfile.write(0, 1, 0)
+    bits_per_word = system.regfile.bits_per_word  # 39 with BCH
+    injector.inject("regfile", bits_per_word + 3)  # physical word 1, bit 3
+    data, _check, _physical = system.regfile.read_raw(0, 1)
+    assert data == 8
+
+
+def test_injection_bounds(injector):
+    with pytest.raises(InjectionError):
+        injector.inject("regfile", 10**9)
+    with pytest.raises(InjectionError):
+        injector.inject("nonexistent", 0)
+
+
+def test_random_injection_is_area_weighted(injector):
+    rng = random.Random(42)
+    hits = {}
+    for _ in range(2000):
+        name = injector.inject_random(rng)
+        hits[name] = hits.get(name, 0) + 1
+    # Cache data arrays dwarf everything else.
+    assert hits["icache-data"] + hits["dcache-data"] > hits.get("flipflops", 0) * 5
+    total = injector.total_bits
+    expected = injector.targets["icache-data"].bits / total
+    observed = hits["icache-data"] / 2000
+    assert abs(observed - expected) < 0.08
+
+
+def test_weighted_injection_respects_scale(injector):
+    rng = random.Random(7)
+    weights = {name: 0.0 for name in injector.targets}
+    weights["regfile"] = 1.0
+    for _ in range(50):
+        assert injector.inject_random(rng, weights) == "regfile"
+
+
+def test_adjacent_injection_same_word(injector):
+    system = injector.system
+    ram = system.icache.data_ram
+    injector.inject("icache-data", 100)
+    injector.inject_adjacent("icache-data", 100)
+    index = 100 // ram.bits_per_word
+    word = ram.read_raw(index)[0] | (ram.read_raw(index)[1] << 32)
+    assert bin(word).count("1") == 2  # both bits in the same word
+
+
+def test_adjacent_injection_at_row_boundary(injector):
+    ram = injector.system.icache.data_ram
+    last_bit_of_word0 = ram.bits_per_word - 1
+    neighbour = injector.inject_adjacent("icache-data", last_bit_of_word0)
+    assert neighbour == last_bit_of_word0 - 1  # stays in the row
+
+
+def test_external_memory_targets_optional():
+    system = LeonSystem(LeonConfig.leon_express())
+    without = FaultInjector(system)
+    with_mem = FaultInjector(system, include_external_memory=True)
+    assert "ext-sram" not in without.targets
+    assert "ext-sram" in with_mem.targets
+
+
+def test_injection_log(injector):
+    injector.inject("regfile", 0)
+    injector.inject("flipflops", 1)
+    assert injector.injections == ["regfile", "flipflops"]

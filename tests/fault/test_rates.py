@@ -1,0 +1,112 @@
+"""On-orbit SEU rate prediction (paper ref [5] methodology)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.rates import (
+    ENVIRONMENTS,
+    LetSpectrum,
+    RatePredictor,
+    fold_rate,
+)
+
+
+class TestSpectrum:
+    def test_integral_flux_monotone_decreasing(self):
+        spectrum = ENVIRONMENTS["GEO"]
+        lets = [1, 5, 10, 27, 50, 100]
+        fluxes = [spectrum.integral_flux(let) for let in lets]
+        assert fluxes == sorted(fluxes, reverse=True)
+        assert fluxes[-1] > 0
+
+    def test_cutoff(self):
+        spectrum = ENVIRONMENTS["GEO"]
+        assert spectrum.integral_flux(110.0) == 0.0
+        assert spectrum.integral_flux(200.0) == 0.0
+
+    def test_knee_steepens(self):
+        spectrum = ENVIRONMENTS["GEO"]
+        below = spectrum.integral_flux(20) / spectrum.integral_flux(25)
+        above = spectrum.integral_flux(40) / spectrum.integral_flux(50)
+        assert above > below  # steeper falloff past the knee
+
+    def test_environment_ordering(self):
+        geo = ENVIRONMENTS["GEO"].integral_flux(10)
+        polar = ENVIRONMENTS["LEO-polar"].integral_flux(10)
+        equatorial = ENVIRONMENTS["LEO-equatorial"].integral_flux(10)
+        assert geo > polar > equatorial
+
+    def test_invalid_let(self):
+        with pytest.raises(ConfigurationError):
+            ENVIRONMENTS["GEO"].integral_flux(0)
+
+
+class TestFolding:
+    def test_zero_sigma_zero_rate(self):
+        rate = fold_rate(lambda let: 0.0, ENVIRONMENTS["GEO"])
+        assert rate == 0.0
+
+    def test_step_sigma_counts_fluence_above_threshold(self):
+        """A step cross-section folds to sigma * F(> threshold)."""
+        spectrum = ENVIRONMENTS["GEO"]
+        threshold, sat = 10.0, 1e-6
+        rate = fold_rate(lambda let: sat if let > threshold else 0.0,
+                         spectrum, steps=3000)
+        expected = sat * spectrum.integral_flux(threshold)
+        assert rate == pytest.approx(expected, rel=0.02)
+
+    def test_needs_steps(self):
+        with pytest.raises(ConfigurationError):
+            fold_rate(lambda let: 0.0, ENVIRONMENTS["GEO"], steps=1)
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return RatePredictor()
+
+    def test_geo_rate_in_published_range(self, predictor):
+        """A SEU-soft 0.35 um device sees roughly 0.1..1 upsets/day GEO."""
+        rates = predictor.predict("GEO")
+        assert 0.05 < rates.upsets_per_day < 2.0
+
+    def test_environment_ordering(self, predictor):
+        geo = predictor.predict("GEO").upsets_per_day
+        polar = predictor.predict("LEO-polar").upsets_per_day
+        equatorial = predictor.predict("LEO-equatorial").upsets_per_day
+        assert geo > polar > equatorial > 0
+
+    def test_per_target_rates_sum(self, predictor):
+        rates = predictor.predict("GEO")
+        assert sum(rates.by_target.values()) == pytest.approx(rates.upsets_per_day)
+        # Cache data arrays dominate (bit population).
+        assert rates.by_target["dcache-data"] > rates.by_target["regfile"]
+
+    def test_corrected_rate_and_interval(self, predictor):
+        rates = predictor.predict("GEO")
+        assert rates.corrected_per_day(0.9) == pytest.approx(
+            rates.upsets_per_day * 0.9)
+        assert rates.seconds_between_upsets == pytest.approx(
+            86_400.0 / rates.upsets_per_day)
+
+    def test_unprotected_mttf_is_days_not_years(self, predictor):
+        """The quantified section 4.1 motivation: without on-chip FT, a
+        GEO mission loses the computer within days."""
+        mttf = predictor.unprotected_failure_interval_days("GEO")
+        assert 0.5 < mttf < 30.0
+
+    def test_unknown_environment(self, predictor):
+        with pytest.raises(ConfigurationError):
+            predictor.predict("Mars")
+
+    def test_predict_all(self, predictor):
+        results = predictor.predict_all()
+        assert {rates.environment for rates in results} == set(ENVIRONMENTS)
+
+    def test_zero_rate_interval_is_infinite(self):
+        from repro.fault.rates import MissionRates
+
+        rates = MissionRates("nowhere", 0.0, {})
+        assert math.isinf(rates.seconds_between_upsets)

@@ -1,0 +1,66 @@
+"""Campaign result reporting: tables, CSV, JSON."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.fault.campaign import Campaign, CampaignConfig
+from repro.fault.report import (
+    TABLE2_COLUMNS,
+    render_table,
+    render_table2,
+    table2_rows,
+    to_csv,
+    to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    runs = []
+    for index, let in enumerate((20.0, 110.0)):
+        config = CampaignConfig(program="iutest", let=let, flux=400.0,
+                                fluence=500.0, seed=40 + index,
+                                instructions_per_second=40_000.0)
+        runs.append(Campaign(config).run())
+    return runs
+
+
+def test_table2_rows_structure(results):
+    rows = table2_rows(results)
+    assert len(rows) == 2
+    for row in rows:
+        assert set(TABLE2_COLUMNS) <= set(row)
+    assert rows[0]["LET"] == 20.0
+
+
+def test_render_table2(results):
+    text = render_table2(results)
+    assert "ITE" in text and "X-sect" in text
+    assert text.count("\n") >= 3
+
+
+def test_render_table_alignment():
+    rows = [{"a": 1, "b": "xx"}, {"a": 22222, "b": "y"}]
+    text = render_table(rows, ["a", "b"])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_csv_export_parses(results):
+    text = to_csv(results)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == 2
+    assert float(parsed[0]["fluence"]) == 500.0
+    assert int(parsed[0]["sw_errors"]) == 0
+
+
+def test_json_export_parses(results):
+    payload = json.loads(to_json(results))
+    assert len(payload) == 2
+    assert payload[1]["let"] == 110.0
+    assert payload[1]["counts"]["Total"] == results[1].counts["Total"]
+    assert "cross_sections" in payload[0]

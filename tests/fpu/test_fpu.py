@@ -1,0 +1,194 @@
+"""Behavioral FPU: arithmetic, conversions, comparisons, exceptions."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpu.fpu import Fpu
+from repro.fpu.fsr import (
+    EXC_DIVZERO,
+    EXC_INVALID,
+    Fcc,
+)
+from repro.ft.tmr import FlipFlopBank
+from repro.sparc.isa import Opf
+
+
+def f32_bits(value: float) -> int:
+    return struct.unpack(">I", struct.pack(">f", value))[0]
+
+
+def bits_f32(bits: int) -> float:
+    return struct.unpack(">f", struct.pack(">I", bits))[0]
+
+
+@pytest.fixture
+def fpu():
+    return Fpu(FlipFlopBank(tmr=False))
+
+
+def set_single(fpu, index, value):
+    fpu.write_reg(index, f32_bits(value))
+
+
+def get_single(fpu, index):
+    return bits_f32(fpu.read_reg(index))
+
+
+def set_double(fpu, index, value):
+    raw = struct.unpack(">Q", struct.pack(">d", value))[0]
+    fpu.write_reg(index, raw >> 32)
+    fpu.write_reg(index + 1, raw & 0xFFFFFFFF)
+
+
+def get_double(fpu, index):
+    raw = (fpu.read_reg(index) << 32) | fpu.read_reg(index + 1)
+    return struct.unpack(">d", raw.to_bytes(8, "big"))[0]
+
+
+def test_single_add(fpu):
+    set_single(fpu, 0, 1.5)
+    set_single(fpu, 1, 2.25)
+    cycles = fpu.execute(Opf.FADDS, 0, 1, 2)
+    assert get_single(fpu, 2) == 3.75
+    assert cycles >= 1
+
+
+def test_single_rounding_to_f32(fpu):
+    set_single(fpu, 0, 1.0)
+    set_single(fpu, 1, 1e-10)
+    fpu.execute(Opf.FADDS, 0, 1, 2)
+    assert get_single(fpu, 2) == 1.0  # 1e-10 lost in single precision
+
+
+def test_double_mul(fpu):
+    set_double(fpu, 0, 1.1)
+    set_double(fpu, 2, 2.0)
+    fpu.execute(Opf.FMULD, 0, 2, 4)
+    assert get_double(fpu, 4) == 1.1 * 2.0
+
+
+def test_double_registers_use_even_pairs(fpu):
+    set_double(fpu, 0, 3.0)
+    set_double(fpu, 2, 4.0)
+    fpu.execute(Opf.FADDD, 1, 3, 5)  # odd indices round down
+    assert get_double(fpu, 4) == 7.0
+
+
+def test_divide_by_zero_flags(fpu):
+    set_single(fpu, 0, 1.0)
+    set_single(fpu, 1, 0.0)
+    fpu.execute(Opf.FDIVS, 0, 1, 2)
+    assert math.isinf(get_single(fpu, 2))
+    assert fpu.fsr.aexc & EXC_DIVZERO
+
+
+def test_zero_over_zero_invalid(fpu):
+    set_single(fpu, 0, 0.0)
+    set_single(fpu, 1, 0.0)
+    fpu.execute(Opf.FDIVS, 0, 1, 2)
+    assert math.isnan(get_single(fpu, 2))
+    assert fpu.fsr.aexc & EXC_INVALID
+
+
+def test_sqrt(fpu):
+    set_single(fpu, 1, 9.0)
+    fpu.execute(Opf.FSQRTS, 0, 1, 2)
+    assert get_single(fpu, 2) == 3.0
+
+
+def test_sqrt_negative_invalid(fpu):
+    set_single(fpu, 1, -1.0)
+    fpu.execute(Opf.FSQRTS, 0, 1, 2)
+    assert math.isnan(get_single(fpu, 2))
+    assert fpu.fsr.aexc & EXC_INVALID
+
+
+def test_mov_neg_abs(fpu):
+    set_single(fpu, 1, -2.5)
+    fpu.execute(Opf.FMOVS, 0, 1, 2)
+    assert get_single(fpu, 2) == -2.5
+    fpu.execute(Opf.FNEGS, 0, 1, 3)
+    assert get_single(fpu, 3) == 2.5
+    fpu.execute(Opf.FABSS, 0, 1, 4)
+    assert get_single(fpu, 4) == 2.5
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 123456, -7])
+def test_int_float_conversions(fpu, value):
+    fpu.write_reg(1, value & 0xFFFFFFFF)
+    fpu.execute(Opf.FITOS, 0, 1, 2)
+    assert get_single(fpu, 2) == float(value)
+    fpu.execute(Opf.FSTOI, 0, 2, 3)
+    assert fpu.read_reg(3) == value & 0xFFFFFFFF
+
+
+def test_fstoi_truncates_toward_zero(fpu):
+    set_single(fpu, 1, -2.7)
+    fpu.execute(Opf.FSTOI, 0, 1, 2)
+    assert fpu.read_reg(2) == (-2) & 0xFFFFFFFF
+
+
+def test_fstoi_nan_invalid(fpu):
+    set_single(fpu, 1, math.nan)
+    fpu.execute(Opf.FSTOI, 0, 1, 2)
+    assert fpu.fsr.aexc & EXC_INVALID
+
+
+def test_precision_conversions(fpu):
+    set_single(fpu, 1, 1.5)
+    fpu.execute(Opf.FSTOD, 0, 1, 2)
+    assert get_double(fpu, 2) == 1.5
+    set_double(fpu, 4, 2.25)
+    fpu.execute(Opf.FDTOS, 0, 4, 6)
+    assert get_single(fpu, 6) == 2.25
+
+
+@pytest.mark.parametrize("a,b,expected", [
+    (1.0, 1.0, Fcc.EQUAL),
+    (1.0, 2.0, Fcc.LESS),
+    (3.0, 2.0, Fcc.GREATER),
+])
+def test_compare_sets_fcc(fpu, a, b, expected):
+    set_single(fpu, 0, a)
+    set_single(fpu, 1, b)
+    fpu.execute(Opf.FCMPS, 0, 1, 0)
+    assert fpu.fsr.fcc is expected
+
+
+def test_compare_nan_unordered(fpu):
+    set_single(fpu, 0, math.nan)
+    set_single(fpu, 1, 1.0)
+    fpu.execute(Opf.FCMPS, 0, 1, 0)
+    assert fpu.fsr.fcc is Fcc.UNORDERED
+    # FCMPES signals invalid on unordered; FCMPS does not.
+    before = fpu.fsr.aexc
+    fpu.execute(Opf.FCMPES, 0, 1, 0)
+    assert fpu.fsr.aexc & EXC_INVALID
+
+
+def test_injection_flips_register_bit(fpu):
+    set_single(fpu, 3, 1.0)
+    before = fpu.read_reg(3)
+    fpu.inject(3, 22)
+    assert fpu.read_reg(3) == before ^ (1 << 22)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+       st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_single_arithmetic_matches_host_f32(a, b):
+    """The FPU must match struct-rounded host arithmetic bit for bit --
+    the property the test-program checksums rely on."""
+    fpu = Fpu(FlipFlopBank(tmr=False))
+    set_single(fpu, 0, a)
+    set_single(fpu, 1, b)
+    fpu.execute(Opf.FADDS, 0, 1, 2)
+    try:
+        expected = struct.unpack(">f", struct.pack(">f", a + b))[0]
+    except (OverflowError, ValueError):
+        expected = math.copysign(math.inf, a + b)
+    got = get_single(fpu, 2)
+    assert (math.isnan(got) and math.isnan(expected)) or got == expected

@@ -1,0 +1,88 @@
+"""The (32,7) BCH SEC-DED code: corrects one, detects two (section 4.4)."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ft.bch import BCH_CHECK_BITS, BchCodec, bch_encode, bch_syndrome
+from repro.ft.protection import ErrorKind
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+CODE_BITS = st.integers(min_value=0, max_value=31 + BCH_CHECK_BITS)
+
+
+def _flip(data: int, check: int, bit: int):
+    """Flip codeword bit: 0..31 data, 32..38 check."""
+    if bit < 32:
+        return data ^ (1 << bit), check
+    return data, check ^ (1 << (bit - 32))
+
+
+def test_check_bits_count():
+    assert BCH_CHECK_BITS == 7
+    assert bch_encode(0xFFFFFFFF) < (1 << 7)
+
+
+@given(WORDS)
+def test_clean_word_has_zero_syndrome(word):
+    assert bch_syndrome(word, bch_encode(word)) == 0
+
+
+@given(WORDS, CODE_BITS)
+def test_single_error_corrected_anywhere(word, bit):
+    """Single errors in data *or* check bits are corrected."""
+    codec = BchCodec()
+    data, check = _flip(word, bch_encode(word), bit)
+    result = codec.check(data, check)
+    assert result.kind is ErrorKind.CORRECTABLE
+    assert result.data == word
+
+
+@given(WORDS, CODE_BITS, CODE_BITS)
+def test_double_error_always_detected_never_miscorrected(word, bit_a, bit_b):
+    """SEC-DED: any double error is flagged DETECTED, and in particular is
+    never silently 'corrected' to a wrong word."""
+    if bit_a == bit_b:
+        return
+    codec = BchCodec()
+    data, check = _flip(word, bch_encode(word), bit_a)
+    data, check = _flip(data, check, bit_b)
+    result = codec.check(data, check)
+    assert result.kind is ErrorKind.DETECTED
+
+
+def test_exhaustive_single_corrections_for_one_word():
+    codec = BchCodec()
+    word = 0xDEADBEEF
+    check = bch_encode(word)
+    for bit in range(32 + BCH_CHECK_BITS):
+        data, chk = _flip(word, check, bit)
+        result = codec.check(data, chk)
+        assert result.kind is ErrorKind.CORRECTABLE
+        assert result.data == word
+
+
+def test_exhaustive_double_detection_for_one_word():
+    codec = BchCodec()
+    word = 0x12345678
+    check = bch_encode(word)
+    for bit_a, bit_b in itertools.combinations(range(39), 2):
+        data, chk = _flip(word, check, bit_a)
+        data, chk = _flip(data, chk, bit_b)
+        assert codec.check(data, chk).kind is ErrorKind.DETECTED
+
+
+def test_all_data_columns_distinct_odd_weight():
+    """Structural invariant of the Hsiao construction."""
+    from repro.ft.bch import _CHECK_COLUMNS, _DATA_COLUMNS
+
+    columns = _DATA_COLUMNS + _CHECK_COLUMNS
+    assert len(set(columns)) == len(columns) == 39
+    assert all(bin(column).count("1") % 2 == 1 for column in columns)
+
+
+@given(WORDS, WORDS)
+def test_linearity(word_a, word_b):
+    """BCH is linear: encode(a ^ b) == encode(a) ^ encode(b)."""
+    assert bch_encode(word_a ^ word_b) == bch_encode(word_a) ^ bch_encode(word_b)

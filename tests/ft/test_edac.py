@@ -1,0 +1,57 @@
+"""The EDAC unit over external memory words (section 4.6)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ft.edac import Edac, EdacStatus
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(WORDS)
+def test_clean_read(word):
+    edac = Edac()
+    result = edac.read(word, edac.encode(word))
+    assert result.status is EdacStatus.OK
+    assert result.data == word
+    assert edac.corrected == 0
+
+
+@given(WORDS, st.integers(min_value=0, max_value=31))
+def test_single_data_error_corrected(word, bit):
+    edac = Edac()
+    check = edac.encode(word)
+    result = edac.read(word ^ (1 << bit), check)
+    assert result.status is EdacStatus.CORRECTED
+    assert result.data == word
+    assert edac.corrected == 1
+
+
+@given(WORDS, st.integers(min_value=0, max_value=6))
+def test_single_check_bit_error_corrected(word, bit):
+    edac = Edac()
+    check = edac.encode(word) ^ (1 << bit)
+    result = edac.read(word, check)
+    assert result.status is EdacStatus.CORRECTED
+    assert result.data == word
+
+
+@given(WORDS, st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_double_error_uncorrectable(word, bit_a, bit_b):
+    if bit_a == bit_b:
+        return
+    edac = Edac()
+    check = edac.encode(word)
+    result = edac.read(word ^ (1 << bit_a) ^ (1 << bit_b), check)
+    assert result.status is EdacStatus.UNCORRECTABLE
+    assert edac.uncorrectable == 1
+
+
+def test_counter_reset():
+    edac = Edac()
+    edac.read(1, edac.encode(1) ^ 1)
+    assert edac.corrected == 1
+    edac.reset_counters()
+    assert edac.corrected == 0
+    assert edac.uncorrectable == 0

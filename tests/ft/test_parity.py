@@ -1,0 +1,108 @@
+"""Parity codes: section 4.3 behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ft.parity import (
+    DualParityCodec,
+    SingleParityCodec,
+    parity32,
+    parity_even_bits,
+    parity_odd_bits,
+)
+from repro.ft.protection import ErrorKind
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+BITS = st.integers(min_value=0, max_value=31)
+
+
+def test_parity32_known_values():
+    assert parity32(0) == 0
+    assert parity32(1) == 1
+    assert parity32(0b11) == 0
+    assert parity32(0xFFFFFFFF) == 0
+    assert parity32(0x80000001) == 0
+    assert parity32(0x80000000) == 1
+
+
+def test_parity_splits_cover_all_bits():
+    assert parity_even_bits(0x55555555) == 0  # 16 even bits set
+    assert parity_odd_bits(0x55555555) == 0
+    assert parity_even_bits(0x1) == 1
+    assert parity_odd_bits(0x2) == 1
+
+
+@given(WORDS)
+def test_single_parity_clean_word_checks_ok(word):
+    codec = SingleParityCodec()
+    check = codec.encode(word)
+    assert codec.check(word, check).kind is ErrorKind.NONE
+
+
+@given(WORDS, BITS)
+def test_single_parity_detects_any_single_error(word, bit):
+    codec = SingleParityCodec()
+    check = codec.encode(word)
+    corrupted = word ^ (1 << bit)
+    assert codec.check(corrupted, check).kind is ErrorKind.DETECTED
+
+
+@given(WORDS)
+def test_single_parity_detects_check_bit_error(word):
+    codec = SingleParityCodec()
+    check = codec.encode(word)
+    assert codec.check(word, check ^ 1).kind is ErrorKind.DETECTED
+
+
+@given(WORDS, BITS, BITS)
+def test_single_parity_misses_every_double_error(word, bit_a, bit_b):
+    """One parity bit 'can only detect odd number of errors'."""
+    if bit_a == bit_b:
+        return
+    codec = SingleParityCodec()
+    check = codec.encode(word)
+    corrupted = word ^ (1 << bit_a) ^ (1 << bit_b)
+    assert codec.check(corrupted, check).kind is ErrorKind.NONE
+
+
+@given(WORDS, BITS)
+def test_dual_parity_detects_single_errors(word, bit):
+    codec = DualParityCodec()
+    check = codec.encode(word)
+    assert codec.check(word ^ (1 << bit), check).kind is ErrorKind.DETECTED
+
+
+@given(WORDS, st.integers(min_value=0, max_value=30))
+def test_dual_parity_detects_adjacent_double_errors(word, bit):
+    """The point of the second parity bit: 'a double error in any adjacent
+    cells can then be detected' (section 4.3)."""
+    codec = DualParityCodec()
+    check = codec.encode(word)
+    corrupted = word ^ (1 << bit) ^ (1 << (bit + 1))
+    assert codec.check(corrupted, check).kind is ErrorKind.DETECTED
+
+
+@given(WORDS, st.integers(min_value=0, max_value=29))
+def test_dual_parity_misses_same_group_double_errors(word, bit):
+    """The residual weakness: two errors in the same odd/even group escape
+    -- the mechanism behind the paper's high-flux anomaly (section 6)."""
+    codec = DualParityCodec()
+    check = codec.encode(word)
+    corrupted = word ^ (1 << bit) ^ (1 << (bit + 2))
+    assert codec.check(corrupted, check).kind is ErrorKind.NONE
+
+
+@given(WORDS)
+def test_dual_parity_round_trip(word):
+    codec = DualParityCodec()
+    result = codec.check(word, codec.encode(word))
+    assert result.kind is ErrorKind.NONE
+    assert result.data == word
+
+
+@pytest.mark.parametrize("codec,bits", [(SingleParityCodec(), 1),
+                                        (DualParityCodec(), 2)])
+def test_check_bit_width(codec, bits):
+    assert codec.scheme.check_bits == bits
+    assert codec.encode(0xFFFFFFFF) < (1 << bits)

@@ -1,0 +1,46 @@
+"""The protection-scheme factory and metadata."""
+
+import pytest
+
+from repro.ft.protection import (
+    CheckResult,
+    ErrorKind,
+    ProtectionScheme,
+    describe,
+    make_codec,
+)
+
+
+@pytest.mark.parametrize("scheme,bits", [
+    (ProtectionScheme.NONE, 0),
+    (ProtectionScheme.PARITY, 1),
+    (ProtectionScheme.DUAL_PARITY, 2),
+    (ProtectionScheme.BCH, 7),
+])
+def test_check_bits(scheme, bits):
+    assert scheme.check_bits == bits
+
+
+@pytest.mark.parametrize("scheme", list(ProtectionScheme))
+def test_factory_builds_matching_codec(scheme):
+    codec = make_codec(scheme)
+    assert codec.scheme is scheme
+    check = codec.encode(0xA5A5A5A5)
+    assert check < (1 << max(scheme.check_bits, 1))
+    result = codec.check(0xA5A5A5A5, check)
+    assert isinstance(result, CheckResult)
+    assert result.kind is ErrorKind.NONE
+    assert result.data == 0xA5A5A5A5
+
+
+def test_null_codec_never_reports():
+    codec = make_codec(ProtectionScheme.NONE)
+    assert codec.check(0xFFFFFFFF, 0).kind is ErrorKind.NONE
+    # Corruption is invisible to the null codec (by design).
+    assert codec.check(0x00000001, 0).kind is ErrorKind.NONE
+
+
+@pytest.mark.parametrize("scheme", list(ProtectionScheme))
+def test_describe_is_informative(scheme):
+    assert isinstance(describe(scheme), str)
+    assert describe(scheme)

@@ -1,0 +1,149 @@
+"""TMR registers and clock trees (section 4.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InjectionError
+from repro.ft.tmr import FlipFlopBank, TmrRegister, vote3
+
+
+@given(st.integers(min_value=0), st.integers(min_value=0), st.integers(min_value=0))
+def test_vote3_majority(a, b, c):
+    result = vote3(a, b, c)
+    for bit in range(max(a, b, c).bit_length() + 1):
+        votes = ((a >> bit) & 1) + ((b >> bit) & 1) + ((c >> bit) & 1)
+        assert ((result >> bit) & 1) == (1 if votes >= 2 else 0)
+
+
+def test_single_lane_upset_is_masked():
+    reg = TmrRegister("r", 32, tmr=True)
+    reg.load(0xCAFEBABE)
+    reg.inject(bit=7, lane=1)
+    assert reg.value == 0xCAFEBABE  # voter hides it
+    assert reg.lane_value(1) != 0xCAFEBABE
+
+
+def test_upset_scrubbed_on_clock_edge():
+    """'Any SEU register error will automatically be removed within one
+    clock cycle.'"""
+    reg = TmrRegister("r", 16, tmr=True)
+    reg.load(0x1234)
+    reg.inject(bit=0, lane=2)
+    reg.refresh()  # one clock edge, recirculating data
+    assert reg.lane_value(2) == 0x1234
+    assert reg.value == 0x1234
+
+
+def test_double_lane_upset_same_bit_defeats_tmr():
+    reg = TmrRegister("r", 8, tmr=True)
+    reg.load(0x00)
+    reg.inject(bit=3, lane=0)
+    reg.inject(bit=3, lane=1)
+    assert reg.value == 0x08  # two corrupted lanes out-vote the clean one
+
+
+def test_non_tmr_register_corrupts_directly():
+    reg = TmrRegister("r", 8, tmr=False)
+    reg.load(0xAA)
+    reg.inject(bit=0, lane=0)
+    assert reg.value == 0xAB
+
+
+def test_inject_bounds():
+    reg = TmrRegister("r", 4, tmr=True)
+    with pytest.raises(InjectionError):
+        reg.inject(bit=4)
+    with pytest.raises(InjectionError):
+        reg.inject(bit=0, lane=3)
+
+
+def test_width_mask():
+    reg = TmrRegister("r", 4, tmr=False)
+    reg.load(0xFF)
+    assert reg.value == 0xF
+
+
+class TestFlipFlopBank:
+    def test_registration_and_totals(self):
+        bank = FlipFlopBank(tmr=True)
+        bank.register("a", 32)
+        bank.register("b", 16)
+        assert bank.total_bits == 48
+        assert bank.total_cells == 144  # 3 lanes
+
+    def test_reregistration_same_width_returns_same(self):
+        bank = FlipFlopBank(tmr=False)
+        first = bank.register("a", 8)
+        second = bank.register("a", 8)
+        assert first is second
+        with pytest.raises(InjectionError):
+            bank.register("a", 16)
+
+    def test_locate_bit_spans_registers(self):
+        bank = FlipFlopBank(tmr=True)
+        reg_a = bank.register("a", 4)
+        reg_b = bank.register("b", 4)
+        assert bank.locate_bit(0) == (reg_a, 0)
+        assert bank.locate_bit(3) == (reg_a, 3)
+        assert bank.locate_bit(4) == (reg_b, 0)
+        with pytest.raises(InjectionError):
+            bank.locate_bit(8)
+
+    def test_inject_flat_and_scrub(self):
+        bank = FlipFlopBank(tmr=True)
+        reg = bank.register("a", 8)
+        reg.load(0x55)
+        name = bank.inject_flat(2, lane=0)
+        assert name == "a"
+        assert reg.value == 0x55  # masked
+        bank.scrub()
+        assert reg.lane_value(0) == 0x55
+
+    def test_clock_tree_strike_corrupts_one_lane_of_everything(self):
+        """Section 4.5: 'an SEU hit in one clock-tree can be tolerated even
+        if the data of a complete lane of 2,500 registers is corrupted. On
+        the following clock edge, all errors will be removed.'"""
+        bank = FlipFlopBank(tmr=True)
+        regs = [bank.register(f"r{i}", 32) for i in range(10)]
+        for index, reg in enumerate(regs):
+            reg.load(index * 3)
+        touched = bank.inject_clock_tree(lane=1)
+        assert touched == 10
+        # All voted outputs still correct.
+        for index, reg in enumerate(regs):
+            assert reg.value == index * 3
+            assert reg.lane_value(1) != index * 3
+        bank.scrub()  # the following clock edge
+        for index, reg in enumerate(regs):
+            assert reg.lane_value(1) == index * 3
+
+    def test_clock_tree_strike_without_tmr_is_catastrophic(self):
+        bank = FlipFlopBank(tmr=False)
+        reg = bank.register("a", 8)
+        reg.load(0x12)
+        bank.inject_clock_tree(lane=0)
+        assert reg.value != 0x12
+
+    def test_shared_clock_tree_defeats_tmr(self):
+        """The figure 3 ablation: without *separate* clock trees, a clock
+        glitch corrupts all three lanes at once and the voter is blind."""
+        separate = FlipFlopBank(tmr=True, separate_clock_trees=True)
+        shared = FlipFlopBank(tmr=True, separate_clock_trees=False)
+        for bank in (separate, shared):
+            bank.register("a", 16).load(0x1234)
+            bank.inject_clock_tree(lane=0)
+        assert separate.get("a").value == 0x1234  # voted away
+        assert shared.get("a").value != 0x1234  # all lanes corrupted
+        # And the shared-tree corruption survives the scrub (it IS the
+        # majority now).
+        shared.scrub()
+        assert shared.get("a").value != 0x1234
+
+    def test_voter_disagreements_counted(self):
+        bank = FlipFlopBank(tmr=True)
+        reg = bank.register("a", 8)
+        reg.load(1)
+        reg.inject(bit=0, lane=0)
+        _ = reg.value
+        assert bank.lane_disagreements() >= 1

@@ -1,0 +1,48 @@
+"""Interrupt-driven UART echo (the examples/uart_echo.py flow as a test)."""
+
+import importlib.util
+import pathlib
+
+from repro import LeonConfig, LeonSystem, assemble
+
+_EXAMPLE = pathlib.Path(__file__).resolve().parents[2] / "examples" / "uart_echo.py"
+_spec = importlib.util.spec_from_file_location("uart_echo_example", _EXAMPLE)
+_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_module)
+
+
+def _boot():
+    system = LeonSystem(LeonConfig.fault_tolerant())
+    program = assemble(_module.PROGRAM, base=0x40000000)
+    system.load_program(program)
+    entry = program.address_of("_start")
+    system.special.pc, system.special.npc = entry, entry + 4
+    system.run(200)
+    return system
+
+
+def test_echo_uppercases_stream():
+    system = _boot()
+    for byte in b"abc XYZ 123":
+        system.uart1.receive(bytes([byte]))
+        system.run(2_000, max_idle_steps=3_000)
+        system.apb.tick(2_000)
+    assert system.uart_output() == b"ABC XYZ 123"
+
+
+def test_processor_sleeps_between_bytes():
+    system = _boot()
+    instructions_idle = system.perf.instructions
+    # With no input, the processor stays in power-down.
+    system.run(1_000, max_idle_steps=500)
+    assert system.perf.instructions - instructions_idle < 20
+
+
+def test_each_byte_costs_one_interrupt():
+    system = _boot()
+    traps_before = system.perf.traps
+    for byte in b"12345":
+        system.uart1.receive(bytes([byte]))
+        system.run(2_000, max_idle_steps=3_000)
+        system.apb.tick(2_000)
+    assert system.perf.traps - traps_before == 5

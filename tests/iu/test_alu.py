@@ -1,0 +1,211 @@
+"""Integer ALU semantics: arithmetic, flags, multiply/divide."""
+
+import pytest
+
+RES = 0x40100000
+
+
+def result(system, offset=0):
+    return system.read_word(RES + offset)
+
+
+def check(system, run, body, expected):
+    run(f"set {RES}, %g4\n" + body + "\n    st %g1, [%g4]")
+    assert result(system) == expected & 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("body,expected", [
+    ("set 5, %g1\n add %g1, 7, %g1", 12),
+    ("set 5, %g1\n sub %g1, 7, %g1", -2),
+    ("set 0xf0f0, %g1\n and %g1, 0xff, %g1", 0xF0),
+    ("set 0xf0f0, %g1\n or %g1, 0xf, %g1", 0xF0FF),
+    ("set 0xff, %g1\n xor %g1, 0xf0, %g1", 0x0F),
+    ("set 0xff, %g1\n andn %g1, 0xf0, %g1", 0x0F),
+    ("set 0, %g1\n orn %g1, 0, %g1", 0xFFFFFFFF),
+    ("set 0xff, %g1\n xnor %g1, 0xff, %g1", 0xFFFFFFFF),
+    ("set 1, %g1\n sll %g1, 31, %g1", 0x80000000),
+    ("set 0x80000000, %g1\n srl %g1, 31, %g1", 1),
+    ("set 0x80000000, %g1\n sra %g1, 31, %g1", 0xFFFFFFFF),
+    ("set 7, %g1\n set 6, %g2\n umul %g1, %g2, %g1", 42),
+    ("set -7, %g1\n set 6, %g2\n smul %g1, %g2, %g1", -42),
+])
+def test_alu_results(system, run, body, expected):
+    check(system, run, body, expected)
+
+
+def test_shift_count_masked_to_5_bits(system, run):
+    check(system, run, "set 1, %g1\n set 33, %g2\n sll %g1, %g2, %g1", 2)
+
+
+def test_addcc_sets_zero_flag_and_branch(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 5, %g1
+        subcc %g1, 5, %g0
+        be is_zero
+        nop
+        st %g0, [%g4]
+        ba out
+        nop
+    is_zero:
+        mov 1, %g3
+        st %g3, [%g4]
+    out:
+    """)
+    assert result(system) == 1
+
+
+def test_carry_flag_and_addx(system, run):
+    """64-bit add via addcc/addx: 0xFFFFFFFF + 1 carries into the high word."""
+    run(f"""
+        set {RES}, %g4
+        set 0xffffffff, %g1
+        set 1, %g2
+        addcc %g1, %g2, %g3     ! low word, sets C
+        clr %g1
+        addx %g1, 0, %g1        ! high word picks up the carry
+        st %g3, [%g4]
+        st %g1, [%g4+4]
+    """)
+    assert result(system) == 0
+    assert result(system, 4) == 1
+
+
+def test_subx_borrows(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        subcc %g1, 1, %g2       ! 0 - 1: borrow
+        clr %g3
+        subx %g3, 0, %g3        ! high word loses the borrow
+        st %g2, [%g4]
+        st %g3, [%g4+4]
+    """)
+    assert result(system) == 0xFFFFFFFF
+    assert result(system, 4) == 0xFFFFFFFF
+
+
+def test_overflow_flag(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x7fffffff, %g1
+        addcc %g1, 1, %g2
+        bvs overflowed
+        nop
+        st %g0, [%g4]
+        ba out
+        nop
+    overflowed:
+        mov 1, %g3
+        st %g3, [%g4]
+    out:
+    """)
+    assert result(system) == 1
+
+
+def test_umul_writes_y_high_bits(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x10000, %g1
+        set 0x10000, %g2
+        umul %g1, %g2, %g3
+        rd %y, %g1
+        st %g3, [%g4]
+        st %g1, [%g4+4]
+    """)
+    assert result(system) == 0
+    assert result(system, 4) == 1
+
+
+def test_udiv_uses_y_as_high_word(system, run):
+    run(f"""
+        set {RES}, %g4
+        mov 1, %g1
+        wr %g1, %y              ! dividend = 0x1_00000000 + 0
+        nop
+        nop
+        nop
+        clr %g1
+        set 0x10, %g2
+        udiv %g1, %g2, %g3      ! 2^32 / 16
+        st %g3, [%g4]
+    """)
+    assert result(system) == 0x10000000
+
+
+def test_sdiv_negative(system, run):
+    run(f"""
+        set {RES}, %g4
+        wr %g0, %y
+        nop
+        nop
+        nop
+        set 100, %g1
+        ! make the 64-bit dividend negative: y = 0xffffffff, g1 = -100
+        set -100, %g1
+        set 0xffffffff, %g2
+        wr %g2, %y
+        nop
+        nop
+        nop
+        set 7, %g2
+        sdiv %g1, %g2, %g3
+        st %g3, [%g4]
+    """)
+    assert result(system) == (-14) & 0xFFFFFFFF
+
+
+def test_division_by_zero_traps(system, run):
+    program, rr = run("""
+        clr %g2
+        udiv %g1, %g2, %g3
+    """)
+    # No trap table is installed: trap with ET=0 -> error mode halt.
+    assert rr.halted.value == "error-mode"
+
+
+def test_mulscc_step_sequence(system, run):
+    """32 MULScc steps + final shift implement 32x32 multiply (V8 idiom)."""
+    a, b = 1234, 5678
+    steps = "\n".join(["    mulscc %g3, %g1, %g3"] * 32)
+    run(f"""
+        set {RES}, %g4
+        set {a}, %g1
+        set {b}, %g2
+        wr %g2, %y
+        nop
+        nop
+        nop
+        andcc %g0, %g0, %g3     ! clear partial product and icc
+{steps}
+        mulscc %g3, %g0, %g3    ! final shift step
+        rd %y, %g2
+        st %g2, [%g4]
+    """)
+    assert result(system) == a * b
+
+
+def test_taddcctv_traps_on_tagged_operand(system, run):
+    program, rr = run("""
+        set 2, %g1              ! tag bits 01 -> not a clean tagged value
+        taddcctv %g1, %g1, %g2
+    """)
+    assert rr.halted.value == "error-mode"  # tag_overflow with no handler
+
+
+def test_taddcc_sets_overflow_without_trap(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 2, %g1
+        taddcc %g1, %g1, %g2
+        bvs tagged
+        nop
+        st %g0, [%g4]
+        ba out
+        nop
+    tagged:
+        mov 1, %g3
+        st %g3, [%g4]
+    out:
+    """)
+    assert result(system) == 1

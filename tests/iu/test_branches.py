@@ -1,0 +1,173 @@
+"""Control transfer: branches, delay slots, annulment, call/jmpl."""
+
+import pytest
+
+RES = 0x40100000
+
+
+def result(system, offset=0):
+    return system.read_word(RES + offset)
+
+
+@pytest.mark.parametrize("setup,branch,taken", [
+    ("cmp %g0, 0", "be", True),
+    ("cmp %g0, 0", "bne", False),
+    ("cmp %g0, 1", "bl", True),
+    ("cmp %g0, 1", "bge", False),
+    ("set 1, %g1\n cmp %g1, 0", "bg", True),
+    ("set 1, %g1\n cmp %g1, 0", "ble", False),
+    ("set -1, %g1\n cmp %g1, 0", "bneg", True),
+    ("set -1, %g1\n cmp %g1, 0", "bpos", False),
+    ("set -1, %g1\n cmp %g1, 1", "blu", False),  # unsigned: 0xffffffff > 1
+    ("set -1, %g1\n cmp %g1, 1", "bgu", True),
+    ("cmp %g0, 0", "ba", True),
+    ("cmp %g0, 0", "bn", False),
+])
+def test_branch_conditions(system, run, setup, branch, taken):
+    run(f"""
+        set {RES}, %g4
+        st %g0, [%g4]
+        {setup}
+        {branch} taken_path
+        nop
+        ba join
+        nop
+    taken_path:
+        mov 1, %g3
+        st %g3, [%g4]
+    join:
+    """)
+    assert result(system) == (1 if taken else 0)
+
+
+def test_delay_slot_executes_on_taken_branch(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        ba over
+        add %g1, 1, %g1         ! delay slot executes
+        add %g1, 100, %g1       ! skipped
+    over:
+        st %g1, [%g4]
+    """)
+    assert result(system) == 1
+
+
+def test_annulled_slot_on_untaken_branch(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        cmp %g0, 1
+        be,a never
+        add %g1, 100, %g1       ! annulled (branch untaken)
+        add %g1, 1, %g1
+    never:
+        st %g1, [%g4]
+    """)
+    assert result(system) == 1
+
+
+def test_taken_conditional_with_annul_executes_slot(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        cmp %g0, 0
+        be,a target
+        add %g1, 1, %g1         ! executes: conditional taken + annul
+        add %g1, 100, %g1
+    target:
+        st %g1, [%g4]
+    """)
+    assert result(system) == 1
+
+
+def test_ba_annul_skips_its_own_slot(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        ba,a target
+        add %g1, 100, %g1       ! annulled: ba,a annuls its own slot
+        add %g1, 50, %g1
+    target:
+        st %g1, [%g4]
+    """)
+    assert result(system) == 0
+
+
+def test_call_links_o7_and_returns(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        call sub
+        nop
+        st %g1, [%g4]
+        ba end
+        nop
+    sub:
+        retl
+        add %g1, 7, %g1         ! delay slot of retl
+    end:
+    """)
+    assert result(system) == 7
+
+
+def test_jmpl_indirect_jump(system, run):
+    program, _ = run(f"""
+        set {RES}, %g4
+        set target, %g1
+        jmp [%g1]
+        nop
+        st %g0, [%g4]
+        ba end
+        nop
+    target:
+        mov 1, %g3
+        st %g3, [%g4]
+    end:
+    """)
+    assert result(system) == 1
+
+
+def test_jmpl_misaligned_target_traps(system, run):
+    program, rr = run("""
+        set 0x40000001, %g1
+        jmp [%g1]
+        nop
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_nested_calls_preserve_return_chain(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        call outer
+        nop
+        st %g1, [%g4]
+        ba end
+        nop
+    outer:
+        save %sp, -96, %sp
+        call inner
+        nop
+        ret
+        restore %g1, 1, %g1     ! add 1 on the way out, restore window
+    inner:
+        retl
+        add %g1, 10, %g1
+    end:
+    """, symbols=None)
+    # inner adds 10 in outer's window %g1 (global), outer restores +1.
+    assert result(system) == 11
+
+
+def test_branch_loop_counts_cycles(system, run):
+    _, rr = run("""
+        set 50, %g1
+    loop:
+        subcc %g1, 1, %g1
+        bne loop
+        nop
+    """)
+    assert rr.instructions >= 150
+    assert system.perf.cycles >= rr.instructions

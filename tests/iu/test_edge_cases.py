@@ -1,0 +1,233 @@
+"""Integer-unit edge cases: Y register, annul corners, power-down wake,
+privilege transitions, atomics in I/O space."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, assemble
+
+RES = 0x40100000
+SRAM = 0x40000000
+
+
+def result(system, offset=0):
+    return system.read_word(RES + offset)
+
+
+def test_wry_rdy_roundtrip(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0xabcd1234, %g1
+        wr %g1, %y
+        nop
+        nop
+        nop
+        rd %y, %g2
+        st %g2, [%g4]
+    """)
+    assert result(system) == 0xABCD1234
+
+
+def test_wry_xor_form(system, run):
+    """WRY writes rs1 XOR operand2 (SPARC V8 semantics)."""
+    run(f"""
+        set {RES}, %g4
+        set 0xff00, %g1
+        wr %g1, 0xff, %y
+        nop
+        nop
+        nop
+        rd %y, %g2
+        st %g2, [%g4]
+    """)
+    assert result(system) == 0xFFFF
+
+
+def test_annulled_slot_skips_side_effects(system, run):
+    """An annulled delay slot must not store, trap, or touch memory."""
+    run(f"""
+        set {RES}, %g4
+        st %g0, [%g4]
+        cmp %g0, 1
+        be,a never
+        st %g4, [%g4]           ! annulled store: must not land
+        mov 1, %g1
+    never:
+        st %g1, [%g4+4]
+    """)
+    assert result(system) == 0
+    assert result(system, 4) == 1
+
+
+def test_back_to_back_branches(system, run):
+    """A branch in a branch's delay slot region (sequential branches)."""
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        ba first
+        add %g1, 1, %g1
+    first:
+        ba second
+        add %g1, 2, %g1
+    second:
+        st %g1, [%g4]
+    """)
+    assert result(system) == 3
+
+
+def test_call_in_delay_slot_chain(system, run):
+    run(f"""
+        set {RES}, %g4
+        clr %g1
+        call sub
+        add %g1, 5, %g1         ! delay slot of call
+        st %g1, [%g4]
+        ba end
+        nop
+    sub:
+        retl
+        add %g1, 10, %g1        ! delay slot of retl
+    end:
+    """)
+    assert result(system) == 15
+
+
+def test_power_down_wakes_on_interrupt():
+    """§3 peripherals: power-down idles the pipeline until an interrupt."""
+    system = LeonSystem(LeonConfig.fault_tolerant())
+    table = "\n".join(
+        ["trap_table:"]
+        + [f"    mov {tt}, %l3\n    ba handler\n    nop\n    nop"
+           for tt in range(256)]
+    )
+    program = assemble(table + f"""
+handler:
+    set {RES}, %l4
+    mov 1, %l5
+    st %l5, [%l4]
+    ! interrupt return: resume exactly where the processor was (l1/l2) --
+    ! unlike software traps, nothing is skipped.
+    jmp [%l1]
+    rett [%l2]
+_start:
+    wr %g0, %wim
+    set trap_table, %g1
+    wr %g1, %tbr
+    wr %g0, 0xE0, %psr
+    nop
+    nop
+    nop
+    set 0x80000090, %g1     ! unmask timer1 (level 8)
+    set 0x100, %g2
+    st %g2, [%g1]
+    set 0x80000064, %g1     ! prescaler = 1 cycle/tick
+    st %g0, [%g1]
+    set 0x80000044, %g1     ! timer1 reload = 200
+    set 200, %g2
+    st %g2, [%g1]
+    set 0x80000048, %g1     ! timer1 on
+    mov 7, %g2
+    st %g2, [%g1]
+    set 0x80000018, %g1     ! power down
+    st %g0, [%g1]
+    ! ...sleeping until the timer fires...
+    set {RES}, %g1
+    mov 2, %g2
+    st %g2, [%g1+4]
+done:
+    ba done
+    nop
+""", base=SRAM)
+    system.load_program(program)
+    entry = program.address_of("_start")
+    system.special.pc, system.special.npc = entry, entry + 4
+    run = system.run(10_000, stop_pc=program.address_of("done"))
+    assert run.stop_reason == "stop-pc"
+    assert system.read_word(RES) == 1  # handler ran
+    assert system.read_word(RES + 4) == 2  # execution resumed after wake
+
+
+def test_atomics_in_io_space(system, run):
+    io = system.config.memory.io_base
+    run(f"""
+        set {RES}, %g4
+        set {io}, %g1
+        set 0x55, %g2
+        st %g2, [%g1]
+        ldstub [%g1], %g3       ! reads byte 0 (big endian: 0x00)
+        st %g3, [%g4]
+        ldub [%g1], %g3
+        st %g3, [%g4+4]
+    """)
+    assert result(system) == 0x00
+    assert result(system, 4) == 0xFF
+
+
+def test_user_mode_cannot_rett(system, run):
+    _, rr = run("""
+        rd %psr, %g1
+        set 0x80, %g2
+        andn %g1, %g2, %g1
+        wr %g1, %psr            ! drop to user mode
+        nop
+        nop
+        nop
+        rett [%g0+4]            ! privileged (and ET=1): trap -> error mode
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_flush_invalidates_icache_word(system, run):
+    """FLUSH after self-modifying code: the new instruction is fetched."""
+    run(f"""
+        set {RES}, %g4
+        set patch_me, %g1
+        call patch_me           ! warm the icache with the old code
+        nop
+        set new_instr, %g3
+        ld [%g3], %g2
+        st %g2, [%g1+4]         ! overwrite 'mov 1, %g5' (the delay slot)
+        flush [%g1+4]
+        call patch_me
+        nop
+        st %g5, [%g4]
+        ba end
+        nop
+    patch_me:
+        retl
+        mov 1, %g5
+    new_instr:
+        .word 0x8A102002        ! mov 2, %g5
+    end:
+    """)
+    assert result(system) == 2
+
+
+def test_swap_with_register_address(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 8, %g1
+        set 123, %g2
+        st %g2, [%g4+8]
+        set 321, %g3
+        swap [%g4+%g1], %g3
+        st %g3, [%g4]
+    """)
+    assert result(system) == 123
+
+
+@pytest.mark.parametrize("tcond,icc_setup,taken", [
+    ("te", "cmp %g0, 0", True),
+    ("tne", "cmp %g0, 0", False),
+    ("tg", "cmp %g0, 1", False),
+    ("tl", "cmp %g0, 1", True),
+])
+def test_conditional_traps(system, run, tcond, icc_setup, taken):
+    _, rr = run(f"""
+        {icc_setup}
+        {tcond} 4
+        nop
+    """)
+    if taken:
+        assert rr.halted.value == "error-mode"  # no table installed
+    else:
+        assert rr.halted.value == "running"

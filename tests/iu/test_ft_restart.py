@@ -1,0 +1,432 @@
+"""The LEON-FT error-handling paths of sections 4.3-4.6, end to end.
+
+These tests inject SEUs into live systems and verify the exact paper
+behaviour: transparent correction with a 4-cycle pipeline restart for the
+register file, forced cache miss for cache parity errors, EDAC correction
+and sub-blocking for external memory, and TMR masking for flip-flops.
+"""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, ProtectionScheme
+from repro.ft.protection import ErrorKind
+from repro.iu.pipeline import StepEvent
+from repro.iu.timing import CYCLES_TRAP
+from repro.sparc.asm import assemble
+
+RES = 0x40100000
+BASE = 0x40000000
+
+
+def load(system, body, symbols=None):
+    source = body + "\n_test_done:\n    ba _test_done\n    nop\n"
+    program = assemble(source, base=BASE, symbols=symbols)
+    system.load_program(program)
+    return program
+
+
+def run_to_end(system, program, max_instructions=100_000):
+    return system.run(max_instructions, stop_pc=program.address_of("_test_done"))
+
+
+class TestRegfileBch:
+    def test_single_error_corrected_transparently(self, system):
+        """Section 4.4: correctable error -> corrected operand, pipeline
+        restart, instruction re-executes with the right value."""
+        program = load(system, f"""
+            set {RES}, %g4
+            set 1234, %g1
+        inject_here:
+            add %g1, 1, %g2
+            st %g2, [%g4]
+        """)
+        # Run until %g1 holds 1234, then flip a bit in it.
+        system.run(stop_pc=program.address_of("inject_here"))
+        physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+        system.regfile.inject(physical, bit=5)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 1235  # corrected before use
+        assert system.errors.rfe == 1
+        assert system.perf.pipeline_restarts == 1
+        assert system.errors.register_error_traps == 0
+
+    def test_restart_costs_four_cycles(self, system):
+        program = load(system, f"""
+            set 1, %g1
+        inject_here:
+            add %g1, 1, %g2
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+        system.regfile.inject(physical, bit=0)
+        result = system.step()
+        assert result.event is StepEvent.RESTART
+        assert result.cycles == 1 + CYCLES_TRAP  # fetch + restart refill
+        # The next step re-executes the same instruction successfully.
+        again = system.step()
+        assert again.event is StepEvent.OK
+        assert again.pc == result.pc
+
+    def test_one_register_corrected_per_restart(self, system):
+        """'The instruction will be restarted once for each error,
+        correcting and storing one register value each time.'"""
+        program = load(system, f"""
+            set {RES}, %g4
+            set 10, %g1
+            set 20, %g2
+        inject_here:
+            add %g1, %g2, %g3
+            st %g3, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        cwp = system.special.psr.cwp
+        system.regfile.inject(system.regfile.physical_index(cwp, 1), bit=1)
+        system.regfile.inject(system.regfile.physical_index(cwp, 2), bit=2)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 30
+        assert system.errors.rfe == 2
+        assert system.perf.pipeline_restarts == 2
+
+    def test_double_store_can_restart_four_times(self, system):
+        """Worst case of section 4.4: STD with four distinct bad registers."""
+        program = load(system, f"""
+            set {RES}, %g4
+            clr %g5
+            set 1, %g2
+            set 2, %g3
+        inject_here:
+            std %g2, [%g4+%g5]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        cwp = system.special.psr.cwp
+        for reg in (2, 3, 4, 5):  # rd, rd+1, rs1, rs2
+            system.regfile.inject(system.regfile.physical_index(cwp, reg), bit=3)
+        run_to_end(system, program)
+        assert system.errors.rfe == 4
+        assert system.perf.pipeline_restarts == 4
+        assert system.read_word(RES) == 1
+        assert system.read_word(RES + 4) == 2
+
+    def test_double_bit_error_takes_register_error_trap(self, system):
+        program = load(system, """
+            set 77, %g1
+        inject_here:
+            add %g1, 1, %g2
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+        system.regfile.inject(physical, bit=0)
+        system.regfile.inject(physical, bit=7)
+        result = system.step()
+        assert result.event is StepEvent.HALTED  # no trap table: error mode
+        assert result.trap_tt == 0x20  # r_register_access_error
+        assert system.errors.register_error_traps == 1
+
+
+class TestRegfileDuplicatedParity:
+    @pytest.fixture
+    def dup_system(self):
+        config = LeonConfig.fault_tolerant().with_changes(
+            ft=LeonConfig.fault_tolerant().ft.__class__(
+                tmr_flipflops=True,
+                regfile_protection=ProtectionScheme.PARITY,
+                regfile_duplicated=True,
+            )
+        )
+        return LeonSystem(config)
+
+    def test_parity_corrects_via_duplicate_copy(self, dup_system):
+        """Section 4.4: with two 2-port RAMs, parity errors are corrected
+        by copying from the error-free memory."""
+        system = dup_system
+        program = load(system, f"""
+            set {RES}, %g4
+            set 555, %g1
+        inject_here:
+            add %g1, 1, %g2
+            st %g2, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+        system.regfile.inject(physical, bit=4, copy=0)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 556
+        assert system.errors.rfe == 1
+
+    def test_both_copies_bad_is_uncorrectable(self, dup_system):
+        """'During the copy operation, the (presumed) error-free ram is also
+        checked; if an error is found an uncorrectable error trap is
+        generated.'"""
+        system = dup_system
+        program = load(system, """
+            set 1, %g1
+        inject_here:
+            add %g1, 1, %g2
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        physical = system.regfile.physical_index(system.special.psr.cwp, 1)
+        system.regfile.inject(physical, bit=4, copy=0)
+        system.regfile.inject(physical, bit=9, copy=1)
+        result = system.step()
+        assert result.trap_tt == 0x20
+
+
+class TestCacheParity:
+    def test_icache_data_parity_forces_miss(self, system):
+        """Section 4.3: parity error -> forced miss, data refetched."""
+        program = load(system, f"""
+            set {RES}, %g4
+            clr %g1
+        loop:
+            add %g1, 1, %g1
+            cmp %g1, 3
+            bne loop
+            nop
+            st %g1, [%g4]
+        """)
+        # Warm the icache, then corrupt the cached 'add' instruction.
+        system.run(max_instructions=6)
+        loop_addr = program.address_of("loop")
+        index = system.icache._index(loop_addr)
+        slot = index * system.icache.words_per_line + system.icache._word(loop_addr)
+        system.icache.data_ram.inject(slot, bit=3)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 3  # re-fetch got the clean copy
+        assert system.errors.ide == 1
+
+    def test_icache_tag_parity_forces_miss(self, system):
+        program = load(system, f"""
+            set {RES}, %g4
+            clr %g1
+        loop:
+            add %g1, 1, %g1
+            cmp %g1, 3
+            bne loop
+            nop
+            st %g1, [%g4]
+        """)
+        system.run(max_instructions=6)
+        loop_addr = program.address_of("loop")
+        system.icache.tag_ram.inject(system.icache._index(loop_addr), bit=2)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 3
+        assert system.errors.ite == 1
+
+    def test_dcache_data_parity_forces_miss(self, system):
+        program = load(system, f"""
+            set {RES}, %g4
+            set 4242, %g1
+            st %g1, [%g4+16]
+            ld [%g4+16], %g2        ! allocate in dcache
+        inject_here:
+            ld [%g4+16], %g3        ! read the (corrupted) cached copy
+            st %g3, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        address = RES + 16
+        index = system.dcache._index(address)
+        slot = index * system.dcache.words_per_line + system.dcache._word(address)
+        system.dcache.data_ram.inject(slot, bit=11)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 4242  # write-through copy wins
+        assert system.errors.dde == 1
+
+    def test_dcache_tag_parity_forces_miss(self, system):
+        program = load(system, f"""
+            set {RES}, %g4
+            set 777, %g1
+            st %g1, [%g4+16]
+            ld [%g4+16], %g2
+        inject_here:
+            ld [%g4+16], %g3
+            st %g3, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        system.dcache.tag_ram.inject(system.dcache._index(RES + 16), bit=0)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 777
+        assert system.errors.dte == 1
+
+    def test_adjacent_double_error_detected_with_dual_parity(self, system):
+        """Two parity bits catch MBU doubles in adjacent cells (4.3)."""
+        program = load(system, f"""
+            set {RES}, %g4
+            set 31337, %g1
+            st %g1, [%g4+16]
+            ld [%g4+16], %g2
+        inject_here:
+            ld [%g4+16], %g3
+            st %g3, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        address = RES + 16
+        slot = (system.dcache._index(address) * system.dcache.words_per_line
+                + system.dcache._word(address))
+        system.dcache.data_ram.inject(slot, bit=8)
+        system.dcache.data_ram.inject(slot, bit=9)  # adjacent cell
+        run_to_end(system, program)
+        assert system.read_word(RES) == 31337
+        assert system.errors.dde == 1
+
+    def test_same_group_double_error_escapes_dual_parity(self, system):
+        """The residual hole: bits 8 and 10 are both even -> undetected,
+        the corrupted value is *used* (the high-flux failure mode)."""
+        program = load(system, f"""
+            set {RES}, %g4
+            set 31337, %g1
+            st %g1, [%g4+16]
+            ld [%g4+16], %g2
+        inject_here:
+            ld [%g4+16], %g3
+            st %g3, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        address = RES + 16
+        slot = (system.dcache._index(address) * system.dcache.words_per_line
+                + system.dcache._word(address))
+        system.dcache.data_ram.inject(slot, bit=8)
+        system.dcache.data_ram.inject(slot, bit=10)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 31337 ^ (1 << 8) ^ (1 << 10)
+        assert system.errors.dde == 0
+
+
+class TestEdacSubblocking:
+    def test_single_memory_error_corrected_on_refill(self, system):
+        address = 0x40200000
+        system.write_word(address, 0xABCD0123)
+        system.memctrl.sram_memory.inject(address - 0x40000000, bit=6)
+        program = load(system, f"""
+            set {RES}, %g4
+            set {address}, %g1
+            ld [%g1], %g2
+            st %g2, [%g4]
+        """)
+        run_to_end(system, program)
+        assert system.read_word(RES) == 0xABCD0123
+        assert system.errors.edac_corrected >= 1
+
+    def test_uncorrectable_word_takes_precise_trap_when_accessed(self, system):
+        address = 0x40200000
+        system.write_word(address, 0x12345678)
+        system.memctrl.sram_memory.inject(address - 0x40000000, bit=0)
+        system.memctrl.sram_memory.inject(address - 0x40000000, bit=9)
+        program = load(system, f"""
+            set {address}, %g1
+            ld [%g1], %g2
+        """)
+        result = run_to_end(system, program)
+        assert result.halted.value == "error-mode"  # data_access_error, no table
+        assert system.errors.memory_error_traps == 1
+
+    def test_speculative_uncorrectable_word_is_harmless(self, system):
+        """Section 4.6 sub-blocking: an uncorrectable error in a word the
+        processor never asks for must not trap -- its valid bit just stays
+        clear while the rest of the line is used."""
+        line = 0x40200000
+        for offset in range(0, 16, 4):
+            system.write_word(line + offset, offset)
+        # Poison word 3 of the line with a double error.
+        system.memctrl.sram_memory.inject(line + 12 - 0x40000000, bit=1)
+        system.memctrl.sram_memory.inject(line + 12 - 0x40000000, bit=4)
+        program = load(system, f"""
+            set {RES}, %g4
+            set {line}, %g1
+            ld [%g1], %g2           ! refills the whole line speculatively
+            st %g2, [%g4]
+            ld [%g1+4], %g2
+            st %g2, [%g4+4]
+        """)
+        result = run_to_end(system, program)
+        assert result.halted.value == "running"
+        assert system.read_word(RES) == 0
+        assert system.read_word(RES + 4) == 4
+
+    def test_without_subblocking_speculative_error_poisons_line(self):
+        """The ablation: single valid bit per line -> the speculative error
+        is signalled even though the processor never wanted that word."""
+        from repro.core.config import CacheConfig
+
+        config = LeonConfig.fault_tolerant()
+        config = config.with_changes(
+            dcache=CacheConfig(size_bytes=config.dcache.size_bytes,
+                               parity=config.dcache.parity,
+                               subblocking=False))
+        system = LeonSystem(config)
+        line = 0x40200000
+        for offset in range(0, 16, 4):
+            system.write_word(line + offset, offset)
+        system.memctrl.sram_memory.inject(line + 12 - 0x40000000, bit=1)
+        system.memctrl.sram_memory.inject(line + 12 - 0x40000000, bit=4)
+        program = load(system, f"""
+            set {line}, %g1
+            ld [%g1], %g2           ! wants word 0, but the line is poisoned
+        """)
+        result = run_to_end(system, program)
+        assert result.halted.value == "error-mode"
+
+
+class TestTmrProtection:
+    def test_psr_upset_masked_with_tmr(self, system):
+        program = load(system, f"""
+            set {RES}, %g4
+            set 42, %g1
+        inject_here:
+            st %g1, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        system.ffbank.get("iu.psr").inject(bit=7, lane=1)  # S bit, one lane
+        system.mark_ffbank_dirty()
+        run_to_end(system, program)
+        assert system.read_word(RES) == 42
+        assert system.special.psr.s == 1
+
+    def test_pc_upset_corrupts_flow_without_tmr(self):
+        config = LeonConfig.standard()
+        system = LeonSystem(config)
+        program = load(system, f"""
+            set {RES}, %g4
+            set 42, %g1
+        inject_here:
+            st %g1, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        pc_reg = system.ffbank.get("iu.pc")
+        pc_reg.inject(bit=20, lane=0)  # jump 1 MiB away
+        system.mark_ffbank_dirty()
+        result = system.run(1000, stop_pc=program.address_of("_test_done"))
+        # Execution went off the rails: either halted or never reached done.
+        assert result.stop_reason != "stop-pc" or system.read_word(RES) != 42
+
+    def test_clock_tree_strike_survived_with_tmr(self, system):
+        program = load(system, f"""
+            set {RES}, %g4
+            set 4711, %g1
+        inject_here:
+            st %g1, [%g4]
+        """)
+        system.run(stop_pc=program.address_of("inject_here"))
+        system.ffbank.inject_clock_tree(lane=2)
+        system.mark_ffbank_dirty()
+        run_to_end(system, program)
+        assert system.read_word(RES) == 4711
+
+
+class TestDoubleStoreDelay:
+    def test_ft_double_store_costs_one_extra_cycle(self):
+        """Section 4.4: the write buffer delays the bus one cycle so the
+        second STD word is checked before the store cycle starts."""
+        results = {}
+        for name, config in (("std", LeonConfig.standard()),
+                             ("ft", LeonConfig.fault_tolerant())):
+            system = LeonSystem(config)
+            program = load(system, f"""
+                set {RES}, %g4
+                set 1, %g2
+                set 2, %g3
+                std %g2, [%g4+8]
+                std %g2, [%g4+16]
+            """)
+            run_to_end(system, program)
+            results[name] = system.perf.cycles
+        assert results["ft"] == results["std"] + 2  # one per STD

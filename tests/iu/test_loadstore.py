@@ -1,0 +1,210 @@
+"""Loads and stores: sizes, sign extension, doubles, atomics, alignment."""
+
+import pytest
+
+RES = 0x40100000
+
+
+def result(system, offset=0):
+    return system.read_word(RES + offset)
+
+
+def test_word_store_load_roundtrip(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0xdeadbeef, %g1
+        st %g1, [%g4+8]
+        ld [%g4+8], %g2
+        st %g2, [%g4]
+    """)
+    assert result(system) == 0xDEADBEEF
+
+
+def test_byte_halfword_access_big_endian(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x11223344, %g1
+        st %g1, [%g4+8]
+        ldub [%g4+8], %g2       ! byte 0 = most significant (big endian)
+        st %g2, [%g4]
+        lduh [%g4+10], %g2      ! halfword 1 = low half
+        st %g2, [%g4+4]
+    """)
+    assert result(system) == 0x11
+    assert result(system, 4) == 0x3344
+
+
+def test_byte_store_merges(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x11223344, %g1
+        st %g1, [%g4+8]
+        set 0xaa, %g2
+        stb %g2, [%g4+9]
+        ld [%g4+8], %g3
+        st %g3, [%g4]
+    """)
+    assert result(system) == 0x11AA3344
+
+
+def test_halfword_store_merges(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x11223344, %g1
+        st %g1, [%g4+8]
+        set 0xbeef, %g2
+        sth %g2, [%g4+8]
+        ld [%g4+8], %g3
+        st %g3, [%g4]
+    """)
+    assert result(system) == 0xBEEF3344
+
+
+def test_signed_byte_halfword_loads(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x80fF8001, %g1
+        st %g1, [%g4+8]
+        ldsb [%g4+8], %g2       ! 0x80 -> sign extended
+        st %g2, [%g4]
+        ldsh [%g4+10], %g2      ! 0x8001 -> sign extended
+        st %g2, [%g4+4]
+    """)
+    assert result(system) == 0xFFFFFF80
+    assert result(system, 4) == 0xFFFF8001
+
+
+def test_ldd_std_pair(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 0x11111111, %g2
+        set 0x22222222, %g3
+        std %g2, [%g4+8]
+        ldd [%g4+8], %l0
+        st %l0, [%g4]
+        st %l1, [%g4+4]
+    """)
+    assert result(system) == 0x11111111
+    assert result(system, 4) == 0x22222222
+
+
+def test_misaligned_word_load_traps(system, run):
+    _, rr = run("""
+        set 0x40100002, %g1
+        ld [%g1], %g2
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_misaligned_halfword_traps(system, run):
+    _, rr = run("""
+        set 0x40100001, %g1
+        lduh [%g1], %g2
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_ldd_odd_register_traps(system, run):
+    # ldd with odd rd is illegal_instruction; hand-encode it.
+    from repro.sparc.encode import fmt3_imm
+    from repro.sparc.isa import Op, Op3Mem
+
+    word = fmt3_imm(Op.MEM, Op3Mem.LDD, 3, 4, 0)  # rd = %g3 (odd)
+    _, rr = run(f"""
+        set {RES}, %g4
+        .word {word}
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_ldstub_atomic_sets_ff(system, run):
+    run(f"""
+        set {RES}, %g4
+        st %g0, [%g4+8]
+        ldstub [%g4+8], %g2     ! reads 0, writes 0xff
+        st %g2, [%g4]
+        ldub [%g4+8], %g3
+        st %g3, [%g4+4]
+    """)
+    assert result(system) == 0
+    assert result(system, 4) == 0xFF
+
+
+def test_swap_exchanges(system, run):
+    run(f"""
+        set {RES}, %g4
+        set 111, %g1
+        st %g1, [%g4+8]
+        set 222, %g2
+        swap [%g4+8], %g2
+        st %g2, [%g4]
+        ld [%g4+8], %g3
+        st %g3, [%g4+4]
+    """)
+    assert result(system) == 111
+    assert result(system, 4) == 222
+
+
+def test_load_delay_timing(system, run):
+    """Loads cost 2 cycles, LDD 3 (cache hits)."""
+    _, rr = run(f"""
+        set {RES}, %g4
+        ld [%g4], %g1
+        ld [%g4], %g1
+    """)
+    # Detailed cycle totals vary with misses; just check loads were counted.
+    assert system.perf.loads == 2
+
+
+def test_store_counted(system, run):
+    run(f"""
+        set {RES}, %g4
+        st %g0, [%g4]
+        std %g2, [%g4+8]
+    """)
+    assert system.perf.stores == 2
+
+
+def test_io_space_is_uncached(system, run):
+    """Accesses to the I/O area bypass the caches."""
+    io_base = system.config.memory.io_base
+    before = system.perf.dcache_hits + system.perf.dcache_misses
+    run(f"""
+        set {io_base}, %g1
+        set 77, %g2
+        st %g2, [%g1]
+        ld [%g1], %g3
+        set {RES}, %g4
+        st %g3, [%g4]
+    """)
+    assert result(system) == 77
+
+
+def test_store_to_unmapped_address_traps(system, run):
+    _, rr = run("""
+        set 0xf0000000, %g1
+        st %g0, [%g1]
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+@pytest.mark.parametrize("asi,ram_attr", [(0x0C, "tag_ram"), (0x0D, "data_ram")])
+def test_diagnostic_asi_reads_icache_rams(system, run, asi, ram_attr):
+    """LEON diagnostic ASIs expose the cache RAMs to software."""
+    from repro.sparc.encode import fmt3_reg
+    from repro.sparc.isa import Op, Op3Mem
+
+    ram = getattr(system.icache, ram_attr)
+    # Use an index far from the test program's own footprint: the program's
+    # fetches refill low cache lines and would overwrite low RAM indices.
+    index = ram.words - 1
+    ram.write(index, 0x5A5A5A5A)
+    # lda [%g1] asi, %g2 with %g1 = index * 4
+    word = fmt3_reg(Op.MEM, Op3Mem.LDA, 2, 1, 0, asi=asi)
+    run(f"""
+        set {index * 4}, %g1
+        .word {word}
+        set {RES}, %g4
+        st %g2, [%g4]
+    """)
+    assert result(system) == 0x5A5A5A5A

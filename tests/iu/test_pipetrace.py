@@ -1,0 +1,90 @@
+"""The Figure 2 pipeline diagrams."""
+
+from repro.iu.pipetrace import (
+    BUBBLE,
+    STAGES,
+    PipelineTracer,
+    render_diagram,
+    trace_normal,
+    trace_restart,
+    trace_trap,
+    trace_uncorrectable,
+)
+
+LABELS = ["INST1", "INST2", "INST3", "INST4", "INST5"]
+
+
+def test_normal_execution_one_per_cycle():
+    diagram = trace_normal(LABELS)
+    fe = diagram.stage_row("FE")
+    assert fe[:5] == LABELS
+    # Every instruction completes, in order, one cycle apart.
+    completions = [diagram.completion_cycle(label) for label in LABELS]
+    assert completions == sorted(completions)
+    assert all(done is not None for done in completions)
+    assert completions[1] - completions[0] == 1
+
+
+def test_trap_flushes_younger_instructions():
+    diagram = trace_trap(LABELS, trap_index=1)
+    # The trapped instruction and everything younger never reach WR.
+    for label in LABELS[1:]:
+        assert diagram.completion_cycle(label) is None
+    assert diagram.completion_cycle("INST1") is not None
+    # The handler runs.
+    assert diagram.completion_cycle("TA1") is not None
+
+
+def test_restart_reexecutes_failing_instruction():
+    """Figure 2-C: the failing instruction completes on the second try."""
+    diagram = trace_restart(LABELS, error_index=1)
+    fe = diagram.stage_row("FE")
+    assert fe.count("INST2") == 2  # fetched twice
+    assert diagram.completion_cycle("INST2") is not None
+    assert diagram.completion_cycle("INST5") is not None  # stream resumes
+    assert "CHECK" in diagram.stage_row("EX")
+    assert "CORR." in diagram.stage_row("ME")
+    assert "UPDATE" in diagram.stage_row("WR")
+
+
+def test_restart_and_trap_cost_the_same():
+    """'The time for the complete restart operation takes 4 clock cycles,
+    the same as for taking a normal trap.'"""
+    trap = trace_trap(LABELS, trap_index=1, handler_labels=("TA1",))
+    restart = trace_restart(LABELS, error_index=1)
+    trap_refetch = trap.stage_row("FE").index("TA1")
+    restart_refetch = restart.stage_row("FE").index("INST2", 2)
+    assert trap_refetch == restart_refetch
+    assert PipelineTracer.restart_penalty_cycles() == 4
+
+
+def test_uncorrectable_takes_error_trap():
+    diagram = trace_uncorrectable(LABELS, error_index=1)
+    assert "CHECK" in diagram.stage_row("EX")
+    assert "ERROR" in diagram.stage_row("ME")
+    assert "TRAP" in diagram.stage_row("WR")
+    assert diagram.completion_cycle("INST2") is None
+    assert diagram.completion_cycle("TA1") is not None
+
+
+def test_render_contains_all_stages():
+    text = render_diagram(trace_normal(LABELS))
+    for stage in STAGES:
+        assert stage in text
+    assert "INST1" in text
+
+
+def test_tracer_bundle():
+    tracer = PipelineTracer()
+    diagrams = tracer.figure2()
+    assert len(diagrams) == 4
+    titles = [diagram.title for diagram in diagrams]
+    assert titles[0].startswith("A.")
+    assert titles[3].startswith("D.")
+    text = tracer.render_all()
+    assert "CORR." in text and "TRAP" in text
+
+
+def test_bubble_constant_used_for_empty_slots():
+    diagram = trace_normal(["X"])
+    assert diagram.stage_row("WR")[0] == BUBBLE

@@ -1,0 +1,73 @@
+"""PSR / WIM / TBR / Y bit-level behaviour."""
+
+from repro.ft.tmr import FlipFlopBank
+from repro.iu.psr import PSR, SpecialRegisters
+
+
+def make_psr(nwindows=8):
+    return PSR(FlipFlopBank(tmr=False), nwindows)
+
+
+def test_reset_state():
+    psr = make_psr()
+    assert psr.s == 1
+    assert psr.et == 0
+    assert psr.cwp == 0
+
+
+def test_impl_ver_fields_read_only():
+    psr = make_psr()
+    psr.write(0xFFFFFFFF)
+    assert (psr.value >> 28) == 0xF  # impl forced
+    assert ((psr.value >> 24) & 0xF) == 0x3  # ver forced
+
+
+def test_icc_fields():
+    psr = make_psr()
+    psr.icc = 0b1010  # N=1, Z=0, V=1, C=0
+    assert psr.n == 1 and psr.z == 0 and psr.v == 1 and psr.c == 0
+    assert (psr.value >> 20) & 0xF == 0b1010
+
+
+def test_mode_fields_roundtrip():
+    psr = make_psr()
+    psr.ef = 1
+    psr.pil = 9
+    psr.s = 0
+    psr.ps = 1
+    psr.et = 1
+    assert (psr.ef, psr.pil, psr.s, psr.ps, psr.et) == (1, 9, 0, 1, 1)
+
+
+def test_cwp_wraps_modulo_nwindows():
+    psr = make_psr(8)
+    psr.cwp = 9
+    assert psr.cwp == 1
+    psr.cwp = -1
+    assert psr.cwp == 7
+
+
+def test_special_registers_tbr_tt_field():
+    special = SpecialRegisters(FlipFlopBank(tmr=False), 8)
+    special.tbr = 0x40000FFF  # only bits 31:12 written
+    special.set_tt(0x2A)
+    assert special.tbr_read == 0x40000000 | (0x2A << 4)
+    assert special.trap_vector == 0x40000000 | (0x2A << 4)
+
+
+def test_wim_masked_to_nwindows():
+    special = SpecialRegisters(FlipFlopBank(tmr=False), 8)
+    special.wim = 0xFFFFFFFF
+    assert special.wim == 0xFF
+
+
+def test_pc_pair_reset():
+    special = SpecialRegisters(FlipFlopBank(tmr=False), 8, reset_pc=0x100)
+    assert special.pc == 0x100
+    assert special.npc == 0x104
+
+
+def test_y_register():
+    special = SpecialRegisters(FlipFlopBank(tmr=False), 8)
+    special.y = 0x123456789  # truncated to 32 bits
+    assert special.y == 0x23456789

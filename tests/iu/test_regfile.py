@@ -1,0 +1,140 @@
+"""The windowed register file as a unit: mapping, protection, scrubbing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.ft.protection import ErrorKind, ProtectionScheme
+from repro.iu.regfile import RegisterFile
+
+
+def test_size_matches_table1():
+    regfile = RegisterFile(8)
+    assert regfile.words == 136  # "Register file (136x32)"
+
+
+def test_window_overlap_outs_are_next_ins():
+    regfile = RegisterFile(8)
+    # outs of window w (r8..r15) == ins of window w-1 (r24..r31).
+    for w in range(8):
+        for i in range(8):
+            assert (regfile.physical_index(w, 8 + i)
+                    == regfile.physical_index((w - 1) % 8, 24 + i))
+
+
+def test_globals_shared_across_windows():
+    regfile = RegisterFile(8)
+    for w in range(8):
+        for g in range(8):
+            assert regfile.physical_index(w, g) == g
+
+
+def test_locals_unique_per_window():
+    regfile = RegisterFile(8)
+    seen = set()
+    for w in range(8):
+        for loc in range(16, 24):
+            physical = regfile.physical_index(w, loc)
+            assert physical not in seen
+            seen.add(physical)
+
+
+def test_g0_reads_zero_and_ignores_writes():
+    regfile = RegisterFile(8, ProtectionScheme.BCH)
+    regfile.write(0, 0, 0xFFFFFFFF)
+    data, check, physical = regfile.read_raw(0, 0)
+    assert data == 0 and physical == 0
+    assert regfile.check_operand(0, 0).kind is ErrorKind.NONE
+
+
+@given(st.integers(min_value=0, max_value=7),
+       st.integers(min_value=1, max_value=31),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_write_read_roundtrip(window, reg, value):
+    regfile = RegisterFile(8, ProtectionScheme.BCH)
+    regfile.write(window, reg, value)
+    data, _check, _physical = regfile.read_raw(window, reg)
+    assert data == value
+    assert regfile.operand_ok(window, reg)
+
+
+def test_bch_corrects_and_writes_back():
+    regfile = RegisterFile(8, ProtectionScheme.BCH)
+    regfile.write(0, 1, 0x1234)
+    physical = regfile.physical_index(0, 1)
+    regfile.inject(physical, bit=3)
+    assert not regfile.operand_ok(0, 1)
+    check = regfile.check_operand(0, 1)
+    assert check.kind is ErrorKind.CORRECTABLE
+    assert check.data == 0x1234
+    regfile.correct(check)
+    assert regfile.operand_ok(0, 1)
+
+
+def test_parity_three_port_cannot_correct():
+    regfile = RegisterFile(8, ProtectionScheme.PARITY)
+    regfile.write(0, 1, 0x1234)
+    regfile.inject(regfile.physical_index(0, 1), bit=3)
+    assert regfile.check_operand(0, 1).kind is ErrorKind.DETECTED
+
+
+def test_correct_requires_correctable():
+    regfile = RegisterFile(8, ProtectionScheme.PARITY)
+    regfile.write(0, 1, 5)
+    regfile.inject(regfile.physical_index(0, 1), bit=0)
+    check = regfile.check_operand(0, 1)
+    with pytest.raises(InjectionError):
+        regfile.correct(check)
+
+
+def test_duplicated_requires_parity():
+    with pytest.raises(ConfigurationError):
+        RegisterFile(8, ProtectionScheme.BCH, duplicated=True)
+    with pytest.raises(ConfigurationError):
+        RegisterFile(8, ProtectionScheme.NONE, duplicated=True)
+
+
+def test_duplicated_total_bits_doubled():
+    single = RegisterFile(8, ProtectionScheme.PARITY)
+    double = RegisterFile(8, ProtectionScheme.PARITY, duplicated=True)
+    assert double.total_bits == 2 * single.total_bits
+
+
+def test_scrub_all_fixes_latent_errors():
+    """Models the section 4.8 task-switch window flush."""
+    regfile = RegisterFile(8, ProtectionScheme.BCH)
+    for reg in range(1, 32):
+        regfile.write(0, reg, reg * 17)
+    regfile.inject(regfile.physical_index(0, 5), bit=2)
+    regfile.inject(regfile.physical_index(0, 9), bit=30)
+    corrected, uncorrectable = regfile.scrub_all()
+    assert corrected == 2
+    assert uncorrectable == 0
+    for reg in range(1, 32):
+        assert regfile.read_raw(0, reg)[0] == reg * 17
+
+
+def test_scrub_all_reports_uncorrectable():
+    regfile = RegisterFile(8, ProtectionScheme.BCH)
+    regfile.write(0, 1, 1)
+    physical = regfile.physical_index(0, 1)
+    regfile.inject(physical, bit=0)
+    regfile.inject(physical, bit=1)
+    corrected, uncorrectable = regfile.scrub_all()
+    assert uncorrectable == 1
+
+
+def test_inject_flat_covers_copies():
+    regfile = RegisterFile(8, ProtectionScheme.PARITY, duplicated=True)
+    per_copy = regfile.words * regfile.bits_per_word
+    copy, physical, bit = regfile.inject_flat(per_copy + 33)
+    assert copy == 1
+    assert physical == 1
+    assert bit == 0
+
+
+def test_window_view():
+    regfile = RegisterFile(8)
+    regfile.write(2, 17, 99)
+    assert regfile.window_view(2)[17] == 99

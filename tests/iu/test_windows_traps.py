@@ -1,0 +1,242 @@
+"""Register windows, traps, RETT, interrupts, privileged operations."""
+
+RES = 0x40100000
+
+#: A minimal trap table: entry 0 unused; every entry jumps to 'handler'.
+TRAP_TABLE = "\n".join(
+    [
+        "trap_table:",
+    ]
+    + [f"    mov {tt}, %l3\n    ba handler\n    nop\n    nop" for tt in range(256)]
+)
+
+RUNTIME = f"""
+{TRAP_TABLE}
+
+handler:
+    set {RES + 0x20}, %l4
+    st %l3, [%l4]           ! record tt
+    ld [%l4+4], %l5
+    add %l5, 1, %l5
+    st %l5, [%l4+4]         ! count traps
+    ! Interrupts (tt 0x11..0x1F) resume at l1/l2; synchronous traps skip
+    ! the trapping instruction (return to l2/l2+4).
+    cmp %l3, 0x11
+    bl handler_sync
+    nop
+    cmp %l3, 0x1F
+    bg handler_sync
+    nop
+    jmp [%l1]
+    rett [%l2]
+handler_sync:
+    jmp [%l2]               ! return to the instruction after the trap
+    rett [%l2+4]
+
+_start:
+    wr %g0, %wim
+    set trap_table, %g1
+    wr %g1, %tbr
+    wr %g0, 0xE0, %psr      ! S=1, ET=1, PS=1, CWP=0
+    nop
+    nop
+    nop
+    set 0x401ffff0, %sp
+"""
+
+
+def trap_tt(system):
+    return system.read_word(RES + 0x20)
+
+
+def trap_count(system):
+    return system.read_word(RES + 0x24)
+
+
+def result(system, offset=0):
+    return system.read_word(RES + offset)
+
+
+def run_with_traps(run, body):
+    return run(RUNTIME + body)
+
+
+def test_software_trap_vectors_and_returns(system, run):
+    run_with_traps(run, f"""
+        set {RES}, %g4
+        ta 5
+        mov 1, %g1              ! execution continues after the trap
+        st %g1, [%g4]
+    """)
+    assert trap_tt(system) == 0x80 + 5
+    assert trap_count(system) == 1
+    assert result(system) == 1
+
+
+def test_window_overflow_trap(system, run):
+    """Saving into an invalid window (WIM bit set) traps with tt=5."""
+    nwin = system.config.nwindows
+    run_with_traps(run, f"""
+        mov 1, %g1
+        sll %g1, {nwin - 1}, %g1
+        wr %g1, %wim            ! window nwin-1 invalid; CWP=0
+        nop
+        nop
+        nop
+        save %sp, -96, %sp      ! CWP 0 -> nwin-1: overflow
+    """)
+    assert trap_tt(system) == 0x05
+    assert trap_count(system) == 1
+
+
+def test_window_underflow_trap(system, run):
+    nwin = system.config.nwindows
+    run_with_traps(run, f"""
+        mov 1, %g1
+        sll %g1, 1, %g1
+        wr %g1, %wim            ! window 1 invalid
+        nop
+        nop
+        nop
+        restore                 ! CWP 0 -> 1: underflow
+    """)
+    assert trap_tt(system) == 0x06
+    assert trap_count(system) == 1
+
+
+def test_save_restore_window_data(system, run):
+    run_with_traps(run, f"""
+        set {RES}, %g4
+        set 11, %o0
+        save %sp, -96, %sp      ! %o0 becomes %i0
+        st %i0, [%g4]
+        set 22, %l0
+        restore %g0, 33, %o1    ! computed in old window, written after restore
+        st %o1, [%g4+4]
+    """)
+    assert result(system) == 11
+    assert result(system, 4) == 33
+
+
+def test_illegal_instruction_traps(system, run):
+    run_with_traps(run, """
+        unimp 0
+        nop
+    """)
+    assert trap_tt(system) == 0x02
+
+
+def test_privileged_instruction_traps_in_user_mode(system, run):
+    run_with_traps(run, """
+        rd %psr, %g1
+        set 0x80, %g2
+        andn %g1, %g2, %g1      ! clear S
+        wr %g1, %psr            ! drop to user mode (ET stays 1)
+        nop
+        nop
+        nop
+        rd %wim, %g3            ! privileged -> trap 3
+    """)
+    assert trap_tt(system) == 0x03
+
+
+def test_wrpsr_illegal_cwp_traps(system, run):
+    nwin = system.config.nwindows
+    run_with_traps(run, f"""
+        rd %psr, %g1
+        or %g1, {nwin}, %g1     ! CWP field >= nwindows
+        wr %g1, %psr
+        nop
+    """)
+    assert trap_tt(system) == 0x02
+
+
+def test_trap_saves_pc_in_locals(system, run):
+    """The trap handler sees pc/npc of the trapping instruction in l1/l2."""
+    run_with_traps(run, f"""
+        set {RES}, %g4
+    trap_here:
+        ta 0
+        nop
+    """)
+    # The handler returned via jmp l2 / rett l2+4; verify it ran exactly once
+    assert trap_count(system) == 1
+
+
+def test_interrupt_taken_and_acknowledged(system, run):
+    """Force an interrupt through the interrupt controller."""
+    irq_force = 0x80000098  # irqctrl force register
+    irq_mask = 0x80000090
+    run_with_traps(run, f"""
+        set {RES}, %g4
+        set {irq_mask}, %g1
+        set 0xfffe, %g2
+        st %g2, [%g1]           ! unmask all levels
+        set {irq_force}, %g1
+        set 0x100, %g2          ! force level 8
+        st %g2, [%g1]
+        nop
+        nop
+        mov 1, %g3
+        st %g3, [%g4]
+    """)
+    assert trap_tt(system) == 0x18  # interrupt level 8
+    assert result(system) == 1
+
+
+def test_interrupt_masked_by_pil(system, run):
+    irq_force = 0x80000098
+    irq_mask = 0x80000090
+    run_with_traps(run, f"""
+        set {RES}, %g4
+        rd %psr, %g1
+        set 0xf00, %g2
+        or %g1, %g2, %g1        ! PIL = 15: mask everything
+        wr %g1, %psr
+        nop
+        nop
+        nop
+        set {irq_mask}, %g1
+        set 0xfffe, %g2
+        st %g2, [%g1]
+        set {irq_force}, %g1
+        set 0x100, %g2
+        st %g2, [%g1]
+        nop
+        nop
+        mov 1, %g3
+        st %g3, [%g4]
+    """)
+    assert trap_count(system) == 0
+    assert result(system) == 1
+
+
+def test_rett_requires_supervisor_and_et0(system, run):
+    """RETT executed with traps enabled is an illegal instruction."""
+    run_with_traps(run, """
+        rett [%l2+4]
+        nop
+    """)
+    assert trap_tt(system) == 0x02
+
+
+def test_trap_in_error_mode_halts(system, run):
+    """A trap while ET=0 puts the processor in error mode (section 4.x)."""
+    _, rr = run("""
+        ta 0                    ! no trap table, ET=0 at reset... but crt-less
+    """)
+    assert rr.halted.value == "error-mode"
+
+
+def test_cwp_wraps_modulo_nwindows(system, run):
+    nwin = system.config.nwindows
+    saves = "\n".join(["    save %sp, -96, %sp"] * nwin)
+    restores = "\n".join(["    restore"] * nwin)
+    run_with_traps(run, f"""
+        set {RES}, %g4
+        set 99, %l0
+{saves}
+{restores}
+        st %l0, [%g4]           ! back in the original window
+    """)
+    assert result(system) == 99

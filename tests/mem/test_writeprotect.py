@@ -1,0 +1,116 @@
+"""Memory write protection: the wild-write guard."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, assemble
+from repro.errors import BusError, ConfigurationError
+from repro.mem.writeprotect import WpMode, WriteProtector
+
+SRAM = 0x40000000
+
+
+class TestUnit:
+    def test_disabled_blocks_nothing(self):
+        protector = WriteProtector()
+        assert not protector.blocks(SRAM)
+        assert protector.total_violations == 0
+
+    def test_protect_inside(self):
+        protector = WriteProtector()
+        protector.protect_range(SRAM, SRAM + 0x1000)
+        assert protector.blocks(SRAM)
+        assert protector.blocks(SRAM + 0xFFC)
+        assert not protector.blocks(SRAM + 0x1000)
+        assert protector.total_violations == 2
+        assert protector.units[0].last_violation == SRAM + 0xFFC
+
+    def test_allow_only(self):
+        protector = WriteProtector()
+        protector.allow_only(SRAM + 0x1000, SRAM + 0x2000)
+        assert protector.blocks(SRAM)  # outside the window
+        assert not protector.blocks(SRAM + 0x1800)
+
+    def test_two_units_combine(self):
+        protector = WriteProtector()
+        protector.protect_range(SRAM, SRAM + 0x100, unit=0)
+        protector.protect_range(SRAM + 0x200, SRAM + 0x300, unit=1)
+        assert protector.blocks(SRAM + 0x80)
+        assert protector.blocks(SRAM + 0x280)
+        assert not protector.blocks(SRAM + 0x180)
+
+    def test_disable(self):
+        protector = WriteProtector()
+        protector.protect_range(SRAM, SRAM + 0x100)
+        protector.disable()
+        assert not protector.blocks(SRAM)
+
+    def test_validation(self):
+        protector = WriteProtector()
+        with pytest.raises(ConfigurationError):
+            protector.units[0].configure(0x100, 0x0, WpMode.PROTECT_INSIDE)
+        with pytest.raises(ConfigurationError):
+            WriteProtector(units=0)
+
+
+class TestSystemIntegration:
+    def test_blocked_store_is_bus_error(self):
+        system = LeonSystem(LeonConfig.fault_tolerant())
+        system.memctrl.write_protector.protect_range(SRAM + 0x1000,
+                                                     SRAM + 0x2000)
+        system.write_word(SRAM + 0x3000, 1)  # outside: fine
+        with pytest.raises(BusError):
+            system.write_word(SRAM + 0x1000, 1)
+
+    def test_wild_store_takes_precise_trap(self):
+        """A store into the protected code segment traps instead of
+        corrupting the program."""
+        system = LeonSystem(LeonConfig.fault_tolerant())
+        program = assemble(f"""
+            set {SRAM}, %g1
+            st %g0, [%g1]           ! wild write into our own code
+        done:
+            ba done
+            nop
+        """, base=SRAM)
+        system.load_program(program)
+        system.memctrl.write_protector.protect_range(SRAM, SRAM + 0x1000)
+        result = system.run(100, stop_pc=program.address_of("done"))
+        assert result.halted.value == "error-mode"  # data_store_error
+        # The code itself is intact.
+        assert system.read_word(SRAM) == program.words[0]
+
+    def test_programmable_through_apb(self):
+        """Software configures the guard through the system registers."""
+        system = LeonSystem(LeonConfig.fault_tolerant())
+        program = assemble(f"""
+            set 0x80000028, %g1     ! wp0 start
+            set {SRAM + 0x1000}, %g2
+            st %g2, [%g1]
+            set 0x8000002C, %g1     ! wp0 end
+            set {SRAM + 0x2000}, %g2
+            st %g2, [%g1]
+            set 0x80000030, %g1     ! wp0 control: protect-inside
+            mov 1, %g2
+            st %g2, [%g1]
+        done:
+            ba done
+            nop
+        """, base=SRAM)
+        system.load_program(program)
+        system.run(100, stop_pc=program.address_of("done"))
+        unit = system.memctrl.write_protector.units[0]
+        assert unit.mode is WpMode.PROTECT_INSIDE
+        assert unit.start == SRAM + 0x1000
+        with pytest.raises(BusError):
+            system.write_word(SRAM + 0x1800, 0)
+        # Read-back over the APB.
+        assert system.read_word(0x80000028) == SRAM + 0x1000
+        assert system.read_word(0x80000030) == 1
+
+    def test_loading_bypasses_protection(self):
+        """Image loading is a back-door (ROM emulation), not a bus write."""
+        system = LeonSystem(LeonConfig.fault_tolerant())
+        system.memctrl.write_protector.protect_range(SRAM, SRAM + 0x10000)
+        program = assemble("nop", base=SRAM)
+        system.load_program(program)  # must not raise
+        assert system.read_word(SRAM) == program.words[0]

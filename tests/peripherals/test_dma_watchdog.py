@@ -1,0 +1,141 @@
+"""The DMA engine and the watchdog timer."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, assemble
+from repro.peripherals.timer import TimerUnit
+
+SRAM = 0x40000000
+DMA_BASE = 0x800000D0
+
+
+@pytest.fixture
+def system():
+    return LeonSystem(LeonConfig.fault_tolerant())
+
+
+class TestDma:
+    def _program(self, system, source, destination, count):
+        system.dma.apb_write(0x00, source)
+        system.dma.apb_write(0x04, destination)
+        system.dma.apb_write(0x08, count)
+
+    def test_block_copy(self, system):
+        for index in range(16):
+            system.write_word(SRAM + 0x1000 + 4 * index, index * 7)
+        self._program(system, SRAM + 0x1000, SRAM + 0x2000, 16)
+        assert system.dma.busy
+        system.dma.drain()
+        assert system.dma.done and not system.dma.busy
+        for index in range(16):
+            assert system.read_word(SRAM + 0x2000 + 4 * index) == index * 7
+        assert system.dma.words_moved == 16
+
+    def test_transfer_progresses_with_ticks(self, system):
+        self._program(system, SRAM, SRAM + 0x100, 8)
+        system.apb.tick(16)  # 0.25 words/cycle -> 4 words
+        assert 0 < system.dma.words_moved < 8
+        system.apb.tick(1000)
+        assert system.dma.done
+
+    def test_bus_error_latched(self, system):
+        self._program(system, 0xF0000000, SRAM, 4)  # unmapped source
+        system.dma.drain()
+        assert system.dma.error
+        system.dma.apb_write(0x0C, 0)
+        assert not system.dma.error
+
+    def test_dma_scrubs_single_edac_errors(self, system):
+        """A DMA sweep through EDAC memory corrects latent single errors."""
+        address = SRAM + 0x3000
+        system.write_word(address, 0xABCD)
+        system.memctrl.sram_memory.inject(address - SRAM, 3)
+        self._program(system, address, SRAM + 0x4000, 1)
+        system.dma.drain()
+        assert system.dma.corrected == 1
+        assert system.read_word(SRAM + 0x4000) == 0xABCD
+        # The source was scrubbed by the corrected read.
+        raw, _check = system.memctrl.sram_memory.read_raw(address - SRAM)
+        assert raw == 0xABCD
+
+    def test_dma_steals_bus_cycles(self, system):
+        self._program(system, SRAM, SRAM + 0x100, 32)
+        before = system.dma.master.granted_cycles
+        system.dma.drain()
+        assert system.dma.master.granted_cycles > before
+
+    def test_programmable_from_software(self, system):
+        """The processor programs the DMA through the APB like any core."""
+        for index in range(4):
+            system.write_word(SRAM + 0x5000 + 4 * index, 0x100 + index)
+        program = assemble(f"""
+            set {DMA_BASE}, %g1
+            set {SRAM + 0x5000}, %g2
+            st %g2, [%g1]
+            set {SRAM + 0x6000}, %g2
+            st %g2, [%g1+4]
+            mov 4, %g2
+            st %g2, [%g1+8]         ! start
+        wait:
+            ld [%g1+12], %g3        ! status
+            andcc %g3, 4, %g0       ! done bit
+            be wait
+            nop
+        done:
+            ba done
+            nop
+        """, base=SRAM)
+        system.load_program(program)
+        result = system.run(50_000, stop_pc=program.address_of("done"))
+        assert result.stop_reason == "stop-pc"
+        for index in range(4):
+            assert system.read_word(SRAM + 0x6000 + 4 * index) == 0x100 + index
+
+
+class TestWatchdog:
+    def test_counts_down_and_expires(self):
+        unit = TimerUnit()
+        unit.apb_write(0x24, 0)  # prescaler 1:1
+        unit.apb_write(0x28, 100)
+        unit.tick(50)
+        assert unit.apb_read(0x28) == 50
+        assert not unit.watchdog_expired
+        unit.tick(60)
+        assert unit.watchdog_expired
+        assert unit.apb_read(0x28) == 0
+
+    def test_refresh_prevents_expiry(self):
+        unit = TimerUnit()
+        unit.apb_write(0x24, 0)
+        unit.apb_write(0x28, 100)
+        for _ in range(10):
+            unit.tick(50)
+            unit.apb_write(0x28, 100)  # software kicks the dog
+        assert not unit.watchdog_expired
+
+    def test_write_clears_expired_flag(self):
+        unit = TimerUnit()
+        unit.apb_write(0x24, 0)
+        unit.apb_write(0x28, 10)
+        unit.tick(20)
+        assert unit.watchdog_expired
+        unit.apb_write(0x28, 10)
+        assert not unit.watchdog_expired
+
+    def test_watchdog_catches_hung_processor(self):
+        """System-level: a program that stops kicking the watchdog (e.g.
+        crashed after an unhandled SEU) is caught by the expiry."""
+        system = LeonSystem(LeonConfig.standard())
+        program = assemble(f"""
+            set 0x80000064, %g1     ! prescaler reload = 0
+            st %g0, [%g1]
+            set 0x80000068, %g1     ! watchdog
+            set 2000, %g2
+            st %g2, [%g1]
+            ta 0                    ! crash (no trap table -> error mode)
+        """, base=SRAM)
+        system.load_program(program)
+        system.run(100)
+        assert system.halted.value == "error-mode"
+        system.apb.tick(5000)  # wall-clock continues; nobody kicks the dog
+        assert system.timers.watchdog_expired

@@ -1,0 +1,224 @@
+"""On-chip peripherals: timers, UART, interrupt controller, I/O port,
+error monitor, system registers."""
+
+import pytest
+
+from repro.core.statistics import ErrorCounters
+from repro.core.config import LeonConfig
+from repro.peripherals.errmon import ErrorMonitor
+from repro.peripherals.ioport import IoPort
+from repro.peripherals.irqctrl import InterruptController
+from repro.peripherals.sysregs import SystemRegisters
+from repro.peripherals.timer import TimerUnit
+from repro.peripherals.uart import Uart
+
+
+class TestInterruptController:
+    def test_mask_and_pending(self):
+        irq = InterruptController()
+        irq.apb_write(0x00, 0xFFFE)  # unmask all
+        irq.raise_interrupt(5)
+        assert irq.apb_read(0x04) == 1 << 5
+        assert irq.pending_level(0) == 5
+
+    def test_masked_interrupt_invisible(self):
+        irq = InterruptController()
+        irq.raise_interrupt(5)  # mask is 0
+        assert irq.pending_level(0) == 0
+
+    def test_priority_highest_wins(self):
+        irq = InterruptController()
+        irq.apb_write(0x00, 0xFFFE)
+        irq.raise_interrupt(3)
+        irq.raise_interrupt(12)
+        assert irq.pending_level(0) == 12
+
+    def test_pil_threshold(self):
+        irq = InterruptController()
+        irq.apb_write(0x00, 0xFFFE)
+        irq.raise_interrupt(4)
+        assert irq.pending_level(4) == 0
+        assert irq.pending_level(3) == 4
+
+    def test_force_and_clear_registers(self):
+        irq = InterruptController()
+        irq.apb_write(0x00, 0xFFFE)
+        irq.apb_write(0x08, 1 << 7)  # force
+        assert irq.pending_level(0) == 7
+        irq.apb_write(0x0C, 1 << 7)  # clear
+        assert irq.pending_level(0) == 0
+
+    def test_acknowledge_clears_one_level(self):
+        irq = InterruptController()
+        irq.apb_write(0x00, 0xFFFE)
+        irq.raise_interrupt(2)
+        irq.raise_interrupt(9)
+        irq.acknowledge(9)
+        assert irq.pending_level(0) == 2
+
+
+class TestTimerUnit:
+    def make(self):
+        fired = []
+        unit = TimerUnit(raise_irq=fired.append)
+        return unit, fired
+
+    def test_countdown_and_underflow_irq(self):
+        unit, fired = self.make()
+        unit.apb_write(0x24, 0)  # prescaler: 1 cycle per tick
+        unit.apb_write(0x04, 10)  # reload
+        unit.apb_write(0x08, 0b111)  # load + reload + enable
+        unit.tick(5)
+        assert unit.apb_read(0x00) == 5
+        unit.tick(6)  # crosses zero
+        assert fired == [8]
+        assert unit.timer1.underflows == 1
+
+    def test_reload_on_underflow(self):
+        unit, _fired = self.make()
+        unit.apb_write(0x24, 0)
+        unit.apb_write(0x04, 4)
+        unit.apb_write(0x08, 0b111)
+        unit.tick(5)  # 4,3,2,1,0 -> underflow -> reload to 4
+        assert unit.apb_read(0x00) == 4
+
+    def test_oneshot_disables_after_underflow(self):
+        unit, fired = self.make()
+        unit.apb_write(0x24, 0)
+        unit.apb_write(0x04, 2)
+        unit.apb_write(0x08, 0b101)  # load + enable, no reload
+        unit.tick(10)
+        assert fired == [8]
+        assert unit.apb_read(0x08) & 1 == 0  # disabled
+
+    def test_prescaler_divides(self):
+        unit, _fired = self.make()
+        unit.apb_write(0x24, 9)  # 10 cycles per tick
+        unit.apb_write(0x04, 100)
+        unit.apb_write(0x08, 0b111)
+        unit.tick(50)
+        assert unit.apb_read(0x00) == 95
+
+    def test_second_timer_independent(self):
+        unit, fired = self.make()
+        unit.apb_write(0x24, 0)
+        unit.apb_write(0x14, 3)
+        unit.apb_write(0x18, 0b111)
+        unit.tick(4)
+        assert fired == [9]
+        assert unit.apb_read(0x00) == 0  # timer1 untouched (disabled)
+
+
+class TestUart:
+    def make(self):
+        fired = []
+        uart = Uart(raise_irq=fired.append)
+        uart.apb_write(0x0C, 0)  # scaler: fastest
+        uart.apb_write(0x08, 0b0011)  # rx + tx enable
+        return uart, fired
+
+    def test_transmit_byte(self):
+        uart, _fired = self.make()
+        uart.apb_write(0x00, ord("A"))
+        uart.tick(100)
+        assert uart.transcript() == b"A"
+
+    def test_transmit_uses_holding_register(self):
+        uart, _fired = self.make()
+        uart.apb_write(0x00, ord("A"))
+        uart.apb_write(0x00, ord("B"))
+        assert uart.apb_read(0x04) & 0b110 == 0  # shifter and holder full
+        uart.tick(1000)
+        assert uart.transcript() == b"AB"
+
+    def test_transmit_timing_follows_scaler(self):
+        uart, _fired = self.make()
+        uart.apb_write(0x0C, 9)  # 10 cycles/bit -> 100 cycles/frame
+        uart.apb_write(0x00, ord("X"))
+        uart.tick(99)
+        assert uart.transcript() == b""
+        uart.tick(1)
+        assert uart.transcript() == b"X"
+
+    def test_receive_path(self):
+        uart, _fired = self.make()
+        uart.receive(b"hi")
+        assert uart.apb_read(0x04) & 1  # data ready
+        assert uart.apb_read(0x00) == ord("h")
+        assert uart.apb_read(0x00) == ord("i")
+        assert uart.apb_read(0x04) & 1 == 0
+
+    def test_rx_irq(self):
+        uart, fired = self.make()
+        uart.apb_write(0x08, 0b0111)  # + rx irq
+        uart.receive(b"x")
+        assert fired == [uart.irq_level]
+
+    def test_tx_disabled_drops_data(self):
+        uart, _fired = self.make()
+        uart.apb_write(0x08, 0)
+        uart.apb_write(0x00, ord("A"))
+        uart.tick(1000)
+        assert uart.transcript() == b""
+
+
+class TestIoPort:
+    def test_direction_and_readback(self):
+        port = IoPort()
+        port.apb_write(0x04, 0x00FF)  # low byte outputs
+        port.apb_write(0x00, 0xABCD)
+        port.drive_inputs(0x1200)
+        assert port.outputs == 0x00CD
+        assert port.apb_read(0x00) == 0x12CD
+
+    def test_input_edge_interrupt(self):
+        fired = []
+        port = IoPort(raise_irq=fired.append)
+        port.apb_write(0x08, 1)
+        port.drive_inputs(0x8000)
+        assert fired == [port.irq_level]
+
+
+class TestErrorMonitor:
+    def test_counters_visible_and_clearable(self):
+        counters = ErrorCounters(ite=1, ide=2, dte=3, dde=4, rfe=5)
+        monitor = ErrorMonitor(counters)
+        assert monitor.apb_read(0x00) == 1
+        assert monitor.apb_read(0x10) == 5
+        assert monitor.apb_read(0x14) == 15
+        monitor.apb_write(0x00, 0)
+        assert monitor.apb_read(0x14) == 0
+
+
+class TestSystemRegisters:
+    def test_cache_control_flush_and_enable(self):
+        class FakeCache:
+            def __init__(self):
+                self.enabled = True
+                self.flushed = 0
+
+            def flush(self):
+                self.flushed += 1
+
+        regs = SystemRegisters(LeonConfig.fault_tolerant())
+        regs.icache = FakeCache()
+        regs.dcache = FakeCache()
+        regs.apb_write(0x14, 0b1101)  # flush both... icache ena, dcache dis
+        assert regs.icache.flushed == 1
+        assert regs.dcache.flushed == 1
+        assert regs.icache.enabled is True
+        assert regs.dcache.enabled is False
+
+    def test_power_down(self):
+        regs = SystemRegisters(LeonConfig.standard())
+        regs.apb_write(0x18, 1)
+        assert regs.power_down_requested
+
+    def test_config_word_encodes_build(self):
+        regs = SystemRegisters(LeonConfig.fault_tolerant())
+        word = regs.apb_read(0x24)
+        assert (word >> 16) & 1  # TMR on
+        assert (word >> 15) & 1  # EDAC on
+        assert (word >> 17) & 3 == 3  # BCH regfile
+        standard = SystemRegisters(LeonConfig.standard())
+        assert (standard.apb_read(0x24) >> 16) & 1 == 0

@@ -1,0 +1,178 @@
+"""The three self-checking test programs of the SEU campaign (section 6)."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem
+from repro.errors import ConfigurationError
+from repro.programs import (
+    EXIT_MAGIC,
+    ProgramHarness,
+    TestLayout as ResultLayout,
+    build_cncf,
+    build_iutest,
+    build_paranoia,
+    build_test_program,
+)
+
+
+@pytest.fixture
+def express():
+    return LeonConfig.leon_express()
+
+
+class TestBuilder:
+    def test_layout_symbols(self, express):
+        layout = ResultLayout.for_config(express)
+        symbols = layout.symbols
+        assert symbols["EXIT_FLAG"] == layout.result
+        assert symbols["SW_ERRORS"] == layout.result + 0x14
+        assert symbols["STACK_TOP"] > symbols["DATA"]
+        assert symbols["SCRUB_BASE"] % 0x10000 == 0
+
+    def test_minimal_program_exits_cleanly(self, express):
+        program = build_test_program("main:\n    retl\n    nop", express)
+        system = LeonSystem(express)
+        harness = ProgramHarness(system, program)
+        result = harness.run(10_000)
+        assert result.exited
+        assert not result.trapped
+        assert not result.failed
+
+    def test_unexpected_trap_recorded(self, express):
+        program = build_test_program("""
+main:
+    unimp 0
+    retl
+    nop
+""", express)
+        system = LeonSystem(express)
+        harness = ProgramHarness(system, program)
+        result = harness.run(10_000)
+        assert result.trapped
+        assert result.trap_tt == 0x02
+        assert result.failed
+
+    def test_custom_trap_handler(self, express):
+        """A tt can be routed to program-supplied code instead of the spin."""
+        program = build_test_program("""
+main:
+    ta 9
+    retl
+    nop
+handler9:
+    jmp [%l2]
+    rett [%l2+4]
+""", express, handlers={0x80 + 9: "handler9"})
+        system = LeonSystem(express)
+        result = ProgramHarness(system, program).run(10_000)
+        assert result.exited
+        assert not result.trapped
+
+    def test_exit_magic_constant(self):
+        assert EXIT_MAGIC == 0x900DD00D
+
+
+class TestIutest:
+    def test_runs_clean_with_exact_checksum(self, express):
+        program, expected = build_iutest(express, iterations=2,
+                                         scrub_words=128, icode_words=64)
+        system = LeonSystem(express)
+        result = ProgramHarness(system, program).run(1_000_000)
+        assert result.exited
+        assert result.iterations == 2
+        assert result.sw_errors == 0
+        assert result.checksum == expected
+
+    def test_detects_undetected_cache_corruption(self, express):
+        """If a corrupted value sneaks past the FT machinery, the checksum
+        self-check must catch it (the SW_ERRORS outcome of section 6)."""
+        program, expected = build_iutest(express, iterations=20,
+                                         scrub_words=128, icode_words=64)
+        system = LeonSystem(express)
+        harness = ProgramHarness(system, program)
+        scrub_base = harness.layout.scrub_base
+        iterations_addr = harness.layout.result + 0x10
+        # Let the first iteration initialize the scrub region and pass.
+        system.run(1_000_000,
+                   stop_when=lambda r: system.read_word(iterations_addr) >= 1)
+        # Corrupt a scrub word in *memory* (consistent check bits, wrong
+        # value -- the kind of escape no on-chip code can see) and force the
+        # cache to refetch it.
+        clean = system.read_word(scrub_base)
+        system.write_word(scrub_base, clean ^ 4)
+        system.dcache.flush()
+        result = harness.run(2_000_000)
+        assert result.sw_errors >= 1
+
+    def test_default_sizes_cover_caches(self, express):
+        program, _ = build_iutest(express, iterations=1)
+        # Scrub region defaults to the full data cache.
+        assert program.symbols["SCRUB_WORDS"] == express.dcache.size_bytes // 4
+
+
+class TestParanoia:
+    def test_runs_clean_with_exact_checksum(self, express):
+        program, expected = build_paranoia(express, iterations=2,
+                                           chain1=8, chain2=5, chain3=8)
+        system = LeonSystem(express)
+        result = ProgramHarness(system, program).run(1_000_000)
+        assert result.exited
+        assert result.sw_errors == 0
+        assert result.checksum == expected
+
+    def test_requires_fpu(self):
+        with pytest.raises(ConfigurationError):
+            build_paranoia(LeonConfig.fault_tolerant())  # FPU-less
+
+    def test_fpu_register_seu_corrected_transparently(self, express):
+        """An SEU in an f-register mid-chain is corrected by the register
+        file protection (the f-regs share the protected RAM, section 4.4):
+        the checksum stays clean and RFE counts the correction."""
+        program, expected = build_paranoia(express, iterations=5,
+                                           chain1=20, chain2=10, chain3=20)
+        system = LeonSystem(express)
+        harness = ProgramHarness(system, program)
+        # Stop right as chain 1 starts, then flip a bit in its accumulator.
+        system.run(100_000, stop_pc=program.address_of("par_chain1"))
+        system.fpu.inject(4, 12)  # chain-1 accumulator %f4
+        result = harness.run(3_000_000)
+        assert result.sw_errors == 0
+        assert result.exited
+        assert system.errors.rfe == 1
+
+    def test_fpu_register_double_error_traps(self, express):
+        """A double-bit f-register error exceeds SEC-DED: register error
+        trap, like the integer file."""
+        program, _ = build_paranoia(express, iterations=5,
+                                    chain1=20, chain2=10, chain3=20)
+        system = LeonSystem(express)
+        harness = ProgramHarness(system, program)
+        system.run(100_000, stop_pc=program.address_of("par_chain1"))
+        system.fpu.inject(4, 12)
+        system.fpu.inject(4, 20)
+        result = harness.run(3_000_000)
+        assert result.trapped
+        assert result.trap_tt == 0x20
+
+
+class TestCncf:
+    def test_runs_clean_with_exact_checksum(self, express):
+        program, expected = build_cncf(express, iterations=2, steps=10)
+        system = LeonSystem(express)
+        result = ProgramHarness(system, program).run(1_000_000)
+        assert result.exited
+        assert result.sw_errors == 0
+        assert result.checksum == expected
+
+    def test_orbit_stays_bounded(self):
+        """Physics sanity: the integrator conserves energy well enough that
+        the orbit radius stays within sane bounds over the run."""
+        from repro.programs.cncf import _propagate
+
+        rx, ry, vx, vy = _propagate(500)
+        radius = (rx * rx + ry * ry) ** 0.5
+        assert 0.3 < radius < 3.0
+
+    def test_requires_fpu(self):
+        with pytest.raises(ConfigurationError):
+            build_cncf(LeonConfig.fault_tolerant())

@@ -1,0 +1,275 @@
+"""The two-pass assembler: syntax, labels, directives, synthetics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.sparc.asm import Program, assemble
+from repro.sparc.decode import decode
+from repro.sparc.disasm import disassemble
+
+BASE = 0x40000000
+
+
+def words(source, **kwargs):
+    return assemble(source, base=BASE, **kwargs).words
+
+
+def test_simple_alu():
+    [word] = words("add %g1, %g2, %g3")
+    instr = decode(word)
+    assert (instr.mnemonic, instr.rd, instr.rs1, instr.rs2) == ("add", 3, 1, 2)
+
+
+def test_immediate_forms():
+    [word] = words("add %g1, -42, %g3")
+    assert decode(word).imm == -42
+    [word] = words("or %o0, 0x3ff, %o1")
+    assert decode(word).imm == 0x3FF
+
+
+def test_immediate_out_of_range():
+    with pytest.raises(AssemblerError):
+        words("add %g1, 5000, %g2")
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    start:
+        nop
+    loop:
+        ba loop
+        nop
+        bne start
+        nop
+    """, base=BASE)
+    assert program.symbols["start"] == BASE
+    assert program.symbols["loop"] == BASE + 4
+    branch = decode(program.words[1])
+    assert branch.disp == 0  # ba loop from loop
+    back = decode(program.words[3])
+    assert BASE + 12 + back.disp == BASE  # bne start
+
+
+def test_branch_annul_suffix():
+    [word] = words("bne,a target\ntarget:")[:1]
+    assert decode(word).annul
+
+
+def test_call_and_displacement():
+    program = assemble("""
+        call far
+        nop
+    far:
+        nop
+    """, base=BASE)
+    instr = decode(program.words[0])
+    assert instr.disp == 8
+
+
+def test_set_is_two_words():
+    program = assemble("set 0x12345678, %g1", base=BASE)
+    assert len(program.words) == 2
+    sethi, orri = (decode(word) for word in program.words)
+    assert sethi.imm22 == 0x12345400  # top 22 bits
+    assert orri.imm == 0x278
+
+
+def test_memory_operands():
+    [word] = words("ld [%g1+8], %g2")
+    instr = decode(word)
+    assert instr.imm == 8
+    [word] = words("ld [%g1-4], %g2")
+    assert decode(word).imm == -4
+    [word] = words("ld [%g1+%g2], %g3")
+    instr = decode(word)
+    assert instr.imm is None and instr.rs2 == 2
+    [word] = words("ld [%g1], %g2")
+    assert decode(word).imm == 0
+
+
+def test_store_operand_order():
+    [word] = words("st %g2, [%g1+4]")
+    instr = decode(word)
+    assert instr.mnemonic == "st"
+    assert instr.rd == 2 and instr.rs1 == 1
+
+
+def test_hi_lo_relocations():
+    program = assemble("""
+        sethi %hi(value), %g1
+        or %g1, %lo(value), %g1
+    """, base=BASE, symbols={"value": 0x40001234})
+    sethi = decode(program.words[0])
+    orri = decode(program.words[1])
+    assert sethi.imm22 | (orri.imm & 0x3FF) == 0x40001234
+
+
+def test_directives_word_align_skip():
+    program = assemble("""
+        .word 1, 2, 0xdeadbeef
+        .align 8
+        .skip 8
+    lbl:
+        .word lbl
+    """, base=BASE)
+    assert program.words[0] == 1
+    assert program.words[2] == 0xDEADBEEF
+    assert program.symbols["lbl"] % 8 == 0
+    assert program.word_at(program.symbols["lbl"]) == program.symbols["lbl"]
+
+
+def test_equ_and_expressions():
+    program = assemble("""
+        .equ FOO, 0x100
+        .word FOO + 4 * 2
+        .word (FOO + 4) * 2
+        .word FOO << 4
+        .word -FOO
+    """, base=BASE)
+    assert program.words[0] == 0x108
+    assert program.words[1] == 0x208
+    assert program.words[2] == 0x1000
+    assert program.words[3] == (-0x100) & 0xFFFFFFFF
+
+
+def test_org_pads_with_zeros():
+    program = assemble("""
+        nop
+        .org 0x40000010
+        nop
+    """, base=BASE)
+    assert len(program.words) == 5
+    assert program.words[1] == 0
+
+
+def test_synthetics():
+    table = {
+        "nop": "nop",
+        "mov 5, %g1": "mov 0x5, %g1" if False else None,  # checked below
+        "cmp %g1, 3": None,
+        "clr %g5": "clr %g5",
+        "ret": "ret",
+        "retl": "retl",
+    }
+    for source in table:
+        [word] = words(source)
+        assert decode(word).valid
+
+
+def test_mov_encodes_or():
+    [word] = words("mov 5, %g1")
+    instr = decode(word)
+    assert instr.mnemonic == "or" and instr.rs1 == 0 and instr.imm == 5
+
+
+def test_cmp_encodes_subcc_to_g0():
+    [word] = words("cmp %g1, %g2")
+    instr = decode(word)
+    assert instr.mnemonic == "subcc" and instr.rd == 0
+
+
+def test_not_neg_inc_dec():
+    [word] = words("not %g1")
+    assert decode(word).mnemonic == "xnor"
+    [word] = words("neg %g2")
+    instr = decode(word)
+    assert instr.mnemonic == "sub" and instr.rs1 == 0
+    [word] = words("inc %g3, 4")
+    assert decode(word).imm == 4
+    [word] = words("dec %g3")
+    assert decode(word).imm == 1
+
+
+def test_special_register_access():
+    [word] = words("rd %psr, %g1")
+    assert decode(word).mnemonic == "rdpsr"
+    [word] = words("wr %g1, %psr")
+    assert decode(word).mnemonic == "wrpsr"
+    [word] = words("wr %g1, 0x20, %psr")
+    instr = decode(word)
+    assert instr.imm == 0x20
+    [word] = words("rd %y, %g1")
+    assert decode(word).mnemonic == "rdasr"
+
+
+def test_trap_instructions():
+    [word] = words("ta 0x10")
+    instr = decode(word)
+    assert instr.mnemonic == "ticc"
+    assert instr.imm == 0x10
+
+
+def test_float_mnemonics():
+    for source, mnemonic in [
+        ("fadds %f0, %f1, %f2", "fadds"),
+        ("fmuld %f0, %f2, %f4", "fmuld"),
+        ("fcmps %f1, %f2", "fcmps"),
+        ("fmovs %f1, %f2", "fmovs"),
+        ("ldf [%g1], %f0", "ldf"),
+        ("stdf %f2, [%g1]", "stdf"),
+    ]:
+        [word] = words(source)
+        assert decode(word).mnemonic == mnemonic
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\na:\n nop", base=BASE)
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("ba nowhere\nnop", base=BASE)
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate %g1", base=BASE)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("nop\nnop\nbogus %g1", base=BASE)
+    assert excinfo.value.line == 3
+
+
+def test_comments_stripped():
+    program = assemble("""
+        nop ! trailing comment
+        nop // c++ style
+        ; whole-line comment
+    """, base=BASE)
+    assert len(program.words) == 2
+
+
+def test_program_helpers():
+    program = assemble("entry:\n nop\n nop", base=BASE, name="demo")
+    assert program.size == 8
+    assert program.end == BASE + 8
+    assert program.address_of("entry") == BASE
+    assert len(program.to_bytes()) == 8
+    with pytest.raises(AssemblerError):
+        program.address_of("missing")
+    with pytest.raises(AssemblerError):
+        program.word_at(BASE + 100)
+    assert isinstance(program, Program)
+
+
+def test_roundtrip_through_disassembler():
+    """Assemble -> disassemble -> reassemble gives identical words."""
+    source = """
+        add %g1, %g2, %g3
+        sub %o0, 0x10, %o1
+        ld [%l0+8], %l1
+        st %l1, [%l0+12]
+        sethi %hi(0x40000000), %g1
+        umul %g1, %g2, %g3
+        sll %g1, 3, %g2
+        save %sp, -96, %sp
+        restore
+    """
+    program = assemble(source, base=BASE)
+    for offset, word in enumerate(program.words):
+        text = disassemble(word, BASE + offset * 4)
+        [reassembled] = assemble(text, base=BASE + offset * 4).words
+        assert reassembled == word, f"{text} -> {reassembled:#x} != {word:#x}"

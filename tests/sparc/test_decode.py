@@ -1,0 +1,129 @@
+"""Instruction decoder: field extraction and validity."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparc import encode
+from repro.sparc.decode import decode
+from repro.sparc.isa import Cond, Op, Op2, Op3, Op3Mem, Opf
+
+
+def test_decode_call():
+    instr = decode(encode.fmt1_call(0x1000))
+    assert instr.op == Op.CALL
+    assert instr.mnemonic == "call"
+    assert instr.disp == 0x1000
+    assert instr.rd == 15
+
+
+def test_decode_call_negative_displacement():
+    instr = decode(encode.fmt1_call(-8))
+    assert instr.disp == -8
+
+
+def test_decode_sethi():
+    instr = decode(encode.fmt2_sethi(1, 0x40000000))
+    assert instr.op2 == Op2.SETHI
+    assert instr.rd == 1
+    assert instr.imm22 == 0x40000000
+
+
+def test_decode_nop_is_sethi_zero():
+    instr = decode(encode.fmt2_sethi(0, 0))
+    assert instr.mnemonic == "nop"
+
+
+def test_decode_branch_with_annul():
+    word = encode.fmt2_branch(Op2.BICC, Cond.NE, True, -64)
+    instr = decode(word)
+    assert instr.is_branch
+    assert instr.cond == Cond.NE
+    assert instr.annul is True
+    assert instr.disp == -64
+
+
+def test_decode_fbfcc():
+    word = encode.fmt2_branch(Op2.FBFCC, 8, False, 16)
+    instr = decode(word)
+    assert instr.op2 == Op2.FBFCC
+    assert instr.is_branch
+
+
+def test_decode_arith_register_form():
+    instr = decode(encode.fmt3_reg(Op.ARITH, Op3.ADD, 3, 1, 2))
+    assert instr.mnemonic == "add"
+    assert (instr.rd, instr.rs1, instr.rs2) == (3, 1, 2)
+    assert instr.imm is None
+
+
+def test_decode_arith_immediate_form():
+    instr = decode(encode.fmt3_imm(Op.ARITH, Op3.SUB, 4, 5, -100))
+    assert instr.mnemonic == "sub"
+    assert instr.imm == -100
+    assert instr.uses_immediate
+
+
+def test_decode_immediate_sign_extension():
+    instr = decode(encode.fmt3_imm(Op.ARITH, Op3.ADD, 0, 0, -1))
+    assert instr.imm == -1
+    instr = decode(encode.fmt3_imm(Op.ARITH, Op3.ADD, 0, 0, 4095))
+    assert instr.imm == 4095
+
+
+def test_decode_memory_ops():
+    instr = decode(encode.fmt3_imm(Op.MEM, Op3Mem.LD, 2, 1, 8))
+    assert instr.mnemonic == "ld"
+    instr = decode(encode.fmt3_imm(Op.MEM, Op3Mem.STD, 2, 1, 8))
+    assert instr.mnemonic == "std"
+
+
+def test_decode_asi_field():
+    word = encode.fmt3_reg(Op.MEM, Op3Mem.LDA, 2, 1, 0, asi=0x0C)
+    instr = decode(word)
+    assert instr.mnemonic == "lda"
+    assert instr.asi == 0x0C
+
+
+def test_decode_fpop():
+    word = encode.fmt3_fp(Op3.FPOP1, Opf.FADDS, 2, 0, 1)
+    instr = decode(word)
+    assert instr.mnemonic == "fadds"
+    assert instr.is_fpop
+    assert instr.opf == Opf.FADDS
+
+
+def test_decode_invalid_fpop():
+    word = encode.fmt3_fp(Op3.FPOP1, 0x1FF, 0, 0, 0)
+    instr = decode(word)
+    assert not instr.valid
+
+
+def test_decode_unimp():
+    instr = decode(encode.fmt2_unimp(42))
+    assert instr.mnemonic == "unimp"
+    assert instr.imm22 == 42
+
+
+def test_decode_invalid_op3():
+    word = (2 << 30) | (0x2D << 19)  # op3 0x2D is unassigned
+    assert not decode(word).valid
+
+
+def test_decode_ticc():
+    word = (2 << 30) | (Cond.A << 25) | (Op3.TICC << 19) | (1 << 13) | 5
+    instr = decode(word)
+    assert instr.mnemonic == "ticc"
+    assert instr.cond == Cond.A
+    assert instr.imm == 5
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_decode_never_raises(word):
+    """Any 32-bit pattern decodes (possibly to an invalid instruction)."""
+    instr = decode(word)
+    assert instr.word == word
+    assert isinstance(instr.valid, bool)
+
+
+def test_decode_is_cached():
+    assert decode(0) is decode(0)

@@ -1,0 +1,50 @@
+"""Disassembler output formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparc.asm import assemble
+from repro.sparc.disasm import disassemble
+
+BASE = 0x40000000
+
+
+@pytest.mark.parametrize("source,expected", [
+    ("nop", "nop"),
+    ("add %g1, %g2, %g3", "add %g1, %g2, %g3"),
+    ("ld [%g1+8], %g2", "ld [%g1+0x8], %g2"),
+    ("st %g2, [%g1]", "st %g2, [%g1]"),
+    ("ret", "ret"),
+    ("retl", "retl"),
+    ("cmp %g1, 3", "cmp %g1, 3"),
+    ("clr %g4", "clr %g4"),
+    ("rd %psr, %g1", "rd %psr, %g1"),
+    ("fadds %f1, %f2, %f3", "fadds %f1, %f2, %f3"),
+    ("fcmps %f1, %f2", "fcmps %f1, %f2"),
+    ("ta 3", "ta 3"),
+])
+def test_known_disassembly(source, expected):
+    [word] = assemble(source, base=BASE).words
+    assert disassemble(word, BASE) == expected
+
+
+def test_branch_target_resolution():
+    program = assemble("target:\n nop\n ba target\n nop", base=BASE)
+    text = disassemble(program.words[1], BASE + 4)
+    assert text == f"ba {BASE:#x}"
+
+
+def test_call_target_resolution():
+    program = assemble("call sub\n nop\nsub:\n nop", base=BASE)
+    assert disassemble(program.words[0], BASE) == f"call {BASE + 8:#x}"
+
+
+def test_invalid_word_renders_as_data():
+    text = disassemble((2 << 30) | (0x2D << 19))
+    assert text.startswith(".word")
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_disassemble_never_raises(word):
+    assert isinstance(disassemble(word, BASE), str)

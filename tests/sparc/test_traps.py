@@ -1,0 +1,50 @@
+"""Trap types and priorities."""
+
+import pytest
+
+from repro.sparc.traps import Trap, TrapType
+
+
+def test_trap_numbers_match_v8_manual():
+    assert TrapType.ILLEGAL_INSTRUCTION == 0x02
+    assert TrapType.WINDOW_OVERFLOW == 0x05
+    assert TrapType.WINDOW_UNDERFLOW == 0x06
+    assert TrapType.R_REGISTER_ACCESS_ERROR == 0x20
+    assert TrapType.DATA_ACCESS_ERROR == 0x29
+    assert TrapType.DIVISION_BY_ZERO == 0x2A
+
+
+def test_interrupt_levels():
+    assert TrapType.interrupt(1) == 0x11
+    assert TrapType.interrupt(15) == 0x1F
+    with pytest.raises(ValueError):
+        TrapType.interrupt(0)
+    with pytest.raises(ValueError):
+        TrapType.interrupt(16)
+
+
+def test_software_trap_numbers():
+    assert TrapType.software(0) == 0x80
+    assert TrapType.software(0x7F) == 0xFF
+    assert TrapType.software(0x80) == 0x80  # masked to 7 bits
+
+
+def test_priority_ordering():
+    reset = Trap(TrapType.RESET)
+    illegal = Trap(TrapType.ILLEGAL_INSTRUCTION)
+    div = Trap(TrapType.DIVISION_BY_ZERO)
+    assert reset.outranks(illegal)
+    assert illegal.outranks(div)
+
+
+def test_interrupt_priorities_by_level():
+    low = Trap(TrapType.interrupt(1))
+    high = Trap(TrapType.interrupt(15))
+    assert high.outranks(low)
+    # Synchronous traps outrank interrupts.
+    assert Trap(TrapType.ILLEGAL_INSTRUCTION).outranks(high)
+
+
+def test_software_trap_priority():
+    ticc = Trap(0x85)
+    assert Trap(TrapType.DIVISION_BY_ZERO).outranks(ticc)
