@@ -26,6 +26,8 @@ FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
 FLUENCE = 1.0e5 if FULL else 2.0e3
 #: Virtual device speed (instructions per beam second).
 IPS = 50_000.0
+#: Worker processes for campaign fan-out (results are jobs-invariant).
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or 1)
 
 
 @pytest.fixture(scope="session")

@@ -16,10 +16,11 @@ cost) the paper's design avoids:
 
 import pytest
 
-from conftest import format_table, write_artifact
+from conftest import JOBS, format_table, write_artifact
 from repro import LeonConfig, LeonSystem, ProtectionScheme, assemble
 from repro.core.config import CacheConfig, FtConfig
-from repro.fault.campaign import Campaign, CampaignConfig
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor
 from repro.programs import ProgramHarness, build_iutest
 
 SRAM = 0x40000000
@@ -33,22 +34,22 @@ def _row(ablation, variant, outcome):
 # -- A: parity width under MBU ------------------------------------------------
 
 
-def _campaign_with_parity(scheme, seed=31):
+def _parity_config(scheme, seed=31):
     base = LeonConfig.leon_express()
     leon = base.with_changes(
         icache=CacheConfig(size_bytes=base.icache.size_bytes, parity=scheme),
         dcache=CacheConfig(size_bytes=base.dcache.size_bytes, parity=scheme),
     )
-    config = CampaignConfig(program="iutest", let=110.0, flux=400.0,
-                            fluence=6.0e3, seed=seed,
-                            instructions_per_second=50_000.0, leon=leon)
-    return Campaign(config).run()
+    return CampaignConfig(program="iutest", let=110.0, flux=400.0,
+                          fluence=6.0e3, seed=seed,
+                          instructions_per_second=50_000.0, leon=leon)
 
 
 @pytest.fixture(scope="module")
 def parity_ablation():
-    return (_campaign_with_parity(ProtectionScheme.PARITY),
-            _campaign_with_parity(ProtectionScheme.DUAL_PARITY))
+    return tuple(CampaignExecutor(JOBS).run_many(
+        [_parity_config(ProtectionScheme.PARITY),
+         _parity_config(ProtectionScheme.DUAL_PARITY)]))
 
 
 def test_ablation_parity_bits_vs_mbu(benchmark, parity_ablation):

@@ -12,7 +12,7 @@ magnitude ordered by how thoroughly IUTEST patrols each RAM.
 
 import pytest
 
-from conftest import FLUENCE, IPS, write_artifact
+from conftest import FLUENCE, IPS, JOBS, write_artifact
 from repro.fault.crosssection import (
     DEFAULT_LETS,
     fit_weibull,
@@ -32,6 +32,7 @@ def _measure():
         fluence=FLUENCE,
         seed=SEED,
         instructions_per_second=IPS,
+        jobs=JOBS,
     )
 
 

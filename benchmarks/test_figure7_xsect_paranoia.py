@@ -7,7 +7,7 @@ clearly below IUTEST at every LET -- the paper's figures 6 vs 7 contrast.
 
 import pytest
 
-from conftest import FLUENCE, IPS, write_artifact
+from conftest import FLUENCE, IPS, JOBS, write_artifact
 from repro.fault.crosssection import fit_weibull, measure_curve, render_curve
 
 LETS = (6.0, 15.0, 40.0, 75.0, 110.0)
@@ -22,6 +22,7 @@ def _measure(program, seed):
         fluence=FLUENCE,
         seed=seed,
         instructions_per_second=IPS,
+        jobs=JOBS,
     )
 
 

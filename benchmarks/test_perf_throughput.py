@@ -1,0 +1,107 @@
+"""Perf -- host throughput: single-run interpreter speed and campaign fan-out.
+
+Two measurements, recorded to ``BENCH_throughput.json`` (repo root) so CI can
+detect regressions:
+
+  * single-run interpreter throughput (simulated instructions per host
+    second) on the IUTEST loop -- exercises the hot fetch/decode/execute
+    path with the cache and parity fast paths;
+  * the 8-LET Figure-6 sweep, serial vs ``jobs=4`` through the
+    ``CampaignExecutor`` -- asserting the per-counter totals are identical
+    (determinism) and, on machines with enough cores, that the fan-out
+    delivers a real wall-clock speedup.
+
+The speedup assertion is gated on ``os.cpu_count() >= 4``: a single-core
+container still runs everything and still checks determinism, it just
+cannot demonstrate parallel wall-clock gains.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import write_artifact
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.fault.crosssection import DEFAULT_LETS, measure_curve
+from repro.programs import build_iutest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+#: Sweep settings: small fluence so the whole benchmark stays ~a minute.
+SWEEP = dict(lets=DEFAULT_LETS, flux=400.0, fluence=500.0, seed=600,
+             instructions_per_second=30_000.0)
+
+#: Single-run measurement length.
+WARMUP_INSTRUCTIONS = 20_000
+MEASURE_INSTRUCTIONS = 200_000
+
+
+def _single_run_ips() -> float:
+    system = LeonSystem(LeonConfig.leon_express())
+    program, _ = build_iutest(iterations=1_000_000)
+    system.load_program(program)
+    system.run(WARMUP_INSTRUCTIONS)
+    result = system.run(MEASURE_INSTRUCTIONS)
+    assert result.instructions == MEASURE_INSTRUCTIONS
+    return result.instructions_per_second
+
+
+def _sweep(jobs: int):
+    started = time.perf_counter()
+    curve = measure_curve("iutest", jobs=jobs, **SWEEP)
+    return curve, time.perf_counter() - started
+
+
+def _totals(curve) -> dict:
+    return {kind: [point.count for point in curve.points[kind]]
+            for kind in curve.kinds()}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    ips = _single_run_ips()
+    serial_curve, serial_wall = _sweep(1)
+    parallel_curve, parallel_wall = _sweep(4)
+    return ips, (serial_curve, serial_wall), (parallel_curve, parallel_wall)
+
+
+def test_throughput(benchmark, measurements):
+    ips, (serial_curve, serial_wall), (parallel_curve, parallel_wall) = \
+        measurements
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["single_run_ips"] = ips
+
+    cores = os.cpu_count() or 1
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    record = {
+        "single_run_ips": round(ips, 1),
+        "sweep_lets": len(SWEEP["lets"]),
+        "sweep_serial_wall_s": round(serial_wall, 3),
+        "sweep_jobs4_wall_s": round(parallel_wall, 3),
+        "sweep_speedup_jobs4": round(speedup, 3),
+        "cpu_count": cores,
+        "totals_identical": _totals(serial_curve) == _totals(parallel_curve),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    text = (
+        "Host throughput\n\n"
+        f"single-run interpreter:   {ips:,.0f} instr/s\n"
+        f"8-LET sweep, serial:      {serial_wall:.1f} s\n"
+        f"8-LET sweep, jobs=4:      {parallel_wall:.1f} s "
+        f"(speedup {speedup:.2f}x on {cores} core(s))\n"
+        f"[record: {BENCH_PATH.name}]"
+    )
+    write_artifact("perf_throughput.txt", text)
+
+    # Determinism is unconditional: the fan-out may not be faster on a
+    # starved machine, but it must never change a single count.
+    assert record["totals_identical"]
+    assert ips > 0
+    # Wall-clock gains need real cores to show up.
+    if cores >= 4:
+        assert speedup >= 2.0

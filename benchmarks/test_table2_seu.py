@@ -19,8 +19,9 @@ REPRO_FULL=1 for paper scale); cross-sections are fluence-invariant.
 
 import pytest
 
-from conftest import FLUENCE, IPS, format_table, write_artifact
-from repro.fault.campaign import Campaign, CampaignConfig
+from conftest import FLUENCE, IPS, JOBS, format_table, write_artifact
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor
 
 #: The 13 first-round runs (program, LET).  The OCR of the paper's table
 #: lost the exact LET values; the prose fixes the range to 6..110 MeV.
@@ -32,9 +33,8 @@ RUNS = (
 
 
 def _run_campaigns():
-    results = []
-    for index, (program, let) in enumerate(RUNS):
-        config = CampaignConfig(
+    configs = [
+        CampaignConfig(
             program=program,
             let=let,
             flux=400.0,
@@ -42,8 +42,9 @@ def _run_campaigns():
             seed=100 + index,
             instructions_per_second=IPS,
         )
-        results.append(Campaign(config).run())
-    return results
+        for index, (program, let) in enumerate(RUNS)
+    ]
+    return CampaignExecutor(JOBS).run_many(configs)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI throughput smoke: fail on a >30% interpreter-speed regression.
+
+Measures single-run interpreter throughput (the same measurement
+``benchmarks/test_perf_throughput.py`` records) for roughly 30 seconds and
+compares it against the ``single_run_ips`` baseline in
+``BENCH_throughput.json``.  Exit code 1 on regression.
+
+CI machines are noisy and heterogeneous, hence the wide 30% band -- the
+check exists to catch algorithmic regressions (an accidentally disabled
+fast path costs 2-3x), not scheduler jitter.
+
+Usage: PYTHONPATH=src python scripts/throughput_smoke.py [baseline.json]
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.programs import build_iutest
+
+TOLERANCE = 0.30
+TARGET_SECONDS = 30.0
+CHUNK_INSTRUCTIONS = 100_000
+
+
+def measure() -> float:
+    system = LeonSystem(LeonConfig.leon_express())
+    program, _ = build_iutest(iterations=1_000_000)
+    system.load_program(program)
+    system.run(20_000)  # warm the caches and the decode memo
+    instructions = 0
+    wall = 0.0
+    started = time.perf_counter()
+    while time.perf_counter() - started < TARGET_SECONDS:
+        result = system.run(CHUNK_INSTRUCTIONS)
+        instructions += result.instructions
+        wall += result.wall_seconds
+        if result.stop_reason != "budget":  # program ended; restart it
+            system.load_program(program)
+    return instructions / wall if wall else 0.0
+
+
+def main() -> int:
+    baseline_path = Path(sys.argv[1] if len(sys.argv) > 1
+                         else "BENCH_throughput.json")
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; recording current throughput")
+        ips = measure()
+        baseline_path.write_text(json.dumps({"single_run_ips": round(ips, 1)},
+                                            indent=2) + "\n")
+        print(f"recorded {ips:,.0f} instr/s")
+        return 0
+    baseline = json.loads(baseline_path.read_text())["single_run_ips"]
+    ips = measure()
+    floor = baseline * (1.0 - TOLERANCE)
+    status = "OK" if ips >= floor else "REGRESSION"
+    print(f"throughput: {ips:,.0f} instr/s "
+          f"(baseline {baseline:,.0f}, floor {floor:,.0f}) -> {status}")
+    return 0 if ips >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

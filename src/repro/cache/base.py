@@ -15,6 +15,7 @@ a miss and the line is re-fetched from external memory -- parity errors are
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.amba.ahb import AhbBus, AhbMaster, TransferSize
 from repro.cache.ram import CacheRam
@@ -69,6 +70,7 @@ class CacheBase:
         self.data_ram = CacheRam(
             f"{prefix}-data", self.lines * self.words_per_line, config.parity
         )
+        self._tag_shift = self._offset_bits + (self.lines.bit_length() - 1)
 
     # -- address helpers ---------------------------------------------------------
 
@@ -134,6 +136,32 @@ class CacheBase:
         tag, valid = self._split_tag_entry(entry)
         valid &= ~(1 << self._word(address))
         self.tag_ram.write(index, self._tag_entry(tag, valid))
+
+    def lookup_word(self, address: int) -> Optional[int]:
+        """Zero-cycle hit probe for the hot fetch path.
+
+        Returns the stored data word for a clean hit -- valid word, matching
+        tag, no suspect parity in either RAM -- and ``None`` otherwise, in
+        which case the caller must take the full :meth:`lookup` path (which
+        handles parity errors, misses and refill).  Equivalent to
+        :meth:`lookup` on the hit path but performs no allocation and no
+        parity re-encode.
+        """
+        index = (address >> self._offset_bits) & self._index_mask
+        tag_ram = self.tag_ram
+        if tag_ram._suspect and index in tag_ram._suspect:
+            return None
+        entry = tag_ram._data[index]
+        word = (address >> 2) & self._word_mask
+        if (entry >> self.words_per_line) != (address >> self._tag_shift) \
+                or not (entry >> word) & 1:
+            return None
+        data_index = index * self.words_per_line + word
+        data_ram = self.data_ram
+        if data_ram._suspect and data_index in data_ram._suspect:
+            return None
+        self._count_hit()
+        return data_ram._data[data_index]
 
     def lookup(self, address: int) -> CacheAccess:
         """Read one word through the cache.

@@ -31,6 +31,20 @@ class DataCache(CacheBase):
         #: Write-buffer occupancy statistics.
         self.buffered_stores = 0
 
+    def read_fast(self, address: int, size: TransferSize) -> "int | None":
+        """Zero-extra-cycle load probe: the sub-word-extracting twin of
+        :meth:`CacheBase.lookup_word`.  Returns the loaded value on a clean
+        hit, ``None`` when the full :meth:`read` path must run.  The caller
+        is responsible for the enabled/cacheable check.
+        """
+        data = self.lookup_word(address & ~3)
+        if data is None or size is TransferSize.WORD:
+            return data
+        byte_offset = address & 3
+        if size is TransferSize.HALFWORD:
+            return (data >> ((2 - byte_offset) * 8)) & 0xFFFF
+        return (data >> ((3 - byte_offset) * 8)) & 0xFF
+
     def read(self, address: int, size: TransferSize, *, cacheable: bool = True) -> CacheAccess:
         """Load through the cache (sub-word loads extract from the cached
         word, as the hardware does)."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.amba.ahb import TransferSize
 from repro.cache.base import CacheAccess, CacheBase
 
@@ -21,3 +23,15 @@ class InstructionCache(CacheBase):
         if not self.enabled or not cacheable:
             return self.uncached_read(address, TransferSize.WORD)
         return self.lookup(address)
+
+    def fetch_word(self, address: int) -> Optional[int]:
+        """Zero-extra-cycle hit probe for the hot fetch loop.
+
+        Returns the instruction word on a clean cacheable hit, ``None``
+        when the full :meth:`fetch` path must run (miss, parity suspect,
+        cache disabled).  The caller is responsible for the cacheability
+        check.
+        """
+        if not self.enabled:
+            return None
+        return self.lookup_word(address)

@@ -9,7 +9,7 @@ comparison in hardware, so it costs no cycles in the timing model.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Set, Tuple
 
 from repro.errors import ConfigurationError, InjectionError
 from repro.ft.protection import Codec, ErrorKind, ProtectionScheme, make_codec
@@ -30,6 +30,11 @@ class CacheRam:
         self.codec: Codec = make_codec(scheme)
         self._data: List[int] = [0] * words
         self._check: List[int] = [0] * words
+        #: Indices whose stored check bits may disagree with the data.
+        #: Writes generate matching parity, so only fault injection can
+        #: create a mismatch; reads of non-suspect words skip the
+        #: re-encode-and-compare entirely (the hot fetch path).
+        self._suspect: Set[int] = set()
 
     @property
     def bits_per_word(self) -> int:
@@ -45,12 +50,16 @@ class CacheRam:
         value &= 0xFFFFFFFF
         self._data[index] = value
         self._check[index] = self.codec.encode(value)
+        if self._suspect:
+            self._suspect.discard(index)
 
     def read(self, index: int) -> Tuple[int, ErrorKind]:
         """Read a word, checking parity.  Returns the stored data and the
         error classification; parity cannot correct, so callers treat any
         non-NONE kind as 'force a miss'."""
         data = self._data[index]
+        if index not in self._suspect:
+            return data, ErrorKind.NONE
         # Parity checking is re-encode-and-compare; no allocation needed.
         if self.codec.encode(data) == self._check[index]:
             return data, ErrorKind.NONE
@@ -71,6 +80,7 @@ class CacheRam:
             self._check[index] ^= 1 << (bit - 32)
         else:
             raise InjectionError(f"bit {bit} out of range for {self.name}")
+        self._suspect.add(index)
 
     def inject_flat(self, flat_bit: int) -> Tuple[int, int]:
         """Flip the ``flat_bit``-th stored bit; returns (index, bit).

@@ -3,23 +3,30 @@
 Subcommands:
 
     run        assemble and run a SPARC V8 source file on a LEON system
-    campaign   one heavy-ion campaign run (Table 2 style row)
+    campaign   heavy-ion campaign runs (Table 2 style rows)
+    sweep      cross-section vs LET sweep (Figure 6/7 style curves)
     table1     print the synthesis-area comparison (Table 1)
     figure2    print the pipeline diagrams (Figure 2)
     rates      on-orbit SEU rate prediction
     info       describe the simulated device configuration
+
+``campaign`` and ``sweep`` accept ``--jobs N`` to fan independent runs
+across N worker processes; results are identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.area.model import TimingModel, table1
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
-from repro.fault.campaign import Campaign, CampaignConfig
+from repro.fault.campaign import CampaignConfig
+from repro.fault.crosssection import DEFAULT_LETS, measure_curve, render_curve
+from repro.fault.executor import CampaignExecutor, expand_runs
 from repro.fault.report import render_table, render_table2
 from repro.fault.rates import ENVIRONMENTS, RatePredictor
 from repro.iu.pipetrace import PipelineTracer
@@ -30,6 +37,14 @@ _CONFIGS = {
     "ft": LeonConfig.fault_tolerant,
     "express": LeonConfig.leon_express,
 }
+
+
+def _let_list(text: str):
+    try:
+        return tuple(float(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}")
 
 
 def _add_config_argument(parser: argparse.ArgumentParser) -> None:
@@ -53,7 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stop", default=None, help="stop label")
     _add_config_argument(run)
 
-    campaign = subparsers.add_parser("campaign", help="one beam campaign run")
+    campaign = subparsers.add_parser("campaign", help="beam campaign runs")
     campaign.add_argument("--program", default="iutest",
                           choices=["iutest", "paranoia", "cncf"])
     campaign.add_argument("--let", type=float, default=110.0)
@@ -62,6 +77,24 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1)
     campaign.add_argument("--ips", type=float, default=50_000.0,
                           help="virtual device instructions per beam second")
+    campaign.add_argument("--runs", type=int, default=1,
+                          help="independent replicas (derived seeds)")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (default: serial)")
+
+    sweep = subparsers.add_parser("sweep", help="cross-section vs LET sweep")
+    sweep.add_argument("--program", default="iutest",
+                       choices=["iutest", "paranoia", "cncf"])
+    sweep.add_argument("--lets", type=_let_list, default=None,
+                       help="comma-separated LET points "
+                            "(default: the paper's 6..110 ladder)")
+    sweep.add_argument("--flux", type=float, default=400.0)
+    sweep.add_argument("--fluence", type=float, default=2.0e3)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--ips", type=float, default=50_000.0,
+                       help="virtual device instructions per beam second")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: serial)")
 
     subparsers.add_parser("table1", help="print the Table 1 area comparison")
     subparsers.add_parser("figure2", help="print the Figure 2 diagrams")
@@ -104,11 +137,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fluence=args.fluence, seed=args.seed,
         instructions_per_second=args.ips,
     )
-    result = Campaign(config).run()
-    print(render_table2([result]))
-    print(f"\nupsets: {result.upsets}  failures: {result.failures}  "
-          f"iterations: {result.iterations}")
-    return 0 if result.failures == 0 else 1
+    configs = expand_runs(config, args.runs)
+    results = CampaignExecutor(args.jobs).run_many(configs)
+    print(render_table2(results))
+    upsets = sum(result.upsets for result in results)
+    failures = sum(result.failures for result in results)
+    iterations = sum(result.iterations for result in results)
+    wall = sum(result.wall_seconds for result in results)
+    instructions = sum(result.instructions for result in results)
+    ips = instructions / wall if wall > 0 else 0.0
+    print(f"\nupsets: {upsets}  failures: {failures}  "
+          f"iterations: {iterations}  host-throughput: {ips:,.0f} instr/s")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    lets = args.lets or DEFAULT_LETS
+    started = time.perf_counter()
+    curve = measure_curve(
+        args.program, lets=lets, flux=args.flux, fluence=args.fluence,
+        seed=args.seed, instructions_per_second=args.ips, jobs=args.jobs,
+    )
+    wall = time.perf_counter() - started
+    print(render_curve(curve))
+    print(f"\n{len(lets)} LET points in {wall:.1f}s wall "
+          f"(--jobs {args.jobs})")
+    return 0
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -173,6 +227,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "sweep": _cmd_sweep,
     "table1": _cmd_table1,
     "figure2": _cmd_figure2,
     "rates": _cmd_rates,

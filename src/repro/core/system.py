@@ -8,6 +8,7 @@ interrupt controller, I/O port and the FT error monitor.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -54,6 +55,15 @@ class RunResult:
     halted: HaltReason
     stop_reason: str
     pc: int
+    #: Host wall-clock time the run took, seconds.
+    wall_seconds: float = 0.0
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Host throughput of the run (simulated instructions / wall second)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds
 
 
 class LeonSystem:
@@ -211,7 +221,15 @@ class LeonSystem:
         Stops on: the processor halting (error mode), ``stop_pc`` being
         reached, ``stop_when`` returning True, the instruction budget, or
         a power-down period exceeding ``max_idle_steps``.
+
+        When no ``stop_when`` predicate is given the loop takes
+        :meth:`run_fast` -- the cheap-PC-compare path campaigns use for the
+        fault-free stretches between scheduled strikes.
         """
+        if stop_when is None:
+            return self.run_fast(max_instructions, stop_pc=stop_pc,
+                                 max_idle_steps=max_idle_steps)
+        started = time.perf_counter()
         instructions = 0
         steps = 0
         idle = 0
@@ -235,7 +253,7 @@ class LeonSystem:
                     break
             else:
                 idle = 0
-            if stop_when is not None and stop_when(result):
+            if stop_when(result):
                 stop_reason = "predicate"
                 break
         return RunResult(
@@ -245,6 +263,64 @@ class LeonSystem:
             halted=self.iu.halted,
             stop_reason=stop_reason,
             pc=self.special.pc,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def run_fast(
+        self,
+        max_instructions: int = 1_000_000,
+        *,
+        stop_pc: Optional[int] = None,
+        max_idle_steps: int = 100_000,
+    ) -> RunResult:
+        """The tight run loop: no per-step predicate, only a PC compare.
+
+        Semantically identical to :meth:`run` with ``stop_when=None`` --
+        campaigns drive their fault-free stretches through here so the
+        per-step cost is a handful of attribute reads, not a Python
+        callback.
+        """
+        started = time.perf_counter()
+        instructions = 0
+        steps = 0
+        idle = 0
+        stop_reason = "budget"
+        step = self.step
+        special = self.special
+        iu = self.iu
+        ok = StepEvent.OK
+        halted_event = StepEvent.HALTED
+        idle_event = StepEvent.IDLE
+        running = HaltReason.RUNNING
+        while instructions < max_instructions:
+            if stop_pc is not None and special.pc == stop_pc \
+                    and iu.halted is running:
+                stop_reason = "stop-pc"
+                break
+            result = step()
+            steps += 1
+            event = result.event
+            if event is ok:
+                instructions += 1
+                idle = 0
+            elif event is halted_event:
+                stop_reason = "halted"
+                break
+            elif event is idle_event:
+                idle += 1
+                if idle > max_idle_steps:
+                    stop_reason = "idle"
+                    break
+            else:
+                idle = 0
+        return RunResult(
+            instructions=instructions,
+            cycles=self.perf.cycles,
+            steps=steps,
+            halted=iu.halted,
+            stop_reason=stop_reason,
+            pc=special.pc,
+            wall_seconds=time.perf_counter() - started,
         )
 
     # -- convenience -----------------------------------------------------------------------------

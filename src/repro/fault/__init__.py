@@ -17,6 +17,14 @@ from repro.fault.crosssection import (
     fit_weibull,
     measure_curve,
     render_curve,
+    sweep,
+)
+from repro.fault.executor import (
+    CampaignExecutionError,
+    CampaignExecutor,
+    derive_seed,
+    expand_runs,
+    run_campaign,
 )
 from repro.fault.injector import FaultInjector, SeuTarget
 
@@ -24,6 +32,8 @@ __all__ = [
     "BeamParameters",
     "Campaign",
     "CampaignConfig",
+    "CampaignExecutionError",
+    "CampaignExecutor",
     "CampaignResult",
     "CrossSectionCurve",
     "FaultInjector",
@@ -31,7 +41,11 @@ __all__ = [
     "SeuTarget",
     "WeibullCrossSection",
     "WeibullFit",
+    "derive_seed",
+    "expand_runs",
     "fit_weibull",
     "measure_curve",
     "render_curve",
+    "run_campaign",
+    "sweep",
 ]

@@ -20,6 +20,7 @@ experiment (E6) where the flux axis is scaled accordingly (EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -77,6 +78,15 @@ class CampaignResult:
     halted: bool  # processor reached error mode
     iterations: int  # completed program self-check iterations
     instructions: int
+    #: Host wall-clock time of the run, seconds (0.0 in pre-existing logs).
+    wall_seconds: float = 0.0
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Host throughput of the run (simulated instructions / wall second)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds
 
     @property
     def failures(self) -> int:
@@ -122,6 +132,7 @@ class Campaign:
         return LeonSystem(self.leon_config)
 
     def run(self) -> CampaignResult:
+        started = time.perf_counter()
         config = self.config
         system = self.build_system()
         builder = _BUILDERS[config.program]
@@ -143,17 +154,22 @@ class Campaign:
         state = {"executed": 0, "since_flush": 0, "failed": False}
 
         def run_until(target_instructions: int) -> None:
-            """Advance execution, honouring the periodic cache flush."""
+            """Advance execution, honouring the periodic cache flush.
+
+            A failed run parks the program at ``_trap_spin``, so the stop
+            condition is a plain PC compare -- ``stop_pc`` keeps the system
+            on its tight :meth:`LeonSystem.run_fast` loop instead of paying
+            a Python predicate call per step.
+            """
             period = config.flush_period_instructions
             while state["executed"] < target_instructions and not state["failed"]:
                 chunk = target_instructions - state["executed"]
                 if period:
                     chunk = min(chunk, period - state["since_flush"])
-                run = system.run(chunk,
-                                 stop_when=lambda r: system.special.pc == spin)
+                run = system.run(chunk, stop_pc=spin)
                 state["executed"] += run.instructions
                 state["since_flush"] += run.instructions
-                if run.stop_reason in ("halted", "predicate"):
+                if run.stop_reason in ("halted", "stop-pc", "predicate"):
                     state["failed"] = True
                     return
                 if period and state["since_flush"] >= period:
@@ -199,4 +215,5 @@ class Campaign:
             halted=system.iu.halted is not HaltReason.RUNNING,
             iterations=iterations,
             instructions=executed,
+            wall_seconds=time.perf_counter() - started,
         )

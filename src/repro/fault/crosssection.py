@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
-from repro.fault.campaign import Campaign, CampaignConfig
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor
 from repro.fault.injector import FaultInjector
 
 #: Which error counter corresponds to which RAM target.
@@ -76,14 +77,23 @@ def measure_curve(
     instructions_per_second: float = 50_000.0,
     leon: Optional[LeonConfig] = None,
     program_kwargs: Optional[dict] = None,
+    jobs: int = 1,
+    executor: Optional[CampaignExecutor] = None,
 ) -> CrossSectionCurve:
-    """Run one campaign per LET point and build the per-bit sigma curves."""
+    """Run one campaign per LET point and build the per-bit sigma curves.
+
+    The seed of point ``i`` is ``seed + i`` (a published mapping -- recorded
+    curves depend on it).  With ``jobs > 1`` (or an explicit ``executor``)
+    the LET points run in parallel worker processes; because every point's
+    config embeds its own seed the curve is bit-for-bit identical to the
+    serial one.
+    """
     bits = target_bits(leon)
     curve = CrossSectionCurve(program, {kind: [] for kind in COUNTER_TARGETS})
     curve.points["Total"] = []
     total_bits = sum(bits.values())
-    for index, let in enumerate(lets):
-        config = CampaignConfig(
+    configs = [
+        CampaignConfig(
             program=program,
             let=let,
             flux=flux,
@@ -93,7 +103,11 @@ def measure_curve(
             leon=leon,
             program_kwargs=program_kwargs or {},
         )
-        result = Campaign(config).run()
+        for index, let in enumerate(lets)
+    ]
+    if executor is None:
+        executor = CampaignExecutor(jobs)
+    for let, result in zip(lets, executor.run_many(configs)):
         for kind in COUNTER_TARGETS:
             count = result.counts[kind]
             sigma = count / fluence / bits[kind]
@@ -102,6 +116,11 @@ def measure_curve(
         curve.points["Total"].append(
             CrossSectionPoint(let, total / fluence / total_bits, total))
     return curve
+
+
+#: The sweep entry point the CLI and benchmarks use; ``measure_curve`` is
+#: the historical name.
+sweep = measure_curve
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,234 @@
+"""Parallel campaign execution: fan independent runs across worker processes.
+
+A beam campaign is embarrassingly parallel -- every run (one seed at one LET
+for one program) owns its whole simulated device and never talks to another
+run.  ``CampaignExecutor`` exploits that: it ships :class:`CampaignConfig`
+records to a :class:`~concurrent.futures.ProcessPoolExecutor` in chunks and
+reassembles the results in submission order.
+
+Determinism
+-----------
+Every config embeds its own seed, so a run's outcome is a pure function of
+its config -- it cannot depend on which worker executed it, on scheduling
+order, or on how many jobs ran.  ``run_many`` therefore returns results
+bit-for-bit identical to a serial loop over the same configs, and ``jobs=1``
+*is* that serial loop (no process pool is created at all).
+
+Fault tolerance (of the host, not the device)
+---------------------------------------------
+A chunk whose worker crashes, raises, or exceeds ``timeout_s`` is retried
+serially in the parent process -- the retry is deterministic because the
+config is.  Runs that still fail after ``retries`` extra attempts are
+reported together in a :class:`CampaignExecutionError`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.fault.campaign import Campaign, CampaignConfig, CampaignResult
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base: int, index: int) -> int:
+    """Derive the seed for replica ``index`` of a campaign seeded ``base``.
+
+    A splitmix64 mix of (base, index): well-spread, collision-free in
+    practice, and -- critically -- *stable*.  Recorded experiment results
+    depend on this mapping; never change the constants.
+    """
+    z = (base ^ (index * 0x9E3779B97F4A7C15)) & _MASK64
+    z = (z + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def expand_runs(config: CampaignConfig, runs: int) -> List[CampaignConfig]:
+    """``runs`` statistically-independent replicas of one campaign.
+
+    Replica 0 keeps the original seed (so ``runs=1`` is exactly the legacy
+    single run); replicas 1.. get :func:`derive_seed` seeds.
+    """
+    if runs <= 1:
+        return [config]
+    return [config] + [replace(config, seed=derive_seed(config.seed, index))
+                       for index in range(1, runs)]
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """The default runner: build and run one campaign (picklable)."""
+    return Campaign(config).run()
+
+
+def _run_chunk(runner: Callable[[CampaignConfig], CampaignResult],
+               configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+    """Worker entry point: run one chunk of configs back to back."""
+    return [runner(config) for config in configs]
+
+
+@dataclass(frozen=True)
+class ExecutorFailure:
+    """One run that failed even after its serial retries."""
+
+    config: CampaignConfig
+    error: str
+
+
+class CampaignExecutionError(RuntimeError):
+    """Raised when runs remain failed after all retries.
+
+    Successful results are not lost: drivers that want partial output can
+    catch this and read :attr:`failures` for what is missing.
+    """
+
+    def __init__(self, failures: Sequence[ExecutorFailure]) -> None:
+        self.failures = list(failures)
+        summary = "; ".join(
+            f"{f.config.program}@LET{f.config.let:g}/seed{f.config.seed}: {f.error}"
+            for f in self.failures[:3])
+        if len(self.failures) > 3:
+            summary += f"; ... ({len(self.failures)} total)"
+        super().__init__(f"{len(self.failures)} campaign run(s) failed: {summary}")
+
+
+class CampaignExecutor:
+    """Runs many campaign configs, optionally across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``jobs <= 1`` runs everything serially in
+        this process -- the executor then adds no overhead and no
+        multiprocessing machinery at all.
+    chunksize:
+        Configs per work unit.  Default: enough chunks for ~4 rounds per
+        worker, which balances load without drowning in IPC.
+    timeout_s:
+        Per-chunk wall-clock budget when waiting on a worker.  A chunk
+        that exceeds it is abandoned and retried serially in the parent.
+        ``None`` waits forever.  (Serial mode has no timeouts: there is
+        no second process to watch the clock.)
+    retries:
+        Extra serial attempts per run after its first failure.
+    runner:
+        The per-config run function, ``config -> CampaignResult``.  Must
+        be picklable (a module-level function) when ``jobs > 1``.
+        Injectable for tests and for alternative measurement loops.
+    mp_context:
+        Multiprocessing context; default prefers ``fork`` (cheap worker
+        start, no re-import) falling back to the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        chunksize: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        runner: Callable[[CampaignConfig], CampaignResult] = run_campaign,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.chunksize = chunksize
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.runner = runner
+        self.mp_context = mp_context
+
+    # -- public API ---------------------------------------------------------------
+
+    def run_many(self, configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+        """Run every config; results come back in config order.
+
+        Raises :class:`CampaignExecutionError` if any run is still failing
+        after retries.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        if self.jobs <= 1 or len(configs) == 1:
+            return self._run_serial(configs)
+        return self._run_parallel(configs)
+
+    # -- serial path --------------------------------------------------------------
+
+    def _run_serial(self, configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+        results: List[Optional[CampaignResult]] = []
+        failures: List[ExecutorFailure] = []
+        for config in configs:
+            results.append(self._attempt(config, failures,
+                                          attempts=1 + self.retries))
+        if failures:
+            raise CampaignExecutionError(failures)
+        return results  # type: ignore[return-value]  # no failures -> no Nones
+
+    def _attempt(self, config: CampaignConfig,
+                 failures: List[ExecutorFailure],
+                 *, attempts: int) -> Optional[CampaignResult]:
+        error = "no attempts made"
+        for _ in range(max(1, attempts)):
+            try:
+                return self.runner(config)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        failures.append(ExecutorFailure(config=config, error=error))
+        return None
+
+    # -- parallel path ------------------------------------------------------------
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        if self.mp_context is not None:
+            return self.mp_context
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _chunk_size(self, total: int) -> int:
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        return max(1, math.ceil(total / (self.jobs * 4)))
+
+    def _run_parallel(self, configs: List[CampaignConfig]) -> List[CampaignResult]:
+        size = self._chunk_size(len(configs))
+        chunks = [(start, configs[start:start + size])
+                  for start in range(0, len(configs), size)]
+        results: List[Optional[CampaignResult]] = [None] * len(configs)
+        failures: List[ExecutorFailure] = []
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=self._context()) as pool:
+            futures = [(start, chunk, pool.submit(_run_chunk, self.runner, chunk))
+                       for start, chunk in chunks]
+            for start, chunk, future in futures:
+                try:
+                    chunk_results: List[Optional[CampaignResult]] = \
+                        list(future.result(self.timeout_s))
+                except Exception as exc:
+                    # Worker raised, died, or overran the budget; a broken
+                    # pool also lands here for every remaining chunk.  The
+                    # configs are self-contained, so retrying serially in
+                    # the parent reproduces exactly what the worker would
+                    # have computed.
+                    future.cancel()
+                    if self.retries:
+                        chunk_results = [
+                            self._attempt(config, failures,
+                                          attempts=self.retries)
+                            for config in chunk]
+                    else:
+                        error = f"{type(exc).__name__}: {exc}"
+                        failures.extend(
+                            ExecutorFailure(config=config, error=error)
+                            for config in chunk)
+                        chunk_results = [None] * len(chunk)
+                results[start:start + len(chunk)] = chunk_results
+        if failures:
+            raise CampaignExecutionError(failures)
+        return results  # type: ignore[return-value]  # no failures -> no Nones

@@ -18,8 +18,8 @@ The fault-tolerance behaviour of section 4.4 is implemented literally:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.amba.ahb import TransferSize
 from repro.cache.dcache import DataCache
@@ -58,10 +58,14 @@ class HaltReason(enum.Enum):
     EXTERNAL = "external"  # harness-requested stop
 
 
-@dataclass
+@dataclass(slots=True)
 class StepResult:
     """One step's outcome (the master/checker compare signature includes
-    ``cycles``, so internal corrections skew the pair -- section 4.7)."""
+    ``cycles``, so internal corrections skew the pair -- section 4.7).
+
+    ``writes`` defaults to a shared empty tuple so the common no-store step
+    allocates nothing; steps with stores carry the step's write list.
+    """
 
     event: StepEvent
     cycles: int
@@ -69,7 +73,7 @@ class StepResult:
     instr: Optional[Instr] = None
     trap_tt: Optional[int] = None
     corrected_register: Optional[int] = None
-    writes: List[Tuple[int, int]] = field(default_factory=list)
+    writes: Sequence[Tuple[int, int]] = ()
 
 
 _INTEGER_LOADS = {Op3Mem.LD, Op3Mem.LDUB, Op3Mem.LDUH, Op3Mem.LDSB, Op3Mem.LDSH,
@@ -177,7 +181,7 @@ class IntegerUnit:
         if taken is None:
             return StepResult(StepEvent.HALTED, cycles, pc, instr=instr, trap_tt=tt)
         return StepResult(StepEvent.TRAP, cycles, pc, instr=instr, trap_tt=tt,
-                          writes=list(self._writes))
+                          writes=self._writes)
 
     # ------------------------------------------------------------------ stepping
 
@@ -192,31 +196,43 @@ class IntegerUnit:
     def _step(self) -> StepResult:
         if self.halted is not HaltReason.RUNNING:
             return StepResult(StepEvent.HALTED, 0, self.r.pc)
-        self._writes = []
+        if self._writes:
+            # Only steps that stored need a fresh list; everything else
+            # reuses the (empty) one from the previous step.
+            self._writes = []
 
         # Interrupts are sampled between instructions.
-        psr = self.r.psr
+        r = self.r
+        psr = r.psr
         if self.irqctrl is not None and psr.et:
             level = self.irqctrl.pending_level(psr.pil)
             if level:
                 self.power_down = False
                 self.irqctrl.acknowledge(level)
-                pc = self.r.pc
+                pc = r.pc
                 tt = self._enter_trap(int(TrapType.interrupt(level)))
                 event = StepEvent.INTERRUPT if tt is not None else StepEvent.HALTED
                 return StepResult(event, timing.CYCLES_TRAP, pc, trap_tt=tt)
 
         if self.power_down:
-            return StepResult(StepEvent.IDLE, 1, self.r.pc)
+            return StepResult(StepEvent.IDLE, 1, r.pc)
 
-        pc = self.r.pc
-        fetch = self.icache.fetch(pc, cacheable=self.is_cacheable(pc))
-        cycles = 1 + fetch.cycles
-        if fetch.mem_error:
-            self.errors.memory_error_traps += 1
-            return self._trap_result(int(TrapType.INSTRUCTION_ACCESS_ERROR), cycles, pc)
+        pc = r.pc
+        cacheable = self.is_cacheable(pc)
+        # Hot path: a clean cacheable hit needs no CacheAccess record.
+        word = self.icache.fetch_word(pc) if cacheable else None
+        if word is not None:
+            cycles = 1
+        else:
+            fetch = self.icache.fetch(pc, cacheable=cacheable)
+            cycles = 1 + fetch.cycles
+            if fetch.mem_error:
+                self.errors.memory_error_traps += 1
+                return self._trap_result(
+                    int(TrapType.INSTRUCTION_ACCESS_ERROR), cycles, pc)
+            word = fetch.data
 
-        instr = decode(fetch.data)
+        instr = decode(word)
 
         if self._annul.value:
             # Annulled delay slot: fetched but not executed.
@@ -225,7 +241,7 @@ class IntegerUnit:
             return StepResult(StepEvent.ANNULLED, cycles, pc, instr=instr)
 
         # Execute-stage operand check (section 4.4).
-        if self._check_operands:
+        if self._check_operands and instr.sources:
             restart = self._check_sources(instr)
             if restart is not None:
                 kind, physical = restart
@@ -253,38 +269,23 @@ class IntegerUnit:
         One register is corrected per restart: "if more than one correctable
         error occurs, the instruction will be restarted once for each error,
         correcting and storing one register value each time."
+
+        The source-register tuple is precomputed at decode time
+        (:attr:`Instr.sources`).
         """
+        regfile = self.regfile
         cwp = self.r.psr.cwp
-        for reg in self._source_registers(instr):
-            if self.regfile.operand_ok(cwp, reg):
+        for reg in instr.sources:
+            if regfile.operand_ok(cwp, reg):
                 continue
-            check = self.regfile.check_operand(cwp, reg)
+            check = regfile.check_operand(cwp, reg)
             if check.kind is ErrorKind.NONE:  # pragma: no cover - fast path agrees
                 continue
             if check.kind is ErrorKind.CORRECTABLE:
-                self.regfile.correct(check)
+                regfile.correct(check)
                 self.errors.rfe += 1
             return check.kind, check.physical
         return None
-
-    @staticmethod
-    def _source_registers(instr: Instr) -> Tuple[int, ...]:
-        if instr.op == Op.ARITH:
-            if instr.op3 in (Op3.FPOP1, Op3.FPOP2):
-                return ()
-            if instr.imm is not None:
-                return (instr.rs1,)
-            return (instr.rs1, instr.rs2)
-        if instr.op == Op.MEM:
-            regs = [instr.rs1]
-            if instr.imm is None:
-                regs.append(instr.rs2)
-            if instr.op3 in _INTEGER_STORES:
-                regs.append(instr.rd)
-                if instr.op3 in (Op3Mem.STD, Op3Mem.STDA):
-                    regs.append(instr.rd | 1)
-            return tuple(regs)
-        return ()
 
     # ------------------------------------------------------------------ execution
 
@@ -292,8 +293,7 @@ class IntegerUnit:
         if instr.op == Op.CALL:
             self._reg_write(15, pc)
             self._jump(to_u32(pc + instr.disp))
-            return StepResult(StepEvent.OK, cycles, pc, instr=instr,
-                              writes=list(self._writes))
+            return StepResult(StepEvent.OK, cycles, pc, instr=instr)
         if instr.op == Op.FORMAT2:
             return self._execute_format2(instr, pc, cycles)
         if instr.op == Op.ARITH:
@@ -586,11 +586,16 @@ class IntegerUnit:
         op3 = instr.op3
         self.perf.loads += 1
         size = _SIZES.get(op3, TransferSize.WORD)
-        access = self.dcache.read(address, size, cacheable=cacheable)
-        cycles += access.cycles
-        if access.mem_error:
-            return self._data_error(cycles, pc, instr)
-        data = access.data
+        dcache = self.dcache
+        # Hot path: a clean cacheable hit needs no CacheAccess record.
+        data = dcache.read_fast(address, size) \
+            if cacheable and dcache.enabled else None
+        if data is None:
+            access = dcache.read(address, size, cacheable=cacheable)
+            cycles += access.cycles
+            if access.mem_error:
+                return self._data_error(cycles, pc, instr)
+            data = access.data
         if op3 in (Op3Mem.LDSB, Op3Mem.LDSBA):
             data = to_u32(to_s32((data & 0xFF) << 24) >> 24)
         elif op3 in (Op3Mem.LDSH, Op3Mem.LDSHA):
@@ -598,18 +603,22 @@ class IntegerUnit:
 
         base = timing.CYCLES_LOAD
         if op3 in (Op3Mem.LDD, Op3Mem.LDDA, Op3Mem.LDDF):
-            second = self.dcache.read(address + 4, TransferSize.WORD,
-                                      cacheable=cacheable)
-            cycles += second.cycles
-            if second.mem_error:
-                return self._data_error(cycles, pc, instr)
+            second_data = dcache.read_fast(address + 4, TransferSize.WORD) \
+                if cacheable and dcache.enabled else None
+            if second_data is None:
+                second = dcache.read(address + 4, TransferSize.WORD,
+                                     cacheable=cacheable)
+                cycles += second.cycles
+                if second.mem_error:
+                    return self._data_error(cycles, pc, instr)
+                second_data = second.data
             base = timing.CYCLES_LDD
             if op3 == Op3Mem.LDDF:
                 self.fpu.write_reg(instr.rd & 0x1E, data)
-                self.fpu.write_reg((instr.rd & 0x1E) + 1, second.data)
+                self.fpu.write_reg((instr.rd & 0x1E) + 1, second_data)
             else:
                 self._reg_write(instr.rd & 0x1E, data)
-                self._reg_write((instr.rd & 0x1E) + 1, second.data)
+                self._reg_write((instr.rd & 0x1E) + 1, second_data)
         elif op3 == Op3Mem.LDF:
             self.fpu.write_reg(instr.rd, data)
         elif op3 == Op3Mem.LDFSR:
@@ -679,7 +688,7 @@ class IntegerUnit:
             base = timing.CYCLES_STD
         self._advance()
         return StepResult(StepEvent.OK, cycles + base - 1, pc, instr=instr,
-                          writes=list(self._writes))
+                          writes=self._writes)
 
     def _execute_ldstub(self, instr: Instr, pc: int, cycles: int, address: int,
                         cacheable: bool) -> StepResult:
@@ -694,7 +703,7 @@ class IntegerUnit:
         self._reg_write(instr.rd, access.data & 0xFF)
         self._advance()
         return StepResult(StepEvent.OK, cycles + timing.CYCLES_ATOMIC - 1, pc,
-                          instr=instr, writes=list(self._writes))
+                          instr=instr, writes=self._writes)
 
     def _execute_swap(self, instr: Instr, pc: int, cycles: int, address: int,
                       cacheable: bool) -> StepResult:
@@ -710,7 +719,7 @@ class IntegerUnit:
         self._reg_write(instr.rd, access.data)
         self._advance()
         return StepResult(StepEvent.OK, cycles + timing.CYCLES_ATOMIC - 1, pc,
-                          instr=instr, writes=list(self._writes))
+                          instr=instr, writes=self._writes)
 
     # -- diagnostic ASI space (LEON cache diagnostics) -----------------------------------
 

@@ -53,6 +53,11 @@ class RegisterFile:
         self._copies = 2 if duplicated else 1
         self._data: List[List[int]] = [[0] * self.words for _ in range(self._copies)]
         self._check: List[List[int]] = [[0] * self.words for _ in range(self._copies)]
+        #: Physical words whose stored check bits may disagree with the
+        #: data (in any copy).  Writes always generate matching check bits,
+        #: so only fault injection can create a mismatch; the per-operand
+        #: execute-stage check skips the re-encode for clean words.
+        self._suspect: set = set()
 
     # -- window mapping -----------------------------------------------------------
 
@@ -94,6 +99,8 @@ class RegisterFile:
             physical = reg
         else:
             physical = 8 + ((cwp * 16) + (reg - 8)) % (self.nwindows * 16)
+        if physical not in self._suspect:
+            return True
         data = self._data[0]
         check = self._check[0]
         if self.codec.encode(data[physical]) != check[physical]:
@@ -158,6 +165,8 @@ class RegisterFile:
         for copy in range(self._copies):
             self._data[copy][physical] = value
             self._check[copy][physical] = check
+        if self._suspect:
+            self._suspect.discard(physical)
 
     # -- fault injection -----------------------------------------------------------------
 
@@ -182,6 +191,7 @@ class RegisterFile:
             self._check[copy][physical] ^= 1 << (bit - 32)
         else:
             raise InjectionError(f"bit {bit} out of range")
+        self._suspect.add(physical)
 
     def inject_flat(self, flat_bit: int) -> Tuple[int, int, int]:
         """Flip the ``flat_bit``-th stored bit; returns (copy, physical, bit)."""

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.sparc.isa import Op, Op2, Op3, Op3Mem, Opf, sign_extend
 
@@ -18,6 +18,16 @@ _ARITH_OP3 = {member.value for member in Op3}
 #: op3 values (op = 3) implemented by LEON (normal + alternate space + FP).
 _MEM_OP3 = {member.value for member in Op3Mem}
 _FPOP_OPF = {member.value for member in Opf}
+
+#: Integer stores also read their data register(s) in the execute stage.
+_STORE_OP3 = {Op3Mem.ST, Op3Mem.STB, Op3Mem.STH, Op3Mem.STD,
+              Op3Mem.STA, Op3Mem.STBA, Op3Mem.STHA, Op3Mem.STDA}
+_DOUBLE_STORE_OP3 = {Op3Mem.STD, Op3Mem.STDA}
+
+#: Size of the decode memo.  Programs are decoded once per distinct word,
+#: so the cache must never evict within a program run; see
+#: :func:`decode_cache_holds`.
+DECODE_CACHE_WORDS = 65536
 
 _ARITH_NAMES = {member.value: member.name.lower() for member in Op3}
 _MEM_NAMES = {member.value: member.name.lower() for member in Op3Mem}
@@ -50,6 +60,10 @@ class Instr:
     disp: int = 0  # branch/call displacement in *bytes*, sign-extended
     imm22: int = 0  # SETHI immediate (already shifted to bits 31:10)
     asi: int = 0
+    #: Architectural registers read by the execute stage (the operands the
+    #: FT pipeline checks, section 4.4).  Precomputed here so the hot
+    #: per-step operand check never rebuilds the tuple.
+    sources: Tuple[int, ...] = ()
 
     @property
     def is_branch(self) -> bool:
@@ -113,24 +127,45 @@ def _decode_format3(word: int, op: int) -> Instr:
         if op3 in (Op3.CPOP1, Op3.CPOP2):
             # LEON has co-processor interfaces but the simulated device does
             # not attach one; the instruction decodes and traps cp_disabled.
-            return Instr(word, op, "cpop", op3=op3, rd=rd, rs1=rs1, rs2=rs2)
+            return Instr(word, op, "cpop", op3=op3, rd=rd, rs1=rs1, rs2=rs2,
+                         sources=(rs1, rs2))
         if op3 not in _ARITH_OP3:
-            return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd, rs1=rs1)
+            return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd,
+                         rs1=rs1, sources=(rs1,))
         mnemonic = _ARITH_NAMES[op3]
+        sources = (rs1,) if imm is not None else (rs1, rs2)
         if op3 == Op3.TICC:
             cond = (word >> 25) & 0xF
-            return Instr(word, op, "ticc", op3=op3, cond=cond, rs1=rs1, rs2=rs2, imm=imm)
-        return Instr(word, op, mnemonic, op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+            return Instr(word, op, "ticc", op3=op3, cond=cond, rs1=rs1, rs2=rs2,
+                         imm=imm, sources=sources)
+        return Instr(word, op, mnemonic, op3=op3, rd=rd, rs1=rs1, rs2=rs2,
+                     imm=imm, sources=sources)
 
     # op == Op.MEM
     if op3 not in _MEM_OP3:
-        return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd, rs1=rs1)
+        return Instr(word, op, "invalid", valid=False, op3=op3, rd=rd, rs1=rs1,
+                     sources=(rs1,))
+    regs = [rs1]
+    if imm is None:
+        regs.append(rs2)
+    if op3 in _STORE_OP3:
+        regs.append(rd)
+        if op3 in _DOUBLE_STORE_OP3:
+            regs.append(rd | 1)
     return Instr(
-        word, op, _MEM_NAMES[op3], op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm, asi=asi
+        word, op, _MEM_NAMES[op3], op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+        asi=asi, sources=tuple(regs)
     )
 
 
-@lru_cache(maxsize=65536)
+@lru_cache(maxsize=DECODE_CACHE_WORDS)
 def decode(word: int) -> Instr:
     """Decode one 32-bit instruction word (memoized)."""
     return _decode_uncached(word)
+
+
+def decode_cache_holds(program_words: int) -> bool:
+    """True when a program of ``program_words`` distinct instruction words
+    fits the decode memo without eviction (each word is then decoded at
+    most once per run, however many times it executes)."""
+    return program_words <= DECODE_CACHE_WORDS
