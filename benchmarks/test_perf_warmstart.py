@@ -1,0 +1,104 @@
+"""Perf -- warm-start campaigns: snapshot fork vs recomputed prefix.
+
+A campaign whose runs share a long fault-free warm-up (``beam_delay_s``)
+pays the prefix once under ``--warm-start``: the parent executes it, then
+every run restores the snapshot and simulates only its beam window.  This
+bench measures a representative shape -- the prefix several times longer
+than the beam window -- and records ``BENCH_warmstart.json`` (repo root)
+for CI regression tracking.
+
+Two assertions:
+
+  * correctness is unconditional: warm results must be byte-identical to
+    cold results, run for run;
+  * throughput: warm-start (including the one-time prefix execution) must
+    be at least 2x faster than cold over the seed batch.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import write_artifact
+from repro.fault.campaign import CampaignConfig, prepare_warm_start
+from repro.fault.executor import CampaignExecutor, expand_runs
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_warmstart.json"
+
+#: A representative warm-start shape: the fault-free warm-up is ~5x the
+#: beam window (long setup loops, short windows are the use case).
+CONFIG = CampaignConfig(
+    program="iutest",
+    let=60.0,
+    flux=400.0,
+    fluence=300.0,  # 0.75 beam-s window = 15k instructions
+    seed=700,
+    instructions_per_second=20_000.0,
+    beam_delay_s=4.0,  # 80k-instruction shared prefix
+    beam_tail_s=0.1,
+)
+
+RUNS = 8
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    configs = expand_runs(CONFIG, RUNS)
+    executor = CampaignExecutor(1)
+
+    started = time.perf_counter()
+    cold = executor.run_many(configs)
+    cold_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_start = prepare_warm_start(CONFIG)
+    prepare_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = executor.run_many(configs, warm=warm_start)
+    warm_wall = time.perf_counter() - started
+
+    return cold, cold_wall, warm, prepare_wall, warm_wall
+
+
+def test_warmstart_speedup(benchmark, measurements):
+    cold, cold_wall, warm, prepare_wall, warm_wall = measurements
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    identical = [w.comparable() for w in warm] == \
+        [c.comparable() for c in cold]
+    warm_total = prepare_wall + warm_wall
+    speedup = cold_wall / warm_total if warm_total > 0 else 0.0
+    effaced = sum(1 for result in warm if result.effaced)
+    benchmark.extra_info["warmstart_speedup"] = speedup
+
+    record = {
+        "runs": RUNS,
+        "prefix_instructions": CONFIG.phase_instructions()[0],
+        "window_instructions": CONFIG.phase_instructions()[1],
+        "cold_wall_s": round(cold_wall, 3),
+        "prepare_wall_s": round(prepare_wall, 3),
+        "warm_wall_s": round(warm_wall, 3),
+        "speedup": round(speedup, 3),
+        "effaced_runs": effaced,
+        "results_identical": identical,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    prefix, window, _tail = CONFIG.phase_instructions()
+    text = (
+        "Warm-start campaign throughput\n\n"
+        f"shape:            {prefix:,}-instr prefix, {window:,}-instr window, "
+        f"{RUNS} seeds\n"
+        f"cold (recompute): {cold_wall:.2f} s\n"
+        f"warm (snapshot):  {warm_total:.2f} s "
+        f"({prepare_wall:.2f} s prepare + {warm_wall:.2f} s runs)\n"
+        f"speedup:          {speedup:.2f}x   effaced early-outs: {effaced}\n"
+        f"identical:        {identical}\n"
+        f"[record: {BENCH_PATH.name}]"
+    )
+    write_artifact("perf_warmstart.txt", text)
+
+    assert identical
+    assert speedup >= 2.0

@@ -120,6 +120,25 @@ class AhbBus:
     def slaves(self) -> Tuple[AhbSlave, ...]:
         return tuple(self._slaves)
 
+    def capture(self) -> dict:
+        """Transfer bookkeeping -- all observation state, hence ``"diag"``."""
+        return {
+            "diag": {
+                "transfers": self.transfers,
+                "busy_cycles": self.busy_cycles,
+                "granted": {master.name: master.granted_cycles
+                            for master in self._masters},
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        diag = state.get("diag") or {}
+        self.transfers = int(diag.get("transfers", 0))
+        self.busy_cycles = int(diag.get("busy_cycles", 0))
+        granted = diag.get("granted", {})
+        for master in self._masters:
+            master.granted_cycles = int(granted.get(master.name, 0))
+
     def decode(self, address: int) -> Optional[AhbSlave]:
         for slave in self._slaves:
             if slave.covers(address):

@@ -118,6 +118,21 @@ class CacheBase:
         else:
             self.perf.dcache_misses += 1
 
+    # -- state capture -----------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Bit-exact cache state: both RAMs plus the enable flag."""
+        return {
+            "enabled": self.enabled,
+            "tags": self.tag_ram.capture(),
+            "data": self.data_ram.capture(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.enabled = bool(state["enabled"])
+        self.tag_ram.restore(state["tags"])
+        self.data_ram.restore(state["data"])
+
     # -- core lookup/refill -------------------------------------------------------
 
     def flush(self) -> None:

@@ -31,6 +31,16 @@ class DataCache(CacheBase):
         #: Write-buffer occupancy statistics.
         self.buffered_stores = 0
 
+    def capture(self) -> dict:
+        state = super().capture()
+        state["diag"] = {"buffered_stores": self.buffered_stores}
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        diag = state.get("diag") or {}
+        self.buffered_stores = int(diag.get("buffered_stores", 0))
+
     def read_fast(self, address: int, size: TransferSize) -> "int | None":
         """Zero-extra-cycle load probe: the sub-word-extracting twin of
         :meth:`CacheBase.lookup_word`.  Returns the loaded value on a clean

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
-from repro.errors import ConfigurationError, InjectionError
+from repro.errors import ConfigurationError, InjectionError, StateError
 from repro.ft.protection import Codec, ErrorKind, ProtectionScheme, make_codec
 
 
@@ -67,6 +67,25 @@ class CacheRam:
 
     def read_raw(self, index: int) -> Tuple[int, int]:
         return self._data[index], self._check[index]
+
+    # -- state capture ----------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Bit-exact stored state (data, check bits, suspect indices)."""
+        return {
+            "data": tuple(self._data),
+            "check": tuple(self._check),
+            "suspect": tuple(sorted(self._suspect)),
+        }
+
+    def restore(self, state: dict) -> None:
+        data, check = state["data"], state["check"]
+        if len(data) != self.words or len(check) != self.words:
+            raise StateError(
+                f"{self.name}: snapshot has {len(data)} words, RAM has {self.words}")
+        self._data = list(data)
+        self._check = list(check)
+        self._suspect = set(state["suspect"])
 
     # -- fault injection --------------------------------------------------------
 

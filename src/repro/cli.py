@@ -5,13 +5,19 @@ Subcommands:
     run        assemble and run a SPARC V8 source file on a LEON system
     campaign   heavy-ion campaign runs (Table 2 style rows)
     sweep      cross-section vs LET sweep (Figure 6/7 style curves)
+    state      save or inspect a device snapshot
     table1     print the synthesis-area comparison (Table 1)
     figure2    print the pipeline diagrams (Figure 2)
     rates      on-orbit SEU rate prediction
     info       describe the simulated device configuration
 
 ``campaign`` and ``sweep`` accept ``--jobs N`` to fan independent runs
-across N worker processes; results are identical to ``--jobs 1``.
+across N worker processes; results are identical to ``--jobs 1``.  With
+``--warm-start`` (and a ``--beam-delay`` prefix) the fault-free warm-up is
+executed once and every run restores from the shared snapshot -- results
+are still bit-for-bit identical.  ``campaign --results FILE`` appends each
+completed run to a crash-safe JSONL log; ``campaign --resume FILE`` reloads
+it and re-runs only what is missing.
 """
 
 from __future__ import annotations
@@ -24,13 +30,15 @@ from typing import List, Optional
 from repro.area.model import TimingModel, table1
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
-from repro.fault.campaign import CampaignConfig
+from repro.fault.campaign import Campaign, CampaignConfig, prepare_warm_start
 from repro.fault.crosssection import DEFAULT_LETS, measure_curve, render_curve
 from repro.fault.executor import CampaignExecutor, expand_runs
 from repro.fault.report import render_table, render_table2
 from repro.fault.rates import ENVIRONMENTS, RatePredictor
+from repro.fault.results import ResultStore, config_key
 from repro.iu.pipetrace import PipelineTracer
 from repro.sparc.asm import assemble
+from repro.state.snapshot import Snapshot
 
 _CONFIGS = {
     "standard": LeonConfig.standard,
@@ -81,6 +89,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="independent replicas (derived seeds)")
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes (default: serial)")
+    campaign.add_argument("--beam-delay", type=float, default=0.0,
+                          help="fault-free warm-up before the beam opens "
+                               "(beam seconds)")
+    campaign.add_argument("--beam-tail", type=float, default=0.0,
+                          help="strike-free stretch after the beam closes "
+                               "(beam seconds)")
+    campaign.add_argument("--warm-start", action="store_true",
+                          help="execute the warm-up once, fork every run "
+                               "from the snapshot (results unchanged)")
+    campaign.add_argument("--results", metavar="FILE", default=None,
+                          help="append completed runs to a JSONL result log")
+    campaign.add_argument("--resume", metavar="FILE", default=None,
+                          help="reload a JSONL result log, run only the "
+                               "missing seeds, append them to it")
 
     sweep = subparsers.add_parser("sweep", help="cross-section vs LET sweep")
     sweep.add_argument("--program", default="iutest",
@@ -95,6 +117,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="virtual device instructions per beam second")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (default: serial)")
+    sweep.add_argument("--beam-delay", type=float, default=0.0,
+                       help="fault-free warm-up before the beam opens "
+                            "(beam seconds)")
+    sweep.add_argument("--beam-tail", type=float, default=0.0,
+                       help="strike-free stretch after the beam closes "
+                            "(beam seconds)")
+    sweep.add_argument("--warm-start", action="store_true",
+                       help="execute the warm-up once, fork every LET point "
+                            "from the snapshot (curve unchanged)")
+
+    state = subparsers.add_parser(
+        "state", help="save or inspect a device snapshot")
+    state.add_argument("action", choices=["save", "info"])
+    state.add_argument("file", help="snapshot file path")
+    state.add_argument("--program", default="iutest",
+                       choices=["iutest", "paranoia", "cncf"],
+                       help="test program to run before saving")
+    state.add_argument("--instructions", type=int, default=10_000,
+                       help="instructions to execute before saving")
+    _add_config_argument(state)
 
     subparsers.add_parser("table1", help="print the Table 1 area comparison")
     subparsers.add_parser("figure2", help="print the Figure 2 diagrams")
@@ -136,9 +178,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         program=args.program, let=args.let, flux=args.flux,
         fluence=args.fluence, seed=args.seed,
         instructions_per_second=args.ips,
+        beam_delay_s=args.beam_delay, beam_tail_s=args.beam_tail,
     )
     configs = expand_runs(config, args.runs)
-    results = CampaignExecutor(args.jobs).run_many(configs)
+
+    store = done = None
+    pending = configs
+    store_path = args.resume or args.results
+    if store_path:
+        store = ResultStore(store_path)
+    if args.resume:
+        done, pending = store.split_pending(configs)
+        if done:
+            print(f"resume: {len(done)} of {len(configs)} run(s) already "
+                  f"in {args.resume}")
+
+    warm = None
+    if args.warm_start and pending:
+        warm = prepare_warm_start(config)
+    on_results = store.append if store is not None else None
+    try:
+        fresh = (CampaignExecutor(args.jobs).run_many(
+            pending, warm=warm, on_results=on_results) if pending else [])
+    finally:
+        if store is not None:
+            store.close()
+
+    if done:
+        fresh_iter = iter(fresh)
+        results = [done.get(config_key(cfg)) or next(fresh_iter)
+                   for cfg in configs]
+    else:
+        results = fresh
     print(render_table2(results))
     upsets = sum(result.upsets for result in results)
     failures = sum(result.failures for result in results)
@@ -157,11 +228,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     curve = measure_curve(
         args.program, lets=lets, flux=args.flux, fluence=args.fluence,
         seed=args.seed, instructions_per_second=args.ips, jobs=args.jobs,
+        warm_start=args.warm_start, beam_delay_s=args.beam_delay,
+        beam_tail_s=args.beam_tail,
     )
     wall = time.perf_counter() - started
     print(render_curve(curve))
     print(f"\n{len(lets)} LET points in {wall:.1f}s wall "
           f"(--jobs {args.jobs})")
+    return 0
+
+
+def _cmd_state(args: argparse.Namespace) -> int:
+    if args.action == "info":
+        with open(args.file, "rb") as handle:
+            snap = Snapshot.from_bytes(handle.read())
+        print(f"format version: {snap.version}")
+        print(f"components: {', '.join(snap.components)}")
+        print(f"architectural digest: {snap.digest()}")
+        print(f"full digest:          {snap.digest(architectural=False)}")
+        return 0
+    campaign = Campaign(CampaignConfig(program=args.program,
+                                       leon=_CONFIGS[args.config]()))
+    system, spin, _base = campaign._build_program()
+    run = system.run(args.instructions, stop_pc=spin)
+    data = system.snapshot().to_bytes()
+    with open(args.file, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {len(data)} bytes: {args.program} after "
+          f"{run.instructions} instructions, "
+          f"digest {system.state_digest()[:16]}...")
     return 0
 
 
@@ -228,6 +323,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
     "sweep": _cmd_sweep,
+    "state": _cmd_state,
     "table1": _cmd_table1,
     "figure2": _cmd_figure2,
     "rates": _cmd_rates,

@@ -54,6 +54,23 @@ class ErrorCounters:
         self.edac_corrected = 0
         self.register_error_traps = self.memory_error_traps = 0
 
+    def clear_monitor(self) -> None:
+        """Clear the *monitor-visible* counters only (an errmon write).
+
+        The trap tallies are host-side bookkeeping of uncorrectable events,
+        not error-monitor registers; software clearing the monitor must not
+        erase them, or a resumed campaign under-reports its failures.
+        """
+        self.ite = self.ide = self.dte = self.dde = self.rfe = 0
+        self.edac_corrected = 0
+
+    def capture(self) -> dict:
+        return dict(vars(self))
+
+    def restore(self, state: dict) -> None:
+        for name in vars(self):
+            setattr(self, name, int(state[name]))
+
 
 @dataclass
 class PerfCounters:
@@ -89,3 +106,10 @@ class PerfCounters:
     def reset(self) -> None:
         for name in vars(self):
             setattr(self, name, 0)
+
+    def capture(self) -> dict:
+        return dict(vars(self))
+
+    def restore(self, state: dict) -> None:
+        for name in vars(self):
+            setattr(self, name, int(state[name]))

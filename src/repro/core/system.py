@@ -18,7 +18,7 @@ from repro.cache.dcache import DataCache
 from repro.cache.icache import InstructionCache
 from repro.core.config import LeonConfig
 from repro.core.statistics import ErrorCounters, PerfCounters
-from repro.errors import BusError, SimulationError
+from repro.errors import BusError, SimulationError, StateError
 from repro.fpu.fpu import Fpu
 from repro.ft.protection import ProtectionScheme
 from repro.ft.tmr import FlipFlopBank
@@ -40,6 +40,7 @@ from repro.peripherals.sysregs import SystemRegisters
 from repro.peripherals.timer import TimerUnit
 from repro.peripherals.uart import Uart
 from repro.sparc.asm import Program
+from repro.state.snapshot import Snapshot
 
 #: Base address of the APB bridge (LEON-2 register map).
 APB_BASE = 0x80000000
@@ -154,6 +155,71 @@ class LeonSystem:
         #: Set when an injection has touched the flip-flop bank since the
         #: last step, to trigger a TMR scrub (hardware scrubs every edge).
         self._ffbank_dirty = False
+
+    # -- state capture ---------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Capture the complete device state as a :class:`Snapshot`.
+
+        Component order is fixed so identical states produce identical
+        serialized bytes.  Everything that can influence future execution is
+        included; pure observation state rides along under ``"diag"`` keys
+        (or in the ``errors``/``perf`` components) where architectural
+        digests ignore it.
+        """
+        components = {
+            "system": {"ffbank_dirty": self._ffbank_dirty},
+            "ffbank": self.ffbank.capture(),
+            "regfile": self.regfile.capture(),
+            "fpu": self.fpu.capture() if self.fpu is not None else None,
+            "iu": self.iu.capture(),
+            "icache": self.icache.capture(),
+            "dcache": self.dcache.capture(),
+            "memory": self.memctrl.capture(),
+            "timers": self.timers.capture(),
+            "uart1": self.uart1.capture(),
+            "uart2": self.uart2.capture(),
+            "ioport": self.ioport.capture(),
+            "dma": self.dma.capture(),
+            "sysregs": self.sysregs.capture(),
+            "bus": self.bus.capture(),
+            "errors": self.errors.capture(),
+            "perf": self.perf.capture(),
+        }
+        return Snapshot(repr(self.config), components)
+
+    def restore(self, snapshot: Snapshot) -> None:
+        """Restore a snapshot captured from an identically-configured system."""
+        if snapshot.config_key != repr(self.config):
+            raise StateError(
+                "snapshot was captured from a different device configuration")
+        components = snapshot.components
+        self._ffbank_dirty = bool(components["system"]["ffbank_dirty"])
+        self.ffbank.restore(components["ffbank"])
+        self.regfile.restore(components["regfile"])
+        if self.fpu is not None:
+            self.fpu.restore(components["fpu"])
+        self.iu.restore(components["iu"])
+        self.icache.restore(components["icache"])
+        self.dcache.restore(components["dcache"])
+        self.memctrl.restore(components["memory"])
+        self.timers.restore(components["timers"])
+        self.uart1.restore(components["uart1"])
+        self.uart2.restore(components["uart2"])
+        self.ioport.restore(components["ioport"])
+        self.dma.restore(components["dma"])
+        self.sysregs.restore(components["sysregs"])
+        self.bus.restore(components["bus"])
+        self.errors.restore(components["errors"])
+        self.perf.restore(components["perf"])
+
+    def state_digest(self) -> str:
+        """Hex digest of the *architectural* state (counters excluded).
+
+        Two systems with equal digests execute identical futures; their
+        error/performance counters may differ (see :mod:`repro.state`).
+        """
+        return self.snapshot().digest(architectural=True)
 
     # -- program loading -------------------------------------------------------------
 

@@ -52,3 +52,7 @@ class UncorrectableError(ReproError):
 
 class InjectionError(ReproError):
     """A fault-injection request referenced an unknown or invalid target."""
+
+
+class StateError(ReproError):
+    """A snapshot could not be captured, decoded or restored."""

@@ -10,7 +10,15 @@ verify the checksum, classify failures).
 """
 
 from repro.fault.beam import BeamParameters, HeavyIonBeam, WeibullCrossSection
-from repro.fault.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.fault.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    GoldenRun,
+    WarmStart,
+    prepare_warm_start,
+    warm_start_key,
+)
 from repro.fault.crosssection import (
     CrossSectionCurve,
     WeibullFit,
@@ -27,6 +35,7 @@ from repro.fault.executor import (
     run_campaign,
 )
 from repro.fault.injector import FaultInjector, SeuTarget
+from repro.fault.results import ResultStore, config_key
 
 __all__ = [
     "BeamParameters",
@@ -37,15 +46,21 @@ __all__ = [
     "CampaignResult",
     "CrossSectionCurve",
     "FaultInjector",
+    "GoldenRun",
     "HeavyIonBeam",
+    "ResultStore",
     "SeuTarget",
+    "WarmStart",
     "WeibullCrossSection",
     "WeibullFit",
+    "config_key",
     "derive_seed",
     "expand_runs",
     "fit_weibull",
     "measure_curve",
+    "prepare_warm_start",
     "render_curve",
     "run_campaign",
     "sweep",
+    "warm_start_key",
 ]

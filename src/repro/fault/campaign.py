@@ -20,6 +20,7 @@ experiment (E6) where the flux axis is scaled accordingly (EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -31,6 +32,7 @@ from repro.fault.beam import BeamParameters, HeavyIonBeam
 from repro.fault.injector import FaultInjector
 from repro.iu.pipeline import HaltReason
 from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
+from repro.state.snapshot import Snapshot
 
 _BUILDERS = {
     "iutest": build_iutest,
@@ -59,10 +61,32 @@ class CampaignConfig:
     flush_period_instructions: int = 0
     leon: Optional[LeonConfig] = None
     program_kwargs: Dict = field(default_factory=dict)
+    #: Fault-free warm-up before the beam opens, in beam seconds.  The run
+    #: executes ``beam_delay_s * instructions_per_second`` instructions with
+    #: the shutter closed -- the stretch warm-start campaigns snapshot past.
+    beam_delay_s: float = 0.0
+    #: Strike-free observation stretch after the beam closes, in beam
+    #: seconds.  Gives latent errors time to surface (and effaced runs time
+    #: to be worth skipping).
+    beam_tail_s: float = 0.0
 
     def beam_parameters(self) -> BeamParameters:
         return BeamParameters(let=self.let, flux=self.flux,
                               fluence=self.fluence, seed=self.seed)
+
+    def phase_instructions(self) -> "tuple[int, int, int]":
+        """(prefix, window, tail) instruction counts for this run.
+
+        The window formula is unchanged from the pre-warm-start campaign
+        runner, so configs with zero delay/tail reproduce recorded results
+        exactly.
+        """
+        ips = self.instructions_per_second
+        prefix = int(self.beam_delay_s * ips)
+        window = min(int(self.beam_parameters().duration_s * ips),
+                     self.max_instructions)
+        tail = int(self.beam_tail_s * ips)
+        return prefix, window, tail
 
 
 @dataclass
@@ -80,6 +104,12 @@ class CampaignResult:
     instructions: int
     #: Host wall-clock time of the run, seconds (0.0 in pre-existing logs).
     wall_seconds: float = 0.0
+    #: True when a warm-start run was classified early: its architectural
+    #: state at the window close matched the golden run, so the tail was
+    #: skipped and the golden readouts used.  Execution annotation only --
+    #: every *measured* field is identical to the full run's; cold runs
+    #: always report False because they have no golden digest to compare.
+    effaced: bool = False
 
     @property
     def instructions_per_second(self) -> float:
@@ -116,6 +146,75 @@ class CampaignResult:
         out["X-sect"] = self.cross_section("Total")
         return out
 
+    def comparable(self) -> Dict[str, object]:
+        """The deterministic measurement fields, for byte-identity checks.
+
+        Excludes ``wall_seconds`` (host timing) and ``effaced`` (an
+        execution annotation that depends on whether a golden digest was
+        available, not on what was measured).
+        """
+        out = dataclasses.asdict(self)
+        out.pop("wall_seconds", None)
+        out.pop("effaced", None)
+        return out
+
+
+def warm_start_key(config: CampaignConfig) -> tuple:
+    """Everything a warm-start snapshot depends on.
+
+    The beam-window *timeline* and the fault-free prefix are functions of
+    these fields; LET and seed are deliberately absent -- they only shape
+    the strike schedule, so one warm start serves a whole LET sweep and
+    every derived-seed replica.
+    """
+    return (
+        config.program,
+        tuple(sorted(config.program_kwargs.items())),
+        config.instructions_per_second,
+        config.max_instructions,
+        config.flush_period_instructions,
+        config.flux,
+        config.fluence,
+        config.beam_delay_s,
+        config.beam_tail_s,
+        config.leon,
+    )
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """End-state of the strike-free run, for effaced classification.
+
+    ``window_digest`` is the architectural digest at the beam-window close;
+    the readouts are what the host would log at the end of the full run.
+    """
+
+    window_digest: str
+    sw_errors: int
+    error_traps: int
+    iterations: int
+    halted: bool
+    executed: int
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """A shared campaign prefix: snapshot bytes plus golden-run data.
+
+    Produced once by :func:`prepare_warm_start` in the parent process and
+    shipped (pickled) to every worker; workers restore the snapshot instead
+    of re-executing the prefix.
+    """
+
+    key: tuple
+    snapshot: bytes
+    executed: int
+    since_flush: int
+    failed: bool
+    spin_pc: int
+    result_base: int
+    golden: Optional[GoldenRun]
+
 
 class Campaign:
     """Builds the device + beam and executes one (or more) runs."""
@@ -131,56 +230,77 @@ class Campaign:
     def build_system(self) -> LeonSystem:
         return LeonSystem(self.leon_config)
 
-    def run(self) -> CampaignResult:
-        started = time.perf_counter()
+    def _build_program(self) -> "tuple[LeonSystem, int, int]":
+        """Fresh system with the test program loaded; returns
+        (system, spin pc, result-area base)."""
         config = self.config
         system = self.build_system()
         builder = _BUILDERS[config.program]
         program, _expected = builder(self.leon_config, iterations=1_000_000,
                                      **config.program_kwargs)
         harness = ProgramHarness(system, program)
+        return system, program.symbols["_trap_spin"], harness.layout.result
+
+    def _run_until(self, system: LeonSystem, spin: int, state: Dict,
+                   target_instructions: int) -> None:
+        """Advance execution, honouring the periodic cache flush.
+
+        A failed run parks the program at ``_trap_spin``, so the stop
+        condition is a plain PC compare -- ``stop_pc`` keeps the system
+        on its tight :meth:`LeonSystem.run_fast` loop instead of paying
+        a Python predicate call per step.
+        """
+        period = self.config.flush_period_instructions
+        while state["executed"] < target_instructions and not state["failed"]:
+            chunk = target_instructions - state["executed"]
+            if period:
+                chunk = min(chunk, period - state["since_flush"])
+            run = system.run(chunk, stop_pc=spin)
+            state["executed"] += run.instructions
+            state["since_flush"] += run.instructions
+            if run.stop_reason in ("halted", "stop-pc", "predicate"):
+                state["failed"] = True
+                return
+            if period and state["since_flush"] >= period:
+                system.icache.flush()
+                system.dcache.flush()
+                state["since_flush"] = 0
+
+    def run(self, warm: Optional[WarmStart] = None) -> CampaignResult:
+        started = time.perf_counter()
+        config = self.config
+        params = config.beam_parameters()
+        prefix, window, tail = config.phase_instructions()
+        window_close = prefix + window
+        total_instructions = window_close + tail
+
+        if warm is not None:
+            if warm.key != warm_start_key(config):
+                raise ConfigurationError(
+                    "warm start was prepared for an incompatible campaign "
+                    "configuration")
+            system = self.build_system()
+            system.restore(Snapshot.from_bytes(warm.snapshot))
+            spin, result_base = warm.spin_pc, warm.result_base
+            state = {"executed": warm.executed,
+                     "since_flush": warm.since_flush,
+                     "failed": warm.failed}
+            golden = warm.golden
+        else:
+            system, spin, result_base = self._build_program()
+            state = {"executed": 0, "since_flush": 0, "failed": False}
+            golden = None
+            self._run_until(system, spin, state, prefix)
+
         injector = FaultInjector(system)
         beam = HeavyIonBeam(injector)
-        params = config.beam_parameters()
         strikes = beam.schedule(params)
 
-        spin = program.symbols["_trap_spin"]
-        total_instructions = min(
-            int(params.duration_s * config.instructions_per_second),
-            config.max_instructions,
-        )
-
         upsets_by_target: Dict[str, int] = {}
-        state = {"executed": 0, "since_flush": 0, "failed": False}
-
-        def run_until(target_instructions: int) -> None:
-            """Advance execution, honouring the periodic cache flush.
-
-            A failed run parks the program at ``_trap_spin``, so the stop
-            condition is a plain PC compare -- ``stop_pc`` keeps the system
-            on its tight :meth:`LeonSystem.run_fast` loop instead of paying
-            a Python predicate call per step.
-            """
-            period = config.flush_period_instructions
-            while state["executed"] < target_instructions and not state["failed"]:
-                chunk = target_instructions - state["executed"]
-                if period:
-                    chunk = min(chunk, period - state["since_flush"])
-                run = system.run(chunk, stop_pc=spin)
-                state["executed"] += run.instructions
-                state["since_flush"] += run.instructions
-                if run.stop_reason in ("halted", "stop-pc", "predicate"):
-                    state["failed"] = True
-                    return
-                if period and state["since_flush"] >= period:
-                    system.icache.flush()
-                    system.dcache.flush()
-                    state["since_flush"] = 0
-
         for strike in strikes:
-            strike_at = int(strike.time_s * config.instructions_per_second)
-            strike_at = min(strike_at, total_instructions)
-            run_until(strike_at)
+            strike_at = prefix + min(
+                int(strike.time_s * config.instructions_per_second), window)
+            self._run_until(system, spin, state, strike_at)
             if state["failed"]:
                 break
             beam.apply(strike)
@@ -189,31 +309,106 @@ class Campaign:
             if strike.mbu:
                 upsets_by_target[strike.target + "+mbu"] = \
                     upsets_by_target.get(strike.target + "+mbu", 0) + 1
-        if not state["failed"]:
-            run_until(total_instructions)
-        executed = state["executed"]
 
-        # Read out the result area the way the host computer would.
-        layout = harness.layout
-        read = system.read_word
-        sw_errors = read(layout.result + 0x14)
-        trapped = read(layout.result + 0x08) == 1
-        iterations = read(layout.result + 0x10)
-
-        counts = dict(system.errors.as_dict())
         upsets = sum(
             count for name, count in upsets_by_target.items()
             if not name.endswith("+mbu")
         )
-        return CampaignResult(
+        counts_and_more = dict(
             config=config,
-            counts=counts,
             upsets=upsets,
             upsets_by_target=upsets_by_target,
+        )
+
+        if not state["failed"]:
+            self._run_until(system, spin, state, window_close)
+
+        # Effaced early-out: if the architectural state at the window close
+        # equals the golden run's, the (strike-free) continuation is
+        # deterministic and identical -- including every remaining counter
+        # and the final result-area readouts -- so the tail can be skipped
+        # and the golden end-state reported.  Counter deltas cannot occur
+        # past this point: digest equality implies the suspect sets are
+        # empty, and only suspect storage triggers corrections.
+        if (golden is not None and not state["failed"]
+                and state["executed"] == window_close
+                and system.state_digest() == golden.window_digest):
+            return CampaignResult(
+                counts=dict(system.errors.as_dict()),
+                sw_errors=golden.sw_errors,
+                error_traps=golden.error_traps,
+                halted=golden.halted,
+                iterations=golden.iterations,
+                instructions=golden.executed,
+                wall_seconds=time.perf_counter() - started,
+                effaced=True,
+                **counts_and_more,
+            )
+
+        if not state["failed"]:
+            self._run_until(system, spin, state, total_instructions)
+        executed = state["executed"]
+
+        # Read out the result area the way the host computer would.
+        read = system.read_word
+        sw_errors = read(result_base + 0x14)
+        trapped = read(result_base + 0x08) == 1
+        iterations = read(result_base + 0x10)
+
+        return CampaignResult(
+            counts=dict(system.errors.as_dict()),
             sw_errors=sw_errors,
             error_traps=int(trapped),
             halted=system.iu.halted is not HaltReason.RUNNING,
             iterations=iterations,
             instructions=executed,
             wall_seconds=time.perf_counter() - started,
+            **counts_and_more,
         )
+
+
+def prepare_warm_start(config: CampaignConfig) -> WarmStart:
+    """Execute the golden prefix once and package it for sharing.
+
+    Runs the fault-free prefix (``beam_delay_s``), snapshots the device,
+    then continues the *golden* (strike-free) run through the beam window
+    and tail to record the architectural digest at the window close and the
+    final host readouts.  The result is picklable and serves every run whose
+    config shares :func:`warm_start_key` -- a whole LET sweep, every seed.
+    """
+    campaign = Campaign(config)
+    prefix, window, tail = config.phase_instructions()
+    window_close = prefix + window
+
+    system, spin, result_base = campaign._build_program()
+    state = {"executed": 0, "since_flush": 0, "failed": False}
+    campaign._run_until(system, spin, state, prefix)
+    snapshot = system.snapshot().to_bytes()
+    executed, since_flush = state["executed"], state["since_flush"]
+    failed = state["failed"]
+
+    golden: Optional[GoldenRun] = None
+    campaign._run_until(system, spin, state, window_close)
+    if not state["failed"] and state["executed"] == window_close:
+        window_digest = system.state_digest()
+        campaign._run_until(system, spin, state, window_close + tail)
+        read = system.read_word
+        golden = GoldenRun(
+            window_digest=window_digest,
+            sw_errors=read(result_base + 0x14),
+            error_traps=int(read(result_base + 0x08) == 1),
+            iterations=read(result_base + 0x10),
+            halted=system.iu.halted is not HaltReason.RUNNING,
+            executed=state["executed"],
+        )
+
+    return WarmStart(
+        key=warm_start_key(config),
+        snapshot=snapshot,
+        executed=executed,
+        since_flush=since_flush,
+        failed=failed,
+        spin_pc=spin,
+        result_base=result_base,
+        golden=golden,
+    )

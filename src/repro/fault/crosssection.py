@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
-from repro.fault.campaign import CampaignConfig
+from repro.fault.campaign import CampaignConfig, prepare_warm_start
 from repro.fault.executor import CampaignExecutor
 from repro.fault.injector import FaultInjector
 
@@ -79,6 +79,9 @@ def measure_curve(
     program_kwargs: Optional[dict] = None,
     jobs: int = 1,
     executor: Optional[CampaignExecutor] = None,
+    warm_start: bool = False,
+    beam_delay_s: float = 0.0,
+    beam_tail_s: float = 0.0,
 ) -> CrossSectionCurve:
     """Run one campaign per LET point and build the per-bit sigma curves.
 
@@ -86,7 +89,10 @@ def measure_curve(
     curves depend on it).  With ``jobs > 1`` (or an explicit ``executor``)
     the LET points run in parallel worker processes; because every point's
     config embeds its own seed the curve is bit-for-bit identical to the
-    serial one.
+    serial one.  With ``warm_start=True`` the fault-free prefix
+    (``beam_delay_s``) is executed once and every LET point restores from
+    the shared snapshot -- the curve is unchanged (the warm-start key does
+    not involve LET or seed).
     """
     bits = target_bits(leon)
     curve = CrossSectionCurve(program, {kind: [] for kind in COUNTER_TARGETS})
@@ -102,12 +108,15 @@ def measure_curve(
             instructions_per_second=instructions_per_second,
             leon=leon,
             program_kwargs=program_kwargs or {},
+            beam_delay_s=beam_delay_s,
+            beam_tail_s=beam_tail_s,
         )
         for index, let in enumerate(lets)
     ]
     if executor is None:
         executor = CampaignExecutor(jobs)
-    for let, result in zip(lets, executor.run_many(configs)):
+    warm = prepare_warm_start(configs[0]) if warm_start and configs else None
+    for let, result in zip(lets, executor.run_many(configs, warm=warm)):
         for kind in COUNTER_TARGETS:
             count = result.counts[kind]
             sigma = count / fluence / bits[kind]

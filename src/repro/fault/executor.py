@@ -30,7 +30,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
 
-from repro.fault.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.fault.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    WarmStart,
+)
 
 _MASK64 = (1 << 64) - 1
 
@@ -61,15 +66,30 @@ def expand_runs(config: CampaignConfig, runs: int) -> List[CampaignConfig]:
                        for index in range(1, runs)]
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
+def run_campaign(config: CampaignConfig,
+                 warm: Optional[WarmStart] = None) -> CampaignResult:
     """The default runner: build and run one campaign (picklable)."""
-    return Campaign(config).run()
+    return Campaign(config).run(warm=warm)
 
 
-def _run_chunk(runner: Callable[[CampaignConfig], CampaignResult],
-               configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+def _call_runner(runner: Callable[..., CampaignResult],
+                 config: CampaignConfig,
+                 warm: Optional[WarmStart]) -> CampaignResult:
+    """Invoke a runner, passing ``warm`` only when one is in play.
+
+    Keeps single-argument custom runners (tests, alternative measurement
+    loops) working unchanged for cold campaigns.
+    """
+    if warm is None:
+        return runner(config)
+    return runner(config, warm)
+
+
+def _run_chunk(runner: Callable[..., CampaignResult],
+               configs: Sequence[CampaignConfig],
+               warm: Optional[WarmStart] = None) -> List[CampaignResult]:
     """Worker entry point: run one chunk of configs back to back."""
-    return [runner(config) for config in configs]
+    return [_call_runner(runner, config, warm) for config in configs]
 
 
 @dataclass(frozen=True)
@@ -120,6 +140,7 @@ class CampaignExecutor:
         The per-config run function, ``config -> CampaignResult``.  Must
         be picklable (a module-level function) when ``jobs > 1``.
         Injectable for tests and for alternative measurement loops.
+        Warm-start campaigns call it as ``runner(config, warm)`` instead.
     mp_context:
         Multiprocessing context; default prefers ``fork`` (cheap worker
         start, no re-import) falling back to the platform default.
@@ -144,38 +165,59 @@ class CampaignExecutor:
 
     # -- public API ---------------------------------------------------------------
 
-    def run_many(self, configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+    def run_many(
+        self,
+        configs: Sequence[CampaignConfig],
+        *,
+        warm: Optional[WarmStart] = None,
+        on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
+    ) -> List[CampaignResult]:
         """Run every config; results come back in config order.
 
-        Raises :class:`CampaignExecutionError` if any run is still failing
-        after retries.
+        ``warm`` is a shared :class:`~repro.fault.campaign.WarmStart` passed
+        to every run (the runner receives it as a second argument).
+        ``on_results`` is called with each batch of completed results *in
+        config order* as the executor collects them -- the hook crash-safe
+        result stores append through.  Raises
+        :class:`CampaignExecutionError` if any run is still failing after
+        retries.
         """
         configs = list(configs)
         if not configs:
             return []
         if self.jobs <= 1 or len(configs) == 1:
-            return self._run_serial(configs)
-        return self._run_parallel(configs)
+            return self._run_serial(configs, warm=warm, on_results=on_results)
+        return self._run_parallel(configs, warm=warm, on_results=on_results)
 
     # -- serial path --------------------------------------------------------------
 
-    def _run_serial(self, configs: Sequence[CampaignConfig]) -> List[CampaignResult]:
+    def _run_serial(
+        self,
+        configs: Sequence[CampaignConfig],
+        *,
+        warm: Optional[WarmStart] = None,
+        on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
+    ) -> List[CampaignResult]:
         results: List[Optional[CampaignResult]] = []
         failures: List[ExecutorFailure] = []
         for config in configs:
-            results.append(self._attempt(config, failures,
-                                          attempts=1 + self.retries))
+            result = self._attempt(config, failures,
+                                   attempts=1 + self.retries, warm=warm)
+            results.append(result)
+            if on_results is not None and result is not None:
+                on_results([result])
         if failures:
             raise CampaignExecutionError(failures)
         return results  # type: ignore[return-value]  # no failures -> no Nones
 
     def _attempt(self, config: CampaignConfig,
                  failures: List[ExecutorFailure],
-                 *, attempts: int) -> Optional[CampaignResult]:
+                 *, attempts: int,
+                 warm: Optional[WarmStart] = None) -> Optional[CampaignResult]:
         error = "no attempts made"
         for _ in range(max(1, attempts)):
             try:
-                return self.runner(config)
+                return _call_runner(self.runner, config, warm)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
         failures.append(ExecutorFailure(config=config, error=error))
@@ -195,7 +237,13 @@ class CampaignExecutor:
             return max(1, self.chunksize)
         return max(1, math.ceil(total / (self.jobs * 4)))
 
-    def _run_parallel(self, configs: List[CampaignConfig]) -> List[CampaignResult]:
+    def _run_parallel(
+        self,
+        configs: List[CampaignConfig],
+        *,
+        warm: Optional[WarmStart] = None,
+        on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
+    ) -> List[CampaignResult]:
         size = self._chunk_size(len(configs))
         chunks = [(start, configs[start:start + size])
                   for start in range(0, len(configs), size)]
@@ -204,7 +252,8 @@ class CampaignExecutor:
         workers = min(self.jobs, len(chunks))
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=self._context()) as pool:
-            futures = [(start, chunk, pool.submit(_run_chunk, self.runner, chunk))
+            futures = [(start, chunk,
+                        pool.submit(_run_chunk, self.runner, chunk, warm))
                        for start, chunk in chunks]
             for start, chunk, future in futures:
                 try:
@@ -220,7 +269,7 @@ class CampaignExecutor:
                     if self.retries:
                         chunk_results = [
                             self._attempt(config, failures,
-                                          attempts=self.retries)
+                                          attempts=self.retries, warm=warm)
                             for config in chunk]
                     else:
                         error = f"{type(exc).__name__}: {exc}"
@@ -229,6 +278,10 @@ class CampaignExecutor:
                             for config in chunk)
                         chunk_results = [None] * len(chunk)
                 results[start:start + len(chunk)] = chunk_results
+                if on_results is not None:
+                    completed = [r for r in chunk_results if r is not None]
+                    if completed:
+                        on_results(completed)
         if failures:
             raise CampaignExecutionError(failures)
         return results  # type: ignore[return-value]  # no failures -> no Nones

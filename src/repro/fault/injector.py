@@ -99,6 +99,15 @@ class FaultInjector:
             known = ", ".join(sorted(self.targets))
             raise InjectionError(f"unknown target {name!r} (known: {known})") from None
 
+    # -- state capture ---------------------------------------------------------
+
+    def capture(self) -> dict:
+        """The injection log (the injector itself is stateless otherwise)."""
+        return {"injections": tuple(self.injections)}
+
+    def restore(self, state: dict) -> None:
+        self.injections = list(state["injections"])
+
     # -- injection ----------------------------------------------------------------
 
     def inject(self, name: str, flat_bit: int) -> None:

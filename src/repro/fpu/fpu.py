@@ -19,7 +19,7 @@ import math
 import struct
 from typing import List, Tuple
 
-from repro.errors import InjectionError, UncorrectableError
+from repro.errors import InjectionError, StateError, UncorrectableError
 from repro.fpu.fsr import (
     EXC_DIVZERO,
     EXC_INVALID,
@@ -133,6 +133,24 @@ class Fpu:
         """Restart cycles accrued since the last call (read by the IU)."""
         cycles, self._restart_cycles = self._restart_cycles, 0
         return cycles
+
+    # -- state capture ----------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Bit-exact f-register state (the FSR lives in the flip-flop bank)."""
+        return {
+            "regs": tuple(self._regs),
+            "checks": tuple(self._checks),
+            "restart_cycles": self._restart_cycles,
+        }
+
+    def restore(self, state: dict) -> None:
+        regs, checks = state["regs"], state["checks"]
+        if len(regs) != 32 or len(checks) != 32:
+            raise StateError("FPU snapshot must hold 32 f-registers")
+        self._regs = list(regs)
+        self._checks = list(checks)
+        self._restart_cycles = int(state["restart_cycles"])
 
     @property
     def bits_per_word(self) -> int:

@@ -119,6 +119,19 @@ class TmrRegister:
         """Raw content of one lane (for tests and the injector)."""
         return self._lanes[lane]
 
+    def capture(self) -> Tuple[Tuple[int, ...], bool]:
+        """Bit-exact lane contents plus the dirty fast-path flag."""
+        return (tuple(self._lanes), self._dirty)
+
+    def restore(self, state: Tuple[Tuple[int, ...], bool]) -> None:
+        lanes, dirty = state
+        if len(lanes) != len(self._lanes):
+            raise InjectionError(
+                f"register {self.name!r}: snapshot has {len(lanes)} lanes, "
+                f"expected {len(self._lanes)}")
+        self._lanes = list(lanes)
+        self._dirty = bool(dirty)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TmrRegister({self.name!r}, width={self.width}, value={self.value:#x})"
 
@@ -254,3 +267,34 @@ class FlipFlopBank:
     def lane_disagreements(self) -> int:
         """Total voter disagreements observed so far (diagnostic only)."""
         return sum(reg.voter.disagreements for reg in self._registers.values())
+
+    # -- state capture ----------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Bit-exact lane state of every register; observation counts under
+        ``"diag"`` (excluded from architectural digests)."""
+        return {
+            "registers": {name: reg.capture()
+                          for name, reg in self._registers.items()},
+            "diag": {
+                "disagreements": {name: reg.voter.disagreements
+                                  for name, reg in self._registers.items()},
+                "clock_strikes": tuple(tree.strikes for tree in self.clock_trees),
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        registers = state["registers"]
+        if set(registers) != set(self._registers):
+            missing = set(self._registers) ^ set(registers)
+            raise InjectionError(
+                f"flip-flop snapshot register-set mismatch: {sorted(missing)}")
+        for name, reg in self._registers.items():
+            reg.restore(registers[name])
+        diag = state.get("diag") or {}
+        disagreements = diag.get("disagreements", {})
+        for name, reg in self._registers.items():
+            reg.voter.disagreements = int(disagreements.get(name, 0))
+        strikes = diag.get("clock_strikes", ())
+        for tree, count in zip(self.clock_trees, strikes):
+            tree.strikes = int(count)

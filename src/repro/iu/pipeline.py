@@ -120,6 +120,20 @@ class IntegerUnit:
         self._writes: List[Tuple[int, int]] = []
         self._check_operands = regfile.protection is not ProtectionScheme.NONE
 
+    # ---------------------------------------------------------------- state
+
+    def capture(self) -> dict:
+        """Non-ffbank pipeline state (PC/nPC/PSR... live in the bank)."""
+        return {
+            "halted": self.halted.value,
+            "power_down": self.power_down,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.halted = HaltReason(state["halted"])
+        self.power_down = bool(state["power_down"])
+        self._writes = []
+
     # ------------------------------------------------------------------ helpers
 
     def _reg_read(self, reg: int) -> int:

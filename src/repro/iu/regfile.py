@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import ConfigurationError, InjectionError
+from repro.errors import ConfigurationError, InjectionError, StateError
 from repro.ft.protection import Codec, ErrorKind, ProtectionScheme, make_codec
 
 
@@ -167,6 +167,24 @@ class RegisterFile:
             self._check[copy][physical] = check
         if self._suspect:
             self._suspect.discard(physical)
+
+    # -- state capture -------------------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Bit-exact stored state across all physical copies."""
+        return {
+            "data": tuple(tuple(copy) for copy in self._data),
+            "check": tuple(tuple(copy) for copy in self._check),
+            "suspect": tuple(sorted(self._suspect)),
+        }
+
+    def restore(self, state: dict) -> None:
+        data, check = state["data"], state["check"]
+        if len(data) != self._copies or any(len(c) != self.words for c in data):
+            raise StateError("register-file snapshot geometry mismatch")
+        self._data = [list(copy) for copy in data]
+        self._check = [list(copy) for copy in check]
+        self._suspect = set(state["suspect"])
 
     # -- fault injection -----------------------------------------------------------------
 

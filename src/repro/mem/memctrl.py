@@ -134,6 +134,21 @@ class MemoryController:
     def banks(self) -> List[MemoryBank]:
         return [self.prom, self.sram, self.io]
 
+    def capture(self) -> dict:
+        """All three storage arrays plus the write-protect programming."""
+        return {
+            "prom": self.prom_memory.capture(),
+            "sram": self.sram_memory.capture(),
+            "io": self.io_memory.capture(),
+            "writeprotect": self.write_protector.capture(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.prom_memory.restore(state["prom"])
+        self.sram_memory.restore(state["sram"])
+        self.io_memory.restore(state["io"])
+        self.write_protector.restore(state["writeprotect"])
+
     def is_cacheable(self, address: int) -> bool:
         """Only PROM and SRAM are cacheable; I/O and APB space are not."""
         return self.prom.covers(address) or self.sram.covers(address)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InjectionError
+from repro.errors import ConfigurationError, InjectionError, StateError
 from repro.ft.bch import bch_encode
 
 
@@ -76,6 +76,25 @@ class ExternalMemory:
         for offset in range(0, len(image), 4):
             word = int.from_bytes(image[offset:offset + 4], "big")
             self.write_word(address + offset, word)
+
+    # -- state capture --------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Raw stored planes as bytes (one memcpy each, compact to pickle)."""
+        return {
+            "words": self._words.tobytes(),
+            "check": self._check.tobytes(),
+        }
+
+    def restore(self, state: dict) -> None:
+        words = np.frombuffer(state["words"], dtype=np.uint32)
+        check = np.frombuffer(state["check"], dtype=np.uint8)
+        if len(words) != self.words or len(check) != self.words:
+            raise StateError(
+                f"memory {self.name!r}: snapshot has {len(words)} words, "
+                f"expected {self.words}")
+        self._words = words.copy()
+        self._check = check.copy()
 
     # -- fault injection ------------------------------------------------------
 

@@ -91,3 +91,34 @@ class WriteProtector:
 
     def disable(self, *, unit: int = 0) -> None:
         self.units[unit].mode = WpMode.DISABLED
+
+    # -- state capture ------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Programmed ranges; violation tallies go under ``"diag"``."""
+        return {
+            "units": tuple((unit.start, unit.end, unit.mode.value)
+                           for unit in self.units),
+            "diag": {
+                "violations": tuple(unit.violations for unit in self.units),
+                "last_violation": tuple(unit.last_violation
+                                        for unit in self.units),
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        units = state["units"]
+        if len(units) != len(self.units):
+            raise ConfigurationError(
+                f"snapshot has {len(units)} write-protect units, "
+                f"expected {len(self.units)}")
+        for unit, (start, end, mode) in zip(self.units, units):
+            unit.start = int(start)
+            unit.end = int(end)
+            unit.mode = WpMode(mode)
+        diag = state.get("diag") or {}
+        violations = diag.get("violations", (0,) * len(self.units))
+        last = diag.get("last_violation", (0,) * len(self.units))
+        for unit, count, address in zip(self.units, violations, last):
+            unit.violations = int(count)
+            unit.last_violation = int(address)

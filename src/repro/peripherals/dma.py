@@ -89,6 +89,20 @@ class DmaEngine(ApbSlave):
     def done(self) -> bool:
         return bool(self._status.value & _STATUS_DONE)
 
+    def capture(self) -> dict:
+        """Non-ffbank engine state (registers live in the flip-flop bank)."""
+        return {
+            "progress": self._progress,
+            "diag": {"words_moved": self.words_moved,
+                     "corrected": self.corrected},
+        }
+
+    def restore(self, state: dict) -> None:
+        self._progress = float(state["progress"])
+        diag = state.get("diag") or {}
+        self.words_moved = int(diag.get("words_moved", 0))
+        self.corrected = int(diag.get("corrected", 0))
+
     # -- the engine ---------------------------------------------------------------
 
     def tick(self, cycles: int) -> None:

@@ -48,4 +48,6 @@ class ErrorMonitor(ApbSlave):
         return 0
 
     def apb_write(self, offset: int, value: int) -> None:
-        self.counters.reset()
+        # Clears only the counters this block owns; the uncorrectable-trap
+        # tallies are not monitor registers and survive a software clear.
+        self.counters.clear_monitor()

@@ -44,6 +44,12 @@ class IoPort(ApbSlave):
         if self._irq_config.value & 1 and old != self._input_pins:
             self._raise_irq(self.irq_level)
 
+    def capture(self) -> dict:
+        return {"input_pins": self._input_pins}
+
+    def restore(self, state: dict) -> None:
+        self._input_pins = int(state["input_pins"])
+
     @property
     def outputs(self) -> int:
         """Pin levels driven by the chip (output latch masked by direction)."""

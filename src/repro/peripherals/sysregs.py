@@ -58,6 +58,12 @@ class SystemRegisters(ApbSlave):
         #: Wired by the system: the memory controller's write protector.
         self.write_protector = None
 
+    def capture(self) -> dict:
+        return {"power_down_requested": self.power_down_requested}
+
+    def restore(self, state: dict) -> None:
+        self.power_down_requested = bool(state["power_down_requested"])
+
     @property
     def icache_enabled(self) -> bool:
         return bool(self._cache_control.value & _CCR_ICACHE_ENABLE)

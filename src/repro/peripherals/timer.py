@@ -131,6 +131,23 @@ class TimerUnit(ApbSlave):
             self.watchdog.load(value & _COUNTER_MASK)
             self.watchdog_expired = False
 
+    def capture(self) -> dict:
+        """Non-ffbank timer state (the counters live in the flip-flop bank)."""
+        return {
+            "residual": self._residual,
+            "watchdog_expired": self.watchdog_expired,
+            "diag": {"underflows": (self.timer1.underflows,
+                                    self.timer2.underflows)},
+        }
+
+    def restore(self, state: dict) -> None:
+        self._residual = int(state["residual"])
+        self.watchdog_expired = bool(state["watchdog_expired"])
+        diag = state.get("diag") or {}
+        underflows = diag.get("underflows", (0, 0))
+        self.timer1.underflows = int(underflows[0])
+        self.timer2.underflows = int(underflows[1])
+
     def tick(self, cycles: int) -> None:
         """Advance by processor cycles; the prescaler divides them into
         timer ticks."""

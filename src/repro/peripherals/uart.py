@@ -67,6 +67,21 @@ class Uart(ApbSlave):
     def transcript(self) -> bytes:
         return bytes(self.transmitted)
 
+    def capture(self) -> dict:
+        """Non-ffbank UART state.  The transcript is architectural: the test
+        program's console output is part of what the host observes, so an
+        effaced run must have transmitted exactly the golden bytes."""
+        return {
+            "tx_cycles_left": self._tx_cycles_left,
+            "transmitted": bytes(self.transmitted),
+            "rx_queue": bytes(self._rx_queue),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._tx_cycles_left = int(state["tx_cycles_left"])
+        self.transmitted = list(state["transmitted"])
+        self._rx_queue = list(state["rx_queue"])
+
     def _pump_rx(self) -> None:
         status = self._status.value
         if self._rx_queue and not status & _STATUS_DATA_READY:

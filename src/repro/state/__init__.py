@@ -1,0 +1,21 @@
+"""Snapshot/restore of complete device state (see :mod:`repro.state.snapshot`)."""
+
+from repro.state.snapshot import (
+    DIAG_KEY,
+    FORMAT_VERSION,
+    OBSERVATION_COMPONENTS,
+    Snapshot,
+    capture_rng,
+    restore_rng,
+    strip_diag,
+)
+
+__all__ = [
+    "DIAG_KEY",
+    "FORMAT_VERSION",
+    "OBSERVATION_COMPONENTS",
+    "Snapshot",
+    "capture_rng",
+    "restore_rng",
+    "strip_diag",
+]

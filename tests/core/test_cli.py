@@ -63,6 +63,40 @@ def test_campaign(capsys):
     assert "failures: 0" in out
 
 
+def test_campaign_warm_start_results_and_resume(tmp_path, capsys):
+    log = str(tmp_path / "runs.jsonl")
+    base = ["campaign", "--program", "iutest", "--let", "60",
+            "--fluence", "150", "--ips", "20000", "--beam-delay", "0.5",
+            "--warm-start"]
+    assert main(base + ["--runs", "2", "--results", log]) == 0
+    capsys.readouterr()
+    assert len(open(log).readlines()) == 2
+    # Resuming with more replicas reuses the stored two, runs three more.
+    assert main(base + ["--runs", "5", "--resume", log]) == 0
+    out = capsys.readouterr().out
+    assert "resume: 2 of 5" in out
+    assert len(open(log).readlines()) == 5
+
+
+def test_sweep_warm_start(capsys):
+    assert main(["sweep", "--program", "iutest", "--lets", "25,60",
+                 "--fluence", "150", "--ips", "20000",
+                 "--beam-delay", "0.5", "--warm-start"]) == 0
+    out = capsys.readouterr().out
+    assert "2 LET points" in out
+
+
+def test_state_save_and_info(tmp_path, capsys):
+    path = str(tmp_path / "snap.bin")
+    assert main(["state", "save", path, "--program", "iutest",
+                 "--instructions", "2000"]) == 0
+    assert main(["state", "info", path]) == 0
+    out = capsys.readouterr().out
+    assert "format version: 1" in out
+    assert "regfile" in out
+    assert "architectural digest" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

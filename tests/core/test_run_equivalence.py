@@ -1,0 +1,71 @@
+"""Guard: ``run()``'s predicate path and ``run_fast()`` are interchangeable.
+
+The campaign drives its fault-free stretches through :meth:`LeonSystem.run`,
+which takes the tight :meth:`run_fast` loop whenever no ``stop_when``
+predicate is given.  The two loops must stay semantically identical -- a
+divergence would silently change recorded campaign results -- so this runs
+the same workload down both paths and compares the complete device state.
+"""
+
+from repro.fault.campaign import Campaign, CampaignConfig
+
+
+def _built(program="iutest"):
+    campaign = Campaign(CampaignConfig(program=program))
+    system, spin, _base = campaign._build_program()
+    return system, spin
+
+
+def _run_slow(system, budget, spin):
+    """Force run()'s per-step predicate path with a never-firing predicate."""
+    return system.run(budget, stop_pc=spin, stop_when=lambda result: False)
+
+
+def test_run_and_run_fast_reach_identical_state():
+    budget = 8_000
+    fast_system, spin = _built()
+    fast_result = fast_system.run_fast(budget, stop_pc=spin)
+
+    slow_system, _ = _built()
+    slow_result = _run_slow(slow_system, budget, spin)
+
+    assert fast_result.instructions == slow_result.instructions == budget
+    assert fast_result.cycles == slow_result.cycles
+    assert fast_result.steps == slow_result.steps
+    assert fast_result.stop_reason == slow_result.stop_reason
+    assert fast_result.pc == slow_result.pc
+    assert fast_system.snapshot() == slow_system.snapshot()
+
+
+def test_equivalence_survives_an_injected_error():
+    """The loops must also agree through a correction event."""
+    budget = 6_000
+    systems = []
+    for _ in range(2):
+        system, spin = _built()
+        system.run(1_000, stop_pc=spin)
+        system.regfile.inject_flat(40)
+        system.icache.tag_ram.inject_flat(8)
+        systems.append((system, spin))
+
+    (fast_system, spin), (slow_system, _) = systems
+    fast_result = fast_system.run_fast(budget, stop_pc=spin)
+    slow_result = _run_slow(slow_system, budget, spin)
+
+    assert fast_result.instructions == slow_result.instructions
+    assert fast_result.cycles == slow_result.cycles
+    assert fast_system.errors.as_dict() == slow_system.errors.as_dict()
+    assert fast_system.snapshot() == slow_system.snapshot()
+
+
+def test_run_dispatches_to_run_fast_without_predicate():
+    budget = 3_000
+    via_run, spin = _built()
+    run_result = via_run.run(budget, stop_pc=spin)
+
+    via_fast, _ = _built()
+    fast_result = via_fast.run_fast(budget, stop_pc=spin)
+
+    assert run_result.instructions == fast_result.instructions
+    assert run_result.cycles == fast_result.cycles
+    assert via_run.snapshot() == via_fast.snapshot()

@@ -1,0 +1,158 @@
+"""The crash-safe JSONL result store and campaign resume."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.config import LeonConfig
+from repro.fault.campaign import CampaignConfig, CampaignResult
+from repro.fault.executor import CampaignExecutor
+from repro.fault.results import (
+    ResultStore,
+    config_key,
+    result_from_dict,
+    result_to_dict,
+)
+
+FAST = dict(flux=400.0, fluence=500.0, instructions_per_second=30_000.0)
+
+
+def _config(seed=1, let=110.0, **overrides):
+    settings = dict(FAST)
+    settings.update(overrides)
+    return CampaignConfig(program="iutest", let=let, seed=seed, **settings)
+
+
+def _result(seed=1, **overrides) -> CampaignResult:
+    return CampaignResult(
+        config=_config(seed=seed, **overrides),
+        counts={"ITE": 1, "IDE": 0, "DTE": 0, "DDE": 0, "RFE": 2, "Total": 3},
+        upsets=4,
+        upsets_by_target={"regfile": 2, "icache-tag": 2},
+        sw_errors=0,
+        error_traps=0,
+        halted=False,
+        iterations=12,
+        instructions=25_000,
+        wall_seconds=0.5,
+    )
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def test_result_dict_round_trip():
+    result = _result(seed=5)
+    again = result_from_dict(result_to_dict(result))
+    assert again.comparable() == result.comparable()
+    assert config_key(again.config) == config_key(result.config)
+
+
+def test_config_key_distinguishes_runs():
+    assert config_key(_config(seed=1)) != config_key(_config(seed=2))
+    assert config_key(_config(let=60.0)) != config_key(_config(let=110.0))
+    assert config_key(_config()) == config_key(_config())
+
+
+def test_config_key_rejects_custom_device():
+    with pytest.raises(ConfigurationError):
+        config_key(_config(leon=LeonConfig.standard()))
+
+
+# -- the store -----------------------------------------------------------------
+
+
+def test_append_load_round_trip(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    results = [_result(seed=seed) for seed in (1, 2, 3)]
+    with ResultStore(path) as store:
+        store.append(results[:2])
+        store.append(results[2:])
+    loaded = ResultStore(path).load()
+    assert len(loaded) == 3
+    for result in results:
+        assert loaded[config_key(result.config)].comparable() == \
+            result.comparable()
+
+
+def test_later_lines_supersede(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    first = _result(seed=1)
+    second = _result(seed=1)
+    second.iterations = 99
+    with ResultStore(path) as store:
+        store.append([first])
+        store.append([second])
+    loaded = ResultStore(path).load()
+    assert len(loaded) == 1
+    assert loaded[config_key(first.config)].iterations == 99
+
+
+def test_truncated_tail_is_tolerated(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    with ResultStore(path) as store:
+        store.append([_result(seed=1)])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"config": {"program": "iu')  # crash mid-append
+    loaded = ResultStore(path).load()
+    assert len(loaded) == 1
+
+
+def test_mid_file_garbage_raises(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    line = json.dumps(result_to_dict(_result(seed=1)))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json at all\n" + line + "\n")
+    with pytest.raises(ConfigurationError):
+        ResultStore(path).load()
+
+
+def test_missing_file_loads_empty(tmp_path):
+    store = ResultStore(str(tmp_path / "absent.jsonl"))
+    assert store.load() == {}
+
+
+def test_split_pending_partitions(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    configs = [_config(seed=seed) for seed in (1, 2, 3)]
+    with ResultStore(path) as store:
+        store.append([_result(seed=2)])
+    done, pending = ResultStore(path).split_pending(configs)
+    assert set(done) == {config_key(configs[1])}
+    assert [config.seed for config in pending] == [1, 3]
+
+
+# -- resume through the executor -----------------------------------------------
+
+
+def test_resumed_campaign_recomputes_only_the_missing_runs(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    configs = [_config(seed=seed) for seed in (21, 22, 23)]
+    executor = CampaignExecutor(1)
+
+    # First attempt: the store sees every completed run...
+    with ResultStore(path) as store:
+        full = executor.run_many(configs, on_results=store.append)
+    # ...then lose one line, as if the host died before the last append.
+    lines = open(path, encoding="utf-8").readlines()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines[:-1])
+
+    done, pending = ResultStore(path).split_pending(configs)
+    assert len(done) == 2 and len(pending) == 1
+    with ResultStore(path) as store:
+        rerun = executor.run_many(pending, on_results=store.append)
+    assert rerun[0].comparable() == full[-1].comparable()
+    assert len(ResultStore(path).load()) == 3
+
+
+def test_on_results_preserves_config_order_parallel(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    configs = [_config(seed=seed) for seed in (31, 32, 33, 34)]
+    with ResultStore(path) as store:
+        CampaignExecutor(2, chunksize=1).run_many(
+            configs, on_results=store.append)
+    lines = open(path, encoding="utf-8").readlines()
+    seeds = [json.loads(line)["config"]["seed"] for line in lines]
+    assert seeds == [31, 32, 33, 34]

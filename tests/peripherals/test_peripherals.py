@@ -189,6 +189,20 @@ class TestErrorMonitor:
         monitor.apb_write(0x00, 0)
         assert monitor.apb_read(0x14) == 0
 
+    def test_clear_preserves_trap_tallies(self):
+        """A software clear wipes the monitor registers only: the
+        uncorrectable-trap tallies are host bookkeeping, not monitor
+        registers, and a resumed campaign must not under-report failures."""
+        counters = ErrorCounters(ite=1, rfe=2, edac_corrected=3,
+                                 register_error_traps=4,
+                                 memory_error_traps=5)
+        monitor = ErrorMonitor(counters)
+        monitor.apb_write(0x04, 0xFFFFFFFF)
+        assert monitor.apb_read(0x14) == 0
+        assert monitor.apb_read(0x18) == 0
+        assert counters.register_error_traps == 4
+        assert counters.memory_error_traps == 5
+
 
 class TestSystemRegisters:
     def test_cache_control_flush_and_enable(self):

@@ -1,0 +1,125 @@
+"""Snapshot round-trips: per-component properties and whole-system futures.
+
+The property under test, for every stateful component: ``capture()`` ->
+arbitrary further execution or a targeted injection -> ``restore()`` ->
+``capture()`` reproduces the original payload bit-for-bit.  At the system
+level, a restored device's future is the uninterrupted device's future.
+"""
+
+import pytest
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.errors import StateError
+from repro.fault.campaign import Campaign, CampaignConfig
+from repro.state.snapshot import Snapshot
+
+
+def _built(program="iutest", leon=None):
+    """A fresh system with the test program loaded; returns (system, spin)."""
+    campaign = Campaign(CampaignConfig(program=program, leon=leon))
+    system, spin, _base = campaign._build_program()
+    return system, spin
+
+
+def _warmed(instructions=3_000):
+    system, spin = _built()
+    system.run(instructions, stop_pc=spin)
+    return system, spin
+
+
+# -- whole-system round-trips --------------------------------------------------
+
+
+def test_restore_undoes_further_execution():
+    system, spin = _warmed()
+    snap = system.snapshot()
+    system.run(1_500, stop_pc=spin)
+    assert system.snapshot() != snap
+    system.restore(snap)
+    assert system.snapshot() == snap
+
+
+def test_snapshot_survives_bytes_into_fresh_system():
+    system, _spin = _warmed()
+    snap = system.snapshot()
+    clone, _ = _built()
+    clone.restore(Snapshot.from_bytes(snap.to_bytes()))
+    assert clone.snapshot() == snap
+    assert clone.state_digest() == system.state_digest()
+
+
+def test_restored_future_equals_uninterrupted_future():
+    straight, spin = _built()
+    straight.run(5_000, stop_pc=spin)
+
+    prefix, _ = _built()
+    prefix.run(3_000, stop_pc=spin)
+    data = prefix.snapshot().to_bytes()
+
+    resumed, _ = _built()
+    resumed.restore(Snapshot.from_bytes(data))
+    resumed.run(2_000, stop_pc=spin)
+    assert resumed.snapshot() == straight.snapshot()
+
+
+def test_restore_rejects_config_mismatch():
+    express, _ = _warmed()
+    other = LeonSystem(LeonConfig.fault_tolerant())
+    with pytest.raises(StateError):
+        other.restore(express.snapshot())
+
+
+def test_counter_mutations_keep_architectural_digest():
+    system, _spin = _warmed()
+    digest = system.state_digest()
+    system.errors.ite += 7
+    system.errors.register_error_traps += 1
+    assert system.state_digest() == digest  # observation only
+    system.regfile.inject_flat(3)
+    assert system.state_digest() != digest  # architectural
+
+
+# -- per-component round-trips -------------------------------------------------
+
+
+def _mutate_errors(system):
+    system.errors.ite += 99
+
+
+def _mutate_ffbank(system):
+    system.ffbank.inject_flat(0, lane=0)
+
+
+CASES = [
+    ("regfile", lambda s: s.regfile, lambda s: s.regfile.inject_flat(40)),
+    ("icache", lambda s: s.icache, lambda s: s.icache.tag_ram.inject_flat(8)),
+    ("dcache", lambda s: s.dcache, lambda s: s.dcache.data_ram.inject_flat(8)),
+    ("ffbank", lambda s: s.ffbank, _mutate_ffbank),
+    ("memory", lambda s: s.memctrl,
+     lambda s: s.memctrl.sram_memory.inject_flat(64)),
+    ("errors", lambda s: s.errors, _mutate_errors),
+]
+
+
+@pytest.mark.parametrize("name,component_of,mutate", CASES,
+                         ids=[case[0] for case in CASES])
+def test_component_capture_restore_round_trip(name, component_of, mutate):
+    system, _spin = _warmed()
+    component = component_of(system)
+    before = component.capture()
+    mutate(system)
+    assert component.capture() != before  # the mutation is capture-visible
+    component.restore(before)
+    assert component.capture() == before
+
+
+def test_fpu_capture_restore_round_trip():
+    system, _spin = _warmed()
+    if system.fpu is None:
+        pytest.skip("configuration has no FPU")
+    before = system.fpu.capture()
+    system.fpu.inject(0, 5)
+    assert system.fpu.capture() != before
+    system.fpu.restore(before)
+    assert system.fpu.capture() == before
