@@ -1,0 +1,114 @@
+"""Perf -- recovery latency: the staged ladder under a hostile beam.
+
+Three pinned runs on the unprotected (standard) device at LET 110 with a
+dense beam: seed 16 halts in error mode mid-window, seeds 1 and 3 park at
+the trap handler persistently enough to climb the ladder.  With
+``recovery="ladder"`` every run completes end to end; this bench records
+the per-level recovery counts, downtime and MTTR to ``BENCH_recovery.json``
+(repo root) for CI regression tracking.
+
+Assertions:
+
+  * every run completes (no terminal halt, nothing unrecovered);
+  * a pipeline restart costs exactly :data:`RESTART_CYCLES` = 4 cycles --
+    the paper's section 4.4 number;
+  * results are byte-identical at --jobs 1 and --jobs 2.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import write_artifact
+from repro.core.config import LeonConfig
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor
+from repro.recovery import RESTART_CYCLES
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_recovery.json"
+
+SEEDS = (16, 1, 3)
+
+CONFIGS = [
+    CampaignConfig(
+        program="iutest",
+        let=110.0,
+        flux=5_000.0,
+        fluence=10_000.0,
+        seed=seed,
+        instructions_per_second=30_000.0,
+        leon=LeonConfig.standard(),
+        recovery="ladder",
+    )
+    for seed in SEEDS
+]
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    started = time.perf_counter()
+    serial = CampaignExecutor(1).run_many(CONFIGS)
+    serial_wall = time.perf_counter() - started
+    parallel = CampaignExecutor(2, chunksize=1).run_many(CONFIGS)
+    return serial, parallel, serial_wall
+
+
+def test_recovery_latency(benchmark, measurements):
+    serial, parallel, serial_wall = measurements
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    identical = [p.comparable() for p in parallel] == \
+        [s.comparable() for s in serial]
+
+    recoveries = {}
+    downtime = {}
+    for result in serial:
+        for level, count in result.recoveries.items():
+            recoveries[level] = recoveries.get(level, 0) + count
+        for level, cycles in result.recovery_downtime.items():
+            downtime[level] = downtime.get(level, 0) + cycles
+    events = sum(recoveries.values())
+    total_down = sum(downtime.values())
+    mttr = total_down / events if events else 0.0
+    restart_cost = (downtime.get("pipeline-restart", 0)
+                    / max(recoveries.get("pipeline-restart", 0), 1))
+    benchmark.extra_info["recovery_mttr_cycles"] = mttr
+
+    record = {
+        "seeds": list(SEEDS),
+        "policy": "ladder",
+        "recoveries": recoveries,
+        "downtime_cycles": downtime,
+        "recovery_events": events,
+        "total_downtime_cycles": total_down,
+        "mttr_cycles": round(mttr, 1),
+        "pipeline_restart_cycles": restart_cost,
+        "recovered_halts": sum(r.halts for r in serial),
+        "unrecovered_runs": sum(int(r.unrecovered) for r in serial),
+        "jobs_identical": identical,
+        "serial_wall_s": round(serial_wall, 3),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    level_lines = "\n".join(
+        f"  {level:<17} x{recoveries[level]:<4} {downtime[level]:>9} cycles"
+        for level in ("pipeline-restart", "cache-flush", "warm-reset",
+                      "cold-reboot") if level in recoveries)
+    text = (
+        "Recovery ladder under beam (standard device, LET 110)\n\n"
+        f"{level_lines}\n"
+        f"  MTTR              {mttr:.0f} cycles\n"
+        f"  recovered halts   {record['recovered_halts']}\n"
+        f"  jobs-identical:   {identical}\n"
+        f"[record: {BENCH_PATH.name}]"
+    )
+    write_artifact("perf_recovery.txt", text)
+
+    assert identical
+    assert all(not r.halted and not r.unrecovered for r in serial)
+    assert sum(r.halts for r in serial) >= 1
+    assert recoveries.get("pipeline-restart", 0) >= 1
+    assert restart_cost == RESTART_CYCLES
+    assert mttr > 0

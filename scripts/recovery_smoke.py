@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI recovery smoke: a short beam campaign with the recovery ladder armed.
+
+Runs the pinned halting scenario (standard device, LET 110, dense beam,
+seeds 16 and 1) under ``recovery="ladder"`` twice -- serially and fanned
+across worker processes -- and checks that
+
+  * every run completes end to end (no terminal halt, nothing
+    unrecovered) with at least one recovery applied;
+  * the two executions are byte-identical, field for field.
+
+Exit code 1 on any violation.  This is the fast always-on guard for the
+``--recovery`` code path; the full latency record lives in
+``benchmarks/test_perf_recovery.py`` (BENCH_recovery.json).
+
+Usage: PYTHONPATH=src python scripts/recovery_smoke.py
+"""
+
+import sys
+
+from repro.core.config import LeonConfig
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor
+
+SEEDS = (16, 1)
+JOB_COUNTS = (1, 4)
+
+CONFIGS = [
+    CampaignConfig(
+        program="iutest",
+        let=110.0,
+        flux=5_000.0,
+        fluence=10_000.0,
+        seed=seed,
+        instructions_per_second=30_000.0,
+        leon=LeonConfig.standard(),
+        recovery="ladder",
+    )
+    for seed in SEEDS
+]
+
+
+def main() -> int:
+    runs = {jobs: CampaignExecutor(jobs, chunksize=1).run_many(CONFIGS)
+            for jobs in JOB_COUNTS}
+    baseline = runs[JOB_COUNTS[0]]
+
+    failed = False
+    for result in baseline:
+        events = result.recovery_events
+        print(f"seed {result.config.seed}: {events} recoveries "
+              f"{result.recoveries}, downtime {result.downtime_cycles} "
+              f"cycles, halted={result.halted}, "
+              f"unrecovered={result.unrecovered}")
+        if result.halted or result.unrecovered or events == 0:
+            print(f"  FAIL: seed {result.config.seed} did not recover "
+                  "cleanly")
+            failed = True
+
+    comparable = [r.comparable() for r in baseline]
+    for jobs in JOB_COUNTS[1:]:
+        if [r.comparable() for r in runs[jobs]] != comparable:
+            print(f"FAIL: --jobs {jobs} results differ from "
+                  f"--jobs {JOB_COUNTS[0]}")
+            failed = True
+        else:
+            print(f"--jobs {jobs} identical to --jobs {JOB_COUNTS[0]}: OK")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

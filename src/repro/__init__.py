@@ -25,10 +25,17 @@ Quickstart::
 """
 
 from repro.core.config import CacheConfig, FtConfig, LeonConfig, MemoryConfig
-from repro.core.master_checker import CompareError, MasterChecker
+from repro.core.master_checker import CompareError, LockStepReport, MasterChecker
 from repro.core.statistics import ErrorCounters, PerfCounters
 from repro.core.system import LeonSystem, RunResult
 from repro.ft.protection import ProtectionScheme
+from repro.recovery import (
+    RecoveryController,
+    RecoveryEvent,
+    RecoveryLevel,
+    RecoveryPolicy,
+    resolve_policy,
+)
 from repro.sparc.asm import Program, assemble
 from repro.sparc.disasm import disassemble
 
@@ -41,13 +48,19 @@ __all__ = [
     "FtConfig",
     "LeonConfig",
     "LeonSystem",
+    "LockStepReport",
     "MasterChecker",
     "MemoryConfig",
     "PerfCounters",
     "Program",
     "ProtectionScheme",
+    "RecoveryController",
+    "RecoveryEvent",
+    "RecoveryLevel",
+    "RecoveryPolicy",
     "RunResult",
     "assemble",
     "disassemble",
+    "resolve_policy",
     "__version__",
 ]

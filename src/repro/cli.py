@@ -2,14 +2,16 @@
 
 Subcommands:
 
-    run        assemble and run a SPARC V8 source file on a LEON system
-    campaign   heavy-ion campaign runs (Table 2 style rows)
-    sweep      cross-section vs LET sweep (Figure 6/7 style curves)
-    state      save or inspect a device snapshot
-    table1     print the synthesis-area comparison (Table 1)
-    figure2    print the pipeline diagrams (Figure 2)
-    rates      on-orbit SEU rate prediction
-    info       describe the simulated device configuration
+    run          assemble and run a SPARC V8 source file on a LEON system
+    campaign     heavy-ion campaign runs (Table 2 style rows)
+    sweep        cross-section vs LET sweep (Figure 6/7 style curves)
+    state        save or inspect a device snapshot
+    table1       print the synthesis-area comparison (Table 1)
+    figure2      print the pipeline diagrams (Figure 2)
+    rates        on-orbit SEU rate prediction
+    availability scheme availability estimates, optionally from measured
+                 recovery downtime
+    info         describe the simulated device configuration
 
 ``campaign`` and ``sweep`` accept ``--jobs N`` to fan independent runs
 across N worker processes; results are identical to ``--jobs 1``.  With
@@ -18,6 +20,11 @@ executed once and every run restores from the shared snapshot -- results
 are still bit-for-bit identical.  ``campaign --results FILE`` appends each
 completed run to a crash-safe JSONL log; ``campaign --resume FILE`` reloads
 it and re-runs only what is missing.
+
+``campaign --recovery <policy>`` arms a system-level recovery ladder
+(pipeline restart, cache flush, watchdog-triggered warm reset, cold
+reboot) so runs survive error-mode halts; ``availability --measured FILE``
+folds the recorded downtime back into the orbital availability estimate.
 """
 
 from __future__ import annotations
@@ -27,16 +34,28 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.alternatives.availability import (
+    DEFAULT_CLOCK_HZ,
+    compare_schemes,
+    estimate_with_measured_outage,
+    measure_availability,
+)
+from repro.alternatives.schemes import all_schemes
 from repro.area.model import TimingModel, table1
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.fault.campaign import Campaign, CampaignConfig, prepare_warm_start
 from repro.fault.crosssection import DEFAULT_LETS, measure_curve, render_curve
 from repro.fault.executor import CampaignExecutor, expand_runs
-from repro.fault.report import render_table, render_table2
+from repro.fault.report import (
+    render_recovery_summary,
+    render_table,
+    render_table2,
+)
 from repro.fault.rates import ENVIRONMENTS, RatePredictor
 from repro.fault.results import ResultStore, config_key
 from repro.iu.pipetrace import PipelineTracer
+from repro.recovery import POLICIES
 from repro.sparc.asm import assemble
 from repro.state.snapshot import Snapshot
 
@@ -103,6 +122,15 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", metavar="FILE", default=None,
                           help="reload a JSONL result log, run only the "
                                "missing seeds, append them to it")
+    campaign.add_argument("--recovery", choices=sorted(POLICIES),
+                          default="none",
+                          help="system-level recovery policy: keep running "
+                               "through error-mode halts and uncorrectable "
+                               "traps (default: none)")
+    campaign.add_argument("--device", choices=sorted(_CONFIGS),
+                          default="express",
+                          help="device configuration (default: express; "
+                               "--results/--resume require express)")
 
     sweep = subparsers.add_parser("sweep", help="cross-section vs LET sweep")
     sweep.add_argument("--program", default="iutest",
@@ -145,6 +173,19 @@ def _build_parser() -> argparse.ArgumentParser:
     rates.add_argument("--environment", choices=sorted(ENVIRONMENTS),
                        default=None, help="default: all environments")
 
+    avail = subparsers.add_parser(
+        "availability", help="scheme availability estimates")
+    avail.add_argument("--environment", choices=sorted(ENVIRONMENTS),
+                       default="GEO", help="orbital environment "
+                                           "(default: GEO)")
+    avail.add_argument("--measured", metavar="FILE", default=None,
+                       help="JSONL result log of a campaign run with "
+                            "--recovery; replaces the analytic outage "
+                            "constant with the measured mean outage")
+    avail.add_argument("--clock-hz", type=float, default=DEFAULT_CLOCK_HZ,
+                       help="device clock for cycle-to-seconds conversion "
+                            f"(default: {DEFAULT_CLOCK_HZ:.0f})")
+
     info = subparsers.add_parser("info", help="describe the device")
     _add_config_argument(info)
 
@@ -174,17 +215,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    store_path = args.resume or args.results
+    if args.device != "express" and store_path:
+        print("error: --results/--resume store only the default (express) "
+              "device; drop --device or the store option", file=sys.stderr)
+        return 2
+    # "express" maps to leon=None (the campaign default) so result-store
+    # keys stay identical to pre---device logs.
+    leon = None if args.device == "express" else _CONFIGS[args.device]()
     config = CampaignConfig(
         program=args.program, let=args.let, flux=args.flux,
         fluence=args.fluence, seed=args.seed,
         instructions_per_second=args.ips,
         beam_delay_s=args.beam_delay, beam_tail_s=args.beam_tail,
+        recovery=args.recovery, leon=leon,
     )
     configs = expand_runs(config, args.runs)
 
     store = done = None
     pending = configs
-    store_path = args.resume or args.results
     if store_path:
         store = ResultStore(store_path)
     if args.resume:
@@ -211,6 +260,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         results = fresh
     print(render_table2(results))
+    if args.recovery != "none":
+        print()
+        print(render_recovery_summary(results))
     upsets = sum(result.upsets for result in results)
     failures = sum(result.failures for result in results)
     iterations = sum(result.iterations for result in results)
@@ -294,6 +346,52 @@ def _cmd_rates(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_availability(args: argparse.Namespace) -> int:
+    estimates = compare_schemes(args.environment)
+    rows = []
+    for name in sorted(estimates):
+        est = estimates[name]
+        rows.append({
+            "scheme": name,
+            "coverage": f"{est.covered_fraction * 100:.1f}%",
+            "failures/day": f"{est.failures_per_day:.4f}",
+            "outage s/day": f"{est.outage_seconds_per_day:.3f}",
+            "availability": f"{est.availability:.6f}",
+        })
+    print(f"environment: {args.environment}  (analytic outage model)")
+    print(render_table(rows, ["scheme", "coverage", "failures/day",
+                              "outage s/day", "availability"]))
+
+    if not args.measured:
+        return 0
+
+    store = ResultStore(args.measured)
+    results = list(store.load().values())
+    if not results:
+        print(f"\nno results in {args.measured}", file=sys.stderr)
+        return 1
+    measured = measure_availability(results, clock_hz=args.clock_hz)
+    print(f"\nmeasured from {args.measured} "
+          f"({measured.runs} run(s) at {args.clock_hz:.0f} Hz)")
+    for level in ("pipeline-restart", "cache-flush", "warm-reset",
+                  "cold-reboot"):
+        if level not in measured.recoveries:
+            continue
+        print(f"  {level:<17} x{measured.recoveries[level]:<5} "
+              f"{measured.downtime_by_level.get(level, 0.0):.6f} s")
+    print(f"  in-beam availability  {measured.availability:.6f}")
+    print(f"  MTTR                  {measured.mttr_seconds:.6f} s")
+    print(f"  mean outage           {measured.mean_outage_seconds:.6f} s")
+    leon_ft = next(s for s in all_schemes() if s.name == "LEON-FT")
+    remeasured = estimate_with_measured_outage(
+        leon_ft, measured, args.environment)
+    print(f"\nLEON-FT with the measured outage replacing the analytic "
+          f"constant:")
+    print(f"  outage s/day          {remeasured.outage_seconds_per_day:.6f}")
+    print(f"  availability          {remeasured.availability:.6f}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     config = _CONFIGS[args.config]()
     system = LeonSystem(config)
@@ -327,6 +425,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure2": _cmd_figure2,
     "rates": _cmd_rates,
+    "availability": _cmd_availability,
     "info": _cmd_info,
 }
 

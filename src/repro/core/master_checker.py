@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.iu.pipeline import StepResult
+from repro.recovery.policy import WARM_RESET_CYCLES
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,21 @@ class CompareError:
     field: str
     master_value: object
     checker_value: object
+
+
+@dataclass(frozen=True)
+class LockStepReport:
+    """Outcome of :meth:`MasterChecker.run_with_recovery`."""
+
+    steps: int
+    compare_errors: int
+    resyncs: int
+    failovers: int
+    #: Downtime charged for the resynchronizing resets, device cycles.
+    downtime_cycles: int
+    #: True when the pair reached the step budget; False when both devices
+    #: were dead and no fail-over could help.
+    completed: bool
 
 
 def _signature(result: StepResult) -> Tuple:
@@ -47,6 +63,8 @@ class MasterChecker:
         self.checker = LeonSystem(self.config)
         self.compare_errors: List[CompareError] = []
         self._steps = 0
+        self.resyncs = 0
+        self.failovers = 0
 
     def load_program(self, program) -> None:
         self.master.load_program(program)
@@ -85,12 +103,77 @@ class MasterChecker:
                 return step + 1, self.compare_errors[errors_before:]
         return max_steps, self.compare_errors[errors_before:]
 
-    def resynchronize(self) -> None:
-        """After a correction-induced skew the pair must be reset to get back
-        in step (the paper: "a reset is necessary to synchronize the two
-        processors").  We rebuild the checker from the master's memory image
-        equivalent -- in hardware this is a full reset of both devices; the
-        harness reloads and restarts instead."""
-        self.checker = LeonSystem(self.config)
+    def resynchronize(self, *, from_master: bool = True) -> None:
+        """Bring the pair back into lock-step after a skew (the paper: "a
+        reset is necessary to synchronize the two processors").
+
+        ``from_master=True`` (default) restores the checker from the
+        master's snapshot -- the post-reset state of both devices without
+        re-running boot, so lock-step execution continues from where the
+        master is.  ``from_master=False`` is the legacy behaviour: a fresh
+        blank checker the harness must reload itself."""
+        if from_master:
+            self.checker.restore(self.master.snapshot())
+        else:
+            self.checker = LeonSystem(self.config)
         self.compare_errors.clear()
         self._steps = 0
+        self.resyncs += 1
+
+    def fail_over(self) -> None:
+        """Promote the healthy checker to master and resynchronize.
+
+        The arrangement is symmetric: when the *master* is the failed
+        device (halted in error mode under the beam), the supervision
+        logic swaps which device drives the outputs, then restores the
+        failed one from the new master so lock-step resumes."""
+        self.master, self.checker = self.checker, self.master
+        self.failovers += 1
+        self.resynchronize()
+
+    def run_with_recovery(
+        self,
+        max_steps: int,
+        *,
+        resync_cycles: int = WARM_RESET_CYCLES,
+    ) -> LockStepReport:
+        """Run the pair end to end, recovering from compare errors.
+
+        The fail-over policy: every compare error is answered with a
+        resynchronizing reset (charged ``resync_cycles`` of downtime); if
+        the master itself is dead (error-mode halt), the healthy checker
+        is promoted first.  The run only stops early when *both* devices
+        are dead -- the double-failure the scheme cannot survive.
+        """
+        steps_done = 0
+        compare_count = 0
+        resyncs_before = self.resyncs
+        failovers_before = self.failovers
+        downtime = 0
+
+        def report(completed: bool) -> LockStepReport:
+            return LockStepReport(
+                steps=steps_done,
+                compare_errors=compare_count,
+                resyncs=self.resyncs - resyncs_before,
+                failovers=self.failovers - failovers_before,
+                downtime_cycles=downtime,
+                completed=completed,
+            )
+
+        while steps_done < max_steps:
+            ran, errors = self.run(max_steps - steps_done,
+                                   stop_on_compare_error=True)
+            steps_done += ran
+            compare_count += len(errors)
+            master_dead = self.master.halted.value != "running"
+            if not errors and not master_dead:
+                break  # reached the budget in lock-step
+            if master_dead:
+                if self.checker.halted.value != "running":
+                    return report(completed=False)
+                self.fail_over()
+            else:
+                self.resynchronize()
+            downtime += resync_cycles
+        return report(completed=True)

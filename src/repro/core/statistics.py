@@ -74,7 +74,11 @@ class ErrorCounters:
 
 @dataclass
 class PerfCounters:
-    """Cycle/instruction accounting for the performance experiments."""
+    """Cycle/instruction accounting for the performance experiments.
+
+    ``restore`` tolerates snapshots captured before a counter existed
+    (missing keys restore as zero) so saved state files stay loadable as
+    counters are added."""
 
     cycles: int = 0
     instructions: int = 0
@@ -87,6 +91,8 @@ class PerfCounters:
     restart_cycles: int = 0
     stores: int = 0
     loads: int = 0
+    #: System resets driven by the watchdog output (recovery bookkeeping).
+    watchdog_resets: int = 0
 
     @property
     def ipc(self) -> float:
@@ -112,4 +118,4 @@ class PerfCounters:
 
     def restore(self, state: dict) -> None:
         for name in vars(self):
-            setattr(self, name, int(state[name]))
+            setattr(self, name, int(state.get(name, 0)))

@@ -155,6 +155,10 @@ class LeonSystem:
         #: Set when an injection has touched the flip-flop bank since the
         #: last step, to trigger a TMR scrub (hardware scrubs every edge).
         self._ffbank_dirty = False
+        #: Whether the watchdog output is wired to the reset line (the
+        #: paper's "normally wired to system reset").  Harnesses that only
+        #: want to observe the latch can unwire it.
+        self.watchdog_reset_enabled = True
 
     # -- state capture ---------------------------------------------------------------
 
@@ -188,30 +192,46 @@ class LeonSystem:
         }
         return Snapshot(repr(self.config), components)
 
-    def restore(self, snapshot: Snapshot) -> None:
-        """Restore a snapshot captured from an identically-configured system."""
+    def restore(self, snapshot: Snapshot, *, skip: "tuple" = ()) -> None:
+        """Restore a snapshot captured from an identically-configured system.
+
+        ``skip`` names components to leave untouched -- the recovery
+        subsystem uses it for warm resets (``skip=("memory", "errors",
+        "perf")``: memory contents survive the reset, and the cumulative
+        error/performance counters keep counting across it).
+        """
         if snapshot.config_key != repr(self.config):
             raise StateError(
                 "snapshot was captured from a different device configuration")
         components = snapshot.components
-        self._ffbank_dirty = bool(components["system"]["ffbank_dirty"])
-        self.ffbank.restore(components["ffbank"])
-        self.regfile.restore(components["regfile"])
-        if self.fpu is not None:
-            self.fpu.restore(components["fpu"])
-        self.iu.restore(components["iu"])
-        self.icache.restore(components["icache"])
-        self.dcache.restore(components["dcache"])
-        self.memctrl.restore(components["memory"])
-        self.timers.restore(components["timers"])
-        self.uart1.restore(components["uart1"])
-        self.uart2.restore(components["uart2"])
-        self.ioport.restore(components["ioport"])
-        self.dma.restore(components["dma"])
-        self.sysregs.restore(components["sysregs"])
-        self.bus.restore(components["bus"])
-        self.errors.restore(components["errors"])
-        self.perf.restore(components["perf"])
+        skipped = frozenset(skip)
+        unknown = skipped - set(components)
+        if unknown:
+            raise StateError(f"unknown snapshot components: {sorted(unknown)}")
+        if "system" not in skipped:
+            self._ffbank_dirty = bool(components["system"]["ffbank_dirty"])
+        restorers = (
+            ("ffbank", self.ffbank),
+            ("regfile", self.regfile),
+            ("fpu", self.fpu),
+            ("iu", self.iu),
+            ("icache", self.icache),
+            ("dcache", self.dcache),
+            ("memory", self.memctrl),
+            ("timers", self.timers),
+            ("uart1", self.uart1),
+            ("uart2", self.uart2),
+            ("ioport", self.ioport),
+            ("dma", self.dma),
+            ("sysregs", self.sysregs),
+            ("bus", self.bus),
+            ("errors", self.errors),
+            ("perf", self.perf),
+        )
+        for name, component in restorers:
+            if component is None or name in skipped:
+                continue
+            component.restore(components[name])
 
     def state_digest(self) -> str:
         """Hex digest of the *architectural* state (counters excluded).
@@ -257,6 +277,21 @@ class LeonSystem:
 
     # -- execution ---------------------------------------------------------------------------
 
+    def reset(self, *, watchdog: bool = False) -> None:
+        """Assert the system reset line.
+
+        The integer unit leaves error mode and restarts at the reset
+        vector, the caches flush (valid bits clear on reset), and the
+        watchdog disarms until software re-arms it.  RAM contents --
+        register file, memory -- survive; boot code re-initializes them.
+        """
+        self.iu.reset()
+        self.icache.flush()
+        self.dcache.flush()
+        self.timers.reset_watchdog()
+        if watchdog:
+            self.perf.watchdog_resets += 1
+
     def step(self) -> StepResult:
         """Execute one instruction; advance peripherals by its cycle cost."""
         if self._ffbank_dirty:
@@ -268,6 +303,10 @@ class LeonSystem:
         result = self.iu.step()
         if result.cycles:
             self.apb.tick(result.cycles)
+            if self.timers.watchdog_expired and self.watchdog_reset_enabled:
+                # The watchdog output is wired to reset (section 2): a hung
+                # or error-mode processor reboots instead of staying dead.
+                self.reset(watchdog=True)
         return result
 
     def mark_ffbank_dirty(self) -> None:

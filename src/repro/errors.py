@@ -56,3 +56,7 @@ class InjectionError(ReproError):
 
 class StateError(ReproError):
     """A snapshot could not be captured, decoded or restored."""
+
+
+class RecoveryError(ReproError):
+    """A recovery policy or controller request was invalid."""

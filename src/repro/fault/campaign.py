@@ -32,6 +32,7 @@ from repro.fault.beam import BeamParameters, HeavyIonBeam
 from repro.fault.injector import FaultInjector
 from repro.iu.pipeline import HaltReason
 from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
+from repro.recovery import RecoveryController, RecoveryLevel, resolve_policy
 from repro.state.snapshot import Snapshot
 
 _BUILDERS = {
@@ -69,6 +70,11 @@ class CampaignConfig:
     #: seconds.  Gives latent errors time to surface (and effaced runs time
     #: to be worth skipping).
     beam_tail_s: float = 0.0
+    #: Recovery policy name (:data:`repro.recovery.POLICIES`): "none"
+    #: terminates the run at the first halt/park as before; any other
+    #: policy lets the supervision logic recover and the run continue
+    #: *through* failures, recording per-level counts and downtime.
+    recovery: str = "none"
 
     def beam_parameters(self) -> BeamParameters:
         return BeamParameters(let=self.let, flux=self.flux,
@@ -110,6 +116,19 @@ class CampaignResult:
     #: every *measured* field is identical to the full run's; cold runs
     #: always report False because they have no golden digest to compare.
     effaced: bool = False
+    #: Device cycles the run consumed, including recovery downtime
+    #: (0 in pre-existing logs).
+    cycles: int = 0
+    #: Recovery actions applied, by ladder level (empty without a policy).
+    recoveries: Dict[str, int] = field(default_factory=dict)
+    #: Downtime charged by each ladder level, device cycles.
+    recovery_downtime: Dict[str, int] = field(default_factory=dict)
+    #: Error-mode halts the run recovered from (an *unrecovered* final
+    #: halt reports through ``halted`` as before).
+    halts: int = 0
+    #: True when a recovery policy was active but gave up (attempt budget
+    #: exhausted or no applicable rung) and the run ended failed.
+    unrecovered: bool = False
 
     @property
     def instructions_per_second(self) -> float:
@@ -120,8 +139,36 @@ class CampaignResult:
 
     @property
     def failures(self) -> int:
-        """Paper terminology: "error traps or software failures"."""
-        return self.sw_errors + self.error_traps + (1 if self.halted else 0)
+        """Paper terminology: "error traps or software failures".
+
+        Recovered halts count exactly like the terminal halt of a
+        no-recovery run, so failure totals stay comparable across
+        policies."""
+        return (self.sw_errors + self.error_traps + self.halts
+                + (1 if self.halted else 0))
+
+    @property
+    def recovery_events(self) -> int:
+        """Total recovery actions applied."""
+        return sum(self.recoveries.values())
+
+    @property
+    def downtime_cycles(self) -> int:
+        """Total downtime charged by recoveries, device cycles."""
+        return sum(self.recovery_downtime.values())
+
+    @property
+    def mttr_cycles(self) -> float:
+        """Mean time to repair: downtime per recovery action, cycles."""
+        events = self.recovery_events
+        return self.downtime_cycles / events if events else 0.0
+
+    @property
+    def availability(self) -> float:
+        """In-beam availability: fraction of device time doing useful work."""
+        if self.cycles <= 0:
+            return 1.0
+        return 1.0 - self.downtime_cycles / self.cycles
 
     @property
     def undetected_errors(self) -> int:
@@ -195,6 +242,10 @@ class GoldenRun:
     iterations: int
     halted: bool
     executed: int
+    #: Device cycles the strike-free tail costs from the window close --
+    #: a pure function of the (matching) architectural state, so effaced
+    #: runs can report exact end-of-run cycle counts without executing it.
+    tail_cycles: int = 0
 
 
 @dataclass(frozen=True)
@@ -226,6 +277,8 @@ class Campaign:
                 f"(choose from {sorted(_BUILDERS)})")
         self.config = config
         self.leon_config = config.leon or LeonConfig.leon_express()
+        # Validates the policy name early (raises ConfigurationError).
+        self.recovery_policy = resolve_policy(config.recovery)
 
     def build_system(self) -> LeonSystem:
         return LeonSystem(self.leon_config)
@@ -266,6 +319,71 @@ class Campaign:
                 system.dcache.flush()
                 state["since_flush"] = 0
 
+    def _make_recovery(self, system: LeonSystem, result_base: int,
+                       warm: Optional[WarmStart],
+                       harvested: Dict[str, int]) -> Optional[RecoveryController]:
+        """Build the run's :class:`RecoveryController` (None without a policy).
+
+        Called with the system at the beam-window entry (prefix executed):
+        that state is the warm-reset checkpoint.  The cold-reboot image is
+        the load-time state of a freshly built program system -- identical
+        for cold and warm runs, so recovery trajectories are too.
+        """
+        policy = self.recovery_policy
+        if policy is None:
+            return None
+        checkpoint = boot = None
+        if RecoveryLevel.WARM_RESET in policy.ladder:
+            if warm is not None:
+                checkpoint = Snapshot.from_bytes(warm.snapshot)
+            else:
+                checkpoint = system.snapshot()
+        if RecoveryLevel.COLD_REBOOT in policy.ladder:
+            boot, _spin, _rb = self._build_program()
+            boot = boot.snapshot()
+
+        def harvest(sys_: LeonSystem) -> None:
+            # Before a reset discards execution state, bank the program's
+            # software-visible tallies accumulated since the last reset.
+            read = sys_.read_word
+            harvested["sw_errors"] += \
+                read(result_base + 0x14) - harvested["base_sw_errors"]
+            harvested["iterations"] += \
+                read(result_base + 0x10) - harvested["base_iterations"]
+            harvested["error_traps"] += int(read(result_base + 0x08) == 1)
+
+        return RecoveryController(system, policy, checkpoint=checkpoint,
+                                  boot_snapshot=boot, on_state_loss=harvest)
+
+    def _advance(self, system: LeonSystem, spin: int, state: Dict,
+                 target_instructions: int,
+                 recovery: Optional[RecoveryController],
+                 harvested: Dict[str, int], result_base: int) -> bool:
+        """Advance to ``target_instructions``, recovering through failures.
+
+        Returns False when the run is dead: no policy configured, or the
+        policy gave up -- the caller ends the run with the failure standing.
+        """
+        while True:
+            self._run_until(system, spin, state, target_instructions)
+            if not state["failed"]:
+                return True
+            if recovery is None:
+                return False
+            halted = system.iu.halted is not HaltReason.RUNNING
+            kind = "halt" if halted else "error-trap"
+            event = recovery.recover(kind, executed=state["executed"])
+            if event is None:
+                return False
+            state["failed"] = False
+            if event.state_loss:
+                # The restored image's result-area values are the new
+                # baseline the next harvest subtracts.
+                read = system.read_word
+                harvested["base_sw_errors"] = read(result_base + 0x14)
+                harvested["base_iterations"] = read(result_base + 0x10)
+                state["since_flush"] = 0
+
     def run(self, warm: Optional[WarmStart] = None) -> CampaignResult:
         started = time.perf_counter()
         config = self.config
@@ -292,16 +410,22 @@ class Campaign:
             golden = None
             self._run_until(system, spin, state, prefix)
 
+        harvested = {"sw_errors": 0, "error_traps": 0, "iterations": 0,
+                     "base_sw_errors": 0, "base_iterations": 0}
+        recovery = self._make_recovery(system, result_base, warm, harvested)
+
         injector = FaultInjector(system)
         beam = HeavyIonBeam(injector)
         strikes = beam.schedule(params)
 
         upsets_by_target: Dict[str, int] = {}
+        alive = True
         for strike in strikes:
             strike_at = prefix + min(
                 int(strike.time_s * config.instructions_per_second), window)
-            self._run_until(system, spin, state, strike_at)
-            if state["failed"]:
+            alive = self._advance(system, spin, state, strike_at,
+                                  recovery, harvested, result_base)
+            if not alive:
                 break
             beam.apply(strike)
             upsets_by_target[strike.target] = \
@@ -314,14 +438,25 @@ class Campaign:
             count for name, count in upsets_by_target.items()
             if not name.endswith("+mbu")
         )
-        counts_and_more = dict(
-            config=config,
-            upsets=upsets,
-            upsets_by_target=upsets_by_target,
-        )
+        def counts_and_more() -> Dict:
+            # Evaluated at return time so recoveries during the window
+            # close and tail advances are included.
+            return dict(
+                config=config,
+                upsets=upsets,
+                upsets_by_target=upsets_by_target,
+                recoveries=recovery.counts_by_level if recovery else {},
+                recovery_downtime=recovery.downtime_by_level if recovery
+                else {},
+                halts=sum(1 for e in recovery.events
+                          if e.kind in ("halt", "watchdog"))
+                if recovery else 0,
+                unrecovered=recovery.gave_up if recovery else False,
+            )
 
-        if not state["failed"]:
-            self._run_until(system, spin, state, window_close)
+        if alive:
+            alive = self._advance(system, spin, state, window_close,
+                                  recovery, harvested, result_base)
 
         # Effaced early-out: if the architectural state at the window close
         # equals the golden run's, the (strike-free) continuation is
@@ -329,8 +464,11 @@ class Campaign:
         # and the final result-area readouts -- so the tail can be skipped
         # and the golden end-state reported.  Counter deltas cannot occur
         # past this point: digest equality implies the suspect sets are
-        # empty, and only suspect storage triggers corrections.
-        if (golden is not None and not state["failed"]
+        # empty, and only suspect storage triggers corrections.  Runs that
+        # recovered are never effaced: their readouts include harvested
+        # tallies the golden run does not carry.
+        if (golden is not None and alive and not state["failed"]
+                and (recovery is None or not recovery.events)
                 and state["executed"] == window_close
                 and system.state_digest() == golden.window_digest):
             return CampaignResult(
@@ -342,28 +480,34 @@ class Campaign:
                 instructions=golden.executed,
                 wall_seconds=time.perf_counter() - started,
                 effaced=True,
-                **counts_and_more,
+                cycles=system.perf.cycles + golden.tail_cycles,
+                **counts_and_more(),
             )
 
-        if not state["failed"]:
-            self._run_until(system, spin, state, total_instructions)
+        if alive:
+            self._advance(system, spin, state, total_instructions,
+                          recovery, harvested, result_base)
         executed = state["executed"]
 
-        # Read out the result area the way the host computer would.
+        # Read out the result area the way the host computer would; the
+        # harvested tallies carry what earlier reset recoveries banked.
         read = system.read_word
-        sw_errors = read(result_base + 0x14)
+        sw_errors = harvested["sw_errors"] + \
+            read(result_base + 0x14) - harvested["base_sw_errors"]
         trapped = read(result_base + 0x08) == 1
-        iterations = read(result_base + 0x10)
+        iterations = harvested["iterations"] + \
+            read(result_base + 0x10) - harvested["base_iterations"]
 
         return CampaignResult(
             counts=dict(system.errors.as_dict()),
             sw_errors=sw_errors,
-            error_traps=int(trapped),
+            error_traps=harvested["error_traps"] + int(trapped),
             halted=system.iu.halted is not HaltReason.RUNNING,
             iterations=iterations,
             instructions=executed,
             wall_seconds=time.perf_counter() - started,
-            **counts_and_more,
+            cycles=system.perf.cycles,
+            **counts_and_more(),
         )
 
 
@@ -391,6 +535,7 @@ def prepare_warm_start(config: CampaignConfig) -> WarmStart:
     campaign._run_until(system, spin, state, window_close)
     if not state["failed"] and state["executed"] == window_close:
         window_digest = system.state_digest()
+        window_cycles = system.perf.cycles
         campaign._run_until(system, spin, state, window_close + tail)
         read = system.read_word
         golden = GoldenRun(
@@ -400,6 +545,7 @@ def prepare_warm_start(config: CampaignConfig) -> WarmStart:
             iterations=read(result_base + 0x10),
             halted=system.iu.halted is not HaltReason.RUNNING,
             executed=state["executed"],
+            tail_cycles=system.perf.cycles - window_cycles,
         )
 
     return WarmStart(

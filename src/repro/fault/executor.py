@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence
@@ -92,29 +93,58 @@ def _run_chunk(runner: Callable[..., CampaignResult],
     return [_call_runner(runner, config, warm) for config in configs]
 
 
+def _format_error(exc: BaseException) -> str:
+    """The full traceback text of a failure, not just ``type: message`` --
+    a campaign that dies overnight should leave enough to debug."""
+    return "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__)).rstrip()
+
+
 @dataclass(frozen=True)
 class ExecutorFailure:
-    """One run that failed even after its serial retries."""
+    """One run that failed even after its serial retries.
+
+    ``error`` holds the full traceback text of the last attempt (workers
+    ship tracebacks back to the parent through the pool's exception
+    plumbing, so parallel failures carry them too)."""
 
     config: CampaignConfig
     error: str
+
+    @property
+    def error_summary(self) -> str:
+        """The last (``Type: message``) line of the traceback."""
+        lines = [line for line in self.error.splitlines() if line.strip()]
+        return lines[-1].strip() if lines else self.error
 
 
 class CampaignExecutionError(RuntimeError):
     """Raised when runs remain failed after all retries.
 
-    Successful results are not lost: drivers that want partial output can
-    catch this and read :attr:`failures` for what is missing.
+    Successful results are not lost: :attr:`results` holds one entry per
+    submitted config in config order -- the completed
+    :class:`~repro.fault.campaign.CampaignResult` or None for the runs
+    listed in :attr:`failures`.
     """
 
-    def __init__(self, failures: Sequence[ExecutorFailure]) -> None:
+    def __init__(self, failures: Sequence[ExecutorFailure],
+                 results: Optional[Sequence[Optional[CampaignResult]]] = None,
+                 ) -> None:
         self.failures = list(failures)
+        self.results: List[Optional[CampaignResult]] = \
+            list(results) if results is not None else []
         summary = "; ".join(
-            f"{f.config.program}@LET{f.config.let:g}/seed{f.config.seed}: {f.error}"
+            f"{f.config.program}@LET{f.config.let:g}/seed{f.config.seed}: "
+            f"{f.error_summary}"
             for f in self.failures[:3])
         if len(self.failures) > 3:
             summary += f"; ... ({len(self.failures)} total)"
         super().__init__(f"{len(self.failures)} campaign run(s) failed: {summary}")
+
+    @property
+    def completed(self) -> List[CampaignResult]:
+        """The successful results only (order preserved)."""
+        return [result for result in self.results if result is not None]
 
 
 class CampaignExecutor:
@@ -207,7 +237,7 @@ class CampaignExecutor:
             if on_results is not None and result is not None:
                 on_results([result])
         if failures:
-            raise CampaignExecutionError(failures)
+            raise CampaignExecutionError(failures, results)
         return results  # type: ignore[return-value]  # no failures -> no Nones
 
     def _attempt(self, config: CampaignConfig,
@@ -219,7 +249,7 @@ class CampaignExecutor:
             try:
                 return _call_runner(self.runner, config, warm)
             except Exception as exc:
-                error = f"{type(exc).__name__}: {exc}"
+                error = _format_error(exc)
         failures.append(ExecutorFailure(config=config, error=error))
         return None
 
@@ -272,7 +302,7 @@ class CampaignExecutor:
                                           attempts=self.retries, warm=warm)
                             for config in chunk]
                     else:
-                        error = f"{type(exc).__name__}: {exc}"
+                        error = _format_error(exc)
                         failures.extend(
                             ExecutorFailure(config=config, error=error)
                             for config in chunk)
@@ -283,5 +313,5 @@ class CampaignExecutor:
                     if completed:
                         on_results(completed)
         if failures:
-            raise CampaignExecutionError(failures)
+            raise CampaignExecutionError(failures, results)
         return results  # type: ignore[return-value]  # no failures -> no Nones

@@ -55,7 +55,8 @@ def to_csv(results: Sequence[CampaignResult]) -> str:
     """CSV export (string) of the Table 2 rows plus failure bookkeeping."""
     buffer = io.StringIO()
     columns = list(TABLE2_COLUMNS) + ["upsets", "sw_errors", "error_traps",
-                                      "halted", "fluence", "flux"]
+                                      "halted", "fluence", "flux",
+                                      "recoveries", "downtime_cycles"]
     writer = csv.DictWriter(buffer, fieldnames=columns)
     writer.writeheader()
     for result in results:
@@ -68,6 +69,8 @@ def to_csv(results: Sequence[CampaignResult]) -> str:
             "halted": int(result.halted),
             "fluence": result.config.fluence,
             "flux": result.config.flux,
+            "recoveries": result.recovery_events,
+            "downtime_cycles": result.downtime_cycles,
         })
         writer.writerow(row)
     return buffer.getvalue()
@@ -93,5 +96,49 @@ def to_json(results: Sequence[CampaignResult]) -> str:
             "iterations": result.iterations,
             "instructions": result.instructions,
             "failures": result.failures,
+            "cycles": result.cycles,
+            "recoveries": result.recoveries,
+            "recovery_downtime": result.recovery_downtime,
+            "downtime_cycles": result.downtime_cycles,
+            "mttr_cycles": result.mttr_cycles,
+            "halts": result.halts,
+            "unrecovered": result.unrecovered,
         })
     return json.dumps(payload, indent=2)
+
+
+def render_recovery_summary(results: Sequence[CampaignResult]) -> str:
+    """The recovery block a ``campaign --recovery`` run prints.
+
+    Per-level action counts and downtime, total downtime, MTTR and the
+    in-beam availability, aggregated over the runs."""
+    recoveries: Dict[str, int] = {}
+    downtime: Dict[str, int] = {}
+    halts = 0
+    unrecovered = 0
+    cycles = 0
+    for result in results:
+        halts += result.halts
+        unrecovered += int(result.unrecovered)
+        cycles += result.cycles
+        for level, count in result.recoveries.items():
+            recoveries[level] = recoveries.get(level, 0) + count
+        for level, value in result.recovery_downtime.items():
+            downtime[level] = downtime.get(level, 0) + value
+    events = sum(recoveries.values())
+    total_down = sum(downtime.values())
+    lines = ["recovery summary"]
+    for level in ("pipeline-restart", "cache-flush", "warm-reset",
+                  "cold-reboot"):
+        if level not in recoveries:
+            continue
+        lines.append(f"  {level:<17} x{recoveries[level]:<5} "
+                     f"{downtime.get(level, 0):>9} cycles")
+    lines.append(f"  recovered halts   {halts}")
+    lines.append(f"  unrecovered runs  {unrecovered}")
+    lines.append(f"  downtime          {total_down} cycles")
+    mttr = total_down / events if events else 0.0
+    lines.append(f"  MTTR              {mttr:.0f} cycles")
+    if cycles > 0:
+        lines.append(f"  availability      {1.0 - total_down / cycles:.6f}")
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ _CONFIG_FIELDS = (
     "program", "let", "flux", "fluence", "seed",
     "instructions_per_second", "max_instructions",
     "flush_period_instructions", "beam_delay_s", "beam_tail_s",
+    "recovery",
 )
 
 
@@ -62,6 +63,11 @@ def result_to_dict(result: CampaignResult) -> dict:
         "instructions": result.instructions,
         "wall_seconds": result.wall_seconds,
         "effaced": result.effaced,
+        "cycles": result.cycles,
+        "recoveries": dict(result.recoveries),
+        "recovery_downtime": dict(result.recovery_downtime),
+        "halts": result.halts,
+        "unrecovered": result.unrecovered,
     }
 
 
@@ -81,6 +87,11 @@ def result_from_dict(payload: dict) -> CampaignResult:
         instructions=payload["instructions"],
         wall_seconds=payload.get("wall_seconds", 0.0),
         effaced=payload.get("effaced", False),
+        cycles=payload.get("cycles", 0),
+        recoveries=dict(payload.get("recoveries", {})),
+        recovery_downtime=dict(payload.get("recovery_downtime", {})),
+        halts=payload.get("halts", 0),
+        unrecovered=payload.get("unrecovered", False),
     )
 
 

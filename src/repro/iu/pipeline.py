@@ -134,6 +134,20 @@ class IntegerUnit:
         self.power_down = bool(state["power_down"])
         self._writes = []
 
+    def reset(self) -> None:
+        """Assert the processor reset line: leave error mode, clear the
+        pipeline and restart fetching at the reset vector.
+
+        This is the recovery path the paper wires the watchdog output to --
+        RAM contents (register file, caches, memory) are untouched; boot
+        software re-initializes them.
+        """
+        self.halted = HaltReason.RUNNING
+        self.power_down = False
+        self._annul.load(0)
+        self._writes = []
+        self.r.reset()
+
     # ------------------------------------------------------------------ helpers
 
     def _reg_read(self, reg: int) -> int:

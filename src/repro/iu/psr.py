@@ -138,6 +138,15 @@ class SpecialRegisters:
         self._pc = bank.register("iu.pc", 32, reset=reset_pc)
         self._npc = bank.register("iu.npc", 32, reset=(reset_pc + 4) & 0xFFFFFFFF)
         self.nwindows = nwindows
+        self.reset_pc = reset_pc
+
+    def reset(self) -> None:
+        """Reset-line values: supervisor mode with traps disabled, fetch
+        from the reset vector.  WIM, TBR and Y are architecturally
+        undefined at reset and left untouched (boot code writes them)."""
+        self.psr.write(1 << 7)
+        self._pc.load(self.reset_pc & 0xFFFFFFFF)
+        self._npc.load((self.reset_pc + 4) & 0xFFFFFFFF)
 
     @property
     def wim(self) -> int:

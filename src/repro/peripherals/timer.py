@@ -131,6 +131,12 @@ class TimerUnit(ApbSlave):
             self.watchdog.load(value & _COUNTER_MASK)
             self.watchdog_expired = False
 
+    def reset_watchdog(self) -> None:
+        """System reset disarms the watchdog and clears the expired latch
+        (boot software re-arms it once it is running again)."""
+        self.watchdog.load(0)
+        self.watchdog_expired = False
+
     def capture(self) -> dict:
         """Non-ffbank timer state (the counters live in the flip-flop bank)."""
         return {

@@ -1,0 +1,38 @@
+"""System-level recovery: the staged ladder behind measured availability.
+
+The paper's availability goal is met by *recovering*, not just detecting:
+watchdog-driven reset for error-mode halts, resynchronization for
+master/checker mismatches, and the 4-cycle pipeline restart for everything
+cheaper.  This package models that supervision logic so beam campaigns run
+*through* failures and measure recovery counts, downtime and MTTR.
+"""
+
+from repro.recovery.controller import (
+    RESET_SKIP,
+    RecoveryController,
+    RecoveryEvent,
+)
+from repro.recovery.policy import (
+    COLD_REBOOT_CYCLES,
+    DEFAULT_WATCHDOG_CYCLES,
+    POLICIES,
+    RESTART_CYCLES,
+    WARM_RESET_CYCLES,
+    RecoveryLevel,
+    RecoveryPolicy,
+    resolve_policy,
+)
+
+__all__ = [
+    "COLD_REBOOT_CYCLES",
+    "DEFAULT_WATCHDOG_CYCLES",
+    "POLICIES",
+    "RESET_SKIP",
+    "RESTART_CYCLES",
+    "WARM_RESET_CYCLES",
+    "RecoveryController",
+    "RecoveryEvent",
+    "RecoveryLevel",
+    "RecoveryPolicy",
+    "resolve_policy",
+]

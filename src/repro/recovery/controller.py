@@ -1,0 +1,244 @@
+"""The recovery controller: watches a running system, climbs the ladder.
+
+The controller plays the role of the spacecraft's supervision logic: when
+the harness (a beam campaign, a lock-step pair, a hand-driven test) reports
+that the processor has failed -- parked in its unexpected-trap handler,
+halted in error mode, flagged by the watchdog or by a master/checker
+compare mismatch -- the controller picks the cheapest recovery rung the
+policy allows for that event, applies it to the live :class:`LeonSystem`,
+and charges the cycle-accurate downtime to the performance counters.
+
+Two properties matter for the campaign statistics:
+
+* **downtime is explicit** -- every :class:`RecoveryEvent` records the
+  cycles the processor was not doing useful work, including the watchdog
+  *detection* latency for halts (a dead processor is only discovered when
+  the watchdog expires);
+* **counters survive resets** -- warm resets and cold reboots restore the
+  boot snapshot with the ``errors``/``perf`` components skipped, so a run
+  that recovers five times still reports its cumulative error counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.system import LeonSystem
+from repro.errors import RecoveryError
+from repro.iu.pipeline import HaltReason
+from repro.recovery.policy import (
+    COLD_REBOOT_CYCLES,
+    RESTART_CYCLES,
+    WARM_RESET_CYCLES,
+    RecoveryLevel,
+    RecoveryPolicy,
+)
+from repro.state.snapshot import Snapshot
+
+#: Components every reset rung preserves: the cumulative error and
+#: performance counters are host-side observation state and keep counting
+#: across recoveries (a run that recovers five times still reports its
+#: total corrected errors).
+RESET_SKIP = ("errors", "perf")
+
+#: Event kinds the harness can report.  "halt" covers error-mode halts
+#: (uncorrectable EDAC traps with ET=0 land here too); "watchdog" is a
+#: halt discovered by watchdog expiry; "error-trap" is a recoverable
+#: park (the program's unexpected-trap handler); "compare-error" is a
+#: master/checker mismatch.
+EVENT_KINDS = ("error-trap", "halt", "watchdog", "compare-error")
+
+#: Kinds where the processor cannot run recovery code: only a reset rung
+#: applies, and detection costs a watchdog timeout.
+_DEAD_KINDS = ("halt", "watchdog")
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One applied recovery."""
+
+    kind: str
+    level: RecoveryLevel
+    #: Cycles of downtime this recovery cost (detection + repair).
+    downtime_cycles: int
+    #: Campaign instruction clock when the failure was handled.
+    at_instructions: int
+
+    @property
+    def state_loss(self) -> bool:
+        return self.level.state_loss
+
+
+class RecoveryController:
+    """Applies a :class:`RecoveryPolicy` ladder to a live system.
+
+    The reset rungs restore from two different images:
+
+    * **warm reset** restores ``checkpoint`` -- the state the supervision
+      logic captured when the beam window opened (the PR-2 boot snapshot
+      for zero-delay runs).  Memory comes back with it, so the restored
+      state is fully coherent;
+    * **cold reboot** restores ``boot_snapshot`` -- the load-time image:
+      fresh program, full software re-initialization, the most expensive
+      but most certain rung.
+
+    Both skip the ``errors``/``perf`` components (:data:`RESET_SKIP`).
+    ``on_state_loss`` runs just before a reset rung discards execution
+    state -- campaigns use it to harvest the program's result-area
+    counters so software-visible tallies survive the reset.
+    """
+
+    def __init__(
+        self,
+        system: LeonSystem,
+        policy: RecoveryPolicy,
+        *,
+        checkpoint: Optional[Snapshot] = None,
+        boot_snapshot: Optional[Snapshot] = None,
+        on_state_loss: Optional[Callable[[LeonSystem], None]] = None,
+    ) -> None:
+        needed = {RecoveryLevel.WARM_RESET: checkpoint,
+                  RecoveryLevel.COLD_REBOOT: boot_snapshot}
+        for level, snapshot in needed.items():
+            if level in policy.ladder and snapshot is None:
+                raise RecoveryError(
+                    f"policy {policy.name!r} includes {level.value} and "
+                    "needs its restore snapshot")
+        self.system = system
+        self.policy = policy
+        self.checkpoint = checkpoint
+        self.boot_snapshot = boot_snapshot
+        self.on_state_loss = on_state_loss
+        self.events: List[RecoveryEvent] = []
+        self.gave_up = False
+        self._rung = 0
+        self._last_recovery_at: Optional[int] = None
+        config = system.config
+        #: Cache-flush cost: one cycle per line to clear the valid bits
+        #: (the section 4.8 flush), plus the pipeline restart.
+        self._flush_cycles = (config.icache.lines + config.dcache.lines
+                              + RESTART_CYCLES)
+
+    # -- bookkeeping views -------------------------------------------------
+
+    @property
+    def counts_by_level(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            name = event.level.value
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    @property
+    def downtime_by_level(self) -> Dict[str, int]:
+        downtime: Dict[str, int] = {}
+        for event in self.events:
+            name = event.level.value
+            downtime[name] = downtime.get(name, 0) + event.downtime_cycles
+        return downtime
+
+    @property
+    def downtime_cycles(self) -> int:
+        return sum(event.downtime_cycles for event in self.events)
+
+    # -- the ladder --------------------------------------------------------
+
+    def recover(self, kind: str, *, executed: int) -> Optional[RecoveryEvent]:
+        """Handle one failure at instruction clock ``executed``.
+
+        Returns the applied :class:`RecoveryEvent`, or None when the policy
+        gives up (attempt budget exhausted, or the ladder has no rung that
+        can handle this event) -- the caller should then end the run with
+        the failure standing.
+        """
+        if kind not in EVENT_KINDS:
+            raise RecoveryError(f"unknown recovery event kind {kind!r}")
+        if self.gave_up:
+            return None
+        if len(self.events) >= self.policy.max_recoveries:
+            self.gave_up = True
+            return None
+
+        ladder = self.policy.ladder
+        if self._last_recovery_at is not None and \
+                executed - self._last_recovery_at < self.policy.stability_window:
+            # Re-failure inside the stability window: the last rung did not
+            # hold, escalate.
+            self._rung = min(self._rung + 1, len(ladder) - 1)
+        else:
+            self._rung = 0
+        if kind in _DEAD_KINDS:
+            # A halted processor cannot run recovery code; only a reset
+            # (asserted by the watchdog output) brings it back.
+            while not ladder[self._rung].state_loss:
+                if self._rung + 1 >= len(ladder):
+                    self.gave_up = True
+                    return None
+                self._rung += 1
+
+        level = ladder[self._rung]
+        downtime = 0
+        if kind in _DEAD_KINDS:
+            downtime += self._await_watchdog()
+        downtime += self._apply(level)
+        self.system.perf.cycles += downtime
+
+        event = RecoveryEvent(kind=kind, level=level,
+                              downtime_cycles=downtime,
+                              at_instructions=executed)
+        self.events.append(event)
+        self._last_recovery_at = executed
+        return event
+
+    # -- rung implementations ----------------------------------------------
+
+    def _apply(self, level: RecoveryLevel) -> int:
+        system = self.system
+        if level is RecoveryLevel.PIPELINE_RESTART:
+            system.iu.halted = HaltReason.RUNNING
+            system.perf.pipeline_restarts += 1
+            system.perf.restart_cycles += RESTART_CYCLES
+            return RESTART_CYCLES
+        if level is RecoveryLevel.CACHE_FLUSH:
+            system.icache.flush()
+            system.dcache.flush()
+            system.perf.pipeline_restarts += 1
+            system.perf.restart_cycles += RESTART_CYCLES
+            return self._flush_cycles
+        if level is RecoveryLevel.WARM_RESET:
+            self._before_state_loss()
+            system.restore(self.checkpoint, skip=RESET_SKIP)
+            return WARM_RESET_CYCLES
+        if level is RecoveryLevel.COLD_REBOOT:
+            self._before_state_loss()
+            system.restore(self.boot_snapshot, skip=RESET_SKIP)
+            return COLD_REBOOT_CYCLES
+        raise RecoveryError(f"unhandled recovery level {level!r}")
+
+    def _before_state_loss(self) -> None:
+        if self.on_state_loss is not None:
+            self.on_state_loss(self.system)
+
+    def _await_watchdog(self) -> int:
+        """Model halt detection: wall-clock runs until the watchdog expires.
+
+        If software never armed the watchdog the supervision logic arms it
+        now at the policy timeout (the paper wires the output to reset; a
+        flight system leaves it armed from boot -- campaign programs don't
+        kick it, so arming at detection time keeps fault-free runs
+        bit-identical to the no-recovery configuration).
+        """
+        timers = self.system.timers
+        period = timers.prescaler_reload.value + 1
+        if timers.watchdog.value == 0 and not timers.watchdog_expired:
+            ticks = max(1, self.policy.watchdog_cycles // period)
+            timers.apb_write(0x28, ticks)
+        waited = 0
+        while not timers.watchdog_expired:
+            chunk = max(timers.watchdog.value, 1) * period
+            self.system.apb.tick(chunk)
+            waited += chunk
+        self.system.perf.watchdog_resets += 1
+        timers.reset_watchdog()
+        return waited

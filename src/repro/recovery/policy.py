@@ -1,0 +1,138 @@
+"""Recovery policies: the staged ladder and its cycle-accurate costs.
+
+The paper's system-level FT story (sections 2 and 4.7) is that detection is
+only half of availability: error-mode halts are caught by a watchdog-driven
+reset, master/checker mismatches by a resynchronizing reset, and everything
+cheaper -- the 4-cycle pipeline restart, a cache flush forcing a refetch --
+is tried first because it costs orders of magnitude less downtime.  A
+:class:`RecoveryPolicy` encodes that ladder: the ordered set of levels the
+:class:`~repro.recovery.controller.RecoveryController` may climb, how much
+healthy execution de-escalates it, and when to give up.
+
+Downtime costs (device cycles)
+------------------------------
+* **pipeline restart** -- :data:`RESTART_CYCLES` = 4, the paper's section
+  4.4 number ("the time for the complete restart operation takes 4 clock
+  cycles, the same as for taking a normal trap");
+* **cache flush** -- one cycle per line to clear the valid bits (the
+  section 4.8 periodic-flush cost) plus the restart;
+* **warm reset** -- :data:`WARM_RESET_CYCLES`: reset assertion plus the
+  boot path that re-initializes on-chip state from the held memory image
+  (~250 us at 100 MHz);
+* **cold reboot** -- :data:`COLD_REBOOT_CYCLES`: full PROM boot with
+  memory re-initialization and program reload (~20 ms at 100 MHz).
+
+Error-mode halts are special: a halted processor cannot run any recovery
+code, so the only rungs that apply are the resets, and the *detection*
+latency is the watchdog timeout (``watchdog_cycles``) on top of the reset
+cost -- exactly the paper's "normally wired to system reset" watchdog.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.iu import timing
+
+#: Pipeline restart cost, cycles (section 4.4: same as a trap).
+RESTART_CYCLES = timing.CYCLES_TRAP
+
+#: Warm reset: reset line + on-chip state re-initialization (~250 us @ 100 MHz).
+WARM_RESET_CYCLES = 25_000
+
+#: Cold reboot: PROM boot + memory init + program reload (~20 ms @ 100 MHz).
+COLD_REBOOT_CYCLES = 2_000_000
+
+#: Default watchdog timeout used to catch error-mode halts, cycles.
+DEFAULT_WATCHDOG_CYCLES = 20_000
+
+
+class RecoveryLevel(enum.Enum):
+    """One rung of the recovery ladder, cheapest first."""
+
+    PIPELINE_RESTART = "pipeline-restart"
+    CACHE_FLUSH = "cache-flush"
+    WARM_RESET = "warm-reset"
+    COLD_REBOOT = "cold-reboot"
+
+    @property
+    def state_loss(self) -> bool:
+        """True for rungs that discard execution state (the resets)."""
+        return self in (RecoveryLevel.WARM_RESET, RecoveryLevel.COLD_REBOOT)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """One staged-recovery configuration.
+
+    ``ladder`` lists the enabled levels cheapest-first.  A failure recurring
+    within ``stability_window`` executed instructions of the previous
+    recovery escalates one rung; surviving the window de-escalates back to
+    the bottom.  ``max_recoveries`` bounds the total attempts per run (a
+    run that cannot be stabilized is reported, not looped forever).
+    """
+
+    name: str
+    ladder: Tuple[RecoveryLevel, ...]
+    #: Instructions of clean execution after which the ladder resets.
+    stability_window: int = 2_000
+    #: Total recovery attempts before the controller gives up.
+    max_recoveries: int = 64
+    #: Watchdog timeout for catching error-mode halts, device cycles.
+    watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ConfigurationError(f"recovery policy {self.name!r} has an "
+                                     "empty ladder")
+
+    @property
+    def can_reset(self) -> bool:
+        """Whether the ladder contains any state-restoring rung."""
+        return any(level.state_loss for level in self.ladder)
+
+
+#: The built-in policies selectable as ``campaign --recovery <name>``.
+POLICIES: Dict[str, Optional[RecoveryPolicy]] = {
+    "none": None,
+    # Restart-only: demonstrates detection without a reset path -- halts
+    # and persistent parks exhaust it (the pre-recovery behaviour, with
+    # bookkeeping).
+    "restart": RecoveryPolicy(
+        name="restart",
+        ladder=(RecoveryLevel.PIPELINE_RESTART,),
+        max_recoveries=8,
+    ),
+    # The full staged ladder (the default recovery mode).
+    "ladder": RecoveryPolicy(
+        name="ladder",
+        ladder=(
+            RecoveryLevel.PIPELINE_RESTART,
+            RecoveryLevel.CACHE_FLUSH,
+            RecoveryLevel.WARM_RESET,
+            RecoveryLevel.COLD_REBOOT,
+        ),
+    ),
+    # Straight to the big hammer: every failure is a full reboot (the
+    # unsupervised-OBC baseline the 30 s analytic estimate assumes).
+    "reboot": RecoveryPolicy(
+        name="reboot",
+        ladder=(RecoveryLevel.COLD_REBOOT,),
+    ),
+}
+
+
+def resolve_policy(name: "str | RecoveryPolicy | None") -> Optional[RecoveryPolicy]:
+    """Resolve a policy spec: a name from :data:`POLICIES`, an explicit
+    :class:`RecoveryPolicy`, or None/"none" for no recovery."""
+    if name is None or isinstance(name, RecoveryPolicy):
+        return name
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown recovery policy {name!r} "
+            f"(choose from {sorted(POLICIES)})") from None

@@ -63,6 +63,61 @@ def test_campaign(capsys):
     assert "failures: 0" in out
 
 
+def test_campaign_recovery_prints_summary(capsys):
+    """The pinned halting scenario: the standard device at LET 110, seed
+    16, completes under --recovery ladder and reports the recovery block."""
+    code = main(["campaign", "--device", "standard", "--recovery", "ladder",
+                 "--let", "110", "--flux", "5000", "--fluence", "10000",
+                 "--ips", "30000", "--seed", "16"])
+    out = capsys.readouterr().out
+    assert code == 1  # the recovered halt still counts as a failure
+    assert "recovery summary" in out
+    assert "warm-reset" in out or "cold-reboot" in out
+    assert "MTTR" in out and "availability" in out
+
+
+def test_campaign_device_conflicts_with_result_store(tmp_path, capsys):
+    code = main(["campaign", "--device", "standard",
+                 "--results", str(tmp_path / "runs.jsonl")])
+    assert code == 2
+    assert "express" in capsys.readouterr().err
+
+
+def test_availability_analytic_table(capsys):
+    assert main(["availability", "--environment", "GEO"]) == 0
+    out = capsys.readouterr().out
+    assert "LEON-FT" in out and "unprotected" in out
+    assert "availability" in out
+
+
+def test_availability_measured(tmp_path, capsys):
+    from repro.fault.campaign import Campaign, CampaignConfig
+    from repro.fault.results import ResultStore
+
+    result = Campaign(CampaignConfig(
+        program="iutest", seed=3, recovery="ladder", fluence=300.0,
+        instructions_per_second=20_000.0)).run()
+    result.cycles = 1_000_000
+    result.recoveries = {"pipeline-restart": 2, "warm-reset": 1}
+    result.recovery_downtime = {"pipeline-restart": 8, "warm-reset": 45_000}
+    result.halts = 1
+    with ResultStore(str(tmp_path / "meas.jsonl")) as store:
+        store.append([result])
+    code = main(["availability", "--measured", str(tmp_path / "meas.jsonl")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "measured from" in out
+    assert "warm-reset" in out
+    assert "mean outage" in out
+    assert "measured outage" in out
+
+
+def test_availability_measured_empty_store(tmp_path, capsys):
+    assert main(["availability", "--measured",
+                 str(tmp_path / "missing.jsonl")]) == 1
+    assert "no results" in capsys.readouterr().err
+
+
 def test_campaign_warm_start_results_and_resume(tmp_path, capsys):
     log = str(tmp_path / "runs.jsonl")
     base = ["campaign", "--program", "iutest", "--let", "60",

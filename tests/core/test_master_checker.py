@@ -2,6 +2,7 @@
 
 from repro import LeonConfig, MasterChecker, assemble
 from repro.fault.injector import FaultInjector
+from repro.iu.pipeline import HaltReason
 
 SRAM = 0x40000000
 
@@ -78,3 +79,62 @@ def test_resynchronize_resets_checker():
     pair.run(100, stop_on_compare_error=True)
     pair.resynchronize()
     assert pair.compare_errors == []
+
+
+def test_resynchronize_from_master_restores_lockstep():
+    """The paper's synchronizing reset: after a skew, the checker is
+    restored from the master and lock-step execution simply continues."""
+    pair = MasterChecker(LeonConfig.standard())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(10)
+    cwp = pair.checker.special.psr.cwp
+    physical = pair.checker.regfile.physical_index(cwp, 1)
+    pair.checker.regfile.inject(physical, bit=3)
+    _steps, errors = pair.run(100, stop_on_compare_error=True)
+    assert errors  # the pair skewed
+    pair.resynchronize()
+    assert pair.resyncs == 1
+    _steps, errors = pair.run(200, stop_on_compare_error=True)
+    assert errors == []  # back in step, no harness reload needed
+    assert pair.master.read_word(0x40100000) == \
+        pair.checker.read_word(0x40100000)
+
+
+def test_fail_over_promotes_healthy_checker():
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(20)
+    pair.master.iu.halted = HaltReason.ERROR_MODE
+    failed = pair.master
+    pair.fail_over()
+    assert pair.checker is failed
+    assert pair.failovers == 1 and pair.resyncs == 1
+    # The failed device was restored from the new master: both run.
+    assert pair.master.halted.value == "running"
+    assert pair.checker.halted.value == "running"
+    _steps, errors = pair.run(100, stop_on_compare_error=True)
+    assert errors == []
+
+
+def test_run_with_recovery_rides_through_compare_errors():
+    pair = MasterChecker(LeonConfig.fault_tolerant())
+    pair.load_program(assemble(PROGRAM, base=SRAM))
+    pair.run(10)
+    cwp = pair.checker.special.psr.cwp
+    physical = pair.checker.regfile.physical_index(cwp, 1)
+    pair.checker.regfile.inject(physical, bit=3)
+    report = pair.run_with_recovery(400, resync_cycles=1_000)
+    assert report.completed
+    assert report.steps == 400
+    assert report.compare_errors >= 1
+    assert report.resyncs >= 1
+    assert report.failovers == 0
+    assert report.downtime_cycles == report.resyncs * 1_000
+
+
+def test_run_with_recovery_stops_when_both_devices_die():
+    pair = MasterChecker(LeonConfig.standard())
+    pair.load_program(assemble("    ta 0\n    nop\n", base=SRAM))
+    report = pair.run_with_recovery(100)
+    assert not report.completed
+    assert report.steps < 100

@@ -139,6 +139,61 @@ def test_serial_failure_is_reported_too():
         executor.run_many([_config(seed=41)])
 
 
+def _selective_runner(config: CampaignConfig) -> CampaignResult:
+    if config.seed == 32:
+        raise ValueError("seed 32 is cursed")
+    return run_campaign(config)
+
+
+def test_partial_results_attached_to_the_error():
+    """A crashed campaign must not discard the runs that finished: the
+    exception carries them in config order, None marking the failures."""
+    configs = [_config(seed=31), _config(seed=32), _config(seed=33)]
+    executor = CampaignExecutor(1, retries=0, runner=_selective_runner)
+    with pytest.raises(CampaignExecutionError) as excinfo:
+        executor.run_many(configs)
+    error = excinfo.value
+    assert len(error.results) == 3
+    assert error.results[1] is None
+    assert [r.config.seed for r in error.completed] == [31, 33]
+    expected = CampaignExecutor(1).run_many([configs[0], configs[2]])
+    assert [_comparable(r) for r in error.completed] == \
+           [_comparable(r) for r in expected]
+
+
+def test_parallel_partial_results_attached_too():
+    configs = [_config(seed=31), _config(seed=32), _config(seed=33)]
+    executor = CampaignExecutor(2, chunksize=1, retries=0,
+                                runner=_selective_runner)
+    with pytest.raises(CampaignExecutionError) as excinfo:
+        executor.run_many(configs)
+    error = excinfo.value
+    assert [r.config.seed if r else None for r in error.results] == \
+        [31, None, 33]
+
+
+def test_failure_carries_the_full_traceback():
+    executor = CampaignExecutor(1, retries=0, runner=_broken_runner)
+    with pytest.raises(CampaignExecutionError) as excinfo:
+        executor.run_many([_config(seed=41)])
+    failure, = excinfo.value.failures
+    assert "Traceback (most recent call last)" in failure.error
+    assert "_broken_runner" in failure.error
+    assert failure.error_summary == "ValueError: always broken (seed 41)"
+    # The exception message uses the summary, not the whole traceback.
+    assert "always broken (seed 41)" in str(excinfo.value)
+    assert "Traceback" not in str(excinfo.value)
+
+
+def test_parallel_failure_carries_a_traceback():
+    executor = CampaignExecutor(2, chunksize=1, retries=0,
+                                runner=_broken_runner)
+    with pytest.raises(CampaignExecutionError) as excinfo:
+        executor.run_many([_config(seed=31), _config(seed=32)])
+    assert all("Traceback (most recent call last)" in f.error
+               for f in excinfo.value.failures)
+
+
 def test_no_retries_reports_without_second_attempt():
     calls = []
 

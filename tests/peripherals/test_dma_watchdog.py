@@ -139,3 +139,51 @@ class TestWatchdog:
         assert system.halted.value == "error-mode"
         system.apb.tick(5000)  # wall-clock continues; nobody kicks the dog
         assert system.timers.watchdog_expired
+
+    def test_watchdog_expiry_resets_hung_processor(self):
+        """The watchdog output is wired to system reset (section 2): a
+        program that hangs without kicking the dog is rebooted from the
+        reset vector, not left spinning forever."""
+        system = LeonSystem(LeonConfig.standard())
+        counter = SRAM + 0x100
+        # Boot code at the reset vector (PROM base 0): count the boot,
+        # arm the watchdog, then hang without ever kicking it.
+        program = assemble(f"""
+            set {counter}, %g1
+            ld [%g1], %g2
+            add %g2, 1, %g2
+            st %g2, [%g1]
+            set 0x80000064, %g3     ! prescaler reload = 0 (1:1)
+            st %g0, [%g3]
+            set 0x80000068, %g3     ! arm the watchdog...
+            set 500, %g4
+            st %g4, [%g3]
+        hang:
+            ba hang                 ! ...and never kick it again
+            nop
+        """, base=0x0)
+        system.load_program(program)
+        system.run(5_000)
+        # The system rebooted repeatedly: each expiry restarted boot code.
+        assert system.read_word(counter) >= 2
+        assert system.perf.watchdog_resets >= 2
+        assert system.halted.value == "running"
+
+    def test_watchdog_reset_can_be_unwired(self):
+        """Harnesses that only observe the latch can unwire the reset."""
+        system = LeonSystem(LeonConfig.standard())
+        system.watchdog_reset_enabled = False
+        program = assemble(f"""
+            set 0x80000064, %g1
+            st %g0, [%g1]
+            set 0x80000068, %g1
+            set 500, %g2
+            st %g2, [%g1]
+        hang:
+            ba hang
+            nop
+        """, base=0x0)
+        system.load_program(program)
+        system.run(5_000)
+        assert system.timers.watchdog_expired
+        assert system.perf.watchdog_resets == 0

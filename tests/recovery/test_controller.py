@@ -1,0 +1,172 @@
+"""The recovery controller: ladder climbing, downtime, state restoration."""
+
+import pytest
+
+from repro import LeonConfig, LeonSystem, assemble
+from repro.errors import RecoveryError
+from repro.iu.pipeline import HaltReason
+from repro.recovery import (
+    POLICIES,
+    RESTART_CYCLES,
+    WARM_RESET_CYCLES,
+    RecoveryController,
+    RecoveryLevel,
+    RecoveryPolicy,
+)
+
+SRAM = 0x40000000
+
+FULL_LADDER = (
+    RecoveryLevel.PIPELINE_RESTART,
+    RecoveryLevel.CACHE_FLUSH,
+    RecoveryLevel.WARM_RESET,
+    RecoveryLevel.COLD_REBOOT,
+)
+
+
+def _system():
+    system = LeonSystem(LeonConfig.standard())
+    program = assemble("""
+    loop:
+        ba loop
+        nop
+    """, base=SRAM)
+    system.load_program(program)
+    return system
+
+
+def _controller(system, ladder=FULL_LADDER, **overrides):
+    policy = RecoveryPolicy(name="test", ladder=ladder, **overrides)
+    snapshot = system.snapshot()
+    return RecoveryController(system, policy, checkpoint=snapshot,
+                              boot_snapshot=snapshot)
+
+
+def test_reset_rungs_require_their_snapshots():
+    system = _system()
+    with pytest.raises(RecoveryError, match="warm-reset"):
+        RecoveryController(system, POLICIES["ladder"])
+    with pytest.raises(RecoveryError, match="cold-reboot"):
+        RecoveryController(system, POLICIES["ladder"],
+                           checkpoint=system.snapshot())
+
+
+def test_pipeline_restart_costs_four_cycles():
+    system = _system()
+    controller = _controller(system)
+    cycles_before = system.perf.cycles
+    event = controller.recover("error-trap", executed=100)
+    assert event.level is RecoveryLevel.PIPELINE_RESTART
+    assert event.downtime_cycles == RESTART_CYCLES == 4
+    assert not event.state_loss
+    assert system.perf.cycles == cycles_before + 4
+    assert controller.counts_by_level == {"pipeline-restart": 1}
+
+
+def test_refailure_inside_stability_window_escalates():
+    system = _system()
+    controller = _controller(system, stability_window=2_000)
+    levels = [controller.recover("error-trap", executed=at).level
+              for at in (1_000, 1_500, 1_900, 2_200)]
+    assert levels == [
+        RecoveryLevel.PIPELINE_RESTART,
+        RecoveryLevel.CACHE_FLUSH,
+        RecoveryLevel.WARM_RESET,
+        RecoveryLevel.COLD_REBOOT,
+    ]
+    # Surviving the window de-escalates back to the cheapest rung.
+    event = controller.recover("error-trap", executed=50_000)
+    assert event.level is RecoveryLevel.PIPELINE_RESTART
+
+
+def test_halt_climbs_straight_to_a_reset_rung():
+    """A halted processor cannot run recovery code: detection waits for
+    the watchdog, and the cheapest applicable rung is a reset."""
+    system = _system()
+    controller = _controller(system)
+    system.iu.halted = HaltReason.ERROR_MODE
+    event = controller.recover("halt", executed=500)
+    assert event.level is RecoveryLevel.WARM_RESET
+    assert event.state_loss
+    # Downtime = watchdog detection latency + the reset itself.
+    policy = controller.policy
+    assert event.downtime_cycles == policy.watchdog_cycles + WARM_RESET_CYCLES
+    assert system.perf.watchdog_resets == 1
+    assert system.iu.halted is HaltReason.RUNNING
+
+
+def test_restart_only_policy_gives_up_on_halt():
+    system = _system()
+    policy = POLICIES["restart"]
+    controller = RecoveryController(system, policy)
+    assert controller.recover("halt", executed=10) is None
+    assert controller.gave_up
+    # Once given up, everything else is refused too.
+    assert controller.recover("error-trap", executed=20) is None
+
+
+def test_warm_reset_restores_state_but_keeps_counters():
+    system = _system()
+    system.run(50)
+    system.write_word(SRAM + 0x1000, 0x1111)
+    controller = _controller(system, ladder=(RecoveryLevel.WARM_RESET,))
+    harvested = []
+    controller.on_state_loss = lambda sys_: harvested.append(True)
+
+    system.write_word(SRAM + 0x1000, 0xDEAD)
+    system.errors.rfe = 5
+    cycles_before = system.perf.cycles
+    digest_before = controller.checkpoint.digest()
+
+    event = controller.recover("error-trap", executed=1_000)
+    assert event.level is RecoveryLevel.WARM_RESET
+    # Execution state (memory included) is back at the checkpoint...
+    assert system.read_word(SRAM + 0x1000) == 0x1111
+    assert system.snapshot().digest() == digest_before
+    # ...but the observation counters survived and downtime was charged.
+    assert system.errors.rfe == 5
+    assert system.perf.cycles == cycles_before + WARM_RESET_CYCLES
+    assert harvested == [True]
+
+
+def test_cold_reboot_restores_boot_image():
+    system = _system()
+    boot = system.snapshot()
+    system.run(100)
+    system.write_word(SRAM + 0x1000, 0xBEEF)
+    policy = RecoveryPolicy(name="test", ladder=(RecoveryLevel.COLD_REBOOT,))
+    controller = RecoveryController(system, policy, boot_snapshot=boot)
+    event = controller.recover("error-trap", executed=100)
+    assert event.level is RecoveryLevel.COLD_REBOOT
+    assert system.read_word(SRAM + 0x1000) == 0
+    assert system.special.pc == SRAM
+
+
+def test_attempt_budget_exhaustion_gives_up():
+    system = _system()
+    controller = _controller(system, ladder=(RecoveryLevel.PIPELINE_RESTART,),
+                             max_recoveries=2)
+    assert controller.recover("error-trap", executed=10) is not None
+    assert controller.recover("error-trap", executed=10_000) is not None
+    assert controller.recover("error-trap", executed=20_000) is None
+    assert controller.gave_up
+    assert len(controller.events) == 2
+
+
+def test_downtime_bookkeeping_views():
+    system = _system()
+    controller = _controller(system, stability_window=2_000)
+    controller.recover("error-trap", executed=1_000)
+    controller.recover("error-trap", executed=1_200)  # escalates to flush
+    assert set(controller.counts_by_level) == {"pipeline-restart",
+                                               "cache-flush"}
+    assert controller.downtime_cycles == \
+        sum(controller.downtime_by_level.values())
+    assert controller.downtime_by_level["pipeline-restart"] == RESTART_CYCLES
+
+
+def test_unknown_event_kind_rejected():
+    system = _system()
+    controller = _controller(system)
+    with pytest.raises(RecoveryError, match="unknown recovery event"):
+        controller.recover("gremlins", executed=1)

@@ -1,0 +1,75 @@
+"""Recovery policies: the built-in ladders and their cycle costs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.recovery import (
+    COLD_REBOOT_CYCLES,
+    POLICIES,
+    RESTART_CYCLES,
+    WARM_RESET_CYCLES,
+    RecoveryLevel,
+    RecoveryPolicy,
+    resolve_policy,
+)
+
+
+def test_restart_cost_matches_paper():
+    """Section 4.4: 'the time for the complete restart operation takes 4
+    clock cycles, the same as for taking a normal trap'."""
+    assert RESTART_CYCLES == 4
+
+
+def test_cost_ordering():
+    assert RESTART_CYCLES < WARM_RESET_CYCLES < COLD_REBOOT_CYCLES
+
+
+def test_builtin_policies_resolve():
+    for name in POLICIES:
+        policy = resolve_policy(name)
+        if name == "none":
+            assert policy is None
+        else:
+            assert policy.name == name
+            assert policy.ladder
+
+
+def test_resolve_none_and_passthrough():
+    assert resolve_policy(None) is None
+    policy = POLICIES["ladder"]
+    assert resolve_policy(policy) is policy
+
+
+def test_resolve_unknown_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown recovery policy"):
+        resolve_policy("percussive-maintenance")
+
+
+def test_ladder_policy_is_the_full_staircase():
+    ladder = POLICIES["ladder"].ladder
+    assert ladder == (
+        RecoveryLevel.PIPELINE_RESTART,
+        RecoveryLevel.CACHE_FLUSH,
+        RecoveryLevel.WARM_RESET,
+        RecoveryLevel.COLD_REBOOT,
+    )
+    assert POLICIES["ladder"].can_reset
+
+
+def test_restart_policy_cannot_reset():
+    policy = POLICIES["restart"]
+    assert policy.ladder == (RecoveryLevel.PIPELINE_RESTART,)
+    assert not policy.can_reset
+    assert policy.max_recoveries == 8
+
+
+def test_state_loss_classification():
+    assert not RecoveryLevel.PIPELINE_RESTART.state_loss
+    assert not RecoveryLevel.CACHE_FLUSH.state_loss
+    assert RecoveryLevel.WARM_RESET.state_loss
+    assert RecoveryLevel.COLD_REBOOT.state_loss
+
+
+def test_empty_ladder_rejected():
+    with pytest.raises(ConfigurationError, match="empty ladder"):
+        RecoveryPolicy(name="hollow", ladder=())
