@@ -28,6 +28,7 @@ from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.fault.crosssection import DEFAULT_LETS, measure_curve
 from repro.programs import build_iutest
+from repro.telemetry import NullSink, Telemetry
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
@@ -40,8 +41,8 @@ WARMUP_INSTRUCTIONS = 20_000
 MEASURE_INSTRUCTIONS = 200_000
 
 
-def _single_run_ips() -> float:
-    system = LeonSystem(LeonConfig.leon_express())
+def _single_run_ips(telemetry=None) -> float:
+    system = LeonSystem(LeonConfig.leon_express(), telemetry=telemetry)
     program, _ = build_iutest(iterations=1_000_000)
     system.load_program(program)
     system.run(WARMUP_INSTRUCTIONS)
@@ -105,3 +106,18 @@ def test_throughput(benchmark, measurements):
     # Wall-clock gains need real cores to show up.
     if cores >= 4:
         assert speedup >= 2.0
+
+
+def test_telemetry_overhead_within_budget():
+    """The hot-path contract: telemetry emits only on error paths, so a
+    fault-free run costs the same with the layer enabled (null sink) as
+    with the default disabled bus.  Best-of-3 interleaved trials keep
+    host noise out of the ratio; the budget is 3%."""
+    base = traced = 0.0
+    for _ in range(3):
+        base = max(base, _single_run_ips())
+        traced = max(traced, _single_run_ips(Telemetry(NullSink())))
+    overhead = (base - traced) / base
+    assert overhead <= 0.03, (
+        f"telemetry overhead {overhead:.1%} exceeds the 3% budget "
+        f"({base:,.0f} vs {traced:,.0f} instr/s)")

@@ -38,6 +38,12 @@ from repro.recovery import (
 )
 from repro.sparc.asm import Program, assemble
 from repro.sparc.disasm import disassemble
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    JsonlTraceSink,
+    MemorySink,
+    Telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -48,9 +54,12 @@ __all__ = [
     "FtConfig",
     "LeonConfig",
     "LeonSystem",
+    "JsonlTraceSink",
     "LockStepReport",
     "MasterChecker",
     "MemoryConfig",
+    "MemorySink",
+    "NULL_TELEMETRY",
     "PerfCounters",
     "Program",
     "ProtectionScheme",
@@ -59,6 +68,7 @@ __all__ = [
     "RecoveryLevel",
     "RecoveryPolicy",
     "RunResult",
+    "Telemetry",
     "assemble",
     "disassemble",
     "resolve_policy",

@@ -22,6 +22,7 @@ from repro.cache.ram import CacheRam
 from repro.core.config import CacheConfig
 from repro.core.statistics import ErrorCounters, PerfCounters
 from repro.ft.protection import ErrorKind
+from repro.telemetry.bus import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -50,12 +51,14 @@ class CacheBase:
     kind = "?"
 
     def __init__(self, config: CacheConfig, bus: AhbBus, master: AhbMaster,
-                 errors: ErrorCounters, perf: PerfCounters) -> None:
+                 errors: ErrorCounters, perf: PerfCounters,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config
         self.bus = bus
         self.master = master
         self.errors = errors
         self.perf = perf
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.enabled = True
 
         self.lines = config.lines
@@ -71,6 +74,11 @@ class CacheBase:
             f"{prefix}-data", self.lines * self.words_per_line, config.parity
         )
         self._tag_shift = self._offset_bits + (self.lines.bit_length() - 1)
+        #: Telemetry site names (matching the injector's target names) and
+        #: the protection mechanism label for detect events.
+        self._site_tag = f"{prefix}-tag"
+        self._site_data = f"{prefix}-data"
+        self._mech = config.parity.value
 
     # -- address helpers ---------------------------------------------------------
 
@@ -94,17 +102,31 @@ class CacheBase:
 
     # -- counting ---------------------------------------------------------------
 
-    def _count_tag_error(self) -> None:
+    def _count_tag_error(self, index: int) -> None:
         if self.kind == "i":
             self.errors.ite += 1
+            counter = "ITE"
         else:
             self.errors.dte += 1
+            counter = "DTE"
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.detect(self._site_tag, index, mech=self._mech,
+                             kind="detected", counter=counter,
+                             instr=self.perf.instructions)
 
-    def _count_data_error(self) -> None:
+    def _count_data_error(self, word_index: int) -> None:
         if self.kind == "i":
             self.errors.ide += 1
+            counter = "IDE"
         else:
             self.errors.dde += 1
+            counter = "DDE"
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.detect(self._site_data, word_index, mech=self._mech,
+                             kind="detected", counter=counter,
+                             instr=self.perf.instructions)
 
     def _count_hit(self) -> None:
         if self.kind == "i":
@@ -189,18 +211,29 @@ class CacheBase:
         index = self._index(address)
         entry, tag_kind = self.tag_ram.read(index)
         if tag_kind is not ErrorKind.NONE:
-            self._count_tag_error()
+            self._count_tag_error(index)
             access.tag_parity_error = True
-            return self._refill(address, access)
+            access = self._refill(address, access)
+            if self.telemetry.enabled:
+                self.telemetry.resolve(self._site_tag, index,
+                                       action="refetch",
+                                       instr=self.perf.instructions)
+            return access
         tag, valid = self._split_tag_entry(entry)
         word = self._word(address)
         if tag != self._tag(address) or not (valid >> word) & 1:
             return self._refill(address, access)
-        data, data_kind = self.data_ram.read(index * self.words_per_line + word)
+        word_index = index * self.words_per_line + word
+        data, data_kind = self.data_ram.read(word_index)
         if data_kind is not ErrorKind.NONE:
-            self._count_data_error()
+            self._count_data_error(word_index)
             access.data_parity_error = True
-            return self._refill(address, access)
+            access = self._refill(address, access)
+            if self.telemetry.enabled:
+                self.telemetry.resolve(self._site_data, word_index,
+                                       action="refetch",
+                                       instr=self.perf.instructions)
+            return access
         access.data = data
         self._count_hit()
         return access
@@ -214,10 +247,12 @@ class CacheBase:
         results = self.bus.read_burst(base, self.words_per_line, self.master)
         valid = 0
         any_error = False
+        edac_corrected = 0
         requested_word = self._word(address)
         for beat, result in enumerate(results):
             access.cycles += result.cycles
             access.corrected += result.corrected
+            edac_corrected += result.corrected
             self.errors.edac_corrected += result.corrected
             if result.error:
                 any_error = True
@@ -226,6 +261,14 @@ class CacheBase:
             self.data_ram.write(index * self.words_per_line + beat, result.data)
             if beat == requested_word:
                 access.data = result.data
+        if edac_corrected and self.telemetry.enabled:
+            # EDAC repairs happen in place at the memory; the detect event
+            # doubles as the resolution (no open upset bookkeeping -- the
+            # beam only strikes the die; ext-mem strikes are manual).
+            self.telemetry.detect("ext-mem", None, mech="edac",
+                                  kind="correctable", counter="EDAC",
+                                  instr=self.perf.instructions,
+                                  count=edac_corrected)
         if not self.config.subblocking and any_error:
             # Without sub-blocking the line has a single valid bit: any
             # uncorrectable word poisons the whole line and the error is

@@ -102,9 +102,13 @@ class DataCache(CacheBase):
         if tag_kind is not ErrorKind.NONE:
             # Tag parity error discovered by a store: correct by refetch --
             # here simply by invalidating the line; memory holds the truth.
-            self._count_tag_error()
+            self._count_tag_error(index)
             access.tag_parity_error = True
             self.tag_ram.write(index, 0)
+            if self.telemetry.enabled:
+                self.telemetry.resolve(self._site_tag, index,
+                                       action="invalidate",
+                                       instr=self.perf.instructions)
             return
         tag, valid = self._split_tag_entry(entry)
         word = self._word(address)
@@ -120,9 +124,13 @@ class DataCache(CacheBase):
             # Sub-word store must read-modify-write the cached word; if that
             # word has a parity error, invalidate it instead (memory gets
             # the store anyway) and count the corrected error.
-            self._count_data_error()
+            self._count_data_error(slot)
             access.data_parity_error = True
             self.invalidate_word(address)
+            if self.telemetry.enabled:
+                self.telemetry.resolve(self._site_data, slot,
+                                       action="invalidate",
+                                       instr=self.perf.instructions)
             return
         byte_offset = address & 3
         if size is TransferSize.HALFWORD:

@@ -5,6 +5,10 @@ Subcommands:
     run          assemble and run a SPARC V8 source file on a LEON system
     campaign     heavy-ion campaign runs (Table 2 style rows)
     sweep        cross-section vs LET sweep (Figure 6/7 style curves)
+    trace        pretty-print a campaign telemetry trace (per-upset
+                 lifecycle view)
+    stats        fold a telemetry trace into Table-2 counters, per-site
+                 detection/correction tallies and latency histograms
     state        save or inspect a device snapshot
     table1       print the synthesis-area comparison (Table 1)
     figure2      print the pipeline diagrams (Figure 2)
@@ -25,6 +29,12 @@ it and re-runs only what is missing.
 (pipeline restart, cache flush, watchdog-triggered warm reset, cold
 reboot) so runs survive error-mode halts; ``availability --measured FILE``
 folds the recorded downtime back into the orbital availability estimate.
+
+``campaign --trace FILE`` records every run's SEU lifecycle events
+(strike -> detection -> resolution) plus phase timers to a crash-safe
+JSONL trace; ``trace FILE`` pretty-prints it and ``stats FILE`` folds it
+back into the paper's counter readouts.  Measured results are
+byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -46,7 +56,12 @@ from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.fault.campaign import Campaign, CampaignConfig, prepare_warm_start
 from repro.fault.crosssection import DEFAULT_LETS, measure_curve, render_curve
-from repro.fault.executor import CampaignExecutor, expand_runs
+from repro.fault.executor import (
+    CampaignExecutor,
+    expand_runs,
+    run_campaign,
+    run_campaign_traced,
+)
 from repro.fault.report import (
     render_recovery_summary,
     render_table,
@@ -58,6 +73,14 @@ from repro.iu.pipetrace import PipelineTracer
 from repro.recovery import POLICIES
 from repro.sparc.asm import assemble
 from repro.state.snapshot import Snapshot
+from repro.telemetry import (
+    JsonlTraceSink,
+    fold_stats,
+    lifecycles,
+    read_trace,
+    render_lifecycle,
+    render_stats,
+)
 
 _CONFIGS = {
     "standard": LeonConfig.standard,
@@ -131,6 +154,29 @@ def _build_parser() -> argparse.ArgumentParser:
                           default="express",
                           help="device configuration (default: express; "
                                "--results/--resume require express)")
+    campaign.add_argument("--trace", metavar="FILE", default=None,
+                          help="record per-upset lifecycle events and "
+                               "phase timers to a JSONL telemetry trace "
+                               "(results unchanged)")
+
+    trace = subparsers.add_parser(
+        "trace", help="pretty-print a campaign telemetry trace")
+    trace.add_argument("file", help="JSONL trace written by campaign --trace")
+    trace.add_argument("--run", type=int, default=None,
+                       help="only this run index")
+    trace.add_argument("--target", default=None,
+                       help="only upsets striking this target")
+    trace.add_argument("--state", default=None,
+                       help="only upsets with this terminal state "
+                            "(e.g. refetch, pipeline-restart, trap, "
+                            "latent, masked)")
+    trace.add_argument("--events", action="store_true",
+                       help="dump the raw event lines instead of the "
+                            "lifecycle view")
+
+    stats = subparsers.add_parser(
+        "stats", help="fold a telemetry trace into counter readouts")
+    stats.add_argument("file", help="JSONL trace written by campaign --trace")
 
     sweep = subparsers.add_parser("sweep", help="cross-section vs LET sweep")
     sweep.add_argument("--program", default="iutest",
@@ -242,21 +288,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"resume: {len(done)} of {len(configs)} run(s) already "
                   f"in {args.resume}")
 
+    trace_sink = JsonlTraceSink(args.trace) if args.trace else None
+    runner = run_campaign_traced if trace_sink is not None else run_campaign
+    next_run_index = 0
+
+    def on_results(batch):
+        # The executor delivers batches in config order (both paths), so
+        # run indices -- and the trace file -- are jobs-invariant.
+        nonlocal next_run_index
+        if store is not None:
+            store.append(batch)
+        if trace_sink is not None:
+            for result in batch:
+                trace_sink.write_run(result.trace or [], run=next_run_index)
+                next_run_index += 1
+
+    started = time.perf_counter()
     warm = None
     if args.warm_start and pending:
         warm = prepare_warm_start(config)
-    on_results = store.append if store is not None else None
     try:
-        fresh = (CampaignExecutor(args.jobs).run_many(
+        fresh = (CampaignExecutor(args.jobs, runner=runner).run_many(
             pending, warm=warm, on_results=on_results) if pending else [])
     finally:
         if store is not None:
             store.close()
+        if trace_sink is not None:
+            trace_sink.close()
+    elapsed = time.perf_counter() - started
 
     if done:
+        # Explicit None check: a stored result is a hit even if falsy.
         fresh_iter = iter(fresh)
-        results = [done.get(config_key(cfg)) or next(fresh_iter)
-                   for cfg in configs]
+        results = []
+        for cfg in configs:
+            stored = done.get(config_key(cfg))
+            results.append(stored if stored is not None
+                           else next(fresh_iter))
     else:
         results = fresh
     print(render_table2(results))
@@ -266,11 +334,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     upsets = sum(result.upsets for result in results)
     failures = sum(result.failures for result in results)
     iterations = sum(result.iterations for result in results)
-    wall = sum(result.wall_seconds for result in results)
-    instructions = sum(result.instructions for result in results)
-    ips = instructions / wall if wall > 0 else 0.0
+    # True aggregate throughput: fresh instructions over the elapsed wall
+    # of the whole batch (parallel runs overlap, so summing per-run wall
+    # times would understate it by ~--jobs x).  The per-run times are
+    # still reported, as the aggregate CPU figure.
+    instructions = sum(result.instructions for result in fresh)
+    run_cpu = sum(result.wall_seconds for result in fresh)
+    ips = instructions / elapsed if elapsed > 0 and fresh else 0.0
     print(f"\nupsets: {upsets}  failures: {failures}  "
-          f"iterations: {iterations}  host-throughput: {ips:,.0f} instr/s")
+          f"iterations: {iterations}  host-throughput: {ips:,.0f} instr/s "
+          f"({elapsed:.2f}s wall, {run_cpu:.2f}s run CPU, "
+          f"--jobs {args.jobs})")
     return 0 if failures == 0 else 1
 
 
@@ -417,9 +491,42 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events = read_trace(args.file)
+    if args.events:
+        import json
+
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    lives = lifecycles(events)
+    if args.run is not None:
+        lives = [life for life in lives if life.run == args.run]
+    if args.target:
+        lives = [life for life in lives if life.target == args.target]
+    if args.state:
+        lives = [life for life in lives if life.state == args.state]
+    for life in lives:
+        print(render_lifecycle(life))
+        print()
+    open_lives = [life for life in lives if not life.terminal]
+    print(f"{len(lives)} upset(s)" +
+          (f", {len(open_lives)} without a terminal event"
+           if open_lives else ""))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = fold_stats(read_trace(args.file))
+    print(render_stats(stats))
+    return 0 if stats.consistent else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "sweep": _cmd_sweep,
     "state": _cmd_state,
     "table1": _cmd_table1,

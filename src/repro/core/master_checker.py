@@ -21,6 +21,7 @@ from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.iu.pipeline import StepResult
 from repro.recovery.policy import WARM_RESET_CYCLES
+from repro.telemetry.bus import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -57,9 +58,14 @@ def _signature(result: StepResult) -> Tuple:
 class MasterChecker:
     """A lock-stepped master/checker pair of LEON systems."""
 
-    def __init__(self, config: Optional[LeonConfig] = None) -> None:
+    def __init__(self, config: Optional[LeonConfig] = None, *,
+                 telemetry=None) -> None:
         self.config = config or LeonConfig.fault_tolerant()
-        self.master = LeonSystem(self.config)
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
+        # The master is the traced device; the checker's own detections
+        # would double-count the shared counters in a folded trace.
+        self.master = LeonSystem(self.config, telemetry=self.telemetry)
         self.checker = LeonSystem(self.config)
         self.compare_errors: List[CompareError] = []
         self._steps = 0
@@ -78,6 +84,10 @@ class MasterChecker:
         error = self._compare(master_result, checker_result)
         if error is not None:
             self.compare_errors.append(error)
+            if self.telemetry.enabled:
+                self.telemetry.note("compare", field=error.field,
+                                    step=error.step,
+                                    mech="lockstep-compare")
         return master_result, error
 
     def _compare(self, master: StepResult, checker: StepResult) -> Optional[CompareError]:
@@ -119,6 +129,8 @@ class MasterChecker:
         self.compare_errors.clear()
         self._steps = 0
         self.resyncs += 1
+        if self.telemetry.enabled:
+            self.telemetry.note("resync", from_master=from_master)
 
     def fail_over(self) -> None:
         """Promote the healthy checker to master and resynchronize.
@@ -129,6 +141,8 @@ class MasterChecker:
         failed one from the new master so lock-step resumes."""
         self.master, self.checker = self.checker, self.master
         self.failovers += 1
+        if self.telemetry.enabled:
+            self.telemetry.note("fail-over")
         self.resynchronize()
 
     def run_with_recovery(

@@ -41,6 +41,7 @@ from repro.peripherals.timer import TimerUnit
 from repro.peripherals.uart import Uart
 from repro.sparc.asm import Program
 from repro.state.snapshot import Snapshot
+from repro.telemetry.bus import NULL_TELEMETRY, Telemetry
 
 #: Base address of the APB bridge (LEON-2 register map).
 APB_BASE = 0x80000000
@@ -70,9 +71,11 @@ class RunResult:
 class LeonSystem:
     """A complete LEON processor plus its memory system and peripherals."""
 
-    def __init__(self, config: Optional[LeonConfig] = None) -> None:
+    def __init__(self, config: Optional[LeonConfig] = None, *,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or LeonConfig.fault_tolerant()
         config = self.config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
         self.errors = ErrorCounters()
         self.perf = PerfCounters()
@@ -109,9 +112,9 @@ class LeonSystem:
 
         # -- caches --------------------------------------------------------------------
         self.icache = InstructionCache(config.icache, self.bus, self.cpu_master,
-                                       self.errors, self.perf)
+                                       self.errors, self.perf, self.telemetry)
         self.dcache = DataCache(config.dcache, self.bus, self.cpu_master,
-                                self.errors, self.perf)
+                                self.errors, self.perf, self.telemetry)
         self.dcache.double_store_delay = (
             config.ft.regfile_protection is not ProtectionScheme.NONE
         )
@@ -133,6 +136,16 @@ class LeonSystem:
                 # corrections increment the same RFE counter (section 4.4).
                 self.errors.rfe += 1
                 self.perf.pipeline_restarts += 1
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    instr_count = self.perf.instructions
+                    mech = config.ft.regfile_protection.value
+                    telemetry.detect("fpregs", None, mech=mech,
+                                     kind="correctable", counter="RFE",
+                                     instr=instr_count)
+                    telemetry.resolve("fpregs", None,
+                                      action="correct-writeback",
+                                      instr=instr_count)
 
             self.fpu = Fpu(self.ffbank,
                            protection=config.ft.regfile_protection,
@@ -151,6 +164,7 @@ class LeonSystem:
             perf=self.perf,
             is_cacheable=self.memctrl.is_cacheable,
             irqctrl=self.irqctrl,
+            telemetry=self.telemetry,
         )
         #: Set when an injection has touched the flip-flop bank since the
         #: last step, to trigger a TMR scrub (hardware scrubs every edge).
@@ -291,12 +305,20 @@ class LeonSystem:
         self.timers.reset_watchdog()
         if watchdog:
             self.perf.watchdog_resets += 1
+            if self.telemetry.enabled:
+                self.telemetry.note("watchdog-reset",
+                                    instr=self.perf.instructions)
 
     def step(self) -> StepResult:
         """Execute one instruction; advance peripherals by its cycle cost."""
         if self._ffbank_dirty:
             self.ffbank.scrub()
             self._ffbank_dirty = False
+            if self.telemetry.enabled and self.ffbank.tmr:
+                # With TMR the scrub votes every struck lane back clean;
+                # without it the recirculation clears nothing, so the
+                # upsets stay open (closed latent at end of run).
+                self.telemetry.tmr_scrub(instr=self.perf.instructions)
         if self.sysregs.power_down_requested:
             self.sysregs.power_down_requested = False
             self.iu.power_down = True

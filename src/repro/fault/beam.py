@@ -67,11 +67,19 @@ class BeamParameters:
 
     @property
     def particles(self) -> int:
-        """Ions through the die area (the paper's 'particles injected')."""
-        return int(self.fluence * DIE_AREA_CM2)
+        """Ions through the die area (the paper's 'particles injected').
+
+        Rounded to nearest, not truncated: a fluence dialled to deliver
+        39999.6 ions must not silently drop one.
+        """
+        return round(self.fluence * DIE_AREA_CM2)
 
     @property
     def duration_s(self) -> float:
+        if self.flux <= 0.0:
+            raise ConfigurationError(
+                f"beam flux must be positive to give the run a duration "
+                f"(flux={self.flux!r} ions/s/cm^2)")
         return self.fluence / self.flux
 
 

@@ -34,6 +34,7 @@ from repro.iu.pipeline import HaltReason
 from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
 from repro.recovery import RecoveryController, RecoveryLevel, resolve_policy
 from repro.state.snapshot import Snapshot
+from repro.telemetry.bus import NULL_TELEMETRY, Telemetry
 
 _BUILDERS = {
     "iutest": build_iutest,
@@ -129,6 +130,9 @@ class CampaignResult:
     #: True when a recovery policy was active but gave up (attempt budget
     #: exhausted or no applicable rung) and the run ended failed.
     unrecovered: bool = False
+    #: Telemetry events of the run (traced executor runs only; never
+    #: serialized to the ResultStore -- traces have their own sink).
+    trace: Optional[list] = None
 
     @property
     def instructions_per_second(self) -> float:
@@ -196,13 +200,15 @@ class CampaignResult:
     def comparable(self) -> Dict[str, object]:
         """The deterministic measurement fields, for byte-identity checks.
 
-        Excludes ``wall_seconds`` (host timing) and ``effaced`` (an
+        Excludes ``wall_seconds`` (host timing), ``effaced`` (an
         execution annotation that depends on whether a golden digest was
-        available, not on what was measured).
+        available, not on what was measured) and ``trace`` (observation,
+        with host wall times inside).
         """
         out = dataclasses.asdict(self)
         out.pop("wall_seconds", None)
         out.pop("effaced", None)
+        out.pop("trace", None)
         return out
 
 
@@ -270,18 +276,21 @@ class WarmStart:
 class Campaign:
     """Builds the device + beam and executes one (or more) runs."""
 
-    def __init__(self, config: CampaignConfig) -> None:
+    def __init__(self, config: CampaignConfig, *,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if config.program not in _BUILDERS:
             raise ConfigurationError(
                 f"unknown test program {config.program!r} "
                 f"(choose from {sorted(_BUILDERS)})")
         self.config = config
         self.leon_config = config.leon or LeonConfig.leon_express()
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         # Validates the policy name early (raises ConfigurationError).
         self.recovery_policy = resolve_policy(config.recovery)
 
     def build_system(self) -> LeonSystem:
-        return LeonSystem(self.leon_config)
+        return LeonSystem(self.leon_config, telemetry=self.telemetry)
 
     def _build_program(self) -> "tuple[LeonSystem, int, int]":
         """Fresh system with the test program loaded; returns
@@ -387,10 +396,19 @@ class Campaign:
     def run(self, warm: Optional[WarmStart] = None) -> CampaignResult:
         started = time.perf_counter()
         config = self.config
+        telemetry = self.telemetry
+        traced = telemetry.enabled
         params = config.beam_parameters()
         prefix, window, tail = config.phase_instructions()
         window_close = prefix + window
         total_instructions = window_close + tail
+
+        if traced:
+            telemetry.note("run-start", program=config.program,
+                           let=config.let, flux=config.flux,
+                           fluence=config.fluence, seed=config.seed,
+                           recovery=config.recovery,
+                           warm=warm is not None)
 
         if warm is not None:
             if warm.key != warm_start_key(config):
@@ -404,11 +422,24 @@ class Campaign:
                      "since_flush": warm.since_flush,
                      "failed": warm.failed}
             golden = warm.golden
+            if traced:
+                telemetry.note("span", phase="setup",
+                               wall_s=time.perf_counter() - started,
+                               instr=state["executed"])
         else:
             system, spin, result_base = self._build_program()
             state = {"executed": 0, "since_flush": 0, "failed": False}
             golden = None
+            if traced:
+                telemetry.note("span", phase="setup",
+                               wall_s=time.perf_counter() - started,
+                               instr=0)
+            prefix_started = time.perf_counter()
             self._run_until(system, spin, state, prefix)
+            if traced:
+                telemetry.note("span", phase="golden-prefix",
+                               wall_s=time.perf_counter() - prefix_started,
+                               instr=state["executed"])
 
         harvested = {"sw_errors": 0, "error_traps": 0, "iterations": 0,
                      "base_sw_errors": 0, "base_iterations": 0}
@@ -418,6 +449,7 @@ class Campaign:
         beam = HeavyIonBeam(injector)
         strikes = beam.schedule(params)
 
+        beam_started = time.perf_counter()
         upsets_by_target: Dict[str, int] = {}
         alive = True
         for strike in strikes:
@@ -427,6 +459,12 @@ class Campaign:
                                   recovery, harvested, result_base)
             if not alive:
                 break
+            if traced:
+                telemetry.strike(
+                    strike.target, strike.flat_bit,
+                    word=injector.locate(strike.target, strike.flat_bit),
+                    time_s=strike.time_s, let=config.let, mbu=strike.mbu,
+                    instr=state["executed"])
             beam.apply(strike)
             upsets_by_target[strike.target] = \
                 upsets_by_target.get(strike.target, 0) + 1
@@ -457,6 +495,10 @@ class Campaign:
         if alive:
             alive = self._advance(system, spin, state, window_close,
                                   recovery, harvested, result_base)
+        if traced:
+            telemetry.note("span", phase="beam",
+                           wall_s=time.perf_counter() - beam_started,
+                           instr=state["executed"])
 
         # Effaced early-out: if the architectural state at the window close
         # equals the golden run's, the (strike-free) continuation is
@@ -471,7 +513,7 @@ class Campaign:
                 and (recovery is None or not recovery.events)
                 and state["executed"] == window_close
                 and system.state_digest() == golden.window_digest):
-            return CampaignResult(
+            result = CampaignResult(
                 counts=dict(system.errors.as_dict()),
                 sw_errors=golden.sw_errors,
                 error_traps=golden.error_traps,
@@ -483,11 +525,20 @@ class Campaign:
                 cycles=system.perf.cycles + golden.tail_cycles,
                 **counts_and_more(),
             )
+            if traced:
+                self._finish_trace(injector, result,
+                                   instr=state["executed"])
+            return result
 
+        drain_started = time.perf_counter()
         if alive:
             self._advance(system, spin, state, total_instructions,
                           recovery, harvested, result_base)
         executed = state["executed"]
+        if traced:
+            telemetry.note("span", phase="drain",
+                           wall_s=time.perf_counter() - drain_started,
+                           instr=executed)
 
         # Read out the result area the way the host computer would; the
         # harvested tallies carry what earlier reset recoveries banked.
@@ -498,7 +549,7 @@ class Campaign:
         iterations = harvested["iterations"] + \
             read(result_base + 0x10) - harvested["base_iterations"]
 
-        return CampaignResult(
+        result = CampaignResult(
             counts=dict(system.errors.as_dict()),
             sw_errors=sw_errors,
             error_traps=harvested["error_traps"] + int(trapped),
@@ -509,6 +560,31 @@ class Campaign:
             cycles=system.perf.cycles,
             **counts_and_more(),
         )
+        if traced:
+            self._finish_trace(injector, result, instr=executed)
+        return result
+
+    def _finish_trace(self, injector: FaultInjector,
+                      result: CampaignResult, *, instr: int) -> None:
+        """Close every still-open upset and emit the run-end readouts.
+
+        The close events give each undetected strike its terminal state
+        (latent if the corruption is still resident, masked if it was
+        overwritten unobserved) -- together with the resolve events this
+        guarantees every strike's lifecycle terminates.
+        """
+        telemetry = self.telemetry
+        telemetry.close_open(
+            lambda target, word:
+            "latent" if injector.is_latent(target, word) else "masked",
+            instr=instr)
+        telemetry.note("run-end", counts=dict(result.counts),
+                       upsets=result.upsets, sw_errors=result.sw_errors,
+                       error_traps=result.error_traps,
+                       halted=result.halted, iterations=result.iterations,
+                       instructions=result.instructions,
+                       effaced=result.effaced,
+                       wall_s=round(result.wall_seconds, 6))
 
 
 def prepare_warm_start(config: CampaignConfig) -> WarmStart:

@@ -73,6 +73,25 @@ def run_campaign(config: CampaignConfig,
     return Campaign(config).run(warm=warm)
 
 
+def run_campaign_traced(config: CampaignConfig,
+                        warm: Optional[WarmStart] = None) -> CampaignResult:
+    """Traced runner: like :func:`run_campaign`, but with telemetry on.
+
+    The run's events buffer in a :class:`~repro.telemetry.MemorySink` and
+    ride back to the parent on ``result.trace`` (events are plain dicts,
+    so the result stays picklable); the parent's trace sink tags them
+    with the run index and persists them in config order, making trace
+    files jobs-invariant.  The measurement fields are byte-identical to
+    an untraced run -- telemetry only observes.
+    """
+    from repro.telemetry import MemorySink, Telemetry
+
+    sink = MemorySink()
+    result = Campaign(config, telemetry=Telemetry(sink)).run(warm=warm)
+    result.trace = sink.events
+    return result
+
+
 def _call_runner(runner: Callable[..., CampaignResult],
                  config: CampaignConfig,
                  warm: Optional[WarmStart]) -> CampaignResult:

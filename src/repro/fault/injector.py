@@ -99,6 +99,49 @@ class FaultInjector:
             known = ", ".join(sorted(self.targets))
             raise InjectionError(f"unknown target {name!r} (known: {known})") from None
 
+    def locate(self, name: str, flat_bit: int) -> Optional[int]:
+        """Physical word index a flat bit lands in, for telemetry
+        correlation: the same index the protection layer reports when it
+        detects the error.  ``None`` for targets without word geometry
+        (flip-flops)."""
+        target = self.target(name)
+        if name == "regfile":
+            regfile = self.system.regfile
+            per_copy = regfile.words * regfile.bits_per_word
+            return (flat_bit % per_copy) // regfile.bits_per_word
+        if target.bits_per_word:
+            return flat_bit // target.bits_per_word
+        return None
+
+    def is_latent(self, name: str, word: Optional[int]) -> bool:
+        """Is an undetected upset at this site still resident at end of
+        run (latent), as opposed to overwritten unobserved (masked)?"""
+        system = self.system
+        if name == "icache-tag":
+            return word in system.icache.tag_ram._suspect
+        if name == "icache-data":
+            return word in system.icache.data_ram._suspect
+        if name == "dcache-tag":
+            return word in system.dcache.tag_ram._suspect
+        if name == "dcache-data":
+            return word in system.dcache.data_ram._suspect
+        if name == "regfile":
+            return word in system.regfile._suspect
+        if name == "fpregs":
+            fpu = system.fpu
+            if fpu is None or word is None:
+                return True
+            return fpu.codec.encode(fpu._regs[word]) != fpu._checks[word]
+        if name == "flipflops":
+            # With TMR a pending scrub still holds the corruption; without
+            # TMR the flipped lane is never repaired at all.
+            if not system.ffbank.tmr:
+                return True
+            return system._ffbank_dirty
+        # External memories carry no suspect tracking; treat an
+        # undetected upset there as resident.
+        return True
+
     # -- state capture ---------------------------------------------------------
 
     def capture(self) -> dict:

@@ -38,6 +38,7 @@ from repro.peripherals.irqctrl import InterruptController
 from repro.sparc.decode import Instr, decode
 from repro.sparc.isa import Cond, FCond, Op, Op2, Op3, Op3Mem, to_s32, to_u32
 from repro.sparc.traps import TrapType
+from repro.telemetry.bus import NULL_TELEMETRY
 
 
 class StepEvent(enum.Enum):
@@ -99,6 +100,7 @@ class IntegerUnit:
         perf: PerfCounters,
         is_cacheable: Callable[[int], bool],
         irqctrl: Optional[InterruptController] = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.regfile = regfile
@@ -111,6 +113,10 @@ class IntegerUnit:
         self.perf = perf
         self.is_cacheable = is_cacheable
         self.irqctrl = irqctrl
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._rf_mech = regfile.protection.value
+        if regfile.duplicated:
+            self._rf_mech += "+dup"
 
         self.halted = HaltReason.RUNNING
         self.power_down = False
@@ -255,7 +261,7 @@ class IntegerUnit:
             fetch = self.icache.fetch(pc, cacheable=cacheable)
             cycles = 1 + fetch.cycles
             if fetch.mem_error:
-                self.errors.memory_error_traps += 1
+                self._note_memory_error_trap()
                 return self._trap_result(
                     int(TrapType.INSTRUCTION_ACCESS_ERROR), cycles, pc)
             word = fetch.data
@@ -280,7 +286,7 @@ class IntegerUnit:
                     # pc unchanged: the instruction re-executes from fetch.
                     return StepResult(StepEvent.RESTART, cycles, pc, instr=instr,
                                       corrected_register=physical)
-                self.errors.register_error_traps += 1
+                self._note_register_error_trap("regfile", physical)
                 return self._trap_result(
                     int(TrapType.R_REGISTER_ACCESS_ERROR), cycles, pc, instr
                 )
@@ -312,6 +318,15 @@ class IntegerUnit:
             if check.kind is ErrorKind.CORRECTABLE:
                 regfile.correct(check)
                 self.errors.rfe += 1
+                telemetry = self.telemetry
+                if telemetry.enabled:
+                    instr_count = self.perf.instructions
+                    telemetry.detect("regfile", check.physical,
+                                     mech=self._rf_mech, kind="correctable",
+                                     counter="RFE", instr=instr_count)
+                    telemetry.resolve("regfile", check.physical,
+                                      action="pipeline-restart",
+                                      instr=instr_count)
             return check.kind, check.physical
         return None
 
@@ -430,7 +445,7 @@ class IntegerUnit:
             except UncorrectableError:
                 # Double-bit error in an f-register operand: same register
                 # error trap as the integer file (the f-regs share its RAM).
-                self.errors.register_error_traps += 1
+                self._note_register_error_trap("fpregs", None)
                 return self._trap_result(int(TrapType.R_REGISTER_ACCESS_ERROR),
                                          cycles, pc, instr)
             self._advance()
@@ -606,8 +621,31 @@ class IntegerUnit:
         return self._trap_result(int(TrapType.ILLEGAL_INSTRUCTION), cycles, pc, instr)
 
     def _data_error(self, cycles: int, pc: int, instr: Instr) -> StepResult:
-        self.errors.memory_error_traps += 1
+        self._note_memory_error_trap()
         return self._trap_result(int(TrapType.DATA_ACCESS_ERROR), cycles, pc, instr)
+
+    def _note_memory_error_trap(self) -> None:
+        """Count (and trace) an uncorrectable memory error reaching software."""
+        self.errors.memory_error_traps += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            instr_count = self.perf.instructions
+            telemetry.detect("ext-mem", None, mech="edac", kind="detected",
+                             counter="memory_error_traps", instr=instr_count)
+            telemetry.resolve("ext-mem", None, action="trap",
+                              instr=instr_count)
+
+    def _note_register_error_trap(self, site: str,
+                                  word: Optional[int]) -> None:
+        """Count (and trace) an uncorrectable register-file error trap."""
+        self.errors.register_error_traps += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            instr_count = self.perf.instructions
+            telemetry.detect(site, word, mech=self._rf_mech, kind="detected",
+                             counter="register_error_traps",
+                             instr=instr_count)
+            telemetry.resolve(site, word, action="trap", instr=instr_count)
 
     def _execute_load(self, instr: Instr, pc: int, cycles: int, address: int,
                       cacheable: bool) -> StepResult:
@@ -669,7 +707,7 @@ class IntegerUnit:
             else:
                 value = None
         except UncorrectableError:
-            self.errors.register_error_traps += 1
+            self._note_register_error_trap("fpregs", None)
             return self._trap_result(int(TrapType.R_REGISTER_ACCESS_ERROR),
                                      cycles, pc, instr)
         if value is not None:
@@ -689,7 +727,7 @@ class IntegerUnit:
         cycles += access.cycles
         self._writes.append((address, value))
         if access.mem_error:
-            self.errors.memory_error_traps += 1
+            self._note_memory_error_trap()
             return self._trap_result(int(TrapType.DATA_STORE_ERROR), cycles, pc, instr)
 
         base = timing.CYCLES_STORE
@@ -698,7 +736,7 @@ class IntegerUnit:
                 try:
                     second_value = self.fpu.read_reg((instr.rd & 0x1E) + 1)
                 except UncorrectableError:
-                    self.errors.register_error_traps += 1
+                    self._note_register_error_trap("fpregs", None)
                     return self._trap_result(
                         int(TrapType.R_REGISTER_ACCESS_ERROR), cycles, pc, instr)
                 cycles += self.fpu.take_restart_cycles()
@@ -710,7 +748,7 @@ class IntegerUnit:
             cycles += second.cycles
             self._writes.append((address + 4, second_value))
             if second.mem_error:
-                self.errors.memory_error_traps += 1
+                self._note_memory_error_trap()
                 return self._trap_result(int(TrapType.DATA_STORE_ERROR),
                                          cycles, pc, instr)
             base = timing.CYCLES_STD

@@ -189,6 +189,10 @@ class RecoveryController:
                               at_instructions=executed)
         self.events.append(event)
         self._last_recovery_at = executed
+        telemetry = self.system.telemetry
+        if telemetry.enabled:
+            telemetry.note("recovery", kind=kind, level=level.value,
+                           downtime_cycles=downtime, instr=executed)
         return event
 
     # -- rung implementations ----------------------------------------------

@@ -118,6 +118,65 @@ def test_availability_measured_empty_store(tmp_path, capsys):
     assert "no results" in capsys.readouterr().err
 
 
+def test_campaign_reports_elapsed_wall_throughput(capsys):
+    """The throughput line must use batch-elapsed wall time (parallel
+    runs overlap; summing per-run times understates by ~--jobs x), and
+    report the per-run CPU alongside."""
+    code = main(["campaign", "--program", "iutest", "--let", "60",
+                 "--fluence", "300", "--ips", "20000",
+                 "--runs", "2", "--jobs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    line = next(l for l in out.splitlines() if "host-throughput" in l)
+    assert "s wall" in line and "s run CPU" in line
+    assert "--jobs 2" in line
+
+
+def test_campaign_trace_and_trace_stats_subcommands(tmp_path, capsys):
+    trace = str(tmp_path / "trace.jsonl")
+    assert main(["campaign", "--program", "iutest", "--let", "110",
+                 "--flux", "400", "--fluence", "600", "--ips", "20000",
+                 "--runs", "2", "--jobs", "2", "--trace", trace]) == 0
+    capsys.readouterr()
+
+    assert main(["trace", trace]) == 0
+    out = capsys.readouterr().out
+    assert "upset 0" in out
+    assert "without a terminal event" not in out
+
+    assert main(["trace", trace, "--run", "1", "--target",
+                 "icache-tag"]) == 0
+    out = capsys.readouterr().out
+    assert "run 0" not in out
+
+    assert main(["trace", trace, "--events"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert all(l.startswith("{") for l in lines if l)
+
+    # stats folds the trace alone and must agree with the run readouts.
+    assert main(["stats", trace]) == 0
+    out = capsys.readouterr().out
+    assert "events vs run-end readouts: match" in out
+    assert "phase timers" in out
+
+
+def test_campaign_resume_reuses_zero_upset_run(tmp_path, capsys):
+    """A stored run with zero upsets (below-threshold LET) must count as
+    done on resume -- the lookup checks for None, not falsiness."""
+    log = str(tmp_path / "runs.jsonl")
+    base = ["campaign", "--program", "iutest", "--let", "3",
+            "--fluence", "200", "--ips", "20000"]
+    assert main(base + ["--results", log]) == 0
+    out = capsys.readouterr().out
+    assert "upsets: 0" in out
+    assert len(open(log).readlines()) == 1
+    assert main(base + ["--resume", log]) == 0
+    out = capsys.readouterr().out
+    assert "resume: 1 of 1" in out
+    assert "upsets: 0" in out
+    assert len(open(log).readlines()) == 1  # nothing re-ran
+
+
 def test_campaign_warm_start_results_and_resume(tmp_path, capsys):
     log = str(tmp_path / "runs.jsonl")
     base = ["campaign", "--program", "iutest", "--let", "60",

@@ -60,6 +60,20 @@ class TestBeamGeometry:
         assert params.particles == int(1e5 * DIE_AREA_CM2)
         assert params.duration_s == pytest.approx(250.0)
 
+    def test_particles_rounds_to_nearest(self):
+        """A fluence dialled for 39999.6 particles must not drop one."""
+        params = BeamParameters(let=110, flux=400, fluence=99_999.0)
+        assert params.particles == round(99_999.0 * DIE_AREA_CM2)
+        assert params.particles == 40_000  # int() would truncate to 39999
+
+    def test_zero_flux_is_a_configuration_error(self):
+        from repro.errors import ConfigurationError
+
+        for flux in (0.0, -1.0):
+            params = BeamParameters(let=110, flux=flux, fluence=1e5)
+            with pytest.raises(ConfigurationError, match="flux"):
+                params.duration_s
+
 
 class TestScheduling:
     def test_schedule_is_reproducible(self, beam):
