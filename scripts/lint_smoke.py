@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI lint smoke: the FT-invariant analyzer gates the tree.
+
+Runs, in order:
+
+  1. ``repro lint`` over the installed package -- zero active findings
+     (suppressed findings are fine: they are reviewed, annotated
+     exemptions);
+  2. a seeded-violation self-test -- a fixture with one violation per
+     rule family must produce findings, proving the gate can actually
+     fail (a lint that cannot fail protects nothing);
+  3. the runtime audit (``--audit``): snapshot round-trip, fault-space
+     coverage, RESET_SKIP -- checked on a live system;
+  4. ``ruff check`` / ``mypy`` with the pyproject baselines, when those
+     tools are installed (CI installs them; a bare checkout may not).
+
+Exit code 1 on any violation.
+
+Usage: PYTHONPATH=src python scripts/lint_smoke.py
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.audit import render_audit_text, run_audit
+
+#: One deliberate violation per rule family; the analyzer must flag all.
+SEEDED = {
+    "FT101": (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def capture(self):\n"
+        "        return {}\n"
+        "    def restore(self, state):\n"
+        "        pass\n",
+        "repro/cache/fixture.py",
+    ),
+    "FT201": ("import random\nx = random.random()\n", "repro/fixture.py"),
+    "FT301": ("def f(telemetry):\n    telemetry.note('x')\n",
+              "repro/fixture.py"),
+    "FT402": ("def warm_reset(system, snap):\n    system.restore(snap)\n",
+              "repro/fixture.py"),
+}
+
+
+def main() -> int:
+    failed = False
+
+    package = Path(repro.__file__).parent
+    findings = analyze_paths([package])
+    active = [f for f in findings if not f.suppressed]
+    print(f"lint: {len(active)} active / {len(findings)} total findings "
+          f"over {package}")
+    for finding in active:
+        print(f"  FAIL {finding.location()}: {finding.code} "
+              f"{finding.message}")
+        failed = True
+
+    for code, (source, path) in sorted(SEEDED.items()):
+        found = [f.code for f in analyze_source(source, path)]
+        if code in found:
+            print(f"self-test {code}: flagged (ok)")
+        else:
+            print(f"  FAIL self-test: seeded {code} violation not "
+                  f"flagged (got {found})")
+            failed = True
+
+    audit = run_audit()
+    print(render_audit_text(audit))
+    failed = failed or not audit["ok"]
+
+    for tool, argv in (("ruff", ["ruff", "check", "src", "scripts"]),
+                       ("mypy", ["mypy"])):
+        if shutil.which(tool) is None:
+            print(f"{tool}: not installed, skipped (CI runs it)")
+            continue
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"  FAIL {tool}:\n{proc.stdout}{proc.stderr}")
+            failed = True
+        else:
+            print(f"{tool}: clean")
+
+    print("FAILED" if failed else "OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,7 +94,7 @@ class AhbBus:
     """The AHB interconnect: decoder, arbiter and transfer bookkeeping."""
 
     def __init__(self) -> None:
-        self._slaves: List[AhbSlave] = []
+        self._slaves: List[AhbSlave] = []  # state: wiring -- bus topology, rebuilt by construction
         self._masters: List[AhbMaster] = []
         self.transfers = 0
         self.busy_cycles = 0

@@ -54,8 +54,8 @@ class ApbBridge(AhbSlave):
 
     def __init__(self, base: int, size: int = 0x100000) -> None:
         super().__init__("apb-bridge", base, size)
-        self._slaves: List[ApbSlave] = []
-        self._tickable: List[ApbSlave] = []
+        self._slaves: List[ApbSlave] = []  # state: wiring -- bridge topology; slave state captured per-peripheral
+        self._tickable: List[ApbSlave] = []  # state: wiring -- bridge topology; slave state captured per-peripheral
 
     def attach(self, slave: ApbSlave) -> ApbSlave:
         for existing in self._slaves:

@@ -1,0 +1,43 @@
+"""FT-invariant static analysis: the ``repro lint`` subsystem.
+
+The simulator's headline guarantees -- bit-exact snapshot/restore,
+byte-identical results across ``--jobs`` and warm-start, bounded telemetry
+overhead, counters surviving :data:`repro.recovery.RESET_SKIP` -- are
+behavioural contracts that a single forgotten attribute or unguarded emit
+silently breaks.  This package proves them over the source tree:
+
+* :mod:`repro.analysis.core` -- the lint framework: findings, the rule
+  registry, suppression comments and the analysis driver;
+* :mod:`repro.analysis.model` -- the AST-derived project model (component
+  classes, their ``__init__`` state, capture/restore coverage) shared by
+  the rules and the runtime audit;
+* :mod:`repro.analysis.rules` -- the four rule families (state-coverage,
+  determinism, telemetry-guard, counter-preservation);
+* :mod:`repro.analysis.report` -- text and JSON reporters;
+* :mod:`repro.analysis.audit` -- the runtime cross-check behind
+  ``repro lint --audit``: instantiates a live :class:`LeonSystem`, diffs
+  its ``__dict__`` state against the static registry, round-trips a
+  snapshot and walks the fault-space so the static claims cannot drift
+  from reality.
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    Finding,
+    SourceModule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "SourceModule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,247 @@
+"""The lint framework: findings, rules, suppressions, driver.
+
+A *rule* inspects one module at a time against the project-wide
+:class:`~repro.analysis.model.ProjectModel` and yields :class:`Finding`
+objects.  The driver applies *suppression comments* afterwards, so every
+finding -- silenced or not -- appears in the JSON report; only active
+(non-suppressed) findings gate the exit status.
+
+Suppression syntax (one comment per offending line)::
+
+    x = telemetry.note("ev")      # lint: ok=tel-guard -- replayed from log
+    self._slaves = []             # state: wiring -- bus topology, not state
+    self.trace_budget = 0         # state: diag -- observation only
+
+``# lint: ok=<rule>[,<rule>...]`` silences the named rules on that line
+(``--`` introduces an optional recorded reason).  ``# state: <category>``
+(categories: ``wiring``, ``config``, ``diag``) is the state-coverage
+annotation: it both documents *why* the attribute is exempt from
+capture/restore registration and silences the rule.  The categories feed
+the runtime audit, which treats ``diag``/``wiring``/``config`` attributes
+as known-by-declaration when diffing live ``__dict__`` state.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: State-annotation categories accepted by ``# state: <category>``.
+STATE_CATEGORIES = ("wiring", "config", "diag")
+
+
+@dataclass
+class Finding:
+    """One rule violation (or silenced violation) at a source location."""
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# lint: ok=...`` or ``# state: ...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]  # () for state annotations = state-coverage only
+    category: str = ""      # state annotation category, "" for plain ok=
+    reason: str = ""
+
+
+def _split_reason(text: str) -> Tuple[str, str]:
+    if "--" in text:
+        head, _, reason = text.partition("--")
+        return head.strip(), reason.strip()
+    return text.strip(), ""
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression/annotation comment from *source*."""
+    found: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except tokenize.TokenError:  # pragma: no cover - broken source
+        return found
+    for line, text in comments:
+        body = text.lstrip("#").strip()
+        if body.startswith("lint:"):
+            spec, reason = _split_reason(body[len("lint:"):])
+            if spec.startswith("ok=") or spec.startswith("ok ="):
+                names = spec.split("=", 1)[1]
+                rules = tuple(name.strip() for name in names.split(",")
+                              if name.strip())
+                if rules:
+                    found.append(Suppression(line, rules, reason=reason))
+        elif body.startswith("state:"):
+            spec, reason = _split_reason(body[len("state:"):])
+            category = spec.strip()
+            if category in STATE_CATEGORIES:
+                found.append(Suppression(line, (), category=category,
+                                         reason=reason))
+    return found
+
+
+class SourceModule:
+    """One parsed source file plus its suppression comments."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = parse_suppressions(source)
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for item in self.suppressions:
+            self._by_line.setdefault(item.line, []).append(item)
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceModule":
+        return cls(str(path), path.read_text())
+
+    @property
+    def package_path(self) -> str:
+        """Path relative to the ``repro`` package root, if inside it.
+
+        ``.../src/repro/cache/base.py`` -> ``cache/base.py``; paths outside
+        a ``repro`` directory are returned unchanged, so fixture files can
+        opt into package-scoped rules by using virtual ``repro/...`` paths.
+        """
+        parts = Path(self.path).parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index + 1:])
+        return self.path
+
+    def subpackage(self) -> str:
+        """First path component under ``repro`` ('' for top-level modules)."""
+        rel = self.package_path
+        return rel.split("/", 1)[0] if "/" in rel else ""
+
+    def find_suppression(self, rule: str, line: int,
+                         end_line: Optional[int] = None
+                         ) -> Optional[Suppression]:
+        """A suppression matching *rule* anywhere on ``line..end_line``."""
+        for at in range(line, (end_line or line) + 1):
+            for item in self._by_line.get(at, ()):
+                if rule in item.rules:
+                    return item
+                if item.category and rule == "state-coverage":
+                    return item
+        return None
+
+    def state_annotation(self, line: int,
+                         end_line: Optional[int] = None
+                         ) -> Optional[Suppression]:
+        """The ``# state: <category>`` annotation covering the line, if any."""
+        for at in range(line, (end_line or line) + 1):
+            for item in self._by_line.get(at, ()):
+                if item.category:
+                    return item
+        return None
+
+
+class Rule:
+    """Base class: subclasses register with :func:`register_rule`."""
+
+    name = "?"
+    code = "FT000"
+    #: One-line description of the invariant the rule protects.
+    protects = ""
+
+    def check(self, module: SourceModule, model) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=self.name, code=self.code, path=module.path,
+                       line=getattr(node, "lineno", 0), message=message)
+
+
+_REGISTRY: List[Rule] = []
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the global registry."""
+    _REGISTRY.append(cls())
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule (importing the rule modules on first use)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return list(_REGISTRY)
+
+
+@dataclass
+class Analyzer:
+    """Runs every registered rule over a set of modules."""
+
+    modules: List[SourceModule] = field(default_factory=list)
+    rules: Optional[Sequence[Rule]] = None
+    #: The class/attribute model of the last run() (for the runtime audit).
+    model: Optional[object] = None
+
+    def run(self) -> List[Finding]:
+        from repro.analysis.model import ProjectModel
+
+        model = ProjectModel.build(self.modules)
+        self.model = model
+        findings: List[Finding] = []
+        for rule in (self.rules if self.rules is not None else all_rules()):
+            for module in self.modules:
+                for finding in rule.check(module, model):
+                    node_end = finding.line
+                    hit = module.find_suppression(rule.name, finding.line,
+                                                  node_end)
+                    if hit is not None:
+                        finding.suppressed = True
+                        finding.reason = hit.reason or hit.category
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.code))
+        return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Sequence[Path],
+                  rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint every ``*.py`` file under *paths*."""
+    modules = [SourceModule.load(path) for path in iter_python_files(paths)]
+    return Analyzer(modules, rules).run()
+
+
+def analyze_source(source: str, path: str = "repro/fixture.py",
+                   rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory module (the test-fixture entry point)."""
+    return Analyzer([SourceModule(path, source)], rules).run()

@@ -1,0 +1,442 @@
+"""The AST-derived project model shared by the rules and the audit.
+
+For every class in the analyzed tree we record which attributes its
+``__init__`` assigns, how each value was produced (the *kind*), and which
+attributes its ``capture``/``restore``/``snapshot`` methods reference.
+The state-coverage rule compares the two; the runtime audit compares the
+model against a live system's ``__dict__``.
+
+Value kinds
+-----------
+``wiring``
+    The value derives only from constructor parameters, module-level
+    names, or other already-derived values: collaborator references,
+    configuration scalars, callbacks.  Wiring carries no mutable device
+    state of its own, so it needs no capture registration.
+``delegated``
+    A method call on a collaborator (``bank.register(...)``,
+    ``bus.add_master(...)``): the state lives in the collaborator, which
+    captures it itself.
+``stateful``
+    Everything else -- literals, containers, constructor calls.  Stateful
+    attributes must be referenced by capture/restore (directly or through
+    a base class, or via the ``vars(self)`` wildcard) or carry a
+    ``# state: <category>`` annotation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Methods treated as capture-side / restore-side registration points.
+CAPTURE_METHODS = ("capture", "snapshot")
+RESTORE_METHODS = ("restore",)
+
+#: Builtin constructors whose result is a mutable container (stateful even
+#: when their arguments are pure wiring).
+_MUTABLE_BUILTINS = {"set", "dict", "list", "bytearray"}
+
+#: Builtin calls returning immutable values (wiring when args are wiring).
+_IMMUTABLE_BUILTINS = {
+    "int", "float", "str", "bool", "bytes", "tuple", "frozenset", "len",
+    "min", "max", "abs", "round", "repr", "id", "getattr", "isinstance",
+}
+
+
+@dataclass
+class AttrInfo:
+    """One ``self.X = ...`` assignment in ``__init__``."""
+
+    name: str
+    line: int
+    end_line: int
+    kind: str  # wiring | delegated | stateful
+    annotation: str = ""       # state annotation category, if present
+    annotation_reason: str = ""
+
+
+@dataclass
+class ClassRecord:
+    """Everything the rules need to know about one class."""
+
+    name: str
+    module_path: str
+    package_path: str
+    line: int
+    bases: Tuple[str, ...] = ()
+    is_dataclass: bool = False
+    methods: Set[str] = field(default_factory=set)
+    init_attrs: Dict[str, AttrInfo] = field(default_factory=dict)
+    #: Attributes referenced inside capture/snapshot/restore bodies.
+    capture_refs: Set[str] = field(default_factory=set)
+    #: capture/restore uses ``vars(self)`` -- every attribute is covered.
+    capture_wildcard: bool = False
+    #: Attributes assigned anywhere in the class (any method + class body).
+    all_attrs: Set[str] = field(default_factory=set)
+    #: Attributes known to hold a set/frozenset.
+    set_attrs: Set[str] = field(default_factory=set)
+    has_inject_flat: bool = False
+
+    @property
+    def has_capture(self) -> bool:
+        return any(name in self.methods for name in CAPTURE_METHODS)
+
+    @property
+    def has_restore(self) -> bool:
+        return any(name in self.methods for name in RESTORE_METHODS)
+
+
+class ProjectModel:
+    """Class records for every analyzed module, with base resolution."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, List[ClassRecord]] = {}
+        #: Module-level tuple/list constants: qualname -> string elements
+        #: (used by the counter-preservation rule to resolve skip lists).
+        self.string_tuples: Dict[str, Tuple[str, ...]] = {}
+
+    @classmethod
+    def build(cls, modules: Sequence) -> "ProjectModel":
+        model = cls()
+        for module in modules:
+            model._scan_module(module)
+        return model
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[ClassRecord]:
+        records = self.classes.get(name)
+        return records[0] if records else None
+
+    def mro_records(self, record: ClassRecord,
+                    _seen: Optional[Set[str]] = None) -> List[ClassRecord]:
+        """*record* plus every resolvable base class record."""
+        seen = _seen if _seen is not None else set()
+        if record.name in seen:
+            return []
+        seen.add(record.name)
+        chain = [record]
+        for base in record.bases:
+            resolved = self.lookup(base)
+            if resolved is not None:
+                chain.extend(self.mro_records(resolved, seen))
+        return chain
+
+    def is_covered(self, record: ClassRecord, attr: str) -> bool:
+        """Is *attr* referenced by capture/restore anywhere in the MRO?"""
+        for owner in self.mro_records(record):
+            if owner.capture_wildcard or attr in owner.capture_refs:
+                return True
+        return False
+
+    def has_capture_anywhere(self, record: ClassRecord) -> bool:
+        return any(owner.has_capture for owner in self.mro_records(record))
+
+    def has_restore_anywhere(self, record: ClassRecord) -> bool:
+        return any(owner.has_restore for owner in self.mro_records(record))
+
+    def known_attrs(self, record: ClassRecord) -> Set[str]:
+        """Every attribute the static model knows for the class."""
+        known: Set[str] = set()
+        for owner in self.mro_records(record):
+            known |= owner.all_attrs
+        return known
+
+    # -- module scan ------------------------------------------------------
+
+    def _scan_module(self, module) -> None:
+        module_names = _module_level_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                record = _scan_class(node, module, module_names)
+                self.classes.setdefault(record.name, []).append(record)
+            elif isinstance(node, ast.Assign) and _is_module_stmt(
+                    module.tree, node):
+                strings = _string_elements(node.value)
+                if strings is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.string_tuples[target.id] = strings
+
+
+def _is_module_stmt(tree: ast.Module, node: ast.stmt) -> bool:
+    return node in tree.body
+
+
+def _string_elements(value: ast.expr) -> Optional[Tuple[str, ...]]:
+    if isinstance(value, (ast.Tuple, ast.List)):
+        elements = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            elements.append(element.value)
+        return tuple(elements)
+    return None
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names importable/defined at module scope (constants, imports...)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                            ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    base = annotation
+    if isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Attribute):
+        return base.attr in ("Set", "MutableSet", "FrozenSet")
+    if isinstance(base, ast.Name):
+        return base.id in ("set", "frozenset", "Set", "MutableSet",
+                           "FrozenSet")
+    return False
+
+
+def is_set_expr(value: Optional[ast.expr]) -> bool:
+    """Does this expression evidently produce a set/frozenset?"""
+    if value is None:
+        return False
+    if isinstance(value, ast.Set) or isinstance(value, ast.SetComp):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in ("set", "frozenset")
+    if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return is_set_expr(value.left) or is_set_expr(value.right)
+    return False
+
+
+def _scan_class(node: ast.ClassDef, module,
+                module_names: Set[str]) -> ClassRecord:
+    record = ClassRecord(
+        name=node.name,
+        module_path=module.path,
+        package_path=module.package_path,
+        line=node.lineno,
+        bases=tuple(_decorator_name(base) for base in node.bases),
+        is_dataclass=any(_decorator_name(dec) == "dataclass"
+                         for dec in node.decorator_list),
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            record.methods.add(item.name)
+            if item.name in ("inject_flat",):
+                record.has_inject_flat = True
+            _scan_method_attrs(item, record)
+            if item.name in CAPTURE_METHODS + RESTORE_METHODS:
+                _scan_capture_refs(item, record)
+            if item.name == "__init__":
+                _scan_init(item, record, module, module_names)
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    record.all_attrs.add(target.id)
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target,
+                                                            ast.Name):
+            record.all_attrs.add(item.target.id)
+            if _is_set_annotation(item.annotation):
+                record.set_attrs.add(item.target.id)
+    return record
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _scan_method_attrs(func: ast.FunctionDef, record: ClassRecord) -> None:
+    for node in ast.walk(func):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                names = [_self_attr(el) for el in target.elts]
+            else:
+                names = [_self_attr(target)]
+            for name in names:
+                if name is not None:
+                    record.all_attrs.add(name)
+
+
+def _scan_capture_refs(func: ast.FunctionDef, record: ClassRecord) -> None:
+    for node in ast.walk(func):
+        name = _self_attr(node)
+        if name is not None:
+            record.capture_refs.add(name)
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "vars" and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"):
+            record.capture_wildcard = True
+
+
+def _scan_init(func: ast.FunctionDef, record: ClassRecord, module,
+               module_names: Set[str]) -> None:
+    params = {arg.arg for arg in (func.args.posonlyargs + func.args.args
+                                  + func.args.kwonlyargs)}
+    params.discard("self")
+    if func.args.vararg is not None:
+        params.add(func.args.vararg.arg)
+    if func.args.kwarg is not None:
+        params.add(func.args.kwarg.arg)
+    classifier = _ValueClassifier(params, module_names)
+    for node in ast.walk(func):
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        annotation: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value, annotation = [node.target], node.value, \
+                node.annotation
+        else:
+            continue
+        # Track local helper variables for derived-value classification.
+        for target in targets:
+            if isinstance(target, ast.Name) and value is not None:
+                classifier.locals[target.id] = classifier.classify(value)
+        for target in targets:
+            flat = target.elts if isinstance(target, ast.Tuple) else [target]
+            for element in flat:
+                attr = _self_attr(element)
+                if attr is None:
+                    continue
+                kind = (classifier.classify(value)
+                        if value is not None else "wiring")
+                if _is_set_annotation(annotation) or is_set_expr(value):
+                    record.set_attrs.add(attr)
+                info = record.init_attrs.get(attr)
+                end = getattr(node, "end_lineno", node.lineno)
+                note = module.state_annotation(node.lineno, end)
+                if info is None:
+                    info = AttrInfo(attr, node.lineno, end, kind)
+                    record.init_attrs[attr] = info
+                else:
+                    # Re-assigned (e.g. in both branches of an if): keep
+                    # the most demanding classification and earliest line.
+                    order = ("wiring", "delegated", "stateful")
+                    if order.index(kind) > order.index(info.kind):
+                        info.kind = kind
+                        info.line, info.end_line = node.lineno, end
+                if note is not None and not info.annotation:
+                    info.annotation = note.category
+                    info.annotation_reason = note.reason
+
+
+class _ValueClassifier:
+    """Classifies an ``__init__`` value expression (see module docstring)."""
+
+    def __init__(self, params: Set[str], module_names: Set[str]) -> None:
+        self.params = params
+        self.module_names = module_names
+        self.locals: Dict[str, str] = {}
+
+    def classify(self, node: ast.expr, top: bool = True) -> str:
+        if isinstance(node, ast.Constant):
+            # A *bare* literal is an initial state value; a literal used
+            # as an operand inside a derived expression (config.bits - 1)
+            # is neutral.  None is a placeholder either way.
+            return "stateful" if top and node.value is not None else "wiring"
+        if isinstance(node, ast.Name):
+            if node.id in self.params or node.id in self.module_names:
+                return "wiring"
+            if node.id in self.locals:
+                return self.locals[node.id]
+            return "stateful"
+        if isinstance(node, ast.Attribute):
+            # Chains rooted at a parameter, module name or self are
+            # derived configuration / collaborator references.
+            root = node
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and (
+                    root.id == "self" or root.id in self.params
+                    or root.id in self.module_names
+                    or root.id in self.locals):
+                return "wiring"
+            return "stateful"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _MUTABLE_BUILTINS:
+                    return "stateful"
+                if func.id in _IMMUTABLE_BUILTINS:
+                    return self._combine(node.args)
+                return "stateful"  # constructor of some class
+            if isinstance(func, ast.Attribute):
+                # Method call on a collaborator: state delegated there.
+                return "delegated"
+            return "stateful"
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return "stateful"
+        if isinstance(node, ast.Tuple):
+            return self._combine(node.elts)
+        if isinstance(node, ast.BoolOp):
+            return self._combine(node.values)
+        if isinstance(node, ast.BinOp):
+            return self._combine([node.left, node.right])
+        if isinstance(node, ast.UnaryOp):
+            return self.classify(node.operand)
+        if isinstance(node, ast.Compare):
+            return "wiring"
+        if isinstance(node, ast.IfExp):
+            return self._combine([node.body, node.orelse])
+        if isinstance(node, ast.Subscript):
+            return self.classify(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return "wiring"
+        if isinstance(node, ast.Lambda):
+            return "wiring"
+        if isinstance(node, ast.GeneratorExp):
+            return "wiring"
+        if isinstance(node, ast.Starred):
+            return self.classify(node.value)
+        return "stateful"
+
+    def _combine(self, parts) -> str:
+        worst = "wiring"
+        order = ("wiring", "delegated", "stateful")
+        for part in parts:
+            kind = self.classify(part, top=False)
+            if order.index(kind) > order.index(worst):
+                worst = kind
+        return worst

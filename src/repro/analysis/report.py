@@ -1,0 +1,55 @@
+"""Text and JSON reporters for lint findings and audit results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.core import Finding, all_rules
+
+REPORT_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    active = sum(1 for finding in findings if not finding.suppressed)
+    return {
+        "total": len(findings),
+        "active": active,
+        "suppressed": len(findings) - active,
+    }
+
+
+def render_text(findings: Sequence[Finding], *,
+                show_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        mark = " (suppressed)" if finding.suppressed else ""
+        reason = f" [{finding.reason}]" if finding.reason else ""
+        lines.append(f"{finding.location()}: {finding.code} "
+                     f"{finding.rule}{mark}: {finding.message}{reason}")
+    counts = summarize(findings)
+    lines.append(f"{counts['active']} finding(s), "
+                 f"{counts['suppressed']} suppressed, "
+                 f"{counts['total']} total")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *,
+                files: int = 0,
+                audit: Optional[dict] = None) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "files": files,
+        "rules": [
+            {"name": rule.name, "code": rule.code,
+             "protects": rule.protects}
+            for rule in all_rules()
+        ],
+        "counts": summarize(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    if audit is not None:
+        payload["audit"] = audit
+    return json.dumps(payload, indent=2, sort_keys=True)

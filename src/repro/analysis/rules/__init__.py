@@ -1,0 +1,5 @@
+"""Rule registration: importing this package registers every rule."""
+
+from repro.analysis.rules import counters, determinism, state, telemetry
+
+__all__ = ["counters", "determinism", "state", "telemetry"]

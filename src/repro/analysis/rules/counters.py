@@ -1,0 +1,153 @@
+"""Counter-preservation rules: the RESET_SKIP contract.
+
+The error-monitor and performance counters are *cumulative campaign
+observations*: a recovery reset restores architectural state but the
+counters keep counting (``RESET_SKIP = ("errors", "perf")``), or a
+resumed campaign under-reports every error that preceded the reset.
+
+``ctr-reset`` (FT401)
+    Inside a reset path (any function whose name mentions reset / reboot
+    / recover, or any function in ``repro/recovery/``), zeroing the
+    counters -- ``errors.reset()``, ``perf.reset()``, or assigning 0 to
+    a counter field -- violates the contract.  (``errmon``'s
+    ``clear_monitor`` is the *software-visible* clear and is not a reset
+    path.)
+
+``ctr-skip`` (FT402)
+    Snapshot restores in a reset path must pass ``skip=RESET_SKIP`` (or
+    a literal containing both ``"errors"`` and ``"perf"``): a full
+    restore would rewind the counters to their checkpoint values.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+#: Counter-holder attribute names whose .reset() is a contract violation.
+COUNTER_NAMES = {"errors", "perf"}
+
+#: Component names a reset-path restore must leave untouched.
+REQUIRED_SKIPS = ("errors", "perf")
+
+_RESET_PATH = re.compile(r"reset|reboot|recover", re.IGNORECASE)
+
+
+def _chain_parts(node: ast.expr) -> Tuple[str, ...]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _reset_path_functions(module: SourceModule):
+    in_recovery = module.subpackage() == "recovery"
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if in_recovery or _RESET_PATH.search(node.name):
+                yield node
+
+
+@register_rule
+class CounterResetRule(Rule):
+    name = "ctr-reset"
+    code = "FT401"
+    protects = ("counters survive recovery: reset paths never zero "
+                "errors/perf")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for func in _reset_path_functions(module):
+            # The counter classes' own reset()/field zeroing is the
+            # definition of the operation, not a use in a reset path.
+            for node in ast.walk(func):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "reset"):
+                    parts = _chain_parts(node.func.value)
+                    if COUNTER_NAMES & set(parts):
+                        yield self.finding(
+                            module, node,
+                            f"{'.'.join(parts)}.reset() inside reset path "
+                            f"{func.name!r}: error/perf counters are "
+                            f"cumulative and must survive recovery "
+                            f"(RESET_SKIP contract)")
+                elif isinstance(node, ast.Assign):
+                    if not (isinstance(node.value, ast.Constant)
+                            and node.value.value == 0):
+                        continue
+                    for target in node.targets:
+                        parts = _chain_parts(target)
+                        if len(parts) >= 2 and COUNTER_NAMES & set(
+                                parts[:-1]):
+                            yield self.finding(
+                                module, node,
+                                f"zeroing {'.'.join(parts)} inside reset "
+                                f"path {func.name!r} violates the "
+                                f"RESET_SKIP contract")
+
+
+@register_rule
+class RestoreSkipRule(Rule):
+    name = "ctr-skip"
+    code = "FT402"
+    protects = ("counters survive recovery: reset-path restores pass "
+                "skip=RESET_SKIP")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for func in _reset_path_functions(module):
+            for node in ast.walk(func):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "restore"):
+                    continue
+                problem = self._skip_problem(node, model)
+                if problem:
+                    yield self.finding(
+                        module, node,
+                        f"snapshot restore in reset path {func.name!r} "
+                        f"{problem}")
+
+    @staticmethod
+    def _skip_problem(node: ast.Call,
+                      model: ProjectModel) -> Optional[str]:
+        skip = None
+        for keyword in node.keywords:
+            if keyword.arg == "skip":
+                skip = keyword.value
+        if skip is None:
+            return ("passes no skip= list: use skip=RESET_SKIP so the "
+                    "cumulative counters survive")
+        if isinstance(skip, ast.Name):
+            resolved = model.string_tuples.get(skip.id)
+            if resolved is None:
+                if skip.id == "RESET_SKIP":
+                    return None
+                return (f"passes skip={skip.id} which the analyzer cannot "
+                        f"resolve; use RESET_SKIP or a literal tuple "
+                        f"containing 'errors' and 'perf'")
+            missing = [name for name in REQUIRED_SKIPS
+                       if name not in resolved]
+            if missing:
+                return (f"passes skip={skip.id}={resolved!r} which omits "
+                        f"{missing}: counters would rewind")
+            return None
+        if isinstance(skip, (ast.Tuple, ast.List)):
+            names = {element.value for element in skip.elts
+                     if isinstance(element, ast.Constant)}
+            missing = [name for name in REQUIRED_SKIPS
+                       if name not in names]
+            if missing:
+                return (f"passes a skip list that omits {missing}: "
+                        f"counters would rewind on recovery")
+            return None
+        return ("passes a skip= expression the analyzer cannot verify; "
+                "use RESET_SKIP or a literal tuple")

@@ -1,0 +1,107 @@
+"""State-coverage rules: the snapshot/restore and fault-space invariants.
+
+``state-coverage`` (FT101)
+    Every stateful attribute a component class assigns in ``__init__``
+    must be referenced by the class's (or a base's) ``capture``/
+    ``restore``/``snapshot`` methods, or carry a ``# state: <category>``
+    annotation (``wiring``/``config``/``diag``).  Protects the bit-exact
+    snapshot/restore guarantee: an unregistered attribute silently makes
+    warm-start runs diverge from cold ones.
+
+``state-bitcells`` (FT102)
+    Every bit-storage cell group (a class exposing ``inject_flat``) must
+    also define ``capture`` and ``restore``: storage that the fault
+    injector can strike but a snapshot cannot carry breaks warm-start
+    fault campaigns.  The companion runtime audit walks a live system to
+    verify each such cell group is actually reachable from the injector's
+    target map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+#: Subpackages whose classes are component classes (device state holders).
+COMPONENT_PACKAGES = ("core", "cache", "ft", "mem", "peripherals", "iu",
+                      "fpu", "amba")
+
+
+def _in_component_scope(module: SourceModule) -> bool:
+    return module.subpackage() in COMPONENT_PACKAGES
+
+
+@register_rule
+class StateCoverageRule(Rule):
+    name = "state-coverage"
+    code = "FT101"
+    protects = ("bit-exact snapshot/restore: every mutable __init__ "
+                "attribute is captured or explicitly annotated")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for records in model.classes.values():
+            for record in records:
+                if record.module_path != module.path:
+                    continue
+                in_scope = (_in_component_scope(module)
+                            or model.has_capture_anywhere(record)
+                            or model.has_restore_anywhere(record))
+                if not in_scope or record.is_dataclass:
+                    continue
+                has_capture = model.has_capture_anywhere(record)
+                for attr, info in record.init_attrs.items():
+                    if info.kind != "stateful":
+                        continue
+                    if info.annotation:
+                        continue
+                    if model.is_covered(record, attr):
+                        continue
+                    if has_capture:
+                        message = (
+                            f"{record.name}.{attr} is assigned state in "
+                            f"__init__ but never referenced by capture/"
+                            f"restore; register it or annotate the "
+                            f"assignment with '# state: wiring|config|diag'")
+                    else:
+                        message = (
+                            f"component class {record.name} assigns "
+                            f"stateful attribute {attr!r} but defines no "
+                            f"capture/restore; add them or annotate the "
+                            f"assignment with '# state: wiring|config|diag'")
+                    yield Finding(rule=self.name, code=self.code,
+                                  path=module.path, line=info.line,
+                                  message=message)
+
+
+@register_rule
+class BitCellRule(Rule):
+    name = "state-bitcells"
+    code = "FT102"
+    protects = ("fault-space coverage: every injectable cell group "
+                "snapshots (and the audit proves the injector reaches it)")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for records in model.classes.values():
+            for record in records:
+                if record.module_path != module.path:
+                    continue
+                if not record.has_inject_flat:
+                    continue
+                missing = []
+                if not model.has_capture_anywhere(record):
+                    missing.append("capture")
+                if not model.has_restore_anywhere(record):
+                    missing.append("restore")
+                if missing:
+                    node = ast.Name(id=record.name)
+                    node.lineno = record.line
+                    yield self.finding(
+                        module, node,
+                        f"bit-storage class {record.name} exposes "
+                        f"inject_flat but lacks {' and '.join(missing)}: "
+                        f"injectable state must snapshot bit-exactly")

@@ -1,0 +1,171 @@
+"""Telemetry-guard rule: the <=3% tracing-overhead invariant.
+
+``tel-guard`` (FT301)
+    Every :class:`~repro.telemetry.bus.Telemetry` emission outside
+    ``repro/telemetry/`` must sit behind an if-enabled guard.  The
+    overhead budget holds because a disabled bus costs exactly one
+    attribute read (``telemetry.enabled``) at each instrumented site;
+    an unguarded ``note``/``detect``/... call pays dict construction and
+    sink dispatch even when tracing is off, eroding the budget one site
+    at a time.
+
+Recognised guard shapes::
+
+    if telemetry.enabled: telemetry.note(...)      # direct
+    if self.telemetry.enabled: ...                 # attribute chain
+    traced = telemetry.enabled                     # alias...
+    if traced: telemetry.note(...)                 # ...tested later
+    if not telemetry.enabled:                      # early exit: the rest
+        return                                     # of the body is guarded
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+#: Telemetry methods that emit events (the expensive, guarded surface).
+EMIT_METHODS = {"emit", "note", "strike", "detect", "resolve", "tmr_scrub",
+                "close_open"}
+
+
+def _is_telemetry_expr(node: ast.expr, aliases: Set[str]) -> bool:
+    """Does this expression denote a telemetry bus?"""
+    if isinstance(node, ast.Name):
+        return node.id == "telemetry" or node.id in aliases
+    if isinstance(node, ast.Attribute):
+        return node.attr == "telemetry"
+    return False
+
+
+def _mentions_enabled(node: ast.expr, flag_aliases: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in flag_aliases:
+            return True
+    return False
+
+
+def _collect_aliases(func: ast.FunctionDef):
+    """(bus aliases, enabled-flag aliases) assigned inside *func*."""
+    bus_aliases: Set[str] = set()
+    flag_aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Attribute):
+                if value.attr == "telemetry":
+                    bus_aliases.add(target.id)
+                elif value.attr == "enabled":
+                    flag_aliases.add(target.id)
+            elif isinstance(value, ast.Name) and value.id == "telemetry":
+                bus_aliases.add(target.id)
+    return bus_aliases, flag_aliases
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+@register_rule
+class TelemetryGuardRule(Rule):
+    name = "tel-guard"
+    code = "FT301"
+    protects = ("<=3% telemetry overhead: every emit outside "
+                "repro/telemetry/ sits behind an if-enabled guard")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        if module.subpackage() == "telemetry":
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: SourceModule,
+                        func: ast.FunctionDef) -> Iterator[Finding]:
+        bus_aliases, flag_aliases = _collect_aliases(func)
+        yield from self._visit_block(module, func.body, False,
+                                     bus_aliases, flag_aliases)
+
+    def _visit_block(self, module, body, guarded, bus_aliases,
+                     flag_aliases) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                # Nested function: its own scope, its own guards.
+                yield from self._check_function(module, statement)
+                continue
+            if isinstance(statement, ast.If):
+                test = statement.test
+                positive = _mentions_enabled(test, flag_aliases) and not (
+                    isinstance(test, ast.UnaryOp)
+                    and isinstance(test.op, ast.Not))
+                negative = (isinstance(test, ast.UnaryOp)
+                            and isinstance(test.op, ast.Not)
+                            and _mentions_enabled(test.operand,
+                                                  flag_aliases))
+                yield from self._visit_block(
+                    module, statement.body, guarded or positive,
+                    bus_aliases, flag_aliases)
+                yield from self._visit_block(
+                    module, statement.orelse, guarded or negative,
+                    bus_aliases, flag_aliases)
+                if negative and _terminates(statement.body):
+                    # 'if not telemetry.enabled: return' -- everything
+                    # after this statement runs enabled-only.
+                    guarded = True
+                continue
+            for child_body in _nested_bodies(statement):
+                yield from self._visit_block(module, child_body, guarded,
+                                             bus_aliases, flag_aliases)
+            if not guarded:
+                yield from self._flag_emits(module, statement, bus_aliases)
+
+    def _flag_emits(self, module, statement,
+                    bus_aliases) -> Iterator[Finding]:
+        for node in _own_expressions(statement):
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in EMIT_METHODS):
+                    continue
+                if _is_telemetry_expr(sub.func.value, bus_aliases):
+                    yield self.finding(
+                        module, sub,
+                        f"telemetry.{sub.func.attr}(...) outside an "
+                        f"'if telemetry.enabled:' guard: unguarded emits "
+                        f"erode the <=3% tracing-overhead budget")
+
+
+def _nested_bodies(statement: ast.stmt):
+    """Statement lists nested inside compound statements (not If)."""
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(statement, name, None)
+        if isinstance(block, list) and block \
+                and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(statement, "handlers", ()):
+        yield handler.body
+
+
+def _own_expressions(statement: ast.stmt):
+    """Expressions belonging to the statement itself, not nested blocks."""
+    for field_name, value in ast.iter_fields(statement):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item

@@ -27,7 +27,7 @@ class CacheRam:
         self.name = name
         self.words = words
         self.scheme = scheme
-        self.codec: Codec = make_codec(scheme)
+        self.codec: Codec = make_codec(scheme)  # state: wiring -- stateless coder, derived from scheme
         self._data: List[int] = [0] * words
         self._check: List[int] = [0] * words
         #: Indices whose stored check bits may disagree with the data.

@@ -235,6 +235,24 @@ def _build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="describe the device")
     _add_config_argument(info)
 
+    lint = subparsers.add_parser(
+        "lint", help="FT-invariant static analysis (and runtime audit)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--audit", action="store_true",
+                      help="also instantiate a live system and cross-check "
+                           "snapshot round-trips, fault-space coverage and "
+                           "the RESET_SKIP contract")
+    lint.add_argument("--report", metavar="FILE", default=None,
+                      help="write the findings as a JSON report")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="stdout format (default: text)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="include suppressed findings in the text output")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and exit")
+
     return parser
 
 
@@ -522,6 +540,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0 if stats.consistent else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import all_rules, analyze_paths, render_json, \
+        render_text
+    from repro.analysis.audit import render_audit_text, run_audit
+    from repro.analysis.core import iter_python_files
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} {rule.name}: {rule.protects}")
+        return 0
+
+    paths = ([Path(path) for path in args.paths] if args.paths
+             else [Path(repro.__file__).parent])
+    findings = analyze_paths(paths)
+    files = sum(1 for _ in iter_python_files(paths))
+
+    audit_result = None
+    if args.audit:
+        audit_result = run_audit()
+
+    report = render_json(findings, files=files, audit=audit_result)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+
+    if args.format == "json":
+        print(report)
+    else:
+        print(render_text(findings, show_suppressed=args.show_suppressed))
+        if audit_result is not None:
+            print(render_audit_text(audit_result))
+
+    active = sum(1 for finding in findings if not finding.suppressed)
+    audit_ok = audit_result is None or audit_result["ok"]
+    return 0 if active == 0 and audit_ok else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
@@ -534,6 +592,7 @@ _COMMANDS = {
     "rates": _cmd_rates,
     "availability": _cmd_availability,
     "info": _cmd_info,
+    "lint": _cmd_lint,
 }
 
 

@@ -65,12 +65,12 @@ class MasterChecker:
             else NULL_TELEMETRY
         # The master is the traced device; the checker's own detections
         # would double-count the shared counters in a folded trace.
-        self.master = LeonSystem(self.config, telemetry=self.telemetry)
-        self.checker = LeonSystem(self.config)
-        self.compare_errors: List[CompareError] = []
-        self._steps = 0
-        self.resyncs = 0
-        self.failovers = 0
+        self.master = LeonSystem(self.config, telemetry=self.telemetry)  # state: wiring -- full system with its own snapshot()
+        self.checker = LeonSystem(self.config)  # state: wiring -- full system with its own snapshot()
+        self.compare_errors: List[CompareError] = []  # state: diag -- harness observation log, not device state
+        self._steps = 0  # state: diag -- harness step tally
+        self.resyncs = 0  # state: diag -- harness recovery tally
+        self.failovers = 0  # state: diag -- harness recovery tally
 
     def load_program(self, program) -> None:
         self.master.load_program(program)

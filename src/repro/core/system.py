@@ -92,9 +92,9 @@ class LeonSystem:
             self.bus.attach(bank)
 
         # -- APB: peripherals ------------------------------------------------------
-        self.apb = ApbBridge(APB_BASE)
+        self.apb = ApbBridge(APB_BASE)  # state: wiring -- bridge topology; peripheral state captured per-slave
         self.bus.attach(self.apb)
-        self.irqctrl = InterruptController(ffbank=self.ffbank)
+        self.irqctrl = InterruptController(ffbank=self.ffbank)  # state: wiring -- register state lives in the ffbank
         raise_irq = self.irqctrl.raise_interrupt
         self.sysregs = SystemRegisters(config, ffbank=self.ffbank)
         self.timers = TimerUnit(irq_levels=(IRQ_TIMER1, IRQ_TIMER2),
@@ -104,7 +104,7 @@ class LeonSystem:
         self.uart2 = Uart("uart2", 0x80, irq_level=IRQ_UART2,
                           raise_irq=raise_irq, ffbank=self.ffbank)
         self.ioport = IoPort(raise_irq=raise_irq, ffbank=self.ffbank)
-        self.errmon = ErrorMonitor(self.errors)
+        self.errmon = ErrorMonitor(self.errors)  # state: wiring -- view over self.errors, captured as 'errors'
         self.dma = DmaEngine(self.bus, ffbank=self.ffbank)
         for slave in (self.sysregs, self.timers, self.uart1, self.uart2,
                       self.irqctrl, self.ioport, self.errmon, self.dma):
@@ -128,7 +128,7 @@ class LeonSystem:
             config.ft.regfile_protection,
             duplicated=config.ft.regfile_duplicated,
         )
-        self.special = SpecialRegisters(self.ffbank, config.nwindows,
+        self.special = SpecialRegisters(self.ffbank, config.nwindows,  # state: wiring -- register state lives in the ffbank
                                         reset_pc=config.memory.prom_base)
         if config.has_fpu:
             def _count_fp_correction() -> None:
@@ -172,7 +172,7 @@ class LeonSystem:
         #: Whether the watchdog output is wired to the reset line (the
         #: paper's "normally wired to system reset").  Harnesses that only
         #: want to observe the latch can unwire it.
-        self.watchdog_reset_enabled = True
+        self.watchdog_reset_enabled = True  # state: config -- harness wiring choice, constant per run
 
     # -- state capture ---------------------------------------------------------------
 

@@ -117,6 +117,7 @@ class HeavyIonBeam:
         "flipflops": 0.5,
         "ext-prom": 0.0,  # external memory is not under the beam
         "ext-sram": 0.0,
+        "ext-io": 0.0,
     }
 
     def __init__(self, injector: FaultInjector, *,
@@ -131,14 +132,14 @@ class HeavyIonBeam:
         )
         if ram_bits == 0:
             raise ConfigurationError("no strikable storage in this system")
-        self._sigma_bit_sat = RAM_AREA_CM2 * SENSITIVE_FRACTION / ram_bits
+        self._sigma_bit_sat = RAM_AREA_CM2 * SENSITIVE_FRACTION / ram_bits  # state: config -- die geometry constant derived from target sizes
         # Incremental-scheduling state (None until begin() is called).
         self._params: "BeamParameters | None" = None
         self._rng: "random.Random | None" = None
-        self._rate = 0.0
-        self._names: List[str] = []
-        self._weights: List[float] = []
-        self._mbu_p = 0.0
+        self._rate = 0.0  # state: wiring -- scheduling state, rebuilt by begin()
+        self._names: List[str] = []  # state: wiring -- scheduling state, rebuilt by begin()
+        self._weights: List[float] = []  # state: wiring -- scheduling state, rebuilt by begin()
+        self._mbu_p = 0.0  # state: wiring -- scheduling state, rebuilt by begin()
         self._time_s = 0.0
 
     # -- cross-section queries ------------------------------------------------------

@@ -574,6 +574,8 @@ class Campaign:
         guarantees every strike's lifecycle terminates.
         """
         telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
         telemetry.close_open(
             lambda target, word:
             "latent" if injector.is_latent(target, word) else "masked",

@@ -34,7 +34,7 @@ class FaultInjector:
     def __init__(self, system: LeonSystem, *,
                  include_external_memory: bool = False) -> None:
         self.system = system
-        self.targets: Dict[str, SeuTarget] = {}
+        self.targets: Dict[str, SeuTarget] = {}  # state: wiring -- target registry, rebuilt by _build_targets()
         self._build_targets(include_external_memory)
         self.injections: List[str] = []
 
@@ -78,7 +78,8 @@ class FaultInjector:
         self._add(SeuTarget("flipflops", ffbank.total_bits, inject_ff, 0))
 
         if include_external_memory:
-            for memory in (system.memctrl.prom_memory, system.memctrl.sram_memory):
+            for memory in (system.memctrl.prom_memory, system.memctrl.sram_memory,
+                           system.memctrl.io_memory):
                 self._add(SeuTarget(
                     f"ext-{memory.name}", memory.total_bits, memory.inject_flat,
                     39 if memory.edac else 32))

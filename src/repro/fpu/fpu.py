@@ -94,9 +94,9 @@ class Fpu:
     def __init__(self, ffbank: FlipFlopBank,
                  protection: ProtectionScheme = ProtectionScheme.NONE,
                  on_corrected=None) -> None:
-        self.fsr = Fsr(ffbank)
+        self.fsr = Fsr(ffbank)  # state: wiring -- FSR bits live in the ffbank
         self.protection = protection
-        self.codec: Codec = make_codec(protection)
+        self.codec: Codec = make_codec(protection)  # state: wiring -- stateless coder, derived from protection
         self.on_corrected = on_corrected or (lambda: None)
         self._regs: List[int] = [0] * 32
         self._checks: List[int] = [0] * 32

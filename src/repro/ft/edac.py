@@ -40,9 +40,9 @@ class Edac:
     """The EDAC unit: a (32,7) BCH codec plus correction/error counters."""
 
     def __init__(self) -> None:
-        self._codec = BchCodec()
-        self.corrected = 0
-        self.uncorrectable = 0
+        self._codec = BchCodec()  # state: wiring -- stateless coder
+        self.corrected = 0  # state: diag -- tally for tests; campaign counts live in ErrorCounters
+        self.uncorrectable = 0  # state: diag -- tally for tests; campaign counts live in ErrorCounters
 
     def encode(self, data: int) -> int:
         """Check bits to store alongside a data word on write."""

@@ -44,7 +44,7 @@ class Voter:
     """
 
     def __init__(self) -> None:
-        self.disagreements = 0
+        self.disagreements = 0  # state: diag -- captured under FlipFlopBank's 'diag' key
 
     def vote(self, lanes: Tuple[int, int, int]) -> int:
         value = vote3(*lanes)
@@ -69,7 +69,7 @@ class TmrRegister:
         self._mask = (1 << width) - 1
         reset &= self._mask
         self._lanes: List[int] = [reset] * (TMR_LANES if tmr else 1)
-        self.voter = Voter()
+        self.voter = Voter()  # state: diag -- voter tally captured by FlipFlopBank under 'diag'
         # Fast path: lanes are known-equal until an injection marks the
         # register dirty, so the common case skips the majority vote.
         self._dirty = False

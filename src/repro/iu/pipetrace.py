@@ -58,9 +58,9 @@ class _Pipe:
     """A simple in-order pipeline filler used to build diagrams."""
 
     def __init__(self, title: str) -> None:
-        self.diagram = Diagram(title, {stage: [] for stage in STAGES})
+        self.diagram = Diagram(title, {stage: [] for stage in STAGES})  # state: diag -- figure renderer, not device state
         # queue[s] = labels that still have to traverse stage index s.
-        self._inflight: List[Optional[str]] = [None] * len(STAGES)
+        self._inflight: List[Optional[str]] = [None] * len(STAGES)  # state: diag -- figure renderer, not device state
 
     def tick(self, fetch: Optional[str], *, overrides: Optional[Dict[str, str]] = None,
              squash_behind: bool = False) -> None:
@@ -194,7 +194,7 @@ class PipelineTracer:
     """Convenience bundle producing all four Figure 2 diagrams."""
 
     def __init__(self, labels: Optional[Sequence[str]] = None) -> None:
-        self.labels = list(labels) if labels else [f"INST{i}" for i in range(1, 6)]
+        self.labels = list(labels) if labels else [f"INST{i}" for i in range(1, 6)]  # state: config -- figure labels
 
     def figure2(self, event_index: int = 1) -> List[Diagram]:
         return [

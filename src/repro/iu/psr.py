@@ -131,7 +131,7 @@ class SpecialRegisters:
     """WIM, TBR, Y and the PC pair, all in the flip-flop bank."""
 
     def __init__(self, bank: FlipFlopBank, nwindows: int, reset_pc: int = 0) -> None:
-        self.psr = PSR(bank, nwindows)
+        self.psr = PSR(bank, nwindows)  # state: wiring -- PSR fields live in the ffbank
         self._wim = bank.register("iu.wim", nwindows)
         self._tbr = bank.register("iu.tbr", 32)
         self._y = bank.register("iu.y", 32)

@@ -48,7 +48,7 @@ class RegisterFile:
         self.nwindows = nwindows
         self.protection = protection
         self.duplicated = duplicated
-        self.codec: Codec = make_codec(protection)
+        self.codec: Codec = make_codec(protection)  # state: wiring -- stateless coder, derived from protection
         self.words = nwindows * 16 + 8
         self._copies = 2 if duplicated else 1
         self._data: List[List[int]] = [[0] * self.words for _ in range(self._copies)]

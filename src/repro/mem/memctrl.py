@@ -117,18 +117,18 @@ class MemoryController:
 
     def __init__(self, config: MemoryConfig) -> None:
         self.config = config
-        self.edac = Edac()
+        self.edac = Edac()  # state: wiring -- stateless coder shared by the banks
         self.write_protector = WriteProtector(units=2)
         self.prom_memory = ExternalMemory("prom", config.prom_bytes, edac=config.edac)
         self.sram_memory = ExternalMemory("sram", config.sram_bytes, edac=config.edac)
         self.io_memory = ExternalMemory("io", config.io_bytes, edac=False)
-        self.prom = MemoryBank("prom", config.prom_base, self.prom_memory,
+        self.prom = MemoryBank("prom", config.prom_base, self.prom_memory,  # state: wiring -- bank decode logic; words live in *_memory
                                config.prom_waitstates, self.edac,
                                write_protector=self.write_protector)
-        self.sram = MemoryBank("sram", config.sram_base, self.sram_memory,
+        self.sram = MemoryBank("sram", config.sram_base, self.sram_memory,  # state: wiring -- bank decode logic; words live in *_memory
                                config.sram_waitstates, self.edac,
                                write_protector=self.write_protector)
-        self.io = MemoryBank("io", config.io_base, self.io_memory,
+        self.io = MemoryBank("io", config.io_base, self.io_memory,  # state: wiring -- bank decode logic; words live in *_memory
                              config.prom_waitstates, self.edac)
 
     def banks(self) -> List[MemoryBank]:

@@ -41,7 +41,7 @@ class _Timer:
         self.control = bank.register(f"{name}.control", 2)
         self.irq_level = irq_level
         self._raise_irq = raise_irq
-        self.underflows = 0
+        self.underflows = 0  # state: diag -- captured by TimerUnit under 'diag'
 
     def write_control(self, value: int) -> None:
         if value & _CTRL_LOAD:

@@ -1,0 +1,83 @@
+"""The lint framework itself: suppressions, paths, reports, registry."""
+
+import json
+
+from repro.analysis import all_rules, analyze_source, render_json, \
+    render_text
+from repro.analysis.core import SourceModule, parse_suppressions
+
+
+def test_every_rule_has_code_name_and_protects():
+    rules = all_rules()
+    assert len(rules) >= 9
+    codes = [rule.code for rule in rules]
+    assert len(set(codes)) == len(codes), "duplicate rule codes"
+    for rule in rules:
+        assert rule.code.startswith("FT")
+        assert rule.name and rule.protects
+
+
+def test_parse_suppressions_lint_ok_with_reason():
+    source = "x = 1  # lint: ok=det-random,tel-guard -- replay path\n"
+    hits = parse_suppressions(source)
+    assert len(hits) == 1
+    (hit,) = hits
+    assert hit.rules == ("det-random", "tel-guard")
+    assert hit.reason == "replay path"
+
+
+def test_parse_suppressions_state_annotation():
+    source = "self.x = []  # state: wiring -- bus topology\n"
+    (hit,) = parse_suppressions(source)
+    assert hit.category == "wiring"
+    assert hit.reason == "bus topology"
+
+
+def test_unknown_state_category_is_not_an_annotation():
+    module = SourceModule("repro/fixture.py",
+                          "self_x = 1  # state: bogus\n")
+    assert module.state_annotation(1, 1) is None
+
+
+def test_package_path_strips_leading_directories():
+    module = SourceModule("/somewhere/src/repro/cache/icache.py", "pass\n")
+    assert module.package_path == "cache/icache.py"
+    assert module.subpackage() == "cache"
+
+
+def test_findings_sorted_and_suppression_marks_not_removes():
+    source = (
+        "import random\n"
+        "def pick():\n"
+        "    a = random.random()  # lint: ok=det-random -- fixture\n"
+        "    return random.random()\n"
+    )
+    findings = analyze_source(source)
+    assert [f.suppressed for f in findings] == [True, False]
+    assert [f.line for f in findings] == [3, 4]
+
+
+def test_render_text_counts_and_suppressed_visibility():
+    source = (
+        "import random\n"
+        "x = random.random()  # lint: ok=det-random\n"
+    )
+    findings = analyze_source(source)
+    short = render_text(findings)
+    assert "0 finding(s), 1 suppressed, 1 total" in short
+    assert "det-random" not in short.splitlines()[0]
+    full = render_text(findings, show_suppressed=True)
+    assert "(suppressed)" in full
+
+
+def test_render_json_report_shape():
+    findings = analyze_source("import random\nx = random.random()\n")
+    payload = json.loads(render_json(findings, files=1,
+                                     audit={"ok": True, "checks": []}))
+    assert payload["version"] == 1
+    assert payload["files"] == 1
+    assert payload["counts"]["active"] == 1
+    assert payload["audit"]["ok"] is True
+    (finding,) = payload["findings"]
+    assert finding["code"] == "FT201"
+    assert finding["path"] == "repro/fixture.py"

@@ -1,0 +1,136 @@
+"""FT101/FT102: state-coverage and bit-cell fixtures."""
+
+from repro.analysis import analyze_source
+
+#: Virtual path inside a component package, so FT101 is in scope.
+COMPONENT = "repro/cache/fixture.py"
+
+
+def _codes(findings, *, active_only=True):
+    return [f.code for f in findings
+            if not (active_only and f.suppressed)]
+
+
+def test_unregistered_stateful_attr_is_flagged():
+    source = (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def capture(self):\n"
+        "        return {}\n"
+        "    def restore(self, state):\n"
+        "        pass\n"
+    )
+    findings = analyze_source(source, COMPONENT)
+    assert _codes(findings) == ["FT101"]
+    assert "Widget.count" in findings[0].message
+
+
+def test_capture_reference_covers_the_attribute():
+    source = (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "    def capture(self):\n"
+        "        return {'count': self.count}\n"
+        "    def restore(self, state):\n"
+        "        self.count = state['count']\n"
+    )
+    assert analyze_source(source, COMPONENT) == []
+
+
+def test_state_annotation_silences_without_capture():
+    source = (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0  # state: diag -- observation tally\n"
+        "    def capture(self):\n"
+        "        return {}\n"
+        "    def restore(self, state):\n"
+        "        pass\n"
+    )
+    assert analyze_source(source, COMPONENT) == []
+
+
+def test_vars_self_wildcard_covers_everything():
+    source = (
+        "class Counters:\n"
+        "    def __init__(self):\n"
+        "        self.a = 0\n"
+        "        self.b = 0\n"
+        "    def capture(self):\n"
+        "        return dict(vars(self))\n"
+        "    def restore(self, state):\n"
+        "        vars(self).update(state)\n"
+    )
+    assert analyze_source(source, COMPONENT) == []
+
+
+def test_base_class_capture_covers_subclass_attr():
+    source = (
+        "class Base:\n"
+        "    def capture(self):\n"
+        "        return {'count': self.count}\n"
+        "    def restore(self, state):\n"
+        "        self.count = state['count']\n"
+        "class Widget(Base):\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+    )
+    assert analyze_source(source, COMPONENT) == []
+
+
+def test_wiring_values_are_not_stateful():
+    source = (
+        "class Widget:\n"
+        "    def __init__(self, bus, config):\n"
+        "        self.bus = bus\n"
+        "        self.mask = config.size - 1\n"
+        "        self.pending = None\n"
+        "    def capture(self):\n"
+        "        return {}\n"
+        "    def restore(self, state):\n"
+        "        pass\n"
+    )
+    assert analyze_source(source, COMPONENT) == []
+
+
+def test_outside_component_packages_needs_capture_to_opt_in():
+    source = (
+        "class Helper:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+    )
+    assert analyze_source(source, "repro/debug/fixture.py") == []
+
+
+def test_injectable_cell_group_without_restore_is_flagged():
+    source = (
+        "class Ram:\n"
+        "    def __init__(self, words):\n"
+        "        self.data = [0] * words\n"
+        "    @property\n"
+        "    def total_bits(self):\n"
+        "        return len(self.data) * 32\n"
+        "    def inject_flat(self, bit):\n"
+        "        self.data[bit // 32] ^= 1 << (bit % 32)\n"
+        "    def capture(self):\n"
+        "        return {'data': tuple(self.data)}\n"
+    )
+    findings = analyze_source(source, COMPONENT)
+    assert "FT102" in _codes(findings)
+
+
+def test_injectable_cell_group_with_both_is_clean():
+    source = (
+        "class Ram:\n"
+        "    def __init__(self, words):\n"
+        "        self.data = [0] * words\n"
+        "    def inject_flat(self, bit):\n"
+        "        self.data[bit // 32] ^= 1 << (bit % 32)\n"
+        "    def capture(self):\n"
+        "        return {'data': tuple(self.data)}\n"
+        "    def restore(self, state):\n"
+        "        self.data = list(state['data'])\n"
+    )
+    assert _codes(analyze_source(source, COMPONENT)) == []

@@ -1,0 +1,115 @@
+"""FT301 telemetry-guard and FT401/FT402 counter-preservation fixtures."""
+
+from repro.analysis import analyze_source
+
+
+def _codes(findings):
+    return [f.code for f in findings if not f.suppressed]
+
+
+# -- FT301 tel-guard ----------------------------------------------------------
+
+
+def test_unguarded_emit_is_flagged():
+    findings = analyze_source(
+        "def refill(self, telemetry):\n"
+        "    telemetry.note('refill', index=3)\n")
+    assert _codes(findings) == ["FT301"]
+
+
+def test_direct_guard_is_clean():
+    assert analyze_source(
+        "def refill(self, telemetry):\n"
+        "    if telemetry.enabled:\n"
+        "        telemetry.note('refill', index=3)\n") == []
+
+
+def test_alias_guard_is_clean():
+    assert analyze_source(
+        "def run(self):\n"
+        "    telemetry = self.telemetry\n"
+        "    traced = telemetry.enabled\n"
+        "    if traced:\n"
+        "        telemetry.note('begin')\n") == []
+
+
+def test_early_exit_guard_is_clean():
+    assert analyze_source(
+        "def finish(self, telemetry):\n"
+        "    if not telemetry.enabled:\n"
+        "        return\n"
+        "    telemetry.close_open(lambda t, w: 'latent', instr=0)\n"
+        "    telemetry.note('run-end')\n") == []
+
+
+def test_emits_inside_telemetry_package_are_exempt():
+    assert analyze_source(
+        "def emit(self):\n"
+        "    self.telemetry.note('internal')\n",
+        "repro/telemetry/fixture.py") == []
+
+
+def test_else_branch_of_guard_is_not_guarded():
+    findings = analyze_source(
+        "def refill(self, telemetry):\n"
+        "    if telemetry.enabled:\n"
+        "        pass\n"
+        "    else:\n"
+        "        telemetry.note('refill')\n")
+    assert _codes(findings) == ["FT301"]
+
+
+# -- FT401 ctr-reset ----------------------------------------------------------
+
+
+def test_counter_reset_inside_reset_path_is_flagged():
+    findings = analyze_source(
+        "def watchdog_reset(system):\n"
+        "    system.errors.reset()\n")
+    assert _codes(findings) == ["FT401"]
+
+
+def test_counter_zeroing_inside_recovery_module_is_flagged():
+    findings = analyze_source(
+        "def apply(system):\n"
+        "    system.perf.cycles = 0\n",
+        "repro/recovery/fixture.py")
+    assert _codes(findings) == ["FT401"]
+
+
+def test_counter_reset_outside_reset_path_is_clean():
+    assert analyze_source(
+        "def clear_monitor(system):\n"
+        "    system.errors.reset()\n") == []
+
+
+# -- FT402 ctr-skip -----------------------------------------------------------
+
+
+def test_restore_without_skip_in_reset_path_is_flagged():
+    findings = analyze_source(
+        "def warm_reset(system, checkpoint):\n"
+        "    system.restore(checkpoint)\n")
+    assert _codes(findings) == ["FT402"]
+
+
+def test_restore_with_reset_skip_is_clean():
+    assert analyze_source(
+        "RESET_SKIP = ('errors', 'perf')\n"
+        "def warm_reset(system, checkpoint):\n"
+        "    system.restore(checkpoint, skip=RESET_SKIP)\n") == []
+
+
+def test_restore_with_incomplete_literal_skip_is_flagged():
+    findings = analyze_source(
+        "def warm_reset(system, checkpoint):\n"
+        "    system.restore(checkpoint, skip=('errors',))\n")
+    assert _codes(findings) == ["FT402"]
+    assert "perf" in findings[0].message
+
+
+def test_resolvable_module_constant_with_both_names_is_clean():
+    assert analyze_source(
+        "KEEP = ('memory', 'errors', 'perf')\n"
+        "def warm_reset(system, checkpoint):\n"
+        "    system.restore(checkpoint, skip=KEEP)\n") == []
