@@ -13,7 +13,10 @@ detect regressions:
 
 The speedup assertion is gated on ``os.cpu_count() >= 4``: a single-core
 container still runs everything and still checks determinism, it just
-cannot demonstrate parallel wall-clock gains.
+cannot demonstrate parallel wall-clock gains.  Below 2 cores the recorded
+``sweep_speedup_jobs4`` is null (with ``parallel_scaling_measurable``
+false) -- a sub-1.0 "speedup" measured on one core is process overhead,
+not a scaling regression.
 """
 
 import json
@@ -77,24 +80,30 @@ def test_throughput(benchmark, measurements):
     benchmark.extra_info["single_run_ips"] = ips
 
     cores = os.cpu_count() or 1
+    # On a single-core host the jobs=4 sweep measures process overhead,
+    # not parallel scaling -- recording its "speedup" would look like a
+    # regression.  The record carries null and a flag instead.
+    measurable = cores >= 2
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
     record = {
         "single_run_ips": round(ips, 1),
         "sweep_lets": len(SWEEP["lets"]),
         "sweep_serial_wall_s": round(serial_wall, 3),
         "sweep_jobs4_wall_s": round(parallel_wall, 3),
-        "sweep_speedup_jobs4": round(speedup, 3),
+        "sweep_speedup_jobs4": round(speedup, 3) if measurable else None,
+        "parallel_scaling_measurable": measurable,
         "cpu_count": cores,
         "totals_identical": _totals(serial_curve) == _totals(parallel_curve),
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
+    scaling = (f"(speedup {speedup:.2f}x on {cores} core(s))" if measurable
+               else f"(single core: scaling not measurable)")
     text = (
         "Host throughput\n\n"
         f"single-run interpreter:   {ips:,.0f} instr/s\n"
         f"8-LET sweep, serial:      {serial_wall:.1f} s\n"
-        f"8-LET sweep, jobs=4:      {parallel_wall:.1f} s "
-        f"(speedup {speedup:.2f}x on {cores} core(s))\n"
+        f"8-LET sweep, jobs=4:      {parallel_wall:.1f} s {scaling}\n"
         f"[record: {BENCH_PATH.name}]"
     )
     write_artifact("perf_throughput.txt", text)

@@ -39,6 +39,8 @@ def render_text(findings: Sequence[Finding], *,
 def render_json(findings: Sequence[Finding], *,
                 files: int = 0,
                 audit: Optional[dict] = None) -> str:
+    """Machine-readable report.  Like the text reporter, only *active*
+    findings are listed; suppressed ones still show in the counts."""
     payload = {
         "version": REPORT_VERSION,
         "files": files,
@@ -48,7 +50,8 @@ def render_json(findings: Sequence[Finding], *,
             for rule in all_rules()
         ],
         "counts": summarize(findings),
-        "findings": [finding.as_dict() for finding in findings],
+        "findings": [finding.as_dict() for finding in findings
+                     if not finding.suppressed],
     }
     if audit is not None:
         payload["audit"] = audit

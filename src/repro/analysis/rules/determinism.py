@@ -26,6 +26,15 @@ result-producing path consults ambient nondeterminism.
     order depends on insertion history and hash seeding of the process
     that built it, which breaks jobs-invariance the moment the loop body
     has any observable effect.
+
+``det-digest-diag`` (FT205)
+    Flags state digests that include diag/counter state.  Golden-timeline
+    grading compares *architectural* digests: observation-only counters
+    remember that a strike happened long after the architectural state
+    has reconverged, so a digest computed over raw ``capture()`` payloads
+    (without :func:`repro.state.snapshot.strip_diag`) or via
+    ``digest(architectural=False)`` would never match the golden run's
+    and silently disable every early exit.
 """
 
 from __future__ import annotations
@@ -219,6 +228,86 @@ class SetIterationRule(Rule):
                     and iterable.value.id == "self"):
                 return iterable.attr in set_attrs
         return False
+
+
+#: hashlib constructors a digest computation would call.
+_HASH_CONSTRUCTORS = {
+    "sha256", "sha224", "sha384", "sha512", "sha1", "md5",
+    "blake2b", "blake2s", "sha3_224", "sha3_256", "sha3_384", "sha3_512",
+    "new",
+}
+
+
+@register_rule
+class DigestDiagRule(Rule):
+    name = "det-digest-diag"
+    code = "FT205"
+    protects = "grading: convergence digests exclude diag/counter state"
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and _call_chain(node.func).endswith(".digest")
+                    and self._architectural_false(node)):
+                yield self.finding(
+                    module, node,
+                    "digest(architectural=False) includes diag/counter "
+                    "state; convergence and grading comparisons must use "
+                    "the architectural digest")
+        for func, _owner in _functions_with_owner(module.tree):
+            yield from self._check_hash_function(module, func)
+
+    @staticmethod
+    def _architectural_false(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if (keyword.arg == "architectural"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False):
+                return True
+        return False
+
+    def _check_hash_function(self, module: SourceModule,
+                             func) -> Iterator[Finding]:
+        """Flag hashes over snapshot/capture payloads lacking strip_diag.
+
+        The heuristic is function-scoped: a hashlib constructor call in a
+        function that also touches snapshot payloads (a ``.capture()``
+        call or a ``components`` name) without ``strip_diag`` or an
+        ``OBSERVATION_COMPONENTS`` exclusion is hashing diag state.
+        """
+        hash_calls = []
+        touches_payload = False
+        strips = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = _call_chain(node.func)
+                root, _, leaf = chain.rpartition(".")
+                if (root.split(".")[-1] == "hashlib"
+                        and leaf in _HASH_CONSTRUCTORS):
+                    hash_calls.append(node)
+                if leaf == "capture" or chain == "strip_diag" \
+                        or leaf == "strip_diag":
+                    if leaf == "capture":
+                        touches_payload = True
+                    else:
+                        strips = True
+            elif isinstance(node, ast.Name):
+                if node.id == "components":
+                    touches_payload = True
+                elif node.id == "OBSERVATION_COMPONENTS":
+                    strips = True
+            elif isinstance(node, ast.Attribute):
+                if node.attr == "components":
+                    touches_payload = True
+        if not (touches_payload and not strips):
+            return
+        for call in hash_calls:
+            yield self.finding(
+                module, call,
+                "hash over snapshot/capture payloads without strip_diag: "
+                "diag/counter state leaks into the digest and reconverged "
+                "runs never match the golden timeline")
 
 
 def _annotated_set(annotation: Optional[ast.expr]) -> bool:

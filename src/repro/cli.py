@@ -140,6 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--warm-start", action="store_true",
                           help="execute the warm-up once, fork every run "
                                "from the snapshot (results unchanged)")
+    campaign.add_argument("--flush-period", type=int, default=0,
+                          help="periodic cache flush, in instructions "
+                               "(section 4.8; 0 = never)")
+    campaign.add_argument("--no-early-exit", action="store_true",
+                          help="disable golden-timeline early-exit grading "
+                               "and checkpoint-shared strike batches: run "
+                               "every campaign to program end (the slow "
+                               "oracle path; results are identical)")
     campaign.add_argument("--results", metavar="FILE", default=None,
                           help="append completed runs to a JSONL result log")
     campaign.add_argument("--resume", metavar="FILE", default=None,
@@ -200,6 +208,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warm-start", action="store_true",
                        help="execute the warm-up once, fork every LET point "
                             "from the snapshot (curve unchanged)")
+    sweep.add_argument("--no-early-exit", action="store_true",
+                       help="disable golden-timeline early-exit grading "
+                            "(the slow oracle path; curve unchanged)")
 
     state = subparsers.add_parser(
         "state", help="save or inspect a device snapshot")
@@ -291,8 +302,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         program=args.program, let=args.let, flux=args.flux,
         fluence=args.fluence, seed=args.seed,
         instructions_per_second=args.ips,
+        flush_period_instructions=args.flush_period,
         beam_delay_s=args.beam_delay, beam_tail_s=args.beam_tail,
         recovery=args.recovery, leon=leon,
+        early_exit=not args.no_early_exit,
     )
     configs = expand_runs(config, args.runs)
 
@@ -327,7 +340,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         warm = prepare_warm_start(config)
     try:
         fresh = (CampaignExecutor(args.jobs, runner=runner).run_many(
-            pending, warm=warm, on_results=on_results) if pending else [])
+            pending, warm=warm, batch=not args.no_early_exit,
+            on_results=on_results) if pending else [])
     finally:
         if store is not None:
             store.close()
@@ -363,6 +377,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"iterations: {iterations}  host-throughput: {ips:,.0f} instr/s "
           f"({elapsed:.2f}s wall, {run_cpu:.2f}s run CPU, "
           f"--jobs {args.jobs})")
+    if warm is not None:
+        reconverged = sum(1 for result in fresh
+                          if result.exit_reason == "reconverged")
+        skipped = sum(result.instructions - result.graded_at_instruction
+                      for result in fresh
+                      if result.graded_at_instruction is not None)
+        print(f"early-exit: {reconverged}/{len(fresh)} run(s) reconverged "
+              f"to the golden timeline, {skipped:,} instruction(s) skipped")
     return 0 if failures == 0 else 1
 
 
@@ -373,7 +395,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.program, lets=lets, flux=args.flux, fluence=args.fluence,
         seed=args.seed, instructions_per_second=args.ips, jobs=args.jobs,
         warm_start=args.warm_start, beam_delay_s=args.beam_delay,
-        beam_tail_s=args.beam_tail,
+        beam_tail_s=args.beam_tail, early_exit=not args.no_early_exit,
     )
     wall = time.perf_counter() - started
     print(render_curve(curve))
@@ -389,7 +411,7 @@ def _cmd_state(args: argparse.Namespace) -> int:
         print(f"format version: {snap.version}")
         print(f"components: {', '.join(snap.components)}")
         print(f"architectural digest: {snap.digest()}")
-        print(f"full digest:          {snap.digest(architectural=False)}")
+        print(f"full digest:          {snap.digest(architectural=False)}")  # lint: ok=det-digest-diag -- display-only, never compared
         return 0
     campaign = Campaign(CampaignConfig(program=args.program,
                                        leon=_CONFIGS[args.config]()))

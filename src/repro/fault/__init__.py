@@ -14,10 +14,16 @@ from repro.fault.campaign import (
     Campaign,
     CampaignConfig,
     CampaignResult,
-    GoldenRun,
     WarmStart,
     prepare_warm_start,
     warm_start_key,
+)
+from repro.fault.grading import (
+    GoldenCheckpoint,
+    GoldenRun,
+    GoldenTimeline,
+    checkpoint_schedule,
+    first_strike_instructions,
 )
 from repro.fault.crosssection import (
     CrossSectionCurve,
@@ -30,8 +36,10 @@ from repro.fault.crosssection import (
 from repro.fault.executor import (
     CampaignExecutionError,
     CampaignExecutor,
+    StrikeBatch,
     derive_seed,
     expand_runs,
+    plan_batches,
     run_campaign,
 )
 from repro.fault.injector import FaultInjector, SeuTarget
@@ -46,18 +54,24 @@ __all__ = [
     "CampaignResult",
     "CrossSectionCurve",
     "FaultInjector",
+    "GoldenCheckpoint",
     "GoldenRun",
+    "GoldenTimeline",
     "HeavyIonBeam",
     "ResultStore",
     "SeuTarget",
+    "StrikeBatch",
     "WarmStart",
     "WeibullCrossSection",
     "WeibullFit",
+    "checkpoint_schedule",
     "config_key",
     "derive_seed",
     "expand_runs",
+    "first_strike_instructions",
     "fit_weibull",
     "measure_curve",
+    "plan_batches",
     "prepare_warm_start",
     "render_curve",
     "run_campaign",

@@ -29,6 +29,13 @@ from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.errors import ConfigurationError
 from repro.fault.beam import BeamParameters, HeavyIonBeam
+from repro.fault.grading import (
+    DEFAULT_CHECKPOINTS,
+    GoldenCheckpoint,
+    GoldenRun,
+    GoldenTimeline,
+    checkpoint_schedule,
+)
 from repro.fault.injector import FaultInjector
 from repro.iu.pipeline import HaltReason
 from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
@@ -76,6 +83,12 @@ class CampaignConfig:
     #: policy lets the supervision logic recover and the run continue
     #: *through* failures, recording per-level counts and downtime.
     recovery: str = "none"
+    #: Golden-timeline early-exit grading (``--no-early-exit`` clears it).
+    #: An execution-strategy knob only -- measured results are
+    #: byte-identical either way -- so it is excluded from
+    #: :func:`warm_start_key`, the result-store key, and
+    #: :meth:`CampaignResult.comparable`.
+    early_exit: bool = True
 
     def beam_parameters(self) -> BeamParameters:
         return BeamParameters(let=self.let, flux=self.flux,
@@ -130,6 +143,14 @@ class CampaignResult:
     #: True when a recovery policy was active but gave up (attempt budget
     #: exhausted or no applicable rung) and the run ended failed.
     unrecovered: bool = False
+    #: How classification concluded: ``"full"`` (the complete measurement
+    #: loop executed) or ``"reconverged"`` (the architectural digest hit a
+    #: golden-timeline checkpoint and the golden readouts were reported).
+    #: ``""`` in pre-grading logs.  Execution annotation, like ``effaced``.
+    exit_reason: str = ""
+    #: Instruction count at which grading concluded an early exit
+    #: (None for full runs and pre-grading logs).
+    graded_at_instruction: Optional[int] = None
     #: Telemetry events of the run (traced executor runs only; never
     #: serialized to the ResultStore -- traces have their own sink).
     trace: Optional[list] = None
@@ -200,15 +221,20 @@ class CampaignResult:
     def comparable(self) -> Dict[str, object]:
         """The deterministic measurement fields, for byte-identity checks.
 
-        Excludes ``wall_seconds`` (host timing), ``effaced`` (an
-        execution annotation that depends on whether a golden digest was
-        available, not on what was measured) and ``trace`` (observation,
-        with host wall times inside).
+        Excludes ``wall_seconds`` (host timing), ``effaced``,
+        ``exit_reason`` and ``graded_at_instruction`` (execution
+        annotations that depend on whether a golden timeline was
+        available, not on what was measured), ``trace`` (observation,
+        with host wall times inside), and the config's ``early_exit``
+        strategy switch.
         """
         out = dataclasses.asdict(self)
         out.pop("wall_seconds", None)
         out.pop("effaced", None)
+        out.pop("exit_reason", None)
+        out.pop("graded_at_instruction", None)
         out.pop("trace", None)
+        out["config"].pop("early_exit", None)
         return out
 
 
@@ -235,26 +261,6 @@ def warm_start_key(config: CampaignConfig) -> tuple:
 
 
 @dataclass(frozen=True)
-class GoldenRun:
-    """End-state of the strike-free run, for effaced classification.
-
-    ``window_digest`` is the architectural digest at the beam-window close;
-    the readouts are what the host would log at the end of the full run.
-    """
-
-    window_digest: str
-    sw_errors: int
-    error_traps: int
-    iterations: int
-    halted: bool
-    executed: int
-    #: Device cycles the strike-free tail costs from the window close --
-    #: a pure function of the (matching) architectural state, so effaced
-    #: runs can report exact end-of-run cycle counts without executing it.
-    tail_cycles: int = 0
-
-
-@dataclass(frozen=True)
 class WarmStart:
     """A shared campaign prefix: snapshot bytes plus golden-run data.
 
@@ -271,6 +277,9 @@ class WarmStart:
     spin_pc: int
     result_base: int
     golden: Optional[GoldenRun]
+    #: Golden digest timeline for early-exit grading and strike batching
+    #: (None when the golden run failed before the window closed).
+    timeline: Optional[GoldenTimeline] = None
 
 
 class Campaign:
@@ -393,7 +402,8 @@ class Campaign:
                 harvested["base_iterations"] = read(result_base + 0x10)
                 state["since_flush"] = 0
 
-    def run(self, warm: Optional[WarmStart] = None) -> CampaignResult:
+    def run(self, warm: Optional[WarmStart] = None, *,
+            start: Optional[GoldenCheckpoint] = None) -> CampaignResult:
         started = time.perf_counter()
         config = self.config
         telemetry = self.telemetry
@@ -410,17 +420,33 @@ class Campaign:
                            recovery=config.recovery,
                            warm=warm is not None)
 
+        if start is not None and (warm is None or start.snapshot is None):
+            raise ConfigurationError(
+                "a start checkpoint requires a warm start and a golden "
+                "snapshot at the checkpoint")
+
         if warm is not None:
             if warm.key != warm_start_key(config):
                 raise ConfigurationError(
                     "warm start was prepared for an incompatible campaign "
                     "configuration")
             system = self.build_system()
-            system.restore(Snapshot.from_bytes(warm.snapshot))
+            if start is not None:
+                # Batched strike scheduling: resume from the golden state
+                # at the checkpoint instead of replaying the strike-free
+                # stretch from the warm snapshot.  Legal only while no
+                # strike has landed yet -- the executor's batch planner
+                # guarantees start.instruction <= the first upset.
+                system.restore(Snapshot.from_bytes(start.snapshot))
+                state = {"executed": start.instruction,
+                         "since_flush": start.since_flush,
+                         "failed": warm.failed}
+            else:
+                system.restore(Snapshot.from_bytes(warm.snapshot))
+                state = {"executed": warm.executed,
+                         "since_flush": warm.since_flush,
+                         "failed": warm.failed}
             spin, result_base = warm.spin_pc, warm.result_base
-            state = {"executed": warm.executed,
-                     "since_flush": warm.since_flush,
-                     "failed": warm.failed}
             golden = warm.golden
             if traced:
                 telemetry.note("span", phase="setup",
@@ -441,6 +467,9 @@ class Campaign:
                                wall_s=time.perf_counter() - prefix_started,
                                instr=state["executed"])
 
+        timeline = warm.timeline \
+            if (warm is not None and config.early_exit) else None
+
         harvested = {"sw_errors": 0, "error_traps": 0, "iterations": 0,
                      "base_sw_errors": 0, "base_iterations": 0}
         recovery = self._make_recovery(system, result_base, warm, harvested)
@@ -455,6 +484,9 @@ class Campaign:
         for strike in strikes:
             strike_at = prefix + min(
                 int(strike.time_s * config.instructions_per_second), window)
+            if strike_at < state["executed"]:
+                raise ConfigurationError(
+                    "start checkpoint lies past the run's first upset")
             alive = self._advance(system, spin, state, strike_at,
                                   recovery, harvested, result_base)
             if not alive:
@@ -492,7 +524,23 @@ class Campaign:
                 unrecovered=recovery.gave_up if recovery else False,
             )
 
-        if alive:
+        # Early-exit grading: once every scheduled strike has been applied
+        # the run is strike-free, so an architectural-digest match at any
+        # golden checkpoint boundary proves the remaining execution --
+        # every instruction, counter freeze, and result-area write -- is
+        # exactly the golden run's, and the run can stop there reporting
+        # the golden end-of-run readouts.  Counter deltas cannot occur
+        # past a match: digest equality implies the suspect sets are
+        # empty, and only suspect storage triggers corrections.  Runs
+        # that recovered are never graded early: their readouts include
+        # harvested tallies the golden run does not carry.
+        graded: Optional[GoldenCheckpoint] = None
+        if (alive and timeline is not None and timeline.checkpoints
+                and (recovery is None or not recovery.events)):
+            graded = self._grade(system, spin, state, timeline,
+                                 recovery, harvested, result_base)
+            alive = not state["failed"]
+        elif alive:
             alive = self._advance(system, spin, state, window_close,
                                   recovery, harvested, result_base)
         if traced:
@@ -500,16 +548,34 @@ class Campaign:
                            wall_s=time.perf_counter() - beam_started,
                            instr=state["executed"])
 
-        # Effaced early-out: if the architectural state at the window close
-        # equals the golden run's, the (strike-free) continuation is
-        # deterministic and identical -- including every remaining counter
-        # and the final result-area readouts -- so the tail can be skipped
-        # and the golden end-state reported.  Counter deltas cannot occur
-        # past this point: digest equality implies the suspect sets are
-        # empty, and only suspect storage triggers corrections.  Runs that
-        # recovered are never effaced: their readouts include harvested
-        # tallies the golden run does not carry.
-        if (golden is not None and alive and not state["failed"]
+        if graded is not None and timeline is not None:
+            final = timeline.final
+            result = CampaignResult(
+                counts=dict(system.errors.as_dict()),
+                sw_errors=final.sw_errors,
+                error_traps=final.error_traps,
+                halted=final.halted,
+                iterations=final.iterations,
+                instructions=final.executed,
+                wall_seconds=time.perf_counter() - started,
+                effaced=True,
+                exit_reason="reconverged",
+                graded_at_instruction=graded.instruction,
+                cycles=system.perf.cycles + timeline.tail_cycles_from(graded),
+                **counts_and_more(),
+            )
+            if traced:
+                telemetry.note("early-exit", reason="reconverged",
+                               at=graded.instruction,
+                               skipped=final.executed - graded.instruction)
+                self._finish_trace(injector, result, instr=final.executed)
+            return result
+
+        # Legacy window-close effaced check, for warm starts prepared
+        # without a timeline (the golden run parked mid-tail) or with
+        # early exit disabled but a golden readout available.
+        if (config.early_exit and timeline is None
+                and golden is not None and alive and not state["failed"]
                 and (recovery is None or not recovery.events)
                 and state["executed"] == window_close
                 and system.state_digest() == golden.window_digest):
@@ -522,12 +588,16 @@ class Campaign:
                 instructions=golden.executed,
                 wall_seconds=time.perf_counter() - started,
                 effaced=True,
+                exit_reason="reconverged",
+                graded_at_instruction=window_close,
                 cycles=system.perf.cycles + golden.tail_cycles,
                 **counts_and_more(),
             )
             if traced:
-                self._finish_trace(injector, result,
-                                   instr=state["executed"])
+                telemetry.note("early-exit", reason="reconverged",
+                               at=window_close,
+                               skipped=golden.executed - window_close)
+                self._finish_trace(injector, result, instr=golden.executed)
             return result
 
         drain_started = time.perf_counter()
@@ -557,12 +627,39 @@ class Campaign:
             iterations=iterations,
             instructions=executed,
             wall_seconds=time.perf_counter() - started,
+            exit_reason="full",
             cycles=system.perf.cycles,
             **counts_and_more(),
         )
         if traced:
             self._finish_trace(injector, result, instr=executed)
         return result
+
+    def _grade(self, system: LeonSystem, spin: int, state: Dict,
+               timeline: GoldenTimeline,
+               recovery: Optional[RecoveryController],
+               harvested: Dict[str, int],
+               result_base: int) -> Optional[GoldenCheckpoint]:
+        """Walk the golden checkpoint boundaries looking for reconvergence.
+
+        Called once every scheduled strike has been applied.  Returns the
+        first checkpoint whose architectural digest the faulted run
+        matches, or None when the run diverges through the last boundary
+        (execution is then at the timeline end and the caller reads the
+        result area as usual), fails, or recovers mid-walk (recovered
+        runs carry harvested tallies the golden readouts do not).
+        """
+        for checkpoint in timeline.checkpoints:
+            if checkpoint.instruction < state["executed"]:
+                continue
+            if not self._advance(system, spin, state, checkpoint.instruction,
+                                 recovery, harvested, result_base):
+                return None
+            if recovery is not None and recovery.events:
+                return None
+            if system.state_digest() == checkpoint.digest:
+                return checkpoint
+        return None
 
     def _finish_trace(self, injector: FaultInjector,
                       result: CampaignResult, *, instr: int) -> None:
@@ -589,14 +686,18 @@ class Campaign:
                        wall_s=round(result.wall_seconds, 6))
 
 
-def prepare_warm_start(config: CampaignConfig) -> WarmStart:
+def prepare_warm_start(config: CampaignConfig, *,
+                       checkpoints: int = DEFAULT_CHECKPOINTS) -> WarmStart:
     """Execute the golden prefix once and package it for sharing.
 
     Runs the fault-free prefix (``beam_delay_s``), snapshots the device,
     then continues the *golden* (strike-free) run through the beam window
-    and tail to record the architectural digest at the window close and the
-    final host readouts.  The result is picklable and serves every run whose
-    config shares :func:`warm_start_key` -- a whole LET sweep, every seed.
+    and tail, recording an architectural digest at every
+    :func:`~repro.fault.grading.checkpoint_schedule` boundary -- plus a
+    restore snapshot at the in-window boundaries, the anchors of batched
+    strike scheduling -- and the final host readouts.  The result is
+    picklable and serves every run whose config shares
+    :func:`warm_start_key` -- a whole LET sweep, every seed.
     """
     campaign = Campaign(config)
     prefix, window, tail = config.phase_instructions()
@@ -610,11 +711,34 @@ def prepare_warm_start(config: CampaignConfig) -> WarmStart:
     failed = state["failed"]
 
     golden: Optional[GoldenRun] = None
-    campaign._run_until(system, spin, state, window_close)
-    if not state["failed"] and state["executed"] == window_close:
-        window_digest = system.state_digest()
-        window_cycles = system.perf.cycles
-        campaign._run_until(system, spin, state, window_close + tail)
+    timeline: Optional[GoldenTimeline] = None
+    marks = []
+    window_digest: Optional[str] = None
+    window_cycles = 0
+    clean = not failed
+    for boundary in checkpoint_schedule(prefix, window, tail,
+                                        count=checkpoints):
+        campaign._run_until(system, spin, state, boundary)
+        if state["failed"] or state["executed"] != boundary:
+            # Parked mid-stretch.  Before the window close that kills the
+            # golden run (no digest to compare against); in the tail the
+            # timeline simply ends early -- a run matching any recorded
+            # boundary has the identical (parked) future.
+            clean = window_digest is not None
+            break
+        digest = system.state_digest()
+        marks.append(GoldenCheckpoint(
+            instruction=boundary,
+            digest=digest,
+            cycles=system.perf.cycles,
+            since_flush=state["since_flush"],
+            snapshot=(system.snapshot().to_bytes()
+                      if boundary <= window_close else None),
+        ))
+        if boundary == window_close:
+            window_digest = digest
+            window_cycles = system.perf.cycles
+    if clean and window_digest is not None:
         read = system.read_word
         golden = GoldenRun(
             window_digest=window_digest,
@@ -624,6 +748,13 @@ def prepare_warm_start(config: CampaignConfig) -> WarmStart:
             halted=system.iu.halted is not HaltReason.RUNNING,
             executed=state["executed"],
             tail_cycles=system.perf.cycles - window_cycles,
+        )
+        timeline = GoldenTimeline(
+            window_close=window_close,
+            end=state["executed"],
+            end_cycles=system.perf.cycles,
+            checkpoints=tuple(marks),
+            final=golden,
         )
 
     return WarmStart(
@@ -635,4 +766,5 @@ def prepare_warm_start(config: CampaignConfig) -> WarmStart:
         spin_pc=spin,
         result_base=result_base,
         golden=golden,
+        timeline=timeline,
     )

@@ -82,6 +82,7 @@ def measure_curve(
     warm_start: bool = False,
     beam_delay_s: float = 0.0,
     beam_tail_s: float = 0.0,
+    early_exit: bool = True,
 ) -> CrossSectionCurve:
     """Run one campaign per LET point and build the per-bit sigma curves.
 
@@ -92,7 +93,9 @@ def measure_curve(
     serial one.  With ``warm_start=True`` the fault-free prefix
     (``beam_delay_s``) is executed once and every LET point restores from
     the shared snapshot -- the curve is unchanged (the warm-start key does
-    not involve LET or seed).
+    not involve LET or seed).  ``early_exit=False`` disables golden-timeline
+    grading and strike batching (the slow full-execution oracle; the curve
+    is identical either way).
     """
     bits = target_bits(leon)
     curve = CrossSectionCurve(program, {kind: [] for kind in COUNTER_TARGETS})
@@ -110,13 +113,15 @@ def measure_curve(
             program_kwargs=program_kwargs or {},
             beam_delay_s=beam_delay_s,
             beam_tail_s=beam_tail_s,
+            early_exit=early_exit,
         )
         for index, let in enumerate(lets)
     ]
     if executor is None:
         executor = CampaignExecutor(jobs)
     warm = prepare_warm_start(configs[0]) if warm_start and configs else None
-    for let, result in zip(lets, executor.run_many(configs, warm=warm)):
+    for let, result in zip(lets, executor.run_many(configs, warm=warm,
+                                                   batch=early_exit)):
         for kind in COUNTER_TARGETS:
             count = result.counts[kind]
             sigma = count / fluence / bits[kind]

@@ -14,6 +14,16 @@ order, or on how many jobs ran.  ``run_many`` therefore returns results
 bit-for-bit identical to a serial loop over the same configs, and ``jobs=1``
 *is* that serial loop (no process pool is created at all).
 
+Batched strike scheduling
+-------------------------
+Warm campaigns carrying a golden timeline are additionally grouped by
+:func:`plan_batches`: a run executes the golden trajectory until its first
+upset, so every run whose first strike lands after golden checkpoint B can
+restore B's snapshot instead of replaying the strike-free stretch from the
+warm-start snapshot.  The groups only relocate where each run's
+deterministic replay begins -- results, their order, and the ``on_results``
+stream are byte-identical to the unbatched execution.
+
 Fault tolerance (of the host, not the device)
 ---------------------------------------------
 A chunk whose worker crashes, raises, or exceeds ``timeout_s`` is retried
@@ -24,12 +34,13 @@ reported together in a :class:`CampaignExecutionError`.
 
 from __future__ import annotations
 
+import inspect
 import math
 import multiprocessing
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fault.campaign import (
     Campaign,
@@ -37,6 +48,7 @@ from repro.fault.campaign import (
     CampaignResult,
     WarmStart,
 )
+from repro.fault.grading import GoldenCheckpoint, first_strike_instructions
 
 _MASK64 = (1 << 64) - 1
 
@@ -68,13 +80,16 @@ def expand_runs(config: CampaignConfig, runs: int) -> List[CampaignConfig]:
 
 
 def run_campaign(config: CampaignConfig,
-                 warm: Optional[WarmStart] = None) -> CampaignResult:
+                 warm: Optional[WarmStart] = None,
+                 start: Optional[GoldenCheckpoint] = None) -> CampaignResult:
     """The default runner: build and run one campaign (picklable)."""
-    return Campaign(config).run(warm=warm)
+    return Campaign(config).run(warm=warm, start=start)
 
 
 def run_campaign_traced(config: CampaignConfig,
-                        warm: Optional[WarmStart] = None) -> CampaignResult:
+                        warm: Optional[WarmStart] = None,
+                        start: Optional[GoldenCheckpoint] = None,
+                        ) -> CampaignResult:
     """Traced runner: like :func:`run_campaign`, but with telemetry on.
 
     The run's events buffer in a :class:`~repro.telemetry.MemorySink` and
@@ -87,19 +102,24 @@ def run_campaign_traced(config: CampaignConfig,
     from repro.telemetry import MemorySink, Telemetry
 
     sink = MemorySink()
-    result = Campaign(config, telemetry=Telemetry(sink)).run(warm=warm)
+    result = Campaign(config, telemetry=Telemetry(sink)).run(warm=warm,
+                                                             start=start)
     result.trace = sink.events
     return result
 
 
 def _call_runner(runner: Callable[..., CampaignResult],
                  config: CampaignConfig,
-                 warm: Optional[WarmStart]) -> CampaignResult:
-    """Invoke a runner, passing ``warm`` only when one is in play.
+                 warm: Optional[WarmStart],
+                 start: Optional[GoldenCheckpoint] = None) -> CampaignResult:
+    """Invoke a runner, passing ``warm``/``start`` only when in play.
 
     Keeps single-argument custom runners (tests, alternative measurement
-    loops) working unchanged for cold campaigns.
+    loops) working unchanged for cold campaigns, and two-argument warm
+    runners working for unbatched ones.
     """
+    if start is not None:
+        return runner(config, warm, start)
     if warm is None:
         return runner(config)
     return runner(config, warm)
@@ -107,9 +127,56 @@ def _call_runner(runner: Callable[..., CampaignResult],
 
 def _run_chunk(runner: Callable[..., CampaignResult],
                configs: Sequence[CampaignConfig],
-               warm: Optional[WarmStart] = None) -> List[CampaignResult]:
+               warm: Optional[WarmStart] = None,
+               start: Optional[GoldenCheckpoint] = None,
+               ) -> List[CampaignResult]:
     """Worker entry point: run one chunk of configs back to back."""
-    return [_call_runner(runner, config, warm) for config in configs]
+    return [_call_runner(runner, config, warm, start) for config in configs]
+
+
+@dataclass(frozen=True)
+class StrikeBatch:
+    """One shared-checkpoint group of a batched campaign.
+
+    ``start`` is the golden checkpoint every member restores from (None:
+    run from the warm snapshot as usual); ``indices`` are the members'
+    positions in the submitted config list, ascending.
+    """
+
+    start: Optional[GoldenCheckpoint]
+    indices: Tuple[int, ...]
+
+
+def plan_batches(configs: Sequence[CampaignConfig],
+                 warm: Optional[WarmStart],
+                 ) -> Optional[List[StrikeBatch]]:
+    """Group runs by the latest golden checkpoint before their first upset.
+
+    Every run's execution up to its first strike is the golden run's, so
+    a group sharing an anchor checkpoint restores the golden state there
+    instead of replaying the strike-free stretch per run -- the batched
+    analogue of the warm-start prefix sharing.  Strike-free runs anchor
+    at the last in-window checkpoint (grading classifies them on the
+    spot).  Returns None when there is nothing to batch: no timeline, no
+    anchors, or no run whose first upset lies past the first anchor.
+    """
+    if warm is None or warm.timeline is None:
+        return None
+    anchors = warm.timeline.anchors()
+    if not anchors:
+        return None
+    groups: Dict[int, List[int]] = {}
+    for index, first in enumerate(first_strike_instructions(configs)):
+        at = -1
+        for position, anchor in enumerate(anchors):
+            if first is not None and anchor.instruction > first:
+                break
+            at = position
+        groups.setdefault(at, []).append(index)
+    if set(groups) == {-1}:
+        return None
+    return [StrikeBatch(anchors[at] if at >= 0 else None, tuple(members))
+            for at, members in sorted(groups.items())]
 
 
 def _format_error(exc: BaseException) -> str:
@@ -189,7 +256,10 @@ class CampaignExecutor:
         The per-config run function, ``config -> CampaignResult``.  Must
         be picklable (a module-level function) when ``jobs > 1``.
         Injectable for tests and for alternative measurement loops.
-        Warm-start campaigns call it as ``runner(config, warm)`` instead.
+        Warm-start campaigns call it as ``runner(config, warm)``; batched
+        warm campaigns as ``runner(config, warm, start)`` -- runners
+        accepting fewer than three positional arguments are never
+        batched.
     mp_context:
         Multiprocessing context; default prefers ``fork`` (cheap worker
         start, no re-import) falling back to the platform default.
@@ -219,12 +289,19 @@ class CampaignExecutor:
         configs: Sequence[CampaignConfig],
         *,
         warm: Optional[WarmStart] = None,
+        batch: bool = True,
         on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
     ) -> List[CampaignResult]:
         """Run every config; results come back in config order.
 
         ``warm`` is a shared :class:`~repro.fault.campaign.WarmStart` passed
-        to every run (the runner receives it as a second argument).
+        to every run (the runner receives it as a second argument).  With
+        ``batch`` (the default), warm campaigns with a golden timeline are
+        grouped by :func:`plan_batches` so runs sharing a strike-window
+        start restore one shared golden checkpoint (the runner receives it
+        as a third argument); ``batch=False`` is the ``--no-early-exit``
+        escape hatch.  Batching never changes results or their order --
+        it only relocates where each run's deterministic replay begins.
         ``on_results`` is called with each batch of completed results *in
         config order* as the executor collects them -- the hook crash-safe
         result stores append through.  Raises
@@ -234,27 +311,115 @@ class CampaignExecutor:
         configs = list(configs)
         if not configs:
             return []
-        if self.jobs <= 1 or len(configs) == 1:
-            return self._run_serial(configs, warm=warm, on_results=on_results)
-        return self._run_parallel(configs, warm=warm, on_results=on_results)
+        batches = None
+        if batch and warm is not None and self._runner_accepts_start():
+            batches = plan_batches(configs, warm)
+        if batches is None:
+            batches = [StrikeBatch(None, tuple(range(len(configs))))]
+        return self._run_batches(configs, batches, warm=warm,
+                                 on_results=on_results)
 
-    # -- serial path --------------------------------------------------------------
+    # -- dispatch engine ----------------------------------------------------------
 
-    def _run_serial(
+    def _runner_accepts_start(self) -> bool:
+        """Whether the runner takes a (config, warm, start) third argument.
+
+        Custom one- and two-argument runners keep working: they simply
+        never see batched starts.
+        """
+        try:
+            parameters = inspect.signature(self.runner).parameters.values()
+        except (TypeError, ValueError):
+            return False
+        positional = [p for p in parameters
+                      if p.kind in (p.POSITIONAL_ONLY,
+                                    p.POSITIONAL_OR_KEYWORD)]
+        return len(positional) >= 3 or any(
+            p.kind == p.VAR_POSITIONAL for p in parameters)
+
+    def _run_batches(
         self,
-        configs: Sequence[CampaignConfig],
+        configs: List[CampaignConfig],
+        batches: List[StrikeBatch],
         *,
-        warm: Optional[WarmStart] = None,
-        on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
+        warm: Optional[WarmStart],
+        on_results: Optional[Callable[[List[CampaignResult]], None]],
     ) -> List[CampaignResult]:
-        results: List[Optional[CampaignResult]] = []
+        """Run the batches' chunks, releasing results in config order.
+
+        Batched chunks complete out of config order (a group is contiguous
+        in *its own* indices, not globally), so completed results buffer
+        until every earlier config has finished -- the ``on_results``
+        stream and the returned list are identical to the unbatched run's.
+        """
+        results: List[Optional[CampaignResult]] = [None] * len(configs)
+        filled = [False] * len(configs)
         failures: List[ExecutorFailure] = []
-        for config in configs:
-            result = self._attempt(config, failures,
-                                   attempts=1 + self.retries, warm=warm)
-            results.append(result)
-            if on_results is not None and result is not None:
-                on_results([result])
+        cursor = 0
+
+        def release() -> None:
+            nonlocal cursor
+            ready: List[CampaignResult] = []
+            while cursor < len(configs) and filled[cursor]:
+                if results[cursor] is not None:
+                    ready.append(results[cursor])
+                cursor += 1
+            if ready and on_results is not None:
+                on_results(ready)
+
+        size = self._chunk_size(len(configs))
+        chunks: List[Tuple[Tuple[int, ...], List[CampaignConfig],
+                           Optional[GoldenCheckpoint]]] = []
+        for group in batches:
+            for offset in range(0, len(group.indices), size):
+                indices = group.indices[offset:offset + size]
+                chunks.append((indices, [configs[i] for i in indices],
+                               group.start))
+
+        if self.jobs <= 1 or len(configs) == 1:
+            for indices, chunk_configs, start in chunks:
+                for index, config in zip(indices, chunk_configs):
+                    results[index] = self._attempt(
+                        config, failures, attempts=1 + self.retries,
+                        warm=warm, start=start)
+                    filled[index] = True
+                    release()
+        else:
+            workers = min(self.jobs, len(chunks))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=self._context()) as pool:
+                futures = [
+                    (indices, chunk_configs, start,
+                     pool.submit(_run_chunk, self.runner, chunk_configs,
+                                 warm, start))
+                    for indices, chunk_configs, start in chunks]
+                for indices, chunk_configs, start, future in futures:
+                    try:
+                        chunk_results: List[Optional[CampaignResult]] = \
+                            list(future.result(self.timeout_s))
+                    except Exception as exc:
+                        # Worker raised, died, or overran the budget; a
+                        # broken pool also lands here for every remaining
+                        # chunk.  The configs are self-contained, so
+                        # retrying serially in the parent reproduces
+                        # exactly what the worker would have computed.
+                        future.cancel()
+                        if self.retries:
+                            chunk_results = [
+                                self._attempt(config, failures,
+                                              attempts=self.retries,
+                                              warm=warm, start=start)
+                                for config in chunk_configs]
+                        else:
+                            error = _format_error(exc)
+                            failures.extend(
+                                ExecutorFailure(config=config, error=error)
+                                for config in chunk_configs)
+                            chunk_results = [None] * len(chunk_configs)
+                    for index, result in zip(indices, chunk_results):
+                        results[index] = result
+                        filled[index] = True
+                    release()
         if failures:
             raise CampaignExecutionError(failures, results)
         return results  # type: ignore[return-value]  # no failures -> no Nones
@@ -262,17 +427,17 @@ class CampaignExecutor:
     def _attempt(self, config: CampaignConfig,
                  failures: List[ExecutorFailure],
                  *, attempts: int,
-                 warm: Optional[WarmStart] = None) -> Optional[CampaignResult]:
+                 warm: Optional[WarmStart] = None,
+                 start: Optional[GoldenCheckpoint] = None,
+                 ) -> Optional[CampaignResult]:
         error = "no attempts made"
         for _ in range(max(1, attempts)):
             try:
-                return _call_runner(self.runner, config, warm)
+                return _call_runner(self.runner, config, warm, start)
             except Exception as exc:
                 error = _format_error(exc)
         failures.append(ExecutorFailure(config=config, error=error))
         return None
-
-    # -- parallel path ------------------------------------------------------------
 
     def _context(self) -> multiprocessing.context.BaseContext:
         if self.mp_context is not None:
@@ -285,52 +450,3 @@ class CampaignExecutor:
         if self.chunksize is not None:
             return max(1, self.chunksize)
         return max(1, math.ceil(total / (self.jobs * 4)))
-
-    def _run_parallel(
-        self,
-        configs: List[CampaignConfig],
-        *,
-        warm: Optional[WarmStart] = None,
-        on_results: Optional[Callable[[List[CampaignResult]], None]] = None,
-    ) -> List[CampaignResult]:
-        size = self._chunk_size(len(configs))
-        chunks = [(start, configs[start:start + size])
-                  for start in range(0, len(configs), size)]
-        results: List[Optional[CampaignResult]] = [None] * len(configs)
-        failures: List[ExecutorFailure] = []
-        workers = min(self.jobs, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=self._context()) as pool:
-            futures = [(start, chunk,
-                        pool.submit(_run_chunk, self.runner, chunk, warm))
-                       for start, chunk in chunks]
-            for start, chunk, future in futures:
-                try:
-                    chunk_results: List[Optional[CampaignResult]] = \
-                        list(future.result(self.timeout_s))
-                except Exception as exc:
-                    # Worker raised, died, or overran the budget; a broken
-                    # pool also lands here for every remaining chunk.  The
-                    # configs are self-contained, so retrying serially in
-                    # the parent reproduces exactly what the worker would
-                    # have computed.
-                    future.cancel()
-                    if self.retries:
-                        chunk_results = [
-                            self._attempt(config, failures,
-                                          attempts=self.retries, warm=warm)
-                            for config in chunk]
-                    else:
-                        error = _format_error(exc)
-                        failures.extend(
-                            ExecutorFailure(config=config, error=error)
-                            for config in chunk)
-                        chunk_results = [None] * len(chunk)
-                results[start:start + len(chunk)] = chunk_results
-                if on_results is not None:
-                    completed = [r for r in chunk_results if r is not None]
-                    if completed:
-                        on_results(completed)
-        if failures:
-            raise CampaignExecutionError(failures, results)
-        return results  # type: ignore[return-value]  # no failures -> no Nones

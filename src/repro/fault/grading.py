@@ -1,0 +1,165 @@
+"""Fast fault grading: golden digest timelines and strike batching.
+
+Lopez-Ongil et al. ("Techniques for Fast Transient Fault Grading Based on
+Autonomous Emulation", PAPERS.md) observe that almost every injected fault
+is boring: the faulted run either reconverges to the golden (strike-free)
+run shortly after its last upset is corrected or overwritten, or diverges
+for good.  Executing every run to program end therefore spends nearly all
+campaign wall-clock on tails whose outcome is already decided.
+
+This module holds the data model of the grading layer:
+
+* :class:`GoldenTimeline` -- periodic architectural-digest checkpoints of
+  the golden run, computed once per campaign configuration by
+  :func:`repro.fault.campaign.prepare_warm_start` and shipped to every
+  run inside the :class:`~repro.fault.campaign.WarmStart`.  A faulted run
+  that reaches a checkpoint boundary with a matching digest has provably
+  reconverged: its remaining execution -- every instruction, counter
+  freeze, and result-area write -- is the golden run's, so it terminates
+  there and reports the golden end-of-run readouts, byte-identical to
+  full execution.
+* golden *snapshots* at in-window boundaries, the restore targets of
+  batched strike scheduling
+  (:func:`repro.fault.executor.plan_batches`): runs whose first upset
+  lands after boundary B restore the golden state at B instead of
+  re-executing the strike-free stretch from the warm-start snapshot.
+
+Digests are architectural (:meth:`repro.state.snapshot.Snapshot.digest`):
+diag/counter state is excluded, because the error monitor remembers that
+a strike happened long after the architectural state has reconverged --
+and grading must classify exactly those runs early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Checkpoints per golden timeline (the schedule may emit fewer when the
+#: window is too short for the spacing floor).
+DEFAULT_CHECKPOINTS = 16
+
+#: Floor on checkpoint spacing, in instructions.  An architectural digest
+#: costs roughly a thousand simulated instructions of host time, so denser
+#: boundaries would cost diverged runs more than the skipped tail saves.
+MIN_CHECKPOINT_INTERVAL = 2_000
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """End-state of the strike-free run, for effaced classification.
+
+    ``window_digest`` is the architectural digest at the beam-window close;
+    the readouts are what the host would log at the end of the full run.
+    """
+
+    window_digest: str
+    sw_errors: int
+    error_traps: int
+    iterations: int
+    halted: bool
+    executed: int
+    #: Device cycles the strike-free tail costs from the window close --
+    #: a pure function of the (matching) architectural state, so effaced
+    #: runs can report exact end-of-run cycle counts without executing it.
+    tail_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class GoldenCheckpoint:
+    """One golden boundary: where it is, what the state hashes to, and
+    what reaching it cost the golden run."""
+
+    #: Absolute executed-instruction count of the boundary.
+    instruction: int
+    #: Architectural digest of the golden state at the boundary.
+    digest: str
+    #: Golden device cycles consumed up to the boundary.
+    cycles: int
+    #: Periodic-flush phase at the boundary (``state["since_flush"]``).
+    since_flush: int
+    #: Golden state bytes, kept only for in-window boundaries -- the
+    #: restore targets of batched strike scheduling.  Tail boundaries are
+    #: compare-only (no run ever starts there) and carry None.
+    snapshot: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class GoldenTimeline:
+    """The golden run, reduced to periodic digests plus its end readouts."""
+
+    #: Instruction count at which the beam window closes.
+    window_close: int
+    #: Instruction count at which the golden run ended (window close plus
+    #: tail, or earlier if the golden run parked in the tail).
+    end: int
+    #: Golden device cycles at ``end``.
+    end_cycles: int
+    #: Digest boundaries, ascending; always includes the window close.
+    checkpoints: Tuple[GoldenCheckpoint, ...]
+    #: Golden end-of-run readouts, reported verbatim by reconverged runs.
+    final: GoldenRun
+
+    def anchors(self) -> Tuple[GoldenCheckpoint, ...]:
+        """The checkpoints carrying restore snapshots (batch anchors)."""
+        return tuple(cp for cp in self.checkpoints if cp.snapshot is not None)
+
+    def tail_cycles_from(self, checkpoint: GoldenCheckpoint) -> int:
+        """Device cycles the golden run spends from *checkpoint* to end."""
+        return self.end_cycles - checkpoint.cycles
+
+
+def checkpoint_schedule(prefix: int, window: int, tail: int, *,
+                        count: int = DEFAULT_CHECKPOINTS,
+                        min_interval: int = MIN_CHECKPOINT_INTERVAL,
+                        ) -> Tuple[int, ...]:
+    """Absolute instruction boundaries of a golden timeline, ascending.
+
+    A pure function of the campaign phase shape -- and therefore identical
+    across ``--jobs``, warm/cold start, and resume: evenly spaced
+    boundaries over ``(prefix, end]``, at most *count* of them and never
+    closer than *min_interval*, always including the window close and the
+    run end.
+    """
+    window_close = prefix + window
+    end = window_close + tail
+    span = end - prefix
+    if span <= 0:
+        return ()
+    interval = max(span // max(count, 1), min_interval, 1)
+    bounds = set(range(prefix + interval, end + 1, interval))
+    bounds.add(window_close)
+    bounds.add(end)
+    ordered = sorted(bounds)
+    return tuple(b for b in ordered if prefix < b <= end)
+
+
+def first_strike_instructions(configs: Sequence) -> List[Optional[int]]:
+    """First-upset instruction per config (None when the run is strike-free).
+
+    Uses the campaign's exact arrival arithmetic, so the returned value is
+    the target of the run's first advance.  Strike schedules are a pure
+    function of the beam parameters; one throwaway system supplies the
+    target geometry (the configs of a batch share a warm start, hence a
+    device configuration).
+    """
+    from repro.core.config import LeonConfig
+    from repro.core.system import LeonSystem
+    from repro.fault.beam import HeavyIonBeam
+    from repro.fault.injector import FaultInjector
+
+    if not configs:
+        return []
+    leon = configs[0].leon or LeonConfig.leon_express()
+    beam = HeavyIonBeam(FaultInjector(LeonSystem(leon)))
+    firsts: List[Optional[int]] = []
+    for config in configs:
+        prefix, window, _tail = config.phase_instructions()
+        beam.begin(config.beam_parameters())
+        strike = beam.next_strike()
+        if strike is None:
+            firsts.append(None)
+        else:
+            firsts.append(prefix + min(
+                int(strike.time_s * config.instructions_per_second), window))
+    return firsts

@@ -103,6 +103,8 @@ def to_json(results: Sequence[CampaignResult]) -> str:
             "mttr_cycles": result.mttr_cycles,
             "halts": result.halts,
             "unrecovered": result.unrecovered,
+            "exit_reason": result.exit_reason,
+            "graded_at_instruction": result.graded_at_instruction,
         })
     return json.dumps(payload, indent=2)
 

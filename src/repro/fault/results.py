@@ -68,6 +68,8 @@ def result_to_dict(result: CampaignResult) -> dict:
         "recovery_downtime": dict(result.recovery_downtime),
         "halts": result.halts,
         "unrecovered": result.unrecovered,
+        "exit_reason": result.exit_reason,
+        "graded_at_instruction": result.graded_at_instruction,
     }
 
 
@@ -92,6 +94,11 @@ def result_from_dict(payload: dict) -> CampaignResult:
         recovery_downtime=dict(payload.get("recovery_downtime", {})),
         halts=payload.get("halts", 0),
         unrecovered=payload.get("unrecovered", False),
+        # Early-exit grading fields: rows written before fast grading
+        # existed lack them; they are execution annotations, so the
+        # defaults keep old and new rows byte-comparable.
+        exit_reason=payload.get("exit_reason", ""),
+        graded_at_instruction=payload.get("graded_at_instruction"),
     )
 
 

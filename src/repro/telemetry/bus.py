@@ -24,6 +24,12 @@ serialise straight to JSONL.  The taxonomy (see DESIGN.md):
 ``run-start`` / ``span`` / ``run-end``
     Per-run campaign framing: the configuration, phase-tagged wall
     timers (setup/golden-prefix/beam/drain), and the final readouts.
+``early-exit``
+    Fast-grading framing: the run terminated at a golden-timeline
+    checkpoint (reason, boundary instruction, instructions skipped).
+    The ``close`` events that follow carry the golden end-of-run
+    instruction count, so lifecycles are byte-identical to the
+    full-execution trace.
 
 Correlation: the bus keeps a table of *open* upsets keyed by
 ``(target, word)``.  A ``detect``/``resolve`` at a site attaches to the

@@ -1,4 +1,4 @@
-"""FT201-FT204: determinism fixtures (jobs-invariance contracts)."""
+"""FT201-FT205: determinism fixtures (jobs-invariance contracts)."""
 
 from repro.analysis import analyze_source
 
@@ -103,4 +103,65 @@ def test_suppression_comment_silences_set_iteration():
         "    pending = set(items)\n"
         "    for item in pending:  # lint: ok=det-set-iter -- order-free\n"
         "        print(item)\n")
+    assert [f.suppressed for f in findings] == [True]
+
+
+# -- FT205 det-digest-diag ----------------------------------------------------
+
+
+def test_full_digest_comparison_is_flagged():
+    findings = analyze_source(
+        "def reconverged(snap, golden):\n"
+        "    return snap.digest(architectural=False) == golden\n")
+    assert _codes(findings) == ["FT205"]
+
+
+def test_architectural_digest_is_clean():
+    assert analyze_source(
+        "def reconverged(snap, golden):\n"
+        "    return snap.digest() == golden\n") == []
+
+
+def test_hash_over_capture_without_strip_diag_is_flagged():
+    findings = analyze_source(
+        "import hashlib\n"
+        "import pickle\n"
+        "def digest(self):\n"
+        "    payload = pickle.dumps(self.cache.capture())\n"
+        "    return hashlib.sha256(payload).hexdigest()\n")
+    assert _codes(findings) == ["FT205"]
+
+
+def test_hash_with_strip_diag_is_clean():
+    assert analyze_source(
+        "import hashlib\n"
+        "import pickle\n"
+        "from repro.state.snapshot import strip_diag\n"
+        "def digest(self):\n"
+        "    payload = pickle.dumps(strip_diag(self.cache.capture()))\n"
+        "    return hashlib.sha256(payload).hexdigest()\n") == []
+
+
+def test_hash_over_components_without_strip_diag_is_flagged():
+    findings = analyze_source(
+        "import hashlib\n"
+        "import pickle\n"
+        "def digest(snapshot):\n"
+        "    blob = pickle.dumps(snapshot.components)\n"
+        "    return hashlib.sha256(blob).hexdigest()\n")
+    assert _codes(findings) == ["FT205"]
+
+
+def test_hash_unrelated_to_snapshots_is_clean():
+    assert analyze_source(
+        "import hashlib\n"
+        "def content_hash(data):\n"
+        "    return hashlib.sha256(data).hexdigest()\n") == []
+
+
+def test_suppression_comment_silences_full_digest():
+    findings = analyze_source(
+        "def show(snap):\n"
+        "    print(snap.digest(architectural=False))"
+        "  # lint: ok=det-digest-diag -- display-only\n")
     assert [f.suppressed for f in findings] == [True]

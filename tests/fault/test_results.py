@@ -123,6 +123,25 @@ def test_split_pending_partitions(tmp_path):
     assert [config.seed for config in pending] == [1, 3]
 
 
+def test_pre_grading_rows_load_with_defaults(tmp_path):
+    """Stores written before fast grading lack the exit fields; loading
+    them defaults to the legacy markers so mixed-version resumes work."""
+    path = str(tmp_path / "runs.jsonl")
+    row = result_to_dict(_result(seed=1))
+    row.pop("exit_reason", None)
+    row.pop("graded_at_instruction", None)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(row) + "\n")
+    loaded = ResultStore(path).load()
+    result = loaded[config_key(_config(seed=1))]
+    assert result.exit_reason == ""
+    assert result.graded_at_instruction is None
+    # A resumed campaign appends new-format rows to the same store.
+    with ResultStore(path) as store:
+        store.append([_result(seed=2)])
+    assert len(ResultStore(path).load()) == 2
+
+
 # -- resume through the executor -----------------------------------------------
 
 
