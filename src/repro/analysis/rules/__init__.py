@@ -1,5 +1,11 @@
 """Rule registration: importing this package registers every rule."""
 
-from repro.analysis.rules import counters, determinism, state, telemetry
+from repro.analysis.rules import (
+    counters,
+    determinism,
+    state,
+    storage,
+    telemetry,
+)
 
-__all__ = ["counters", "determinism", "state", "telemetry"]
+__all__ = ["counters", "determinism", "state", "storage", "telemetry"]

@@ -1,0 +1,93 @@
+"""Storage rules: every campaign read flows through ``repro.store``.
+
+``storage-read`` (FT501)
+    Flags direct ``ResultStore`` JSONL *reads* (``.load()`` /
+    ``.split_pending()``) outside the sanctioned storage modules.  The
+    CLI, the service, and the report renderers all consume campaign
+    results through the :mod:`repro.store` query layer, which is what
+    keeps JSONL-backed and SQLite-backed campaigns byte-identical; a
+    module that re-opens the JSONL log directly silently forks that
+    contract.  Writes (``ResultStore.append``) stay legal everywhere --
+    the log is the crash-safe capture format.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+#: ResultStore methods that read the JSONL log.
+_READ_METHODS = ("load", "split_pending")
+
+#: Modules allowed to touch the JSONL format directly: the store itself
+#: and the query layer built on top of it.
+_SANCTIONED = ("fault/results.py",)
+_SANCTIONED_PACKAGES = ("store",)
+
+
+def _is_result_store_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "ResultStore"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "ResultStore"
+    return False
+
+
+@register_rule
+class ResultStoreReadRule(Rule):
+    name = "storage-read"
+    code = "FT501"
+    protects = "one query layer: campaign reads go through repro.store"
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        if module.package_path in _SANCTIONED:
+            return
+        if module.subpackage() in _SANCTIONED_PACKAGES:
+            return
+        stores = self._store_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in _READ_METHODS):
+                continue
+            receiver = func.value
+            direct = _is_result_store_call(receiver)
+            named = (isinstance(receiver, ast.Name)
+                     and receiver.id in stores)
+            attr = (isinstance(receiver, ast.Attribute)
+                    and receiver.attr in stores)
+            if direct or named or attr:
+                yield self.finding(
+                    module, node,
+                    f"ResultStore.{func.attr}() reads the JSONL log "
+                    f"directly; route reads through repro.store "
+                    f"(load_results / split_pending) so every consumer "
+                    f"shares one query layer")
+
+    @staticmethod
+    def _store_names(tree: ast.Module) -> Set[str]:
+        """Names bound to a ``ResultStore(...)`` anywhere in the module."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if _is_result_store_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                        elif isinstance(target, ast.Attribute):
+                            names.add(target.attr)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (_is_result_store_call(item.context_expr)
+                            and isinstance(item.optional_vars, ast.Name)):
+                        names.add(item.optional_vars.id)
+        return names

@@ -16,6 +16,9 @@ Subcommands:
     availability scheme availability estimates, optionally from measured
                  recovery downtime
     info         describe the simulated device configuration
+    serve        campaign service: job queue, HTTP API and dashboard
+    ingest       import JSONL result logs / traces into the campaign
+                 database the service answers from
 
 ``campaign`` and ``sweep`` accept ``--jobs N`` to fan independent runs
 across N worker processes; results are identical to ``--jobs 1``.  With
@@ -35,6 +38,13 @@ folds the recorded downtime back into the orbital availability estimate.
 JSONL trace; ``trace FILE`` pretty-prints it and ``stats FILE`` folds it
 back into the paper's counter readouts.  Measured results are
 byte-identical with tracing on or off.
+
+``serve`` runs the campaign service: POST a campaign spec to
+``/api/jobs``, poll the job id, read Table-2 folds / cross-section
+curves / availability / diffs back over HTTP -- numbers byte-identical
+to the CLI's, because both sit on the same :mod:`repro.store` query
+layer.  ``ingest`` imports existing JSONL logs into the service's
+database idempotently.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ from repro.alternatives.availability import (
     measure_availability,
 )
 from repro.alternatives.schemes import all_schemes
+from repro.errors import ConfigurationError
 from repro.area.model import TimingModel, table1
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
@@ -73,6 +84,7 @@ from repro.iu.pipetrace import PipelineTracer
 from repro.recovery import POLICIES
 from repro.sparc.asm import assemble
 from repro.state.snapshot import Snapshot
+from repro.store import load_results, split_pending
 from repro.telemetry import (
     JsonlTraceSink,
     fold_stats,
@@ -246,6 +258,34 @@ def _build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="describe the device")
     _add_config_argument(info)
 
+    serve = subparsers.add_parser(
+        "serve", help="campaign service: job queue, HTTP API + dashboard")
+    serve.add_argument("--db", default="campaigns.db", metavar="FILE",
+                       help="campaign database (default: campaigns.db)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (default: 8321)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per campaign job "
+                            "(default: serial)")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="import JSONL result logs / telemetry traces "
+                       "into the campaign database")
+    ingest.add_argument("files", nargs="+",
+                        help="JSONL files written by campaign "
+                             "--results / --trace")
+    ingest.add_argument("--db", default="campaigns.db", metavar="FILE",
+                        help="campaign database (default: campaigns.db)")
+    ingest.add_argument("--name", default=None,
+                        help="campaign name (default: each file's stem); "
+                             "with several files, merges them into one "
+                             "campaign")
+    ingest.add_argument("--trace", action="store_true",
+                        help="the files are telemetry traces, not result "
+                             "logs")
+
     lint = subparsers.add_parser(
         "lint", help="FT-invariant static analysis (and runtime audit)")
     lint.add_argument("paths", nargs="*", default=None,
@@ -314,7 +354,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if store_path:
         store = ResultStore(store_path)
     if args.resume:
-        done, pending = store.split_pending(configs)
+        done, pending = split_pending(args.resume, configs)
         if done:
             print(f"resume: {len(done)} of {len(configs)} run(s) already "
                   f"in {args.resume}")
@@ -479,8 +519,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     if not args.measured:
         return 0
 
-    store = ResultStore(args.measured)
-    results = list(store.load().values())
+    results = load_results(args.measured)
     if not results:
         print(f"\nno results in {args.measured}", file=sys.stderr)
         return 1
@@ -562,6 +601,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0 if stats.consistent else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    serve(args.db, host=args.host, port=args.port, jobs=args.jobs)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.store import CampaignDatabase
+
+    import os
+
+    status = 0
+    with CampaignDatabase(args.db) as db:
+        for path in args.files:
+            try:
+                # The JSONL readers tolerate a missing file (a resume
+                # convenience); an ingest of one is a typo, not a
+                # campaign.
+                if not os.path.isfile(path):
+                    raise OSError("no such file")
+                if args.trace:
+                    campaign, count = db.ingest_trace(path, name=args.name)
+                    unit = "event(s)"
+                else:
+                    campaign, count = db.ingest_results(path, name=args.name)
+                    unit = "run(s)"
+            except (OSError, ConfigurationError) as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            name = next(row["name"] for row in db.campaigns()
+                        if row["id"] == campaign)
+            print(f"{path}: {count} {unit} -> campaign "
+                  f"'{name}' (#{campaign}) in {args.db}")
+    return status
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -614,6 +691,8 @@ _COMMANDS = {
     "rates": _cmd_rates,
     "availability": _cmd_availability,
     "info": _cmd_info,
+    "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
     "lint": _cmd_lint,
 }
 

@@ -31,10 +31,12 @@ from repro.errors import ConfigurationError
 from repro.fault.beam import BeamParameters, HeavyIonBeam
 from repro.fault.grading import (
     DEFAULT_CHECKPOINTS,
+    DivergenceFix,
     GoldenCheckpoint,
     GoldenRun,
     GoldenTimeline,
     checkpoint_schedule,
+    divergence_exit,
 )
 from repro.fault.injector import FaultInjector
 from repro.iu.pipeline import HaltReason
@@ -307,8 +309,11 @@ class Campaign:
         config = self.config
         system = self.build_system()
         builder = _BUILDERS[config.program]
-        program, _expected = builder(self.leon_config, iterations=1_000_000,
-                                     **config.program_kwargs)
+        # Effectively-endless by default; a finite override makes the
+        # program park at ``_exit`` when done (still alive, still hit by
+        # the beam -- the divergence detector's natural prey).
+        kwargs = {"iterations": 1_000_000, **config.program_kwargs}
+        program, _expected = builder(self.leon_config, **kwargs)
         harness = ProgramHarness(system, program)
         return system, program.symbols["_trap_spin"], harness.layout.result
 
@@ -535,10 +540,11 @@ class Campaign:
         # that recovered are never graded early: their readouts include
         # harvested tallies the golden run does not carry.
         graded: Optional[GoldenCheckpoint] = None
+        diverged: Optional[DivergenceFix] = None
         if (alive and timeline is not None and timeline.checkpoints
                 and (recovery is None or not recovery.events)):
-            graded = self._grade(system, spin, state, timeline,
-                                 recovery, harvested, result_base)
+            graded, diverged = self._grade(system, spin, state, timeline,
+                                           recovery, harvested, result_base)
             alive = not state["failed"]
         elif alive:
             alive = self._advance(system, spin, state, window_close,
@@ -570,6 +576,53 @@ class Campaign:
                                skipped=final.executed - graded.instruction)
                 self._finish_trace(injector, result, instr=final.executed)
             return result
+
+        # Permanent-divergence exit: the faulted digest repeated across
+        # two consecutive mismatching boundaries, so the run is parked in
+        # a fixed point and will never reconverge.  Full periods are
+        # architectural no-ops; executing the sub-period remainder lands
+        # on the exact end-of-run state, and the skipped periods' cycle
+        # and counter costs are added back arithmetically -- the readouts
+        # are byte-identical to draining the tail.
+        if (diverged is not None and alive
+                and (recovery is None or not recovery.events)):
+            periods, advance = divergence_exit(diverged, total_instructions)
+            alive = self._advance(system, spin, state,
+                                  diverged.boundary + advance,
+                                  recovery, harvested, result_base)
+            if alive and (recovery is None or not recovery.events):
+                read = system.read_word
+                sw_errors = harvested["sw_errors"] + \
+                    read(result_base + 0x14) - harvested["base_sw_errors"]
+                trapped = read(result_base + 0x08) == 1
+                iterations = harvested["iterations"] + \
+                    read(result_base + 0x10) - harvested["base_iterations"]
+                counts = dict(system.errors.as_dict())
+                for name, delta in diverged.counts_per_period.items():
+                    if delta:
+                        counts[name] = counts.get(name, 0) + periods * delta
+                result = CampaignResult(
+                    counts=counts,
+                    sw_errors=sw_errors,
+                    error_traps=harvested["error_traps"] + int(trapped),
+                    halted=system.iu.halted is not HaltReason.RUNNING,
+                    iterations=iterations,
+                    instructions=total_instructions,
+                    wall_seconds=time.perf_counter() - started,
+                    exit_reason="diverged",
+                    graded_at_instruction=diverged.boundary,
+                    cycles=system.perf.cycles
+                    + periods * diverged.cycles_per_period,
+                    **counts_and_more(),
+                )
+                if traced:
+                    telemetry.note("early-exit", reason="diverged",
+                                   at=diverged.boundary,
+                                   skipped=total_instructions
+                                   - state["executed"])
+                    self._finish_trace(injector, result,
+                                       instr=total_instructions)
+                return result
 
         # Legacy window-close effaced check, for warm starts prepared
         # without a timeline (the golden run parked mid-tail) or with
@@ -639,27 +692,56 @@ class Campaign:
                timeline: GoldenTimeline,
                recovery: Optional[RecoveryController],
                harvested: Dict[str, int],
-               result_base: int) -> Optional[GoldenCheckpoint]:
-        """Walk the golden checkpoint boundaries looking for reconvergence.
+               result_base: int
+               ) -> "tuple[Optional[GoldenCheckpoint], " \
+                    "Optional[DivergenceFix]]":
+        """Walk the golden checkpoint boundaries grading the run.
 
-        Called once every scheduled strike has been applied.  Returns the
-        first checkpoint whose architectural digest the faulted run
-        matches, or None when the run diverges through the last boundary
-        (execution is then at the timeline end and the caller reads the
-        result area as usual), fails, or recovers mid-walk (recovered
-        runs carry harvested tallies the golden readouts do not).
+        Called once every scheduled strike has been applied.  Returns
+        ``(checkpoint, None)`` for the first boundary whose architectural
+        digest the faulted run matches (reconverged), ``(None, fix)``
+        when two consecutive mismatching boundaries repeat the *faulted*
+        digest and flush phase (permanently diverged into a fixed point
+        -- e.g. parked in the end-of-program spin with a latent upset
+        resident), and ``(None, None)`` when the run diverges through
+        the last boundary aperiodically, fails, or recovers mid-walk
+        (recovered runs carry harvested tallies the golden readouts do
+        not).
         """
+        flush_period = self.config.flush_period_instructions
+        previous = None  # (digest, flush phase, instruction, cycles, counts)
         for checkpoint in timeline.checkpoints:
             if checkpoint.instruction < state["executed"]:
                 continue
             if not self._advance(system, spin, state, checkpoint.instruction,
                                  recovery, harvested, result_base):
-                return None
+                return None, None
             if recovery is not None and recovery.events:
-                return None
-            if system.state_digest() == checkpoint.digest:
-                return checkpoint
-        return None
+                return None, None
+            digest = system.state_digest()
+            if digest == checkpoint.digest:
+                return checkpoint, None
+            # The flush phase is the one behavioural input outside the
+            # digest: a repeat only proves periodicity if it repeats too
+            # (without periodic flushing there is no phase to match).
+            phase = state["since_flush"] % flush_period if flush_period else 0
+            cycles = system.perf.cycles
+            counts = dict(system.errors.as_dict())
+            if (previous is not None and previous[0] == digest
+                    and previous[1] == phase):
+                period = checkpoint.instruction - previous[2]
+                if period > 0:
+                    return None, DivergenceFix(
+                        boundary=checkpoint.instruction,
+                        period=period,
+                        cycles_per_period=cycles - previous[3],
+                        counts_per_period={
+                            name: counts[name] - previous[4].get(name, 0)
+                            for name in counts
+                        },
+                    )
+            previous = (digest, phase, checkpoint.instruction, cycles, counts)
+        return None, None
 
     def _finish_trace(self, injector: FaultInjector,
                       result: CampaignResult, *, instr: int) -> None:

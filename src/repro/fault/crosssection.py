@@ -56,6 +56,17 @@ class CrossSectionCurve:
     def kinds(self) -> List[str]:
         return list(self.points)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the service's curve endpoints)."""
+        return {
+            "program": self.program,
+            "points": {
+                kind: [{"let": p.let, "sigma_per_bit": p.sigma_per_bit,
+                        "count": p.count} for p in points]
+                for kind, points in self.points.items()
+            },
+        }
+
 
 def target_bits(leon: Optional[LeonConfig] = None) -> Dict[str, int]:
     """Bit population per RAM type (for per-bit normalization)."""

@@ -23,6 +23,16 @@ This module holds the data model of the grading layer:
   (:func:`repro.fault.executor.plan_batches`): runs whose first upset
   lands after boundary B restore the golden state at B instead of
   re-executing the strike-free stretch from the warm-start snapshot.
+* :class:`DivergenceFix` / :func:`divergence_exit` -- the permanent-
+  divergence early exit.  A faulted run whose architectural digest (and
+  cache-flush phase) is *identical at two consecutive boundaries* is in
+  a fixed point: execution from the earlier boundary is periodic with
+  period equal to the boundary spacing, so the run's end state is
+  computed exactly by advancing ``(end - boundary) % period``
+  instructions and adding ``(end - boundary) // period`` times the
+  per-period cycle/counter deltas (``exit_reason="diverged"``).  Latent
+  runs -- strikes parked in state the program never reads again -- stop
+  costing their whole tail.
 
 Digests are architectural (:meth:`repro.state.snapshot.Snapshot.digest`):
 diag/counter state is excluded, because the error monitor remembers that
@@ -32,8 +42,8 @@ and grading must classify exactly those runs early.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Checkpoints per golden timeline (the schedule may emit fewer when the
 #: window is too short for the spacing floor).
@@ -107,6 +117,46 @@ class GoldenTimeline:
     def tail_cycles_from(self, checkpoint: GoldenCheckpoint) -> int:
         """Device cycles the golden run spends from *checkpoint* to end."""
         return self.end_cycles - checkpoint.cycles
+
+
+@dataclass(frozen=True)
+class DivergenceFix:
+    """A permanently-diverged run caught at a fixed point.
+
+    Two consecutive golden boundaries where the *faulted* digest (and
+    periodic-flush phase) repeated while mismatching the golden digest:
+    the machine is deterministic, so its execution from the second
+    boundary on is periodic with period ``period`` -- it will never
+    reconverge, and every future state is one the detector has already
+    seen.  The remaining tail can therefore be extrapolated instead of
+    executed (:func:`divergence_exit`), byte-identical to the full
+    oracle.
+    """
+
+    #: Executed-instruction count of the second (confirming) boundary.
+    boundary: int
+    #: Instructions per fixed-point period (the boundary gap).
+    period: int
+    #: Device cycles one period costs.
+    cycles_per_period: int
+    #: Error-counter increments one period accrues (corrections repeat
+    #: with the state, so the monitor keeps counting while parked).
+    counts_per_period: Dict[str, int] = field(default_factory=dict)
+
+
+def divergence_exit(fix: DivergenceFix, end: int) -> Tuple[int, int]:
+    """``(periods_skipped, advance)`` landing a fixed-point run on *end*.
+
+    State at ``boundary + advance`` equals state at *end* because full
+    periods are architectural no-ops; the skipped periods' cycle and
+    counter costs are added back arithmetically
+    (``periods_skipped * fix.cycles_per_period`` / ``counts_per_period``).
+    """
+    remaining = end - fix.boundary
+    if remaining <= 0 or fix.period <= 0:
+        return 0, max(remaining, 0)
+    periods, advance = divmod(remaining, fix.period)
+    return periods, advance
 
 
 def checkpoint_schedule(prefix: int, window: int, tail: int, *,

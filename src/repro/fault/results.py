@@ -45,14 +45,25 @@ def config_key(config: CampaignConfig) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
+def config_to_dict(config: CampaignConfig) -> dict:
+    """JSON-serializable form of one config (the stored fields only)."""
+    return {
+        **{name: getattr(config, name) for name in _CONFIG_FIELDS},
+        "program_kwargs": dict(config.program_kwargs),
+    }
+
+
+def config_from_dict(payload: dict) -> CampaignConfig:
+    """Rebuild a config from :func:`config_to_dict` output."""
+    payload = dict(payload)
+    kwargs = payload.pop("program_kwargs", {})
+    return CampaignConfig(program_kwargs=kwargs, **payload)
+
+
 def result_to_dict(result: CampaignResult) -> dict:
     """JSON-serializable form of one result (drops the leon sub-config)."""
-    config = result.config
     return {
-        "config": {
-            **{name: getattr(config, name) for name in _CONFIG_FIELDS},
-            "program_kwargs": dict(config.program_kwargs),
-        },
+        "config": config_to_dict(result.config),
         "counts": dict(result.counts),
         "upsets": result.upsets,
         "upsets_by_target": dict(result.upsets_by_target),
@@ -74,9 +85,7 @@ def result_to_dict(result: CampaignResult) -> dict:
 
 
 def result_from_dict(payload: dict) -> CampaignResult:
-    config_payload = dict(payload["config"])
-    kwargs = config_payload.pop("program_kwargs", {})
-    config = CampaignConfig(program_kwargs=kwargs, **config_payload)
+    config = config_from_dict(payload["config"])
     return CampaignResult(
         config=config,
         counts=dict(payload["counts"]),
@@ -118,6 +127,7 @@ class ResultStore:
 
     def append(self, results: Iterable[CampaignResult]) -> None:
         if self._handle is None:
+            self._trim_partial_tail()
             self._handle = open(self.path, "a", encoding="utf-8")
         handle = self._handle
         for result in results:
@@ -125,6 +135,32 @@ class ResultStore:
                                     sort_keys=True) + "\n")
         handle.flush()
         os.fsync(handle.fileno())
+
+    def _trim_partial_tail(self) -> None:
+        """Drop a half-written final line before the first append.
+
+        A crash mid-append leaves the file without a trailing newline.
+        ``load`` already skips that tail, but appending after it would
+        glue the next result onto the partial line -- turning a
+        recoverable truncation into an undecodable *mid-file* line that
+        ``load`` treats as fatal.  Truncating back to the last complete
+        line keeps resume crash-safe; the dropped run re-runs (it was
+        never durably stored).
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return  # no file yet: nothing to repair
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            handle.truncate(keep)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,30 @@
+"""The campaign service: async job queue + HTTP API over ``repro.store``.
+
+``repro serve`` runs it; submitters POST a campaign spec and poll the
+job id they get back while a single scheduler thread drains the queue
+onto the process-pool executor, streaming result batches into the
+campaign database.  See :mod:`repro.service.api` for the endpoint list
+and :mod:`repro.service.jobs` for the queue lifecycle.
+"""
+
+from repro.service.api import (
+    CampaignServer,
+    build_job_request,
+    make_server,
+    serve,
+)
+from repro.service.jobs import (
+    FINISHED_STATES,
+    JobCancelled,
+    JobQueue,
+)
+
+__all__ = [
+    "CampaignServer",
+    "FINISHED_STATES",
+    "JobCancelled",
+    "JobQueue",
+    "build_job_request",
+    "make_server",
+    "serve",
+]

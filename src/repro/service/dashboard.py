@@ -1,0 +1,161 @@
+"""The browser dashboard served at ``GET /`` (one self-contained page).
+
+No build step, no external assets: a single HTML string with inline CSS
+and a small polling script that refreshes the job queue and campaign
+tables every two seconds from the JSON API, renders Table-2 folds and
+cross-section curves on click, and submits new campaigns through
+``POST /api/jobs``.
+"""
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>LEON-FT campaign service</title>
+<style>
+  body { font-family: "SF Mono", Menlo, Consolas, monospace;
+         margin: 1.5rem; background: #10141a; color: #d8dee9; }
+  h1 { font-size: 1.2rem; }  h2 { font-size: 1rem; margin-top: 1.6rem; }
+  a { color: #88c0d0; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { border: 1px solid #2e3440; padding: .25rem .6rem;
+           font-size: .85rem; text-align: left; }
+  th { background: #1b2129; }
+  tr.clickable { cursor: pointer; }
+  tr.clickable:hover { background: #1b2129; }
+  .state-done { color: #a3be8c; }      .state-failed { color: #bf616a; }
+  .state-running { color: #ebcb8b; }   .state-queued { color: #81a1c1; }
+  .state-cancelled { color: #6b7280; }
+  pre { background: #0b0e12; border: 1px solid #2e3440;
+        padding: .8rem; overflow-x: auto; font-size: .8rem; }
+  form { margin-top: .5rem; display: flex; flex-wrap: wrap;
+         gap: .5rem; align-items: center; }
+  input, select, button { background: #1b2129; color: #d8dee9;
+         border: 1px solid #2e3440; padding: .25rem .4rem;
+         font-family: inherit; font-size: .85rem; }
+  label { font-size: .8rem; }
+  button { cursor: pointer; }
+  #flash { font-size: .85rem; margin-left: .6rem; }
+</style>
+</head>
+<body>
+<h1>LEON-FT campaign service</h1>
+<div id="status">loading&hellip;</div>
+
+<h2>Submit a campaign</h2>
+<form id="submit-form">
+  <label>program <select name="program">
+    <option>iutest</option><option>paranoia</option><option>cncf</option>
+  </select></label>
+  <label>LET <input name="let" value="110" size="5"></label>
+  <label>flux <input name="flux" value="400" size="6"></label>
+  <label>fluence <input name="fluence" value="2000" size="7"></label>
+  <label>seed <input name="seed" value="1" size="4"></label>
+  <label>runs <input name="runs" value="1" size="4"></label>
+  <label>recovery <select name="recovery">
+    <option>none</option><option>restart</option>
+    <option>ladder</option><option>reboot</option>
+  </select></label>
+  <label>name <input name="name" placeholder="(auto)" size="10"></label>
+  <button type="submit">submit job</button><span id="flash"></span>
+</form>
+
+<h2>Jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>id</th><th>name</th><th>state</th><th>progress</th><th>error</th>
+  <th></th></tr></thead><tbody></tbody></table>
+
+<h2>Campaigns <small>(click a row for its Table-2 fold + curve)</small></h2>
+<table id="campaigns"><thead><tr>
+  <th>id</th><th>name</th><th>runs</th><th>upsets</th><th>errors</th>
+</tr></thead><tbody></tbody></table>
+
+<h2 id="detail-title" hidden></h2>
+<pre id="detail" hidden></pre>
+
+<script>
+"use strict";
+const $ = (sel) => document.querySelector(sel);
+const esc = (value) => String(value ?? "").replace(/[&<>"]/g,
+  (ch) => ({"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[ch]));
+
+async function getJSON(path) {
+  const response = await fetch(path);
+  const payload = await response.json();
+  if (!response.ok) throw new Error(payload.error || response.statusText);
+  return payload;
+}
+
+async function refresh() {
+  try {
+    const status = await getJSON("/api/status");
+    $("#status").textContent =
+      `${status.campaigns} campaign(s), ${status.jobs} job(s) ` +
+      Object.entries(status.by_state)
+            .map(([state, count]) => `${state}: ${count}`).join(", ");
+    const jobs = (await getJSON("/api/jobs")).jobs;
+    $("#jobs tbody").innerHTML = jobs.map((job) => `
+      <tr><td>${job.id}</td><td>${esc(job.name)}</td>
+      <td class="state-${esc(job.state)}">${esc(job.state)}</td>
+      <td>${job.completed}/${job.total}</td><td>${esc(job.error)}</td>
+      <td>${["queued", "running"].includes(job.state)
+            ? `<button onclick="cancelJob(${job.id})">cancel</button>` : ""}
+      </td></tr>`).join("");
+    const campaigns = (await getJSON("/api/campaigns")).campaigns;
+    $("#campaigns tbody").innerHTML = campaigns.map((c) => `
+      <tr class="clickable" onclick="showCampaign(${c.id}, '${esc(c.name)}')">
+      <td>${c.id}</td><td>${esc(c.name)}</td><td>${c.runs}</td>
+      <td>${c.upsets}</td><td>${c.total_errors}</td></tr>`).join("");
+  } catch (error) {
+    $("#status").textContent = `refresh failed: ${error.message}`;
+  }
+}
+
+async function showCampaign(id, name) {
+  const fold = await getJSON(`/api/campaigns/${id}/table2`);
+  const curve = await getJSON(`/api/campaigns/${id}/curve`);
+  $("#detail-title").textContent = `campaign ${name} (#${id})`;
+  $("#detail-title").hidden = false;
+  const totals = JSON.stringify(fold.totals, null, 2);
+  const points = Object.entries(curve.points).map(([kind, series]) =>
+    `${kind.padStart(5)}: ` + series.map((point) =>
+      `LET ${point.let} -> ${point.sigma_per_bit.toExponential(2)} ` +
+      `(${point.count})`).join("  ")).join("\\n");
+  $("#detail").textContent =
+    (fold.rendered || "(no runs)") + "\\n\\ntotals = " + totals +
+    "\\n\\ncross-section per bit\\n" + points;
+  $("#detail").hidden = false;
+}
+
+async function cancelJob(id) {
+  await fetch(`/api/jobs/${id}/cancel`, {method: "POST"});
+  refresh();
+}
+
+$("#submit-form").addEventListener("submit", async (event) => {
+  event.preventDefault();
+  const data = Object.fromEntries(new FormData(event.target).entries());
+  if (!data.name) delete data.name;
+  for (const key of ["let", "flux", "fluence", "seed", "runs"])
+    data[key] = Number(data[key]);
+  try {
+    const response = await fetch("/api/jobs", {
+      method: "POST",
+      headers: {"Content-Type": "application/json"},
+      body: JSON.stringify(data),
+    });
+    const payload = await response.json();
+    if (!response.ok) throw new Error(payload.error || response.statusText);
+    $("#flash").textContent = `submitted job ${payload.id}`;
+  } catch (error) {
+    $("#flash").textContent = `submit failed: ${error.message}`;
+  }
+  refresh();
+});
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,58 @@
+"""FT501: campaign reads flow through the repro.store query layer."""
+
+from repro.analysis import analyze_source
+
+
+def _codes(findings):
+    return [f.code for f in findings if not f.suppressed]
+
+
+def test_direct_chained_load_is_flagged():
+    findings = analyze_source(
+        "from repro.fault.results import ResultStore\n"
+        "def read(path):\n"
+        "    return ResultStore(path).load()\n")
+    assert _codes(findings) == ["FT501"]
+
+
+def test_named_store_read_is_flagged():
+    findings = analyze_source(
+        "from repro.fault.results import ResultStore\n"
+        "def resume(path, configs):\n"
+        "    store = ResultStore(path)\n"
+        "    return store.split_pending(configs)\n")
+    assert _codes(findings) == ["FT501"]
+
+
+def test_with_block_store_read_is_flagged():
+    findings = analyze_source(
+        "from repro.fault.results import ResultStore\n"
+        "def read(path):\n"
+        "    with ResultStore(path) as store:\n"
+        "        return store.load()\n")
+    assert _codes(findings) == ["FT501"]
+
+
+def test_append_stays_legal_everywhere():
+    assert analyze_source(
+        "from repro.fault.results import ResultStore\n"
+        "def capture(path, batch):\n"
+        "    store = ResultStore(path)\n"
+        "    store.append(batch)\n") == []
+
+
+def test_store_package_is_sanctioned():
+    source = (
+        "from repro.fault.results import ResultStore\n"
+        "def load_results(path):\n"
+        "    return list(ResultStore(path).load().values())\n")
+    assert analyze_source(source, path="repro/store/sources.py") == []
+    assert analyze_source(source, path="repro/fault/results.py") == []
+    assert _codes(analyze_source(source, path="repro/cli.py")) == ["FT501"]
+
+
+def test_unrelated_load_calls_are_clean():
+    assert analyze_source(
+        "import json\n"
+        "def read(fh):\n"
+        "    return json.load(fh)\n") == []

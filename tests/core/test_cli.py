@@ -211,6 +211,33 @@ def test_state_save_and_info(tmp_path, capsys):
     assert "architectural digest" in out
 
 
+def test_ingest_results_into_database(tmp_path, capsys):
+    log = str(tmp_path / "runs.jsonl")
+    db = str(tmp_path / "campaigns.db")
+    assert main(["campaign", "--program", "iutest", "--let", "60",
+                 "--fluence", "150", "--ips", "20000", "--runs", "2",
+                 "--results", log]) == 0
+    capsys.readouterr()
+    assert main(["ingest", log, "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "2 run(s) -> campaign 'runs' (#1)" in out  # stem names it
+    # Re-ingest is idempotent: the upsert keeps the same campaign.
+    assert main(["ingest", log, "--db", db, "--name", "named"]) == 0
+
+    from repro.store import CampaignDatabase
+
+    with CampaignDatabase(db) as database:
+        assert len(database.results(database.campaign_id("runs"))) == 2
+        assert len(database.results(database.campaign_id("named"))) == 2
+
+
+def test_ingest_missing_file_fails(tmp_path, capsys):
+    db = str(tmp_path / "campaigns.db")
+    assert main(["ingest", str(tmp_path / "absent.jsonl"),
+                 "--db", db]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -18,7 +18,9 @@ from repro.fault.executor import (
     run_campaign_traced,
 )
 from repro.fault.grading import (
+    DivergenceFix,
     checkpoint_schedule,
+    divergence_exit,
     first_strike_instructions,
 )
 from repro.fault.results import ResultStore
@@ -175,6 +177,67 @@ def test_exit_fields_excluded_from_comparable(warm_mid):
     assert "exit_reason" not in comparable
     assert "graded_at_instruction" not in comparable
     assert "early_exit" not in comparable["config"]
+
+
+# -- permanent-divergence detection --------------------------------------------
+
+#: Parked settings: the program finishes its single iteration mid-window
+#: and parks alive at ``_exit``, so strikes landing afterwards stay
+#: latent forever -- the faulted digest repeats at every later boundary
+#: and the fixed-point detector can extrapolate the tail.
+PARKED = dict(flux=400.0, fluence=600.0, instructions_per_second=20_000.0,
+              beam_delay_s=0.1, beam_tail_s=0.5,
+              program_kwargs={"iterations": 1})
+
+
+def _parked(let=60.0, seed=11, **overrides):
+    settings = dict(PARKED)
+    settings.update(overrides)
+    return CampaignConfig(program="iutest", let=let, seed=seed, **settings)
+
+
+@pytest.fixture(scope="module")
+def warm_parked():
+    return prepare_warm_start(_parked())
+
+
+def test_divergence_exit_math():
+    fix = DivergenceFix(boundary=10_000, period=2_500,
+                        cycles_per_period=3_000)
+    assert divergence_exit(fix, 20_000) == (4, 0)
+    assert divergence_exit(fix, 21_300) == (4, 1_300)
+    assert divergence_exit(fix, 11_200) == (0, 1_200)
+    assert divergence_exit(fix, 10_000) == (0, 0)
+
+
+def test_diverged_matches_full_oracle_parked_campaign(warm_parked):
+    """Latent parked runs: fixed-point exits vs the full-execution oracle."""
+    configs = expand_runs(_parked(), 24)
+    oracle_configs = [dataclasses.replace(config, early_exit=False)
+                      for config in configs]
+    oracle = CampaignExecutor(1).run_many(oracle_configs, warm=warm_parked,
+                                          batch=False)
+    fast = CampaignExecutor(1).run_many(configs, warm=warm_parked)
+    assert [r.comparable() for r in fast] == \
+        [r.comparable() for r in oracle]
+    diverged = [r for r in fast if r.exit_reason == "diverged"]
+    assert diverged  # the detector actually fired
+    total = sum(_parked().phase_instructions())
+    for result in diverged:
+        # The extrapolated readouts claim the full run's span.
+        assert result.instructions == total
+        assert result.graded_at_instruction is not None
+        assert result.graded_at_instruction < total
+        assert not result.effaced
+
+
+def test_divergence_declines_when_flush_phase_shifts(warm_parked):
+    """A flush period that does not divide the boundary gap breaks the
+    periodicity proof: the detector must decline (runs drain fully)."""
+    config = _parked(flush_period_instructions=1_000)
+    warm = prepare_warm_start(config)
+    results = CampaignExecutor(1).run_many(expand_runs(config, 6), warm=warm)
+    assert all(r.exit_reason != "diverged" for r in results)
 
 
 # -- batched strike scheduling -------------------------------------------------

@@ -99,6 +99,36 @@ def test_truncated_tail_is_tolerated(tmp_path):
     assert len(loaded) == 1
 
 
+def test_append_after_crash_repairs_partial_tail(tmp_path):
+    """Resuming *into* a store whose last append was cut mid-line must
+    trim the fragment first -- otherwise the next append glues its row
+    onto the fragment and poisons the whole line."""
+    path = str(tmp_path / "runs.jsonl")
+    with ResultStore(path) as store:
+        store.append([_result(seed=1)])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"config": {"program": "iu')  # crash mid-append
+    with ResultStore(path) as store:
+        store.append([_result(seed=2)])
+    loaded = ResultStore(path).load()
+    assert {config.seed for config in
+            (r.config for r in loaded.values())} == {1, 2}
+    # Every surviving line is intact JSON (the fragment is gone).
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            json.loads(line)
+
+
+def test_append_trims_newline_free_fragment(tmp_path):
+    """A store holding only a partial first line is repaired to empty."""
+    path = str(tmp_path / "runs.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"config"')
+    with ResultStore(path) as store:
+        store.append([_result(seed=7)])
+    assert len(ResultStore(path).load()) == 1
+
+
 def test_mid_file_garbage_raises(tmp_path):
     path = str(tmp_path / "runs.jsonl")
     line = json.dumps(result_to_dict(_result(seed=1)))

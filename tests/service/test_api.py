@@ -1,0 +1,139 @@
+"""The HTTP API: submission payloads, endpoints, error mapping."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fault.executor import CampaignExecutor
+from repro.fault.results import config_key
+from repro.service.api import build_job_request, make_server
+
+#: Tiny submission: 2.25k instructions end to end per run.
+TINY_PAYLOAD = {
+    "program": "iutest", "let": 60.0, "flux": 400.0, "fluence": 150.0,
+    "seed": 11, "ips": 2_000.0, "beam_delay": 0.25, "beam_tail": 0.5,
+    "flush_period": 400,
+}
+
+
+# -- payload validation --------------------------------------------------------
+
+
+def test_build_job_request_single_point():
+    configs, name, options = build_job_request(dict(TINY_PAYLOAD, runs=3))
+    assert len(configs) == 3
+    assert configs[0].seed == 11  # replica 0 keeps the seed
+    assert configs[0].let == 60.0
+    assert configs[0].flush_period_instructions == 400
+    assert name is None
+    assert options["jobs"] == 1 and options["early_exit"] is True
+
+
+def test_build_job_request_lets_mirror_measure_curve():
+    configs, _, _ = build_job_request(
+        dict(TINY_PAYLOAD, lets=[25.0, 60.0, 110.0]))
+    assert [config.let for config in configs] == [25.0, 60.0, 110.0]
+    # The published seed-plus-index mapping of measure_curve.
+    assert [config.seed for config in configs] == [11, 12, 13]
+
+
+def test_build_job_request_rejects_bad_input():
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, program="rowhammer"))
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, recovery="prayer"))
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, runs=0))
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, let="not-a-number"))
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, lets=[]))
+    with pytest.raises(ValueError):
+        build_job_request([1, 2, 3])
+
+
+# -- the server ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = make_server(":memory:", port=0)
+    thread = threading.Thread(target=instance.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.queue.stop()
+    instance.db.close()
+
+
+def _call(server, path, payload=None):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json"}
+        if payload is not None else {},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def test_submit_poll_and_read_back(server):
+    job = _call(server, "/api/jobs",
+                dict(TINY_PAYLOAD, runs=2, name="api-smoke"))
+    assert job["state"] == "queued" and job["total"] == 2
+    record = server.queue.wait(job["id"], timeout_s=120)
+    assert record["state"] == "done"
+
+    results = _call(server, "/api/campaigns/api-smoke/results")
+    assert results["runs"] == 2
+    table2 = _call(server, "/api/campaigns/api-smoke/table2")
+    assert table2["runs"] == 2 and "totals" in table2
+    curve = _call(server, "/api/campaigns/api-smoke/curve")
+    assert [point["let"] for point in curve["points"]["Total"]] == [60.0]
+    availability = _call(server, "/api/campaigns/api-smoke/availability")
+    assert availability["runs"] == 2
+    diff = _call(server, "/api/diff?a=api-smoke&b=api-smoke")
+    assert diff["matched"] == 2 and diff["changed"] == []
+
+    configs, _, _ = build_job_request(dict(TINY_PAYLOAD, runs=2))
+    direct = CampaignExecutor(1).run_many(configs)
+    stored = server.db.results(server.db.campaign_id("api-smoke"))
+    assert [r.comparable() for r in stored] == \
+        [r.comparable() for r in direct]
+    assert [config_key(r.config) for r in stored] == \
+        [config_key(config) for config in configs]
+
+
+def test_status_and_job_listing(server):
+    status = _call(server, "/api/status")
+    assert status["jobs"] >= 1
+    jobs = _call(server, "/api/jobs")["jobs"]
+    assert any(job["name"] == "api-smoke" for job in jobs)
+    campaigns = _call(server, "/api/campaigns")["campaigns"]
+    assert any(campaign["name"] == "api-smoke" for campaign in campaigns)
+
+
+def test_dashboard_served(server):
+    with urllib.request.urlopen(server.url + "/") as response:
+        body = response.read().decode()
+    assert "campaign service" in body
+    assert "/api/jobs" in body
+
+
+def test_error_mapping(server):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _call(server, "/api/campaigns/absent/table2")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _call(server, "/api/jobs", {"program": "rowhammer"})
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _call(server, "/api/nope")
+    assert err.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _call(server, "/api/diff?a=missing")
+    assert err.value.code == 400
