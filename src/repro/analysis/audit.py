@@ -219,12 +219,65 @@ def check_reset_skip(model: ProjectModel) -> List[str]:
     return failures
 
 
+def check_fault_models(model: ProjectModel) -> List[str]:
+    """Live counterpart of FT103: each model's fault space is honest.
+
+    For every registered fault model, enumerate its fault space against
+    a real system and require (a) a non-empty space of positive-width
+    cells, (b) every enumerated cell to be a declared ``TARGETS`` entry,
+    and (c) -- for ``EXHAUSTIVE`` models -- every declared target that
+    exists on the device to appear in the enumeration.  Attack models
+    narrow their space to the configured site, so (c) is skipped there.
+    """
+    from repro.fault.campaign import CampaignConfig
+    from repro.fault.injector import FaultInjector
+    from repro.fault.models import MODELS, build_model
+
+    failures: List[str] = []
+    system, _spin = _built()
+    injector = FaultInjector(system, include_external_memory=True)
+    ffnames = set(system.ffbank.names())
+    config = CampaignConfig(
+        # Attack models need a site to enumerate around; any in-SRAM
+        # address works (the audit never applies a fault).
+        fault_params={"pc": int(system.memctrl.sram.base), "window": 4})
+    for kind in sorted(MODELS):
+        instance = build_model(kind, config)
+        space = instance.fault_space(injector)
+        declared = set(instance.TARGETS)
+        if not space:
+            failures.append(f"fault model {kind!r} enumerates an empty "
+                            f"fault space")
+            continue
+        for cell, bits in sorted(space.items()):
+            if bits <= 0:
+                failures.append(f"fault model {kind!r} cell {cell!r} "
+                                f"has no bits")
+            if cell not in declared:
+                failures.append(
+                    f"fault model {kind!r} enumerates cell {cell!r} "
+                    f"outside its declared TARGETS: undeclared strike "
+                    f"surface")
+        if not instance.EXHAUSTIVE:
+            continue
+        present = {name for name in instance.TARGETS
+                   if name in injector.targets or name in ffnames
+                   or name in space}
+        for name in sorted(present - set(space)):
+            failures.append(
+                f"fault model {kind!r} declares target {name!r} but its "
+                f"fault space never enumerates it: cells outside the "
+                f"audited space")
+    return failures
+
+
 #: Audit checks in report order: (name, what a failure means).
 CHECKS: Tuple[Tuple[str, Callable[[ProjectModel], List[str]]], ...] = (
     ("state-drift", check_state_drift),
     ("snapshot-roundtrip", check_snapshot_roundtrip),
     ("injector-coverage", check_injector_coverage),
     ("reset-skip", check_reset_skip),
+    ("fault-model-coverage", check_fault_models),
 )
 
 

@@ -3,9 +3,11 @@
 from repro.analysis.rules import (
     counters,
     determinism,
+    faults,
     state,
     storage,
     telemetry,
 )
 
-__all__ = ["counters", "determinism", "state", "storage", "telemetry"]
+__all__ = ["counters", "determinism", "faults", "state", "storage",
+           "telemetry"]

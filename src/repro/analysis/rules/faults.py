@@ -1,0 +1,79 @@
+"""Fault-model rules: every registered model declares its fault space.
+
+``fault-model-coverage`` (FT103)
+    Every concrete ``FaultModel`` subclass must declare ``kind``, its
+    ``TARGETS`` cell tuple, and a ``fault_space`` enumeration (its own or
+    a mixin's) -- mirroring FT102 for the model layer: a model whose
+    fault space and declared targets drift apart silently injects into
+    cells nobody audits.  The companion runtime audit
+    (:func:`repro.analysis.audit.check_fault_models`) instantiates each
+    model against a live system and verifies the enumeration covers the
+    declared targets.
+
+    ``_``-prefixed classes are mixins/bases, not registered models, and
+    the root ``FaultModel`` base itself is exempt -- its empty defaults
+    are what the rule exists to catch in subclasses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ClassRecord, ProjectModel
+
+#: The abstract base every model derives from (directly or via mixins).
+_ROOT = "FaultModel"
+
+
+def _is_model_class(record: ClassRecord) -> bool:
+    return _ROOT in record.bases and not record.name.startswith("_")
+
+
+def _chain_without_root(model: ProjectModel,
+                        record: ClassRecord) -> List[ClassRecord]:
+    """The class plus its resolvable bases, excluding the root base.
+
+    The root's ``kind = ""`` / ``TARGETS = ()`` / ``fault_space`` stub
+    must not satisfy the rule -- a subclass has to override them (itself
+    or through a mixin like ``_StuckAt``).
+    """
+    return [owner for owner in model.mro_records(record)
+            if owner.name != _ROOT]
+
+
+@register_rule
+class FaultModelCoverageRule(Rule):
+    name = "fault-model-coverage"
+    code = "FT103"
+    protects = ("fault-model honesty: every registered model declares "
+                "kind, target cells and a fault-space enumeration")
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        for records in model.classes.values():
+            for record in records:
+                if record.module_path != module.path:
+                    continue
+                if not _is_model_class(record):
+                    continue
+                chain = _chain_without_root(model, record)
+                attrs = set().union(*(owner.all_attrs for owner in chain))
+                methods = set().union(*(owner.methods for owner in chain))
+                missing = []
+                if "kind" not in attrs:
+                    missing.append("a 'kind' name")
+                if "TARGETS" not in attrs:
+                    missing.append("a TARGETS cell tuple")
+                if "fault_space" not in methods:
+                    missing.append("a fault_space() enumeration")
+                if missing:
+                    node = ast.Name(id=record.name)
+                    node.lineno = record.line
+                    yield self.finding(
+                        module, node,
+                        f"fault model {record.name} lacks "
+                        f"{' and '.join(missing)}: models must declare "
+                        f"the cells they strike so the runtime audit can "
+                        f"prove the fault space covers them")

@@ -65,7 +65,12 @@ from repro.errors import ConfigurationError
 from repro.area.model import TimingModel, table1
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
-from repro.fault.campaign import Campaign, CampaignConfig, prepare_warm_start
+from repro.fault.campaign import (
+    Campaign,
+    CampaignConfig,
+    prepare_warm_start,
+    resolve_builder,
+)
 from repro.fault.crosssection import DEFAULT_LETS, measure_curve, render_curve
 from repro.fault.executor import (
     CampaignExecutor,
@@ -78,6 +83,7 @@ from repro.fault.report import (
     render_table,
     render_table2,
 )
+from repro.fault.models import classify_outcome, model_names, security_fold
 from repro.fault.rates import ENVIRONMENTS, RatePredictor
 from repro.fault.results import ResultStore, config_key
 from repro.iu.pipetrace import PipelineTracer
@@ -132,7 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser("campaign", help="beam campaign runs")
     campaign.add_argument("--program", default="iutest",
-                          choices=["iutest", "paranoia", "cncf"])
+                          help="test program: iutest, paranoia, cncf or "
+                               "random:<seed> (default: iutest)")
+    campaign.add_argument("--fault-model", choices=model_names(),
+                          default="seu",
+                          help="fault model injected by the campaign "
+                               "(default: seu, the transient bit-flip "
+                               "beam)")
     campaign.add_argument("--let", type=float, default=110.0)
     campaign.add_argument("--flux", type=float, default=400.0)
     campaign.add_argument("--fluence", type=float, default=2.0e3)
@@ -178,6 +190,43 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="record per-upset lifecycle events and "
                                "phase timers to a JSONL telemetry trace "
                                "(results unchanged)")
+
+    attack = subparsers.add_parser(
+        "attack", help="targeted fault attack: detected / silent / "
+                       "masked security readout")
+    attack.add_argument("--program", default="iutest",
+                        help="test program: iutest, paranoia, cncf or "
+                             "random:<seed> (default: iutest)")
+    attack.add_argument("--skip-at", metavar="PC", default=None,
+                        help="instruction-skip attack: overwrite the word "
+                             "at PC (hex address or program symbol) with "
+                             "a NOP")
+    attack.add_argument("--opcode-at", metavar="PC", default=None,
+                        help="opcode-corruption attack: flip one bit of "
+                             "the word at PC (hex address or program "
+                             "symbol)")
+    attack.add_argument("--window", type=int, default=1,
+                        help="attack window in words starting at PC; each "
+                             "run's seed picks one word (default: 1)")
+    attack.add_argument("--bit", type=int, default=None,
+                        help="opcode bit to flip (default: seed-chosen)")
+    attack.add_argument("--at", type=float, default=0.5,
+                        help="attack time into the beam window, seconds "
+                             "(default: 0.5)")
+    attack.add_argument("--runs", type=int, default=8,
+                        help="independent replicas (derived seeds sweep "
+                             "the window; default: 8)")
+    attack.add_argument("--seed", type=int, default=1)
+    attack.add_argument("--fluence", type=float, default=2.0e3)
+    attack.add_argument("--flux", type=float, default=400.0)
+    attack.add_argument("--ips", type=float, default=50_000.0,
+                        help="virtual device instructions per beam second")
+    attack.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: serial)")
+    attack.add_argument("--recovery", choices=sorted(POLICIES),
+                        default="none")
+    attack.add_argument("--results", metavar="FILE", default=None,
+                        help="append completed runs to a JSONL result log")
 
     trace = subparsers.add_parser(
         "trace", help="pretty-print a campaign telemetry trace")
@@ -346,6 +395,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         beam_delay_s=args.beam_delay, beam_tail_s=args.beam_tail,
         recovery=args.recovery, leon=leon,
         early_exit=not args.no_early_exit,
+        fault_model=args.fault_model,
     )
     configs = expand_runs(config, args.runs)
 
@@ -403,6 +453,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.recovery != "none":
         print()
         print(render_recovery_summary(results))
+    if args.fault_model != "seu":
+        print()
+        print(_render_security(results))
     upsets = sum(result.upsets for result in results)
     failures = sum(result.failures for result in results)
     iterations = sum(result.iterations for result in results)
@@ -426,6 +479,77 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"early-exit: {reconverged}/{len(fresh)} run(s) reconverged "
               f"to the golden timeline, {skipped:,} instruction(s) skipped")
     return 0 if failures == 0 else 1
+
+
+def _render_security(results) -> str:
+    """The detected / silent / masked fold, one line per fault model."""
+    lines = ["security readout (detected / silent / masked):"]
+    for model, fold in sorted(security_fold(results).items()):
+        lines.append(f"  {model:<17} detected {fold['detected']:<4} "
+                     f"silent {fold['silent']:<4} masked {fold['masked']}")
+    return "\n".join(lines)
+
+
+def _resolve_pc(spec: str, program: str) -> int:
+    """An attack PC: a numeric address or a symbol of the test program."""
+    try:
+        return int(spec, 0)
+    except ValueError:
+        pass
+    built, _expected = resolve_builder(program)(None)
+    if spec not in built.symbols:
+        raise ConfigurationError(
+            f"{spec!r} is neither an address nor a symbol of {program} "
+            f"(known: {', '.join(sorted(built.symbols))})")
+    return built.symbols[spec]
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    if bool(args.skip_at) == bool(args.opcode_at):
+        print("error: choose exactly one of --skip-at / --opcode-at",
+              file=sys.stderr)
+        return 2
+    spec = args.skip_at or args.opcode_at
+    model = "instruction-skip" if args.skip_at else "opcode"
+    pc = _resolve_pc(spec, args.program)
+    fault_params = {"pc": pc, "window": args.window, "time_s": args.at}
+    if args.bit is not None:
+        fault_params["bit"] = args.bit
+    config = CampaignConfig(
+        program=args.program, flux=args.flux, fluence=args.fluence,
+        seed=args.seed, instructions_per_second=args.ips,
+        recovery=args.recovery, fault_model=model,
+        fault_params=fault_params,
+    )
+    configs = expand_runs(config, args.runs)
+    store = ResultStore(args.results) if args.results else None
+    try:
+        results = CampaignExecutor(args.jobs).run_many(
+            configs, on_results=(store.append if store else None))
+    finally:
+        if store is not None:
+            store.close()
+    print(f"{model} attack on {args.program} at {pc:#010x}"
+          + (f" (window {args.window} words)" if args.window > 1 else ""))
+    print()
+    rows = []
+    for index, result in enumerate(results):
+        rows.append({
+            "run": index,
+            "outcome": classify_outcome(result),
+            "errors": result.counts.get("Total", 0),
+            "traps": result.error_traps,
+            "sw_errors": result.sw_errors,
+            "iterations": result.iterations,
+            "exit": result.exit_reason or "full",
+        })
+    print(render_table(rows, ["run", "outcome", "errors", "traps",
+                              "sw_errors", "iterations", "exit"]))
+    print()
+    print(_render_security(results))
+    fold = security_fold(results).get(model, {})
+    # Silent architectural corruption is the security failure mode.
+    return 1 if fold.get("silent") else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -682,6 +806,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "attack": _cmd_attack,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "sweep": _cmd_sweep,

@@ -28,7 +28,7 @@ from typing import Dict, Optional
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.errors import ConfigurationError
-from repro.fault.beam import BeamParameters, HeavyIonBeam
+from repro.fault.beam import BeamParameters
 from repro.fault.grading import (
     DEFAULT_CHECKPOINTS,
     DivergenceFix,
@@ -39,8 +39,15 @@ from repro.fault.grading import (
     divergence_exit,
 )
 from repro.fault.injector import FaultInjector
+from repro.fault.models import build_model
 from repro.iu.pipeline import HaltReason
-from repro.programs import ProgramHarness, build_cncf, build_iutest, build_paranoia
+from repro.programs import (
+    ProgramHarness,
+    build_cncf,
+    build_iutest,
+    build_paranoia,
+    build_random,
+)
 from repro.recovery import RecoveryController, RecoveryLevel, resolve_policy
 from repro.state.snapshot import Snapshot
 from repro.telemetry.bus import NULL_TELEMETRY, Telemetry
@@ -50,6 +57,33 @@ _BUILDERS = {
     "paranoia": build_paranoia,
     "cncf": build_cncf,
 }
+
+
+def resolve_builder(program: str):
+    """Builder for a ``--program`` spec: a named program or ``random:<seed>``.
+
+    ``random:<seed>`` builds a seeded self-checking straight-line program
+    (:func:`repro.programs.build_random`), so campaigns can sweep workload
+    diversity without hand-written tests.  Raises ConfigurationError for
+    anything else.
+    """
+    if program in _BUILDERS:
+        return _BUILDERS[program]
+    if program.startswith("random:"):
+        spec = program.split(":", 1)[1]
+        try:
+            seed = int(spec, 0)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad random program spec {program!r} "
+                "(expected random:<seed>)") from None
+
+        def build(config, **kwargs):
+            return build_random(config, seed=seed, **kwargs)
+        return build
+    raise ConfigurationError(
+        f"unknown test program {program!r} "
+        f"(choose from {sorted(_BUILDERS)} or random:<seed>)")
 
 
 @dataclass(frozen=True)
@@ -91,6 +125,15 @@ class CampaignConfig:
     #: :func:`warm_start_key`, the result-store key, and
     #: :meth:`CampaignResult.comparable`.
     early_exit: bool = True
+    #: Fault model (:data:`repro.fault.models.MODELS`): ``"seu"`` is the
+    #: paper's transient bit-flip beam, byte-identical to the
+    #: pre-model-layer campaign; see the module docs for ``stuck-at-0/1``,
+    #: ``sefi``, ``instruction-skip`` and ``opcode``.
+    fault_model: str = "seu"
+    #: Model-specific parameters (attack models: ``pc``, ``window``,
+    #: ``bit``, ``time_s``).  Serialized to the result-store key only when
+    #: non-empty, so default-model keys are unchanged.
+    fault_params: Dict = field(default_factory=dict)
 
     def beam_parameters(self) -> BeamParameters:
         return BeamParameters(let=self.let, flux=self.flux,
@@ -289,16 +332,19 @@ class Campaign:
 
     def __init__(self, config: CampaignConfig, *,
                  telemetry: Optional[Telemetry] = None) -> None:
-        if config.program not in _BUILDERS:
-            raise ConfigurationError(
-                f"unknown test program {config.program!r} "
-                f"(choose from {sorted(_BUILDERS)})")
+        self._builder = resolve_builder(config.program)
         self.config = config
         self.leon_config = config.leon or LeonConfig.leon_express()
         self.telemetry = telemetry if telemetry is not None \
             else NULL_TELEMETRY
-        # Validates the policy name early (raises ConfigurationError).
+        # Validates the policy and fault-model names early (both raise
+        # ConfigurationError on unknown names).
         self.recovery_policy = resolve_policy(config.recovery)
+        build_model(config.fault_model, config)
+        #: Persistent-fault re-assert hook, installed per run for
+        #: non-transient models and invoked at every execution-chunk
+        #: boundary of :meth:`_run_until`.
+        self._reassert = None
 
     def build_system(self) -> LeonSystem:
         return LeonSystem(self.leon_config, telemetry=self.telemetry)
@@ -308,7 +354,7 @@ class Campaign:
         (system, spin pc, result-area base)."""
         config = self.config
         system = self.build_system()
-        builder = _BUILDERS[config.program]
+        builder = self._builder
         # Effectively-endless by default; a finite override makes the
         # program park at ``_exit`` when done (still alive, still hit by
         # the beam -- the divergence detector's natural prey).
@@ -341,6 +387,13 @@ class Campaign:
                 system.icache.flush()
                 system.dcache.flush()
                 state["since_flush"] = 0
+            if self._reassert is not None:
+                # Stuck-at cells re-asserted at every chunk boundary: a
+                # rewrite (scrub, store, flush) holds the golden value
+                # only until here.  Chunk boundaries are a deterministic
+                # function of the phase shape and flush period, so the
+                # re-assert schedule is identical across jobs/warm/cold.
+                self._reassert()
 
     def _make_recovery(self, system: LeonSystem, result_base: int,
                        warm: Optional[WarmStart],
@@ -411,9 +464,9 @@ class Campaign:
             start: Optional[GoldenCheckpoint] = None) -> CampaignResult:
         started = time.perf_counter()
         config = self.config
+        self._reassert = None  # installed below once the injector exists
         telemetry = self.telemetry
         traced = telemetry.enabled
-        params = config.beam_parameters()
         prefix, window, tail = config.phase_instructions()
         window_close = prefix + window
         total_instructions = window_close + tail
@@ -472,16 +525,23 @@ class Campaign:
                                wall_s=time.perf_counter() - prefix_started,
                                instr=state["executed"])
 
+        model = build_model(config.fault_model, config)
+        # The golden-digest argument ("state match => identical future")
+        # only holds for one-shot corruption: a persistent fault keeps
+        # re-asserting past any matching boundary, so grading degrades to
+        # full execution for non-transient models.
         timeline = warm.timeline \
-            if (warm is not None and config.early_exit) else None
+            if (warm is not None and config.early_exit
+                and model.transient) else None
 
         harvested = {"sw_errors": 0, "error_traps": 0, "iterations": 0,
                      "base_sw_errors": 0, "base_iterations": 0}
         recovery = self._make_recovery(system, result_base, warm, harvested)
 
         injector = FaultInjector(system)
-        beam = HeavyIonBeam(injector)
-        strikes = beam.schedule(params)
+        strikes = model.schedule(injector)
+        self._reassert = None if model.transient \
+            else injector.reassert_persistent
 
         beam_started = time.perf_counter()
         upsets_by_target: Dict[str, int] = {}
@@ -499,10 +559,10 @@ class Campaign:
             if traced:
                 telemetry.strike(
                     strike.target, strike.flat_bit,
-                    word=injector.locate(strike.target, strike.flat_bit),
+                    word=model.locate(strike, injector),
                     time_s=strike.time_s, let=config.let, mbu=strike.mbu,
-                    instr=state["executed"])
-            beam.apply(strike)
+                    instr=state["executed"], kind=strike.kind)
+            model.apply(strike, injector)
             upsets_by_target[strike.target] = \
                 upsets_by_target.get(strike.target, 0) + 1
             if strike.mbu:
@@ -513,6 +573,17 @@ class Campaign:
             count for name, count in upsets_by_target.items()
             if not name.endswith("+mbu")
         )
+        def final_counts() -> Dict[str, int]:
+            # EDAC corrections on external memory are monitor-visible but
+            # sit outside the Table-2 counters.  Model campaigns fold them
+            # in (key "EDAC") so the security readout counts an
+            # EDAC-caught attack as *detected*; default-seu counts stay
+            # byte-identical to every stored row.
+            counts = dict(system.errors.as_dict())
+            if config.fault_model != "seu" and system.errors.edac_corrected:
+                counts["EDAC"] = system.errors.edac_corrected
+            return counts
+
         def counts_and_more() -> Dict:
             # Evaluated at return time so recoveries during the window
             # close and tail advances are included.
@@ -557,7 +628,7 @@ class Campaign:
         if graded is not None and timeline is not None:
             final = timeline.final
             result = CampaignResult(
-                counts=dict(system.errors.as_dict()),
+                counts=final_counts(),
                 sw_errors=final.sw_errors,
                 error_traps=final.error_traps,
                 halted=final.halted,
@@ -597,7 +668,7 @@ class Campaign:
                 trapped = read(result_base + 0x08) == 1
                 iterations = harvested["iterations"] + \
                     read(result_base + 0x10) - harvested["base_iterations"]
-                counts = dict(system.errors.as_dict())
+                counts = final_counts()
                 for name, delta in diverged.counts_per_period.items():
                     if delta:
                         counts[name] = counts.get(name, 0) + periods * delta
@@ -626,14 +697,16 @@ class Campaign:
 
         # Legacy window-close effaced check, for warm starts prepared
         # without a timeline (the golden run parked mid-tail) or with
-        # early exit disabled but a golden readout available.
-        if (config.early_exit and timeline is None
+        # early exit disabled but a golden readout available.  Gated on
+        # the model like the timeline: a persistent fault re-asserts past
+        # the matching digest, so the golden tail readouts do not apply.
+        if (config.early_exit and timeline is None and model.transient
                 and golden is not None and alive and not state["failed"]
                 and (recovery is None or not recovery.events)
                 and state["executed"] == window_close
                 and system.state_digest() == golden.window_digest):
             result = CampaignResult(
-                counts=dict(system.errors.as_dict()),
+                counts=final_counts(),
                 sw_errors=golden.sw_errors,
                 error_traps=golden.error_traps,
                 halted=golden.halted,
@@ -673,7 +746,7 @@ class Campaign:
             read(result_base + 0x10) - harvested["base_iterations"]
 
         result = CampaignResult(
-            counts=dict(system.errors.as_dict()),
+            counts=final_counts(),
             sw_errors=sw_errors,
             error_traps=harvested["error_traps"] + int(trapped),
             halted=system.iu.halted is not HaltReason.RUNNING,
@@ -757,7 +830,11 @@ class Campaign:
             return
         telemetry.close_open(
             lambda target, word:
-            "latent" if injector.is_latent(target, word) else "masked",
+            # Model-specific sites outside the SEU registry (SEFI control
+            # cells, attack words) stay resident until software or a reset
+            # repairs them -- close as latent.
+            "latent" if (target not in injector.targets
+                         or injector.is_latent(target, word)) else "masked",
             instr=instr)
         telemetry.note("run-end", counts=dict(result.counts),
                        upsets=result.upsets, sw_errors=result.sw_errors,

@@ -162,6 +162,13 @@ def plan_batches(configs: Sequence[CampaignConfig],
     """
     if warm is None or warm.timeline is None:
         return None
+    # Anchored starts assume the pre-strike stretch is the golden run's
+    # and the schedule is the beam's: both only hold for the default
+    # transient model (attacks fire at the window open; persistent models
+    # re-assert), so model campaigns run unbatched -- same results,
+    # jobs-invariant, just without the shared-checkpoint shortcut.
+    if any(config.fault_model != "seu" for config in configs):
+        return None
     anchors = warm.timeline.anchors()
     if not anchors:
         return None

@@ -26,6 +26,54 @@ class SeuTarget:
     #: Physical RAM geometry: consecutive flat bits within one word are
     #: adjacent cells (for the MBU model); flip-flops have no row geometry.
     bits_per_word: int = 0
+    #: Read the current value of one stored bit (persistent-fault support);
+    #: None for targets that cannot host stuck-at cells.
+    peek_flat: Optional[Callable[[int], int]] = None
+
+
+@dataclass(frozen=True)
+class PersistentFault:
+    """One stuck-at cell: a flat bit pinned to ``value`` until reset."""
+
+    name: str
+    flat_bit: int
+    value: int
+
+
+def _cache_peek(ram) -> Callable[[int], int]:
+    """Peek closure over a cache RAM (32-bit data plane + check plane)."""
+    def peek(flat_bit: int) -> int:
+        index, bit = divmod(flat_bit, ram.bits_per_word)
+        data, check = ram.read_raw(index)
+        if bit < 32:
+            return (data >> bit) & 1
+        return (check >> (bit - 32)) & 1
+    return peek
+
+
+def _regfile_peek(regfile) -> Callable[[int], int]:
+    """Peek closure mirroring ``RegisterFile.inject_flat`` addressing."""
+    def peek(flat_bit: int) -> int:
+        per_copy = regfile.words * regfile.bits_per_word
+        copy, rest = divmod(flat_bit, per_copy)
+        physical, bit = divmod(rest, regfile.bits_per_word)
+        if bit < 32:
+            return (regfile._data[copy][physical] >> bit) & 1
+        return (regfile._check[copy][physical] >> (bit - 32)) & 1
+    return peek
+
+
+def _memory_peek(memory) -> Callable[[int], int]:
+    """Peek closure mirroring ``ExternalMemory.inject_flat`` addressing."""
+    per_word = 39 if memory.edac else 32
+
+    def peek(flat_bit: int) -> int:
+        index, bit = divmod(flat_bit, per_word)
+        data, check = memory.read_raw(index * 4)
+        if bit < 32:
+            return (data >> bit) & 1
+        return (check >> (bit - 32)) & 1
+    return peek
 
 
 class FaultInjector:
@@ -37,26 +85,24 @@ class FaultInjector:
         self.targets: Dict[str, SeuTarget] = {}  # state: wiring -- target registry, rebuilt by _build_targets()
         self._build_targets(include_external_memory)
         self.injections: List[str] = []
+        #: Registered stuck-at cells, re-asserted by the campaign at every
+        #: execution-chunk boundary (:meth:`reassert_persistent`).
+        self._persistent: List[PersistentFault] = []
 
     def _build_targets(self, include_external_memory: bool) -> None:
         system = self.system
         icache, dcache = system.icache, system.dcache
-        self._add(SeuTarget(
-            "icache-tag", icache.tag_ram.total_bits,
-            icache.tag_ram.inject_flat, icache.tag_ram.bits_per_word))
-        self._add(SeuTarget(
-            "icache-data", icache.data_ram.total_bits,
-            icache.data_ram.inject_flat, icache.data_ram.bits_per_word))
-        self._add(SeuTarget(
-            "dcache-tag", dcache.tag_ram.total_bits,
-            dcache.tag_ram.inject_flat, dcache.tag_ram.bits_per_word))
-        self._add(SeuTarget(
-            "dcache-data", dcache.data_ram.total_bits,
-            dcache.data_ram.inject_flat, dcache.data_ram.bits_per_word))
+        for name, ram in (("icache-tag", icache.tag_ram),
+                          ("icache-data", icache.data_ram),
+                          ("dcache-tag", dcache.tag_ram),
+                          ("dcache-data", dcache.data_ram)):
+            self._add(SeuTarget(
+                name, ram.total_bits, ram.inject_flat, ram.bits_per_word,
+                peek_flat=_cache_peek(ram)))
         regfile = system.regfile
         self._add(SeuTarget(
             "regfile", regfile.total_bits, regfile.inject_flat,
-            regfile.bits_per_word))
+            regfile.bits_per_word, peek_flat=_regfile_peek(regfile)))
         if system.fpu is not None:
             fpu = system.fpu
             per_word = fpu.bits_per_word  # f-regs share the regfile scheme
@@ -66,7 +112,14 @@ class FaultInjector:
                 fpu.inject(index, bit)
                 return index, bit
 
-            self._add(SeuTarget("fpregs", 32 * per_word, inject_fpreg, per_word))
+            def peek_fpreg(flat_bit: int) -> int:
+                index, bit = divmod(flat_bit, per_word)
+                if bit < 32:
+                    return (fpu._regs[index] >> bit) & 1
+                return (fpu._checks[index] >> (bit - 32)) & 1
+
+            self._add(SeuTarget("fpregs", 32 * per_word, inject_fpreg, per_word,
+                                peek_flat=peek_fpreg))
 
         ffbank = system.ffbank
 
@@ -75,14 +128,22 @@ class FaultInjector:
             system.mark_ffbank_dirty()
             return name
 
-        self._add(SeuTarget("flipflops", ffbank.total_bits, inject_ff, 0))
+        def peek_ff(flat_bit: int) -> int:
+            # Lane 0 -- the lane inject_flat flips.  With TMR the voter
+            # out-votes a single stuck lane, which is the correct physics.
+            reg, bit = ffbank.locate_bit(flat_bit)
+            return (reg.lane_value(0) >> bit) & 1
+
+        self._add(SeuTarget("flipflops", ffbank.total_bits, inject_ff, 0,
+                            peek_flat=peek_ff))
 
         if include_external_memory:
             for memory in (system.memctrl.prom_memory, system.memctrl.sram_memory,
                            system.memctrl.io_memory):
                 self._add(SeuTarget(
                     f"ext-{memory.name}", memory.total_bits, memory.inject_flat,
-                    39 if memory.edac else 32))
+                    39 if memory.edac else 32,
+                    peek_flat=_memory_peek(memory)))
 
     def _add(self, target: SeuTarget) -> None:
         self.targets[target.name] = target
@@ -118,6 +179,15 @@ class FaultInjector:
         """Is an undetected upset at this site still resident at end of
         run (latent), as opposed to overwritten unobserved (masked)?"""
         system = self.system
+        # A stuck-at cell is latent by definition until repaired: rewriting
+        # the golden value does not remove the defect, so a persistent
+        # fault at this site must never downgrade to "masked" even after
+        # the suspect marking was cleared by a rewrite.
+        for entry in self._persistent:
+            if entry.name != name:
+                continue
+            if word is None or self.locate(name, entry.flat_bit) == word:
+                return True
         if name == "icache-tag":
             return word in system.icache.tag_ram._suspect
         if name == "icache-data":
@@ -146,11 +216,13 @@ class FaultInjector:
     # -- state capture ---------------------------------------------------------
 
     def capture(self) -> dict:
-        """The injection log (the injector itself is stateless otherwise)."""
-        return {"injections": tuple(self.injections)}
+        """The injection log plus any registered persistent faults."""
+        return {"injections": tuple(self.injections),
+                "persistent": tuple(self._persistent)}
 
     def restore(self, state: dict) -> None:
         self.injections = list(state["injections"])
+        self._persistent = list(state.get("persistent", ()))
 
     # -- injection ----------------------------------------------------------------
 
@@ -162,6 +234,53 @@ class FaultInjector:
                 f"flat bit {flat_bit} outside target {name!r} ({target.bits} bits)")
         target.inject_flat(flat_bit)
         self.injections.append(name)
+
+    # -- persistent (stuck-at) faults --------------------------------------------
+
+    @property
+    def persistent_faults(self) -> tuple:
+        """Registered stuck-at cells, in registration order."""
+        return tuple(self._persistent)
+
+    def add_persistent(self, name: str, flat_bit: int, value: int) -> PersistentFault:
+        """Pin one stored bit to *value* until the injector is reset.
+
+        The cell is forced immediately and re-forced by every
+        :meth:`reassert_persistent` call; the campaign invokes that at
+        each execution-chunk boundary, so a rewrite (scrub, software
+        store, recovery restore) holds the golden value only until the
+        next boundary -- the model-layer approximation of a cell that is
+        stuck on every access.
+        """
+        target = self.target(name)
+        if not 0 <= flat_bit < target.bits:
+            raise InjectionError(
+                f"flat bit {flat_bit} outside target {name!r} ({target.bits} bits)")
+        if target.peek_flat is None:
+            raise InjectionError(
+                f"target {name!r} does not support persistent faults")
+        entry = PersistentFault(name, flat_bit, 1 if value else 0)
+        self._persistent.append(entry)
+        self.injections.append(f"{name}@stuck-{entry.value}")
+        self._force(entry)
+        return entry
+
+    def _force(self, entry: PersistentFault) -> bool:
+        target = self.targets[entry.name]
+        if target.peek_flat(entry.flat_bit) != entry.value:
+            # Flip through the target's own inject path so suspect/dirty
+            # marking happens exactly as for a beam strike.
+            target.inject_flat(entry.flat_bit)
+            return True
+        return False
+
+    def reassert_persistent(self) -> int:
+        """Re-force every stuck cell; returns how many had been rewritten."""
+        forced = 0
+        for entry in self._persistent:
+            if self._force(entry):
+                forced += 1
+        return forced
 
     def inject_random(self, rng: random.Random,
                       weights: Optional[Dict[str, float]] = None) -> str:

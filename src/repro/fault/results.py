@@ -42,22 +42,37 @@ def config_key(config: CampaignConfig) -> str:
             "configuration (CampaignConfig.leon is set)")
     payload = {name: getattr(config, name) for name in _CONFIG_FIELDS}
     payload["program_kwargs"] = dict(sorted(config.program_kwargs.items()))
+    # Fault-model fields serialize only when non-default, so every key
+    # (and stored row) written before the model layer existed -- and every
+    # default-model key after it -- stays byte-identical.
+    if config.fault_model != "seu":
+        payload["fault_model"] = config.fault_model
+    if config.fault_params:
+        payload["fault_params"] = dict(sorted(config.fault_params.items()))
     return json.dumps(payload, sort_keys=True)
 
 
 def config_to_dict(config: CampaignConfig) -> dict:
     """JSON-serializable form of one config (the stored fields only)."""
-    return {
+    out = {
         **{name: getattr(config, name) for name in _CONFIG_FIELDS},
         "program_kwargs": dict(config.program_kwargs),
     }
+    if config.fault_model != "seu":
+        out["fault_model"] = config.fault_model
+    if config.fault_params:
+        out["fault_params"] = dict(config.fault_params)
+    return out
 
 
 def config_from_dict(payload: dict) -> CampaignConfig:
     """Rebuild a config from :func:`config_to_dict` output."""
     payload = dict(payload)
     kwargs = payload.pop("program_kwargs", {})
-    return CampaignConfig(program_kwargs=kwargs, **payload)
+    fault_model = payload.pop("fault_model", "seu")
+    fault_params = payload.pop("fault_params", {})
+    return CampaignConfig(program_kwargs=kwargs, fault_model=fault_model,
+                          fault_params=dict(fault_params), **payload)
 
 
 def result_to_dict(result: CampaignResult) -> dict:

@@ -21,6 +21,7 @@ from repro.programs.builder import (
 from repro.programs.cncf import build_cncf
 from repro.programs.iutest import build_iutest
 from repro.programs.paranoia import build_paranoia
+from repro.programs.randgen import build_random
 
 __all__ = [
     "EXIT_MAGIC",
@@ -29,5 +30,6 @@ __all__ = [
     "build_cncf",
     "build_iutest",
     "build_paranoia",
+    "build_random",
     "build_test_program",
 ]

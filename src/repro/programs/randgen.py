@@ -1,0 +1,183 @@
+"""Seeded random self-checking straight-line programs.
+
+Campaign workload diversity beyond the three paper programs: a seeded
+generator emits a straight-line block of random ALU operations over the
+local/out registers, folds every result into the ``%g6`` checksum, and
+self-checks against the expected value -- which a Python mirror of the
+SPARC semantics computes at build time.  Same discipline as IUTEST
+(re-initialize, compute, compare, tally SW_ERRORS/ITERATIONS), so random
+programs drop into campaigns unchanged via ``--program random:<seed>``.
+
+Two differential validations guard the generator:
+
+* **round-trip**: every generated instruction word is disassembled and
+  re-assembled at build time; a mismatch against the original encoding
+  fails the build (the assembler and disassembler check each other);
+* **mirror-vs-machine**: the build-time expected checksum must match what
+  the simulated processor computes -- any divergence shows up as
+  ``SW_ERRORS`` in a fault-free run (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import LeonConfig
+from repro.errors import ConfigurationError
+from repro.programs.builder import build_test_program
+from repro.sparc.asm import Program, assemble
+from repro.sparc.disasm import disassemble
+
+_M = 0xFFFFFFFF
+
+#: Working registers: locals plus the outs not used by the self-check
+#: epilogue (%o0..%o2 are its scratch, mirroring IUTEST's convention).
+_REGS = [f"%l{i}" for i in range(8)] + [f"%o{i}" for i in range(3, 6)]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+#: Trap-free ALU operations and their Python mirrors.  Division is
+#: excluded (divide-by-zero traps); the shift group takes an immediate
+#: shift count and the others either an immediate (simm13, kept
+#: non-negative) or a register operand.
+_ALU_MIRROR: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & _M,
+    "sub": lambda a, b: (a - b) & _M,
+    "and": lambda a, b: a & b,
+    "andn": lambda a, b: a & ~b & _M,
+    "or": lambda a, b: a | b,
+    "orn": lambda a, b: (a | ~b) & _M,
+    "xor": lambda a, b: a ^ b,
+    "xnor": lambda a, b: ~(a ^ b) & _M,
+    "umul": lambda a, b: (a * b) & _M,
+    "smul": lambda a, b: (_signed(a) * _signed(b)) & _M,
+}
+_SHIFT_MIRROR: Dict[str, Callable[[int, int], int]] = {
+    "sll": lambda a, sh: (a << sh) & _M,
+    "srl": lambda a, sh: a >> sh,
+    "sra": lambda a, sh: (_signed(a) >> sh) & _M,
+}
+_OP_NAMES = tuple(sorted(_ALU_MIRROR)) + tuple(sorted(_SHIFT_MIRROR))
+
+
+def _generate_ops(rng: random.Random, count: int,
+                  state: Dict[str, int]) -> Tuple[List[str], int]:
+    """Random op lines plus the per-iteration checksum they produce.
+
+    *state* maps register names to their initialized values; the mirror
+    updates it op by op, folding each destination value into the
+    checksum exactly like the emitted ``xor %g6, rd, %g6``.
+    """
+    lines: List[str] = []
+    checksum = 0
+    for _ in range(count):
+        op = rng.choice(_OP_NAMES)
+        rs1 = rng.choice(_REGS)
+        rd = rng.choice(_REGS)
+        if op in _SHIFT_MIRROR:
+            shift = rng.randrange(32)
+            lines.append(f"    {op} {rs1}, {shift}, {rd}")
+            result = _SHIFT_MIRROR[op](state[rs1], shift)
+        elif rng.random() < 0.5:
+            imm = rng.randrange(4096)  # non-negative simm13
+            lines.append(f"    {op} {rs1}, {imm}, {rd}")
+            result = _ALU_MIRROR[op](state[rs1], imm)
+        else:
+            rs2 = rng.choice(_REGS)
+            lines.append(f"    {op} {rs1}, {rs2}, {rd}")
+            result = _ALU_MIRROR[op](state[rs1], state[rs2])
+        state[rd] = result
+        lines.append(f"    xor %g6, {rd}, %g6")
+        checksum ^= result
+    return lines, checksum
+
+
+def validate_roundtrip(op_lines: List[str], *,
+                       base: int = 0x40000000) -> Program:
+    """Assemble *op_lines*, then disassemble and re-assemble every word.
+
+    Any encoding the disassembler cannot reproduce exactly fails the
+    build -- the generated program is only trusted when the assembler and
+    disassembler agree on every instruction.  Returns the assembled
+    block (for tests).
+    """
+    block = assemble("\n".join(op_lines), base, name="randgen-block")
+    for index, word in enumerate(block.words):
+        pc = base + 4 * index
+        text = disassemble(word, pc)
+        again = assemble(text, pc, name="randgen-roundtrip")
+        if again.words != [word]:
+            raise ConfigurationError(
+                f"randgen round-trip mismatch at +{4 * index:#x}: "
+                f"{word:#010x} -> {text!r} -> "
+                f"{again.words[0]:#010x}")
+    return block
+
+
+def build_random(
+    config: Optional[LeonConfig] = None,
+    *,
+    seed: int = 0,
+    iterations: int = 10,
+    ops: int = 96,
+) -> Tuple[Program, int]:
+    """Build a seeded random program; returns (program, expected checksum).
+
+    Every iteration re-initializes the working registers from
+    seed-derived constants and replays the same straight-line block, so
+    the per-iteration checksum is constant and any storage corruption
+    along the register/ALU/icache path shows up as a self-check mismatch.
+    """
+    config = config or LeonConfig.fault_tolerant()
+    if ops <= 0:
+        raise ConfigurationError("randgen needs at least one operation")
+    rng = random.Random(seed)
+    init = {reg: rng.getrandbits(32) for reg in _REGS}
+    op_lines, expected = _generate_ops(rng, ops, dict(init))
+    validate_roundtrip(op_lines)
+
+    lines: List[str] = []
+    lines.append("main:")
+    lines.append("    save %sp, -96, %sp")
+    lines.append("    set ITER_COUNT, %i1")
+    lines.append("rand_iteration:")
+    lines.append("    clr %g6")
+    for reg in _REGS:
+        lines.append(f"    set {init[reg]}, {reg}")
+    lines.extend(op_lines)
+    # Self-check: compare against the mirror's expected checksum.
+    lines.append("    set EXPECTED_CHECKSUM, %o0")
+    lines.append("    cmp %g6, %o0")
+    lines.append("    be rand_checksum_ok")
+    lines.append("    nop")
+    lines.append("    set SW_ERRORS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("rand_checksum_ok:")
+    lines.append("    set CHECKSUM, %o1")
+    lines.append("    st %g6, [%o1]")
+    lines.append("    set ITERATIONS, %o1")
+    lines.append("    ld [%o1], %o2")
+    lines.append("    add %o2, 1, %o2")
+    lines.append("    st %o2, [%o1]")
+    lines.append("    subcc %i1, 1, %i1")
+    lines.append("    bne rand_iteration")
+    lines.append("    nop")
+    lines.append("    ret")
+    lines.append("    restore")
+
+    program = build_test_program(
+        "\n".join(lines),
+        config,
+        name=f"random-{seed}",
+        extra_symbols={
+            "ITER_COUNT": iterations,
+            "EXPECTED_CHECKSUM": expected,
+        },
+    )
+    return program, expected

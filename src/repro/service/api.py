@@ -29,7 +29,13 @@ dashboard.  Submission payload::
      "fluence": 2000.0, "seed": 1, "ips": 50000.0, "runs": 1,
      "flush_period": 0, "beam_delay": 0.0, "beam_tail": 0.0,
      "recovery": "none", "name": "...", "jobs": 1, "warm_start": false,
-     "trace": false, "early_exit": true}
+     "trace": false, "early_exit": true,
+     "fault_model": "seu", "fault_params": {}}
+
+``program`` also accepts ``random:<seed>`` (the seeded generator);
+``fault_model`` is any registered :mod:`repro.fault.models` name, and
+``?fault_model=<kind>`` filters the ``results``/``table2`` campaign
+views down to runs of that model.
 
 ``lets`` submits one run per LET point with the ``seed + index`` mapping
 of :func:`repro.fault.crosssection.measure_curve`; ``runs`` replicates
@@ -45,8 +51,9 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ConfigurationError
-from repro.fault.campaign import CampaignConfig
+from repro.fault.campaign import CampaignConfig, resolve_builder
 from repro.fault.executor import expand_runs
+from repro.fault.models import model_names
 from repro.fault.results import result_to_dict
 from repro.recovery import POLICIES
 from repro.service.dashboard import DASHBOARD_HTML
@@ -76,9 +83,17 @@ def build_job_request(payload: Dict[str, object]
     if not isinstance(payload, dict):
         raise ValueError("payload must be a JSON object")
     program = str(payload.get("program", "iutest"))
-    if program not in PROGRAMS:
-        raise ValueError(f"unknown program {program!r} "
-                         f"(expected one of {', '.join(PROGRAMS)})")
+    try:
+        resolve_builder(program)  # named builder or random:<seed>
+    except ConfigurationError as exc:
+        raise ValueError(str(exc)) from None
+    fault_model = str(payload.get("fault_model", "seu"))
+    if fault_model not in model_names():
+        raise ValueError(f"unknown fault model {fault_model!r} "
+                         f"(expected one of {', '.join(model_names())})")
+    fault_params = payload.get("fault_params", {})
+    if not isinstance(fault_params, dict):
+        raise ValueError("fault_params must be a JSON object")
     recovery = str(payload.get("recovery", "none"))
     if recovery not in POLICIES:
         raise ValueError(f"unknown recovery policy {recovery!r}")
@@ -108,6 +123,7 @@ def build_job_request(payload: Dict[str, object]
             flush_period_instructions=flush_period,
             beam_delay_s=beam_delay, beam_tail_s=beam_tail,
             recovery=recovery, early_exit=early_exit,
+            fault_model=fault_model, fault_params=dict(fault_params),
         )
         configs.extend(expand_runs(point, runs))
     name = payload.get("name")
@@ -249,6 +265,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         cid = db.campaign_id(campaign)
         if view in ("results", "table2", "curve", "availability"):
             results = db.results(cid)
+            wanted = query.get("fault_model")
+            if wanted and view in ("results", "table2"):
+                results = [result for result in results
+                           if result.config.fault_model == wanted[0]]
             if view == "results":
                 self._json({"campaign": cid, "runs": len(results),
                             "results": [result_to_dict(result)

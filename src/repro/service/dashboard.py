@@ -46,6 +46,11 @@ DASHBOARD_HTML = """<!DOCTYPE html>
 <form id="submit-form">
   <label>program <select name="program">
     <option>iutest</option><option>paranoia</option><option>cncf</option>
+    <option>random:1</option>
+  </select></label>
+  <label>fault model <select name="fault_model">
+    <option>seu</option><option>stuck-at-0</option>
+    <option>stuck-at-1</option><option>sefi</option>
   </select></label>
   <label>LET <input name="let" value="110" size="5"></label>
   <label>flux <input name="flux" value="400" size="6"></label>
@@ -121,8 +126,14 @@ async function showCampaign(id, name) {
     `${kind.padStart(5)}: ` + series.map((point) =>
       `LET ${point.let} -> ${point.sigma_per_bit.toExponential(2)} ` +
       `(${point.count})`).join("  ")).join("\\n");
+  const security = fold.security
+    ? "\\n\\nsecurity readout (detected / silent / masked)\\n" +
+      Object.entries(fold.security).map(([model, fold_]) =>
+        `${model}: detected ${fold_.detected}  silent ${fold_.silent}` +
+        `  masked ${fold_.masked}`).join("\\n")
+    : "";
   $("#detail").textContent =
-    (fold.rendered || "(no runs)") + "\\n\\ntotals = " + totals +
+    (fold.rendered || "(no runs)") + "\\n\\ntotals = " + totals + security +
     "\\n\\ncross-section per bit\\n" + points;
   $("#detail").hidden = false;
 }

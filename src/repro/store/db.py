@@ -52,7 +52,8 @@ from repro.fault.results import (
 )
 
 #: Bump when the schema changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: runs.fault_model column (defaults 'seu' for rows written by v1).
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -76,6 +77,7 @@ CREATE TABLE IF NOT EXISTS runs (
     fluence      REAL NOT NULL,
     seed         TEXT NOT NULL,  -- derived seeds exceed signed 64-bit
     recovery     TEXT NOT NULL,
+    fault_model  TEXT NOT NULL DEFAULT 'seu',
     upsets       INTEGER NOT NULL,
     sw_errors    INTEGER NOT NULL,
     error_traps  INTEGER NOT NULL,
@@ -161,10 +163,39 @@ class CampaignDatabase:
                 self._conn.execute(
                     "INSERT INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)))
-            elif int(row["value"]) != SCHEMA_VERSION:
-                raise ConfigurationError(
-                    f"{path}: campaign database schema v{row['value']} "
-                    f"(this build reads v{SCHEMA_VERSION})")
+            else:
+                self._migrate(path, int(row["value"]))
+
+    def _migrate(self, path: str, version: int) -> None:
+        """Upgrade an older on-disk schema in place (caller holds lock).
+
+        v1 -> v2 adds ``runs.fault_model``; every pre-existing row was
+        written before the model layer and is a transient-SEU run, which
+        is exactly the column default.  Payloads are untouched, so
+        results read back bit-for-bit.  Newer-than-us schemas still
+        refuse to open.
+        """
+        if version == SCHEMA_VERSION:
+            return
+        if version > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{path}: campaign database schema v{version} "
+                f"(this build reads v{SCHEMA_VERSION})")
+        if version == 1:
+            columns = {row["name"] for row in self._conn.execute(
+                "PRAGMA table_info(runs)").fetchall()}
+            if "fault_model" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE runs ADD COLUMN fault_model "
+                    "TEXT NOT NULL DEFAULT 'seu'")
+            version = 2
+        if version != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{path}: no migration path from campaign database "
+                f"schema v{version} to v{SCHEMA_VERSION}")
+        self._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION),))
 
     def close(self) -> None:
         with self._lock:
@@ -239,16 +270,18 @@ class CampaignDatabase:
                 config = result.config
                 self._conn.execute(
                     "INSERT INTO runs (campaign_id, position, config_key, "
-                    " program, let, flux, fluence, seed, recovery, upsets, "
+                    " program, let, flux, fluence, seed, recovery, "
+                    " fault_model, upsets, "
                     " sw_errors, error_traps, halted, iterations, "
                     " instructions, cycles, halts, unrecovered, exit_reason, "
                     " total_errors, payload) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
-                    "        ?, ?, ?, ?, ?, ?) "
+                    "        ?, ?, ?, ?, ?, ?, ?) "
                     "ON CONFLICT (campaign_id, config_key) DO UPDATE SET "
                     " program = excluded.program, let = excluded.let, "
                     " flux = excluded.flux, fluence = excluded.fluence, "
                     " seed = excluded.seed, recovery = excluded.recovery, "
+                    " fault_model = excluded.fault_model, "
                     " upsets = excluded.upsets, "
                     " sw_errors = excluded.sw_errors, "
                     " error_traps = excluded.error_traps, "
@@ -262,7 +295,8 @@ class CampaignDatabase:
                     " payload = excluded.payload",
                     (campaign, position, key, config.program, config.let,
                      config.flux, config.fluence, str(config.seed),
-                     config.recovery, result.upsets, result.sw_errors,
+                     config.recovery, config.fault_model,
+                     result.upsets, result.sw_errors,
                      result.error_traps, int(result.halted),
                      result.iterations, result.instructions, result.cycles,
                      result.halts, int(result.unrecovered),

@@ -19,6 +19,7 @@ from repro.fault.crosssection import (
     CrossSectionPoint,
     target_bits,
 )
+from repro.fault.models import security_fold
 from repro.fault.report import render_recovery_summary, render_table2, table2_rows
 from repro.fault.results import config_key
 from repro.telemetry import fold_stats, lifecycles
@@ -62,6 +63,11 @@ def fold_results(results: Sequence[CampaignResult]) -> Dict[str, object]:
     if any(result.recovery_events or result.halts or result.unrecovered
            for result in results):
         payload["recovery"] = render_recovery_summary(results)
+    if any(result.config.fault_model != "seu" for result in results):
+        # Security readout: detected / silent / masked per fault model.
+        payload["security"] = {
+            model: dict(outcomes)
+            for model, outcomes in security_fold(results).items()}
     return payload
 
 
@@ -214,6 +220,7 @@ def trace_stats(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "runs": stats.runs,
         "strikes": stats.strikes,
         "strikes_by_target": dict(stats.strikes_by_target),
+        "strikes_by_kind": dict(stats.strikes_by_kind),
         "counters": dict(stats.counters),
         "reported": dict(stats.reported),
         "consistent": stats.consistent,

@@ -90,14 +90,25 @@ class Telemetry:
     # ------------------------------------------------------------------
 
     def strike(self, target: str, bit: int, *, word: Optional[int],
-               time_s: float, let: float, mbu: bool, instr: int) -> int:
-        """Record a particle strike; returns the new upset id."""
+               time_s: float, let: float, mbu: bool, instr: int,
+               kind: Optional[str] = None) -> int:
+        """Record an injected fault; returns the new upset id.
+
+        ``kind`` names the fault model for non-default injections
+        (stuck-at, SEFI, attacks); ``None`` -- the transient-SEU default
+        -- is omitted from the event so existing traces stay
+        byte-identical.
+        """
         upset = self._next_upset
         self._next_upset += 1
         self._open.setdefault((target, word), []).append(upset)
-        self.emit({"ev": "strike", "upset": upset, "target": target,
-                   "word": word, "bit": bit, "t_s": round(time_s, 6),
-                   "let": let, "mbu": bool(mbu), "instr": instr})
+        event: Dict[str, object] = {
+            "ev": "strike", "upset": upset, "target": target,
+            "word": word, "bit": bit, "t_s": round(time_s, 6),
+            "let": let, "mbu": bool(mbu), "instr": instr}
+        if kind is not None:
+            event["kind"] = kind
+        self.emit(event)
         return upset
 
     def _match(self, site: str, word: Optional[int]) -> Optional[int]:

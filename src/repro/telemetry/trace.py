@@ -142,6 +142,9 @@ class TraceStats:
     runs: int = 0
     strikes: int = 0
     strikes_by_target: Dict[str, int] = field(default_factory=dict)
+    #: Strikes per fault-model kind; events without a ``kind`` tag are
+    #: the transient-SEU default and fold under ``"seu"``.
+    strikes_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Table-2 counters rebuilt from detect events.
     counters: Dict[str, int] = field(default_factory=dict)
     #: The same counters summed from the run-end readouts.
@@ -185,6 +188,9 @@ def fold_stats(events: Sequence[Dict[str, object]]) -> TraceStats:
             target = str(event.get("target"))
             stats.strikes_by_target[target] = \
                 stats.strikes_by_target.get(target, 0) + 1
+            fault_kind = str(event.get("kind", "seu"))
+            stats.strikes_by_kind[fault_kind] = \
+                stats.strikes_by_kind.get(fault_kind, 0) + 1
             upset = event.get("upset")
             if upset is not None:
                 strike_instr[(run, int(upset))] = int(event.get("instr", 0))
@@ -302,6 +308,10 @@ def render_stats(stats: TraceStats) -> str:
         per = ", ".join(f"{target} {count}" for target, count
                         in sorted(stats.strikes_by_target.items()))
         lines.append(f"  strikes by target: {per}")
+    if stats.strikes_by_kind and set(stats.strikes_by_kind) != {"seu"}:
+        per = ", ".join(f"{kind} {count}" for kind, count
+                        in sorted(stats.strikes_by_kind.items()))
+        lines.append(f"  strikes by fault model: {per}")
     lines.append("")
     lines.append("Table 2 counters (rebuilt from detect events):")
     names = TABLE2_COUNTERS + ("Total",)

@@ -1,0 +1,96 @@
+"""FT103: fault-model coverage fixtures."""
+
+from repro.analysis import analyze_source
+
+#: Virtual path inside the fault package, mirroring the real models.
+MODULE = "repro/fault/fixture.py"
+
+
+def _codes(findings, *, active_only=True):
+    return [f.code for f in findings
+            if not (active_only and f.suppressed)]
+
+
+COMPLETE = (
+    "class FaultModel:\n"
+    "    kind = ''\n"
+    "    TARGETS = ()\n"
+    "    def fault_space(self, injector):\n"
+    "        raise NotImplementedError\n"
+)
+
+
+def test_complete_model_passes():
+    source = COMPLETE + (
+        "class StuckOpen(FaultModel):\n"
+        "    kind = 'stuck-open'\n"
+        "    TARGETS = ('regfile',)\n"
+        "    def fault_space(self, injector):\n"
+        "        return {'regfile': 1}\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_model_missing_declarations_is_flagged():
+    source = COMPLETE + (
+        "class Rowhammer(FaultModel):\n"
+        "    def schedule(self, injector):\n"
+        "        return []\n"
+    )
+    findings = analyze_source(source, MODULE)
+    assert _codes(findings) == ["FT103"]
+    message = findings[0].message
+    assert "Rowhammer" in message
+    assert "kind" in message
+    assert "TARGETS" in message
+    assert "fault_space" in message
+
+
+def test_root_defaults_do_not_satisfy_the_rule():
+    """Inheriting the base's empty ``kind``/``TARGETS``/stub is exactly
+    the hole FT103 exists to catch: the subclass must override them."""
+    source = COMPLETE + (
+        "class Lazy(FaultModel):\n"
+        "    kind = 'lazy'\n"
+        "    def fault_space(self, injector):\n"
+        "        return {}\n"
+    )
+    findings = analyze_source(source, MODULE)
+    assert _codes(findings) == ["FT103"]
+    assert "TARGETS" in findings[0].message
+
+
+def test_mixin_provides_the_declarations():
+    source = COMPLETE + (
+        "class _StuckBase:\n"
+        "    TARGETS = ('regfile',)\n"
+        "    def fault_space(self, injector):\n"
+        "        return {'regfile': 1}\n"
+        "class StuckShut(_StuckBase, FaultModel):\n"
+        "    kind = 'stuck-shut'\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_underscore_mixins_are_not_models():
+    source = COMPLETE + (
+        "class _Partial(FaultModel):\n"
+        "    kind = 'partial'\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_unrelated_classes_are_ignored():
+    source = (
+        "class Widget:\n"
+        "    def fault_space(self, injector):\n"
+        "        return {}\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_real_model_module_is_clean():
+    import repro.fault.models as models
+    with open(models.__file__, encoding="utf-8") as handle:
+        source = handle.read()
+    assert _codes(analyze_source(source, "repro/fault/models.py")) == []

@@ -124,6 +124,55 @@ def test_dashboard_served(server):
     assert "/api/jobs" in body
 
 
+def test_build_job_request_fault_model():
+    configs, _, _ = build_job_request(
+        dict(TINY_PAYLOAD, fault_model="stuck-at-1"))
+    assert all(config.fault_model == "stuck-at-1" for config in configs)
+    configs, _, _ = build_job_request(dict(TINY_PAYLOAD, program="random:3"))
+    assert configs[0].program == "random:3"
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, fault_model="rowhammer"))
+    with pytest.raises(ValueError):
+        build_job_request(dict(TINY_PAYLOAD, fault_params="pc=0x40000000"))
+
+
+def test_attack_job_end_to_end(server):
+    """An instruction-skip job through the HTTP API: the stored rows keep
+    their fault model, table2 carries the security fold, and the
+    fault-model filter selects rows."""
+    from repro.fault.campaign import resolve_builder
+
+    program, _ = resolve_builder("iutest")(None)
+    payload = dict(
+        TINY_PAYLOAD, runs=3, name="attack-api",
+        fault_model="instruction-skip",
+        fault_params={"pc": program.symbols["iutest_iteration"],
+                      "window": 8, "time_s": 0.1})
+    job = _call(server, "/api/jobs", payload)
+    record = server.queue.wait(job["id"], timeout_s=120)
+    assert record["state"] == "done"
+
+    stored = server.db.results(server.db.campaign_id("attack-api"))
+    assert [r.config.fault_model for r in stored] == \
+        ["instruction-skip"] * 3
+
+    table2 = _call(server, "/api/campaigns/attack-api/table2")
+    fold = table2["security"]["instruction-skip"]
+    assert sum(fold.values()) == 3
+    assert set(fold) == {"detected", "silent", "masked"}
+
+    filtered = _call(
+        server, "/api/campaigns/attack-api/results?fault_model=instruction-skip")
+    assert filtered["runs"] == 3
+    empty = _call(server, "/api/campaigns/attack-api/results?fault_model=seu")
+    assert empty["runs"] == 0
+
+
+def test_default_model_table2_has_no_security_block(server):
+    table2 = _call(server, "/api/campaigns/api-smoke/table2")
+    assert "security" not in table2
+
+
 def test_error_mapping(server):
     with pytest.raises(urllib.error.HTTPError) as err:
         _call(server, "/api/campaigns/absent/table2")

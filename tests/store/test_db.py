@@ -143,3 +143,64 @@ def test_named_job_shares_campaign(db):
     first = db.create_job([_config(seed=1)], name="corpus")
     second = db.create_job([_config(seed=2)], name="corpus")
     assert db.job(first)["campaign_id"] == db.job(second)["campaign_id"]
+
+
+# -- fault-model column and schema migration -----------------------------------
+
+
+def test_fault_model_round_trips(db):
+    campaign = db.ensure_campaign("attack")
+    result = _result(seed=1, fault_model="stuck-at-1",
+                     fault_params={"pc": 0x40000000})
+    db.add_results(campaign, [result])
+    loaded, = db.results(campaign)
+    assert loaded.config.fault_model == "stuck-at-1"
+    assert loaded.config.fault_params == {"pc": 0x40000000}
+    assert loaded.comparable() == result.comparable()
+    row = db._conn.execute("SELECT fault_model FROM runs").fetchone()
+    assert row["fault_model"] == "stuck-at-1"
+
+
+def test_default_rows_store_seu(db):
+    campaign = db.ensure_campaign("alpha")
+    db.add_results(campaign, [_result(seed=1)])
+    row = db._conn.execute("SELECT fault_model FROM runs").fetchone()
+    assert row["fault_model"] == "seu"
+
+
+def test_v1_database_migrates_in_place(tmp_path):
+    """A database written before the fault-model layer (schema v1, no
+    runs.fault_model column) opens cleanly: the column is added and
+    every pre-existing row reads back as the default 'seu' model."""
+    path = str(tmp_path / "v1.sqlite")
+    with CampaignDatabase(path) as database:
+        campaign = database.ensure_campaign("legacy")
+        database.add_results(campaign, [_result(seed=1)])
+        # Rewind the file to the v1 shape.
+        database._conn.execute("ALTER TABLE runs DROP COLUMN fault_model")
+        database._conn.execute(
+            "UPDATE meta SET value = '1' WHERE key = 'schema_version'")
+        database._conn.commit()
+    with CampaignDatabase(path) as database:
+        row = database._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        assert row["value"] == "2"
+        loaded, = database.results(database.campaign_id("legacy"))
+        assert loaded.config.fault_model == "seu"
+        # And new-model rows insert fine post-migration.
+        campaign = database.ensure_campaign("legacy")
+        database.add_results(
+            campaign, [_result(seed=2, fault_model="sefi")])
+        rows = database._conn.execute(
+            "SELECT fault_model FROM runs ORDER BY position").fetchall()
+        assert [r["fault_model"] for r in rows] == ["seu", "sefi"]
+
+
+def test_newer_schema_is_refused(tmp_path):
+    path = str(tmp_path / "future.sqlite")
+    with CampaignDatabase(path) as database:
+        database._conn.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+        database._conn.commit()
+    with pytest.raises(ConfigurationError):
+        CampaignDatabase(path)

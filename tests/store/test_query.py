@@ -133,6 +133,7 @@ def test_trace_stats_identical_across_backends(tmp_path):
             "runs": stats_file.runs,
             "strikes": stats_file.strikes,
             "strikes_by_target": dict(stats_file.strikes_by_target),
+            "strikes_by_kind": dict(stats_file.strikes_by_kind),
             "counters": dict(stats_file.counters),
             "reported": dict(stats_file.reported),
             "consistent": stats_file.consistent,
