@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """CI throughput smoke: fail on a >30% interpreter-speed regression.
 
-Measures single-run interpreter throughput (the same measurement
-``benchmarks/test_perf_throughput.py`` records) for roughly 30 seconds and
-compares it against the ``single_run_ips`` baseline in
-``BENCH_throughput.json``.  Exit code 1 on regression.
+Measures single-run throughput on the default execution path (trace JIT
+enabled -- the same measurement ``benchmarks/test_perf_throughput.py``
+records) for roughly 30 seconds and compares it against the
+``single_run_ips`` baseline in ``BENCH_throughput.json``.  Exit code 1 on
+regression.  The program boots through ``ProgramHarness`` so the timed
+loop is IUTEST's patrol, not the unexpected-trap spin a raw
+``load_program`` would park on.
 
 CI machines are noisy and heterogeneous, hence the wide 30% band -- the
 check exists to catch algorithmic regressions (an accidentally disabled
@@ -21,6 +24,7 @@ from pathlib import Path
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.programs import build_iutest
+from repro.programs.builder import ProgramHarness
 
 TOLERANCE = 0.30
 TARGET_SECONDS = 30.0
@@ -28,19 +32,20 @@ CHUNK_INSTRUCTIONS = 100_000
 
 
 def measure() -> float:
-    system = LeonSystem(LeonConfig.leon_express())
-    program, _ = build_iutest(iterations=1_000_000)
-    system.load_program(program)
-    system.run(20_000)  # warm the caches and the decode memo
+    config = LeonConfig.leon_express()
+    system = LeonSystem(config)
+    program, _ = build_iutest(config, iterations=1_000_000)
+    ProgramHarness(system, program)
+    system.run_fast(20_000)  # warm the caches, decode memo, and hot blocks
     instructions = 0
     wall = 0.0
     started = time.perf_counter()
     while time.perf_counter() - started < TARGET_SECONDS:
-        result = system.run(CHUNK_INSTRUCTIONS)
+        result = system.run_fast(CHUNK_INSTRUCTIONS)
         instructions += result.instructions
         wall += result.wall_seconds
         if result.stop_reason != "budget":  # program ended; restart it
-            system.load_program(program)
+            ProgramHarness(system, program)
     return instructions / wall if wall else 0.0
 
 

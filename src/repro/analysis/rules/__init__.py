@@ -4,10 +4,11 @@ from repro.analysis.rules import (
     counters,
     determinism,
     faults,
+    jit,
     state,
     storage,
     telemetry,
 )
 
-__all__ = ["counters", "determinism", "faults", "state", "storage",
+__all__ = ["counters", "determinism", "faults", "jit", "state", "storage",
            "telemetry"]

@@ -1,0 +1,75 @@
+"""JIT rules: compiled bursts commit every fault-tolerance observable.
+
+``jit-observables`` (FT601)
+    The trace JIT accumulates per-step performance counters in closure
+    locals and folds them into :class:`~repro.core.statistics.PerfCounters`
+    at burst exit; a counter the epilogue forgets silently skews every
+    fault-grading readout that normalizes by instructions or cycles.  The
+    codegen declares the contract in ``BLOCK_OBSERVABLES`` and emits each
+    commit as a ``PERF.<name> +=`` source fragment; this rule checks the
+    two stay in lockstep -- every declared observable must have a commit
+    fragment in the codegen source, so dropping one (or renaming a
+    counter) fails the audit instead of shipping skewed campaigns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+#: The module that declares the observables contract and generates the
+#: commit code.
+_CODEGEN_MODULE = "jit/blocks.py"
+
+
+def _observable_names(tree: ast.Module) -> Optional[List[str]]:
+    """The string elements of the module-level ``BLOCK_OBSERVABLES``."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "BLOCK_OBSERVABLES" not in targets:
+            continue
+        if not isinstance(node.value, ast.Tuple):
+            return None
+        names = []
+        for element in node.value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            names.append(element.value)
+        return names
+    return None
+
+
+@register_rule
+class JitObservablesRule(Rule):
+    name = "jit-observables"
+    code = "FT601"
+    protects = "compiled-block exits commit every FT observable"
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        if module.package_path != _CODEGEN_MODULE:
+            return
+        names = _observable_names(module.tree)
+        if names is None:
+            yield self.finding(
+                module, module.tree,
+                "BLOCK_OBSERVABLES must be a module-level tuple of string "
+                "literals so the observables contract is auditable")
+            return
+        fragments = [node.value for node in ast.walk(module.tree)
+                     if isinstance(node, ast.Constant)
+                     and isinstance(node.value, str)]
+        for name in names:
+            commit = f"PERF.{name} +="
+            if not any(commit in fragment for fragment in fragments):
+                yield self.finding(
+                    module, module.tree,
+                    f"observable {name!r} is declared in BLOCK_OBSERVABLES "
+                    f"but the codegen never emits '{commit}'; a compiled "
+                    f"burst would retire work without counting it")

@@ -200,6 +200,28 @@ class CacheBase:
         self._count_hit()
         return data_ram._data[data_index]
 
+    def peek_word(self, address: int) -> Optional[int]:
+        """Side-effect-free twin of :meth:`lookup_word`: same clean-hit
+        predicate, but counts nothing.  The trace JIT uses it to verify
+        block words at burst entry and to probe loads whose hit counting is
+        committed separately (only once the covered step is known to
+        complete), so a deopt never double-counts a hit.
+        """
+        index = (address >> self._offset_bits) & self._index_mask
+        tag_ram = self.tag_ram
+        if tag_ram._suspect and index in tag_ram._suspect:
+            return None
+        entry = tag_ram._data[index]
+        word = (address >> 2) & self._word_mask
+        if (entry >> self.words_per_line) != (address >> self._tag_shift) \
+                or not (entry >> word) & 1:
+            return None
+        data_index = index * self.words_per_line + word
+        data_ram = self.data_ram
+        if data_ram._suspect and data_index in data_ram._suspect:
+            return None
+        return data_ram._data[data_index]
+
     def lookup(self, address: int) -> CacheAccess:
         """Read one word through the cache.
 

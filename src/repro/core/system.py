@@ -25,6 +25,7 @@ from repro.ft.tmr import FlipFlopBank
 from repro.iu.pipeline import HaltReason, IntegerUnit, StepEvent, StepResult
 from repro.iu.psr import SpecialRegisters
 from repro.iu.regfile import RegisterFile
+from repro.jit import JitEngine, jit_default_enabled
 from repro.mem.memctrl import MemoryController
 from repro.peripherals import (
     IRQ_TIMER1,
@@ -72,7 +73,8 @@ class LeonSystem:
     """A complete LEON processor plus its memory system and peripherals."""
 
     def __init__(self, config: Optional[LeonConfig] = None, *,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 jit: Optional[bool] = None) -> None:
         self.config = config or LeonConfig.fault_tolerant()
         config = self.config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -173,6 +175,12 @@ class LeonSystem:
         #: paper's "normally wired to system reset").  Harnesses that only
         #: want to observe the latch can unwire it.
         self.watchdog_reset_enabled = True  # state: config -- harness wiring choice, constant per run
+        #: Trace-JIT engine, or None when disabled (``jit=False`` or
+        #: ``REPRO_JIT=0``).  Pure acceleration state -- never part of a
+        #: snapshot, invalidated on restore/reset/reload.
+        if jit is None:
+            jit = jit_default_enabled()
+        self.jit = JitEngine(self) if jit else None
 
     # -- state capture ---------------------------------------------------------------
 
@@ -246,6 +254,8 @@ class LeonSystem:
             if component is None or name in skipped:
                 continue
             component.restore(components[name])
+        if self.jit is not None:
+            self.jit.invalidate()
 
     def state_digest(self) -> str:
         """Hex digest of the *architectural* state (counters excluded).
@@ -264,6 +274,8 @@ class LeonSystem:
         if set_pc:
             self.special.pc = program.base
             self.special.npc = program.base + 4
+        if self.jit is not None:
+            self.jit.invalidate()
 
     def write_image(self, base: int, image: bytes) -> None:
         for memory, bank in ((self.memctrl.prom_memory, self.memctrl.prom),
@@ -303,6 +315,8 @@ class LeonSystem:
         self.icache.flush()
         self.dcache.flush()
         self.timers.reset_watchdog()
+        if self.jit is not None:
+            self.jit.invalidate()
         if watchdog:
             self.perf.watchdog_resets += 1
             if self.telemetry.enabled:
@@ -419,11 +433,20 @@ class LeonSystem:
         halted_event = StepEvent.HALTED
         idle_event = StepEvent.IDLE
         running = HaltReason.RUNNING
+        jit = self.jit
+        try_burst = jit.try_burst if jit is not None else None
         while instructions < max_instructions:
             if stop_pc is not None and special.pc == stop_pc \
                     and iu.halted is running:
                 stop_reason = "stop-pc"
                 break
+            if try_burst is not None:
+                burst = try_burst(max_instructions - instructions, stop_pc)
+                if burst is not None:
+                    instructions += burst[0]
+                    steps += burst[1]
+                    idle = 0
+                    continue
             result = step()
             steps += 1
             event = result.event

@@ -35,6 +35,7 @@ reported together in a :class:`CampaignExecutionError`.
 from __future__ import annotations
 
 import inspect
+import itertools
 import math
 import multiprocessing
 import traceback
@@ -108,6 +109,40 @@ def run_campaign_traced(config: CampaignConfig,
     return result
 
 
+#: Warm starts shared with worker processes by inheritance.  The parent
+#: registers the :class:`WarmStart` under a token before creating the
+#: pool; ``fork`` children inherit the registry as-is (the snapshot bytes
+#: are never pickled, and the OS shares the pages copy-on-write), while
+#: ``spawn`` children get it installed once per *worker* via the pool
+#: initializer -- one pickle per worker instead of one per submitted
+#: chunk.
+_SHARED_WARM: Dict[int, WarmStart] = {}
+_WARM_TOKENS = itertools.count(1)
+
+
+def _install_shared_warm(token: int, warm: WarmStart) -> None:
+    """Pool initializer (``spawn`` fallback): register the shared warm
+    start in this worker's copy of the registry."""
+    _SHARED_WARM[token] = warm
+
+
+def _resolve_warm(ref) -> Optional[WarmStart]:
+    """A warm reference is None, a WarmStart, or a shared-registry token."""
+    if ref is None or isinstance(ref, WarmStart):
+        return ref
+    return _SHARED_WARM[ref]
+
+
+def _resolve_start(ref, warm: Optional[WarmStart]
+                   ) -> Optional[GoldenCheckpoint]:
+    """A start reference is None, a checkpoint, or ``("anchor", index)``
+    into the shared warm start's golden timeline (so batched starts ride
+    the shared object instead of re-pickling their snapshots)."""
+    if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "anchor":
+        return warm.timeline.anchors()[ref[1]]
+    return ref
+
+
 def _call_runner(runner: Callable[..., CampaignResult],
                  config: CampaignConfig,
                  warm: Optional[WarmStart],
@@ -127,10 +162,18 @@ def _call_runner(runner: Callable[..., CampaignResult],
 
 def _run_chunk(runner: Callable[..., CampaignResult],
                configs: Sequence[CampaignConfig],
-               warm: Optional[WarmStart] = None,
-               start: Optional[GoldenCheckpoint] = None,
+               warm=None,
+               start=None,
                ) -> List[CampaignResult]:
-    """Worker entry point: run one chunk of configs back to back."""
+    """Worker entry point: run one chunk of configs back to back.
+
+    ``warm``/``start`` accept the reference forms of :func:`_resolve_warm`
+    and :func:`_resolve_start`, so a shared warm start crosses the process
+    boundary once (fork inheritance or the spawn initializer), not once
+    per chunk.
+    """
+    warm = _resolve_warm(warm)
+    start = _resolve_start(start, warm)
     return [_call_runner(runner, config, warm, start) for config in configs]
 
 
@@ -393,40 +436,70 @@ class CampaignExecutor:
                     release()
         else:
             workers = min(self.jobs, len(chunks))
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=self._context()) as pool:
-                futures = [
-                    (indices, chunk_configs, start,
-                     pool.submit(_run_chunk, self.runner, chunk_configs,
-                                 warm, start))
-                    for indices, chunk_configs, start in chunks]
-                for indices, chunk_configs, start, future in futures:
-                    try:
-                        chunk_results: List[Optional[CampaignResult]] = \
-                            list(future.result(self.timeout_s))
-                    except Exception as exc:
-                        # Worker raised, died, or overran the budget; a
-                        # broken pool also lands here for every remaining
-                        # chunk.  The configs are self-contained, so
-                        # retrying serially in the parent reproduces
-                        # exactly what the worker would have computed.
-                        future.cancel()
-                        if self.retries:
-                            chunk_results = [
-                                self._attempt(config, failures,
-                                              attempts=self.retries,
-                                              warm=warm, start=start)
-                                for config in chunk_configs]
-                        else:
-                            error = _format_error(exc)
-                            failures.extend(
-                                ExecutorFailure(config=config, error=error)
-                                for config in chunk_configs)
-                            chunk_results = [None] * len(chunk_configs)
-                    for index, result in zip(indices, chunk_results):
-                        results[index] = result
-                        filled[index] = True
-                    release()
+            context = self._context()
+            # Share the warm start with the pool by inheritance: register
+            # it under a token before the workers exist.  Fork children
+            # see the registry directly; spawn children get it from the
+            # pool initializer, once per worker.
+            warm_ref = token = None
+            initializer = initargs = None
+            anchor_pos: Dict[int, int] = {}
+            if warm is not None:
+                token = next(_WARM_TOKENS)
+                _SHARED_WARM[token] = warm
+                warm_ref = token
+                if context.get_start_method() != "fork":
+                    initializer = _install_shared_warm
+                    initargs = (token, warm)
+                if warm.timeline is not None:
+                    anchor_pos = {id(anchor): position for position, anchor
+                                  in enumerate(warm.timeline.anchors())}
+
+            def start_ref(start):
+                if start is not None and id(start) in anchor_pos:
+                    return ("anchor", anchor_pos[id(start)])
+                return start
+
+            try:
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context,
+                                         initializer=initializer,
+                                         initargs=initargs or ()) as pool:
+                    futures = [
+                        (indices, chunk_configs, start,
+                         pool.submit(_run_chunk, self.runner, chunk_configs,
+                                     warm_ref, start_ref(start)))
+                        for indices, chunk_configs, start in chunks]
+                    for indices, chunk_configs, start, future in futures:
+                        try:
+                            chunk_results: List[Optional[CampaignResult]] = \
+                                list(future.result(self.timeout_s))
+                        except Exception as exc:
+                            # Worker raised, died, or overran the budget; a
+                            # broken pool also lands here for every remaining
+                            # chunk.  The configs are self-contained, so
+                            # retrying serially in the parent reproduces
+                            # exactly what the worker would have computed.
+                            future.cancel()
+                            if self.retries:
+                                chunk_results = [
+                                    self._attempt(config, failures,
+                                                  attempts=self.retries,
+                                                  warm=warm, start=start)
+                                    for config in chunk_configs]
+                            else:
+                                error = _format_error(exc)
+                                failures.extend(
+                                    ExecutorFailure(config=config, error=error)
+                                    for config in chunk_configs)
+                                chunk_results = [None] * len(chunk_configs)
+                        for index, result in zip(indices, chunk_results):
+                            results[index] = result
+                            filled[index] = True
+                        release()
+            finally:
+                if token is not None:
+                    _SHARED_WARM.pop(token, None)
         if failures:
             raise CampaignExecutionError(failures, results)
         return results  # type: ignore[return-value]  # no failures -> no Nones

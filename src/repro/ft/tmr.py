@@ -43,6 +43,8 @@ class Voter:
     ignore it.
     """
 
+    __slots__ = ("disagreements",)
+
     def __init__(self) -> None:
         self.disagreements = 0  # state: diag -- captured under FlipFlopBank's 'diag' key
 
@@ -59,6 +61,9 @@ class TmrRegister:
     Without TMR (``tmr=False``) the register is a single flip-flop rank and
     an injected SEU directly corrupts the visible value.
     """
+
+    __slots__ = ("name", "width", "tmr", "_mask", "_lanes", "voter",
+                 "_dirty")
 
     def __init__(self, name: str, width: int, *, tmr: bool = True, reset: int = 0) -> None:
         if width <= 0:

@@ -113,6 +113,11 @@ class IntegerUnit:
         self.perf = perf
         self.is_cacheable = is_cacheable
         self.irqctrl = irqctrl
+        # Fast pre-check for the per-step interrupt sample: with no bits
+        # pending (lane 0, clean) no level can be deliverable, whatever
+        # ET/PIL/mask say, so the PSR reads are skipped entirely.  The
+        # pending register is never rebound (it lives in the ffbank).
+        self._irq_pending = irqctrl._pending if irqctrl is not None else None
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._rf_mech = regfile.protection.value
         if regfile.duplicated:
@@ -238,7 +243,9 @@ class IntegerUnit:
         # Interrupts are sampled between instructions.
         r = self.r
         psr = r.psr
-        if self.irqctrl is not None and psr.et:
+        pending = self._irq_pending
+        if pending is not None and (pending._lanes[0] or pending._dirty) \
+                and psr.et:
             level = self.irqctrl.pending_level(psr.pil)
             if level:
                 self.power_down = False

@@ -1,0 +1,213 @@
+"""The burst driver: hot-PC counting, block cache and entry guards.
+
+``JitEngine.try_burst`` is called by ``LeonSystem.run_fast`` before
+each interpreted step.  It either runs a compiled burst (returning the
+instruction/step counts the driver folds into its loop totals) or
+returns ``None``, in which case the driver interprets exactly one step
+as before.
+
+The entry guard set proves, before any compiled code runs, that the
+interpreter would take its fault-free fast path for the whole burst:
+
+* pipeline state -- running, not powered down, ``npc == pc + 4``, no
+  pending annul, no scrub due in the flip-flop bank;
+* no interrupt deliverable right now (ET, PIL and the pending/mask
+  registers are read lane-0 only after their dirty flags are checked,
+  so TMR voting stays with the interpreter);
+* quiescent peripherals -- watchdog never started, timers disabled,
+  UART shifters empty, DMA idle -- which makes the per-step APB tick a
+  proven no-op for any number of burst cycles, so it is skipped;
+* no fault in flight: every TMR register guard-listed clean, every
+  parity/EDAC suspect set empty, the write protector disabled;
+* caches enabled and every block word still verifying against the
+  i-cache (a mismatch -- eviction, injected suspect, reloaded program
+  -- drops the block for recompilation);
+* a stop_pc never inside the block and enough instruction budget for
+  one worst-case iteration.
+
+Anything that changes these facts mid-campaign (fault injection,
+snapshot restore, a trap) makes the next guard pass fail, so execution
+falls back to the interpreter at a step boundary with bit-identical
+state.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple, Union
+
+from repro.iu.pipeline import HaltReason
+from repro.jit.blocks import CompiledBlock, build_block
+from repro.mem.writeprotect import WpMode
+from repro.peripherals.dma import _STATUS_BUSY
+from repro.peripherals.irqctrl import _LEVEL_MASK
+from repro.peripherals.timer import _CTRL_ENABLE
+from repro.peripherals.uart import _STATUS_TX_SHIFT_EMPTY
+
+#: Executions of a PC before it is considered hot and compiled.
+HOT_THRESHOLD = 16
+#: Bound on the hot-counter table; cleared wholesale when exceeded.
+MAX_COUNTERS = 8192
+
+
+def jit_default_enabled() -> bool:
+    """Trace compilation is on unless ``REPRO_JIT=0``."""
+    return os.environ.get("REPRO_JIT", "1") != "0"
+
+
+class JitEngine:
+    """Per-system trace-compilation state.  Never snapshotted: blocks
+    bind live component objects, so a restored system re-detects and
+    recompiles its hot loops (the counters are part of the snapshot's
+    *performance*, never its architecture)."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        iu = system.iu
+        self.iu = iu
+        #: pc -> CompiledBlock, or False for PCs proven uncompilable.
+        self.blocks: Dict[int, Union[CompiledBlock, bool]] = {}
+        self.counts: Dict[int, int] = {}
+        regs = iu.r
+        self._pc_reg = regs._pc
+        self._npc_reg = regs._npc
+        self._psr_reg = regs.psr._reg
+        self._y_reg = regs._y
+        self._annul_reg = iu._annul
+        irq = system.irqctrl
+        self._irq_pending = irq._pending
+        self._irq_mask = irq._mask
+        timers = system.timers
+        self._timers = timers
+        self._watchdog = timers.watchdog
+        self._t1_control = timers.timer1.control
+        self._t2_control = timers.timer2.control
+        self._uart1_status = system.uart1._status
+        self._uart2_status = system.uart2._status
+        self._dma_status = system.dma._status
+        #: Registers whose lane-0 values the guards (or compiled code)
+        #: read directly; any dirty flag defers to the interpreter so
+        #: TMR voting, scrubbing and disagreement counting stay exact.
+        self._guard_regs = (
+            self._npc_reg, self._psr_reg, self._y_reg, self._annul_reg,
+            self._irq_pending, self._irq_mask, self._watchdog,
+            self._t1_control, self._t2_control,
+            self._uart1_status, self._uart2_status, self._dma_status,
+        )
+        self._regfile = iu.regfile
+        self._icache = system.icache
+        self._dcache = system.dcache
+        self._protector = system.memctrl.write_protector
+        self._sysregs = system.sysregs
+        self.stats = {
+            "bursts": 0, "burst_instructions": 0, "burst_steps": 0,
+            "deopts": 0, "compiles": 0, "compile_failures": 0,
+            "verify_drops": 0,
+        }
+
+    def invalidate(self) -> None:
+        """Drop every compiled block and hot counter.  Called on
+        snapshot restore, reset and program (re)load: compiled closures
+        bind component internals that those events may rebind."""
+        self.blocks.clear()
+        self.counts.clear()
+
+    def try_burst(self, budget: int,
+                  stop_pc: Optional[int]) -> Optional[Tuple[int, int]]:
+        """Run one compiled burst if every guard passes.
+
+        Returns ``(instructions, steps)`` actually retired (both > 0),
+        or ``None`` when the driver must interpret a step instead.
+        """
+        pc_reg = self._pc_reg
+        if pc_reg._dirty:
+            return None
+        pc = pc_reg._lanes[0]
+        block = self.blocks.get(pc)
+        if block is None:
+            counts = self.counts
+            seen = counts.get(pc, 0) + 1
+            if seen < HOT_THRESHOLD:
+                if len(counts) >= MAX_COUNTERS:
+                    counts.clear()
+                counts[pc] = seen
+                return None
+            counts.pop(pc, None)
+            built = build_block(self.system, pc)
+            if built is None:
+                self.stats["compile_failures"] += 1
+                self.blocks[pc] = False
+                return None
+            self.stats["compiles"] += 1
+            self.blocks[pc] = built
+            block = built
+        elif block is False:
+            return None
+
+        if budget < block.max_path_instructions:
+            return None
+        if stop_pc is not None and stop_pc in block.addresses:
+            return None
+        iu = self.iu
+        if iu.halted is not HaltReason.RUNNING or iu.power_down:
+            return None
+        system = self.system
+        if system._ffbank_dirty or self._sysregs.power_down_requested:
+            return None
+        for reg in self._guard_regs:
+            if reg._dirty:
+                return None
+        if self._npc_reg._lanes[0] != (pc + 4) & 0xFFFFFFFF:
+            return None
+        if self._annul_reg._lanes[0]:
+            return None
+        psr_raw = self._psr_reg._lanes[0]
+        if psr_raw & 0x20:  # ET set: a deliverable interrupt must trap
+            active = (self._irq_pending._lanes[0]
+                      & self._irq_mask._lanes[0] & _LEVEL_MASK)
+            if active and active.bit_length() - 1 > (psr_raw >> 8) & 0xF:
+                return None
+        timers = self._timers
+        if timers.watchdog_expired or self._watchdog._lanes[0]:
+            return None
+        if (self._t1_control._lanes[0]
+                | self._t2_control._lanes[0]) & _CTRL_ENABLE:
+            return None
+        if not self._uart1_status._lanes[0] & _STATUS_TX_SHIFT_EMPTY:
+            return None
+        if not self._uart2_status._lanes[0] & _STATUS_TX_SHIFT_EMPTY:
+            return None
+        if self._dma_status._lanes[0] & _STATUS_BUSY:
+            return None
+        # Suspect sets are re-resolved through their owners: restore()
+        # rebinds them.
+        icache = self._icache
+        dcache = self._dcache
+        if (self._regfile._suspect or icache.tag_ram._suspect
+                or icache.data_ram._suspect or dcache.tag_ram._suspect
+                or dcache.data_ram._suspect):
+            return None
+        if not (icache.enabled and dcache.enabled):
+            return None
+        for unit in self._protector.units:
+            if unit.mode is not WpMode.DISABLED:
+                return None
+        ipeek = icache.peek_word
+        for addr, word in block.verify:
+            if ipeek(addr) != word:
+                self.stats["verify_drops"] += 1
+                del self.blocks[pc]
+                return None
+
+        _xpc, n_i, n_s, deopt = block.fn(budget)
+        if deopt:
+            self.stats["deopts"] += 1
+        if n_s == 0:
+            # Deopt at the first covered instruction: nothing retired,
+            # nothing written; interpret it (no livelock, the
+            # interpreter always makes progress).
+            return None
+        self.stats["bursts"] += 1
+        self.stats["burst_instructions"] += n_i
+        self.stats["burst_steps"] += n_s
+        return n_i, n_s

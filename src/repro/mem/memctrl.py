@@ -130,6 +130,13 @@ class MemoryController:
                                write_protector=self.write_protector)
         self.io = MemoryBank("io", config.io_base, self.io_memory,  # state: wiring -- bank decode logic; words live in *_memory
                              config.prom_waitstates, self.edac)
+        # Bound constants for the per-fetch is_cacheable test (the ranges
+        # are fixed at construction; two compares beat four attribute
+        # loads plus two method calls on every instruction).
+        self._prom_lo = config.prom_base
+        self._prom_hi = config.prom_base + config.prom_bytes
+        self._sram_lo = config.sram_base
+        self._sram_hi = config.sram_base + config.sram_bytes
 
     def banks(self) -> List[MemoryBank]:
         return [self.prom, self.sram, self.io]
@@ -151,4 +158,5 @@ class MemoryController:
 
     def is_cacheable(self, address: int) -> bool:
         """Only PROM and SRAM are cacheable; I/O and APB space are not."""
-        return self.prom.covers(address) or self.sram.covers(address)
+        return (self._prom_lo <= address < self._prom_hi
+                or self._sram_lo <= address < self._sram_hi)

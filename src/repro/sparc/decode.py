@@ -34,7 +34,7 @@ _MEM_NAMES = {member.value: member.name.lower() for member in Op3Mem}
 _FP_NAMES = {member.value: member.name.lower() for member in Opf}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instr:
     """One decoded SPARC V8 instruction.
 

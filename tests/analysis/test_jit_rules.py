@@ -1,0 +1,55 @@
+"""FT601: the trace-JIT codegen commits every declared FT observable."""
+
+from repro.analysis import analyze_source
+
+_PATH = "repro/jit/blocks.py"
+
+
+def _codes(findings):
+    return [f.code for f in findings if not f.suppressed]
+
+
+def _module(observables, fragments):
+    decl = ", ".join(repr(name) for name in observables)
+    lines = [f"BLOCK_OBSERVABLES = ({decl},)" if observables
+             else "BLOCK_OBSERVABLES = ()"]
+    lines.append("def assemble(e):")
+    body = [f'    e("PERF.{name} += n")' for name in fragments]
+    lines.extend(body or ["    pass"])
+    return "\n".join(lines) + "\n"
+
+
+def test_complete_commit_coverage_is_clean():
+    source = _module(["cycles", "instructions"], ["cycles", "instructions"])
+    assert analyze_source(source, path=_PATH) == []
+
+
+def test_missing_commit_is_flagged():
+    source = _module(["cycles", "instructions"], ["cycles"])
+    findings = analyze_source(source, path=_PATH)
+    assert _codes(findings) == ["FT601"]
+    assert "instructions" in findings[0].message
+
+
+def test_non_literal_contract_is_flagged():
+    source = ("_NAMES = ['cycles']\n"
+              "BLOCK_OBSERVABLES = tuple(_NAMES)\n")
+    assert _codes(analyze_source(source, path=_PATH)) == ["FT601"]
+
+
+def test_rule_is_scoped_to_the_codegen_module():
+    source = _module(["cycles"], [])
+    assert analyze_source(source, path="repro/fault/campaign.py") == []
+
+
+def test_shipped_codegen_commits_every_observable():
+    import repro.jit.blocks as blocks
+    from pathlib import Path
+
+    source = Path(blocks.__file__).read_text()
+    assert analyze_source(source, path=_PATH) == []
+    # The contract itself names every per-step PerfCounters field a burst
+    # can advance.
+    assert set(blocks.BLOCK_OBSERVABLES) == {
+        "cycles", "instructions", "icache_hits", "dcache_hits",
+        "loads", "stores"}

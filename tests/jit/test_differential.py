@@ -1,0 +1,265 @@
+"""Differential fuzz: compiled execution is byte-identical to interpreted.
+
+Every test runs the same program on two identically-configured systems --
+trace JIT enabled and disabled -- and asserts the *complete* observable
+surface matches: architectural ``state_digest``, every performance and
+error counter, and the telemetry event stream.  The corpus covers the
+three paper programs, seeded random programs, mid-run fault strikes into
+cells covered by compiled blocks, stuck-at reasserts, and the
+snapshot/restore and stop-pc edges of ``run_fast``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.fault.campaign import CampaignConfig
+from repro.fault.executor import CampaignExecutor, expand_runs
+from repro.fault.injector import FaultInjector
+from repro.programs import build_cncf, build_iutest, build_paranoia
+from repro.programs.builder import ProgramHarness
+from repro.programs.randgen import build_random
+from repro.telemetry import MemorySink, Telemetry
+
+#: Campaign settings small enough for the test budget, large enough to
+#: schedule strikes inside the beam window.
+FAST = dict(flux=400.0, fluence=500.0, instructions_per_second=20_000.0)
+
+
+def _boot(builder, config, jit):
+    sink = MemorySink()
+    system = LeonSystem(config, telemetry=Telemetry(sink), jit=jit)
+    built = builder(config)
+    program = built[0] if isinstance(built, tuple) else built
+    ProgramHarness(system, program)
+    return system, sink
+
+
+def _observables(system, sink):
+    return (system.state_digest(), system.perf.capture(),
+            system.errors.capture(), sink.events)
+
+
+def _assert_pair_equal(interp, jit_sys):
+    (d0, p0, e0, t0), (d1, p1, e1, t1) = interp, jit_sys
+    assert d1 == d0
+    assert p1 == p0
+    assert e1 == e0
+    assert t1 == t0
+
+
+def _run_differential(builder, config, *, chunks=(60_000, 60_000, 60_000)):
+    """Run both systems chunk by chunk, comparing after every chunk so a
+    divergence is caught near where it happens, not at the end."""
+    interp, interp_sink = _boot(builder, config, False)
+    compiled, compiled_sink = _boot(builder, config, True)
+    for chunk in chunks:
+        r0 = interp.run_fast(chunk)
+        r1 = compiled.run_fast(chunk)
+        assert (r1.instructions, r1.cycles, r1.stop_reason, r1.pc) == \
+            (r0.instructions, r0.cycles, r0.stop_reason, r0.pc)
+        _assert_pair_equal(_observables(interp, interp_sink),
+                           _observables(compiled, compiled_sink))
+    assert compiled.jit.stats["bursts"] > 0, \
+        "differential run never exercised a compiled burst"
+    return compiled
+
+
+def test_iutest_equivalence():
+    config = LeonConfig.fault_tolerant()
+    compiled = _run_differential(
+        lambda c: build_iutest(c, iterations=1_000_000), config)
+    assert compiled.jit.stats["compiles"] > 0
+
+
+def test_cncf_equivalence():
+    config = LeonConfig.leon_express()
+    _run_differential(lambda c: build_cncf(c, iterations=1_000_000), config,
+                      chunks=(80_000, 80_000))
+
+
+def test_paranoia_equivalence():
+    config = LeonConfig.leon_express()
+    _run_differential(lambda c: build_paranoia(c, iterations=1_000_000),
+                      config, chunks=(80_000, 80_000))
+
+
+@pytest.mark.parametrize("seed", [7, 99, 123, 20260808])
+def test_random_program_equivalence(seed):
+    config = LeonConfig.fault_tolerant()
+    _run_differential(
+        lambda c: build_random(c, seed=seed, iterations=1_000_000),
+        config, chunks=(50_000, 50_000))
+
+
+# -- mid-run strikes -----------------------------------------------------------
+
+
+def _strike_sites(injector):
+    """A deterministic spread of strikes across every on-chip target,
+    including cells the hot blocks cover (i-cache words, register file,
+    d-cache, flip-flops)."""
+    sites = []
+    for name in ("icache-data", "icache-tag", "dcache-data", "dcache-tag",
+                 "regfile", "flipflops"):
+        bits = injector.target(name).bits
+        sites.extend((name, (bits * k) // 7) for k in (1, 3, 5))
+    return sites
+
+
+def test_strikes_into_covered_cells_equivalent():
+    """SEUs landing mid-campaign -- after blocks are hot and compiled --
+    must produce identical detection, correction, and digests: the strike
+    either fails a burst entry guard, fails word verification (dropping
+    the block), or lands in state the burst writes back exactly."""
+    config = LeonConfig.fault_tolerant()
+    builder = lambda c: build_iutest(c, iterations=1_000_000)
+    interp, interp_sink = _boot(builder, config, False)
+    compiled, compiled_sink = _boot(builder, config, True)
+    pair = ((interp, interp_sink), (compiled, compiled_sink))
+    injectors = [FaultInjector(system) for system, _sink in pair]
+    for system, _sink in pair:
+        system.run_fast(40_000)  # get the patrol loop hot and compiled
+    assert compiled.jit.stats["bursts"] > 0
+    for name, flat_bit in _strike_sites(injectors[0]):
+        for injector in injectors:
+            injector.inject(name, flat_bit)
+        r0 = interp.run_fast(8_000)
+        r1 = compiled.run_fast(8_000)
+        assert (r1.instructions, r1.cycles, r1.pc) == \
+            (r0.instructions, r0.cycles, r0.pc), (name, flat_bit)
+        _assert_pair_equal(_observables(interp, interp_sink),
+                           _observables(compiled, compiled_sink))
+
+
+def test_stuck_at_reassert_equivalent():
+    """A stuck cell re-asserted at chunk boundaries keeps deopting or
+    guard-failing the compiled path; the readout must not change."""
+    config = LeonConfig.fault_tolerant()
+    builder = lambda c: build_iutest(c, iterations=1_000_000)
+    interp, interp_sink = _boot(builder, config, False)
+    compiled, compiled_sink = _boot(builder, config, True)
+    pair = ((interp, interp_sink), (compiled, compiled_sink))
+    injectors = [FaultInjector(system) for system, _sink in pair]
+    for system, _sink in pair:
+        system.run_fast(40_000)
+    for injector in injectors:
+        injector.add_persistent("regfile", 40 * 32 + 3, 1)
+        injector.add_persistent("dcache-data", 129, 0)
+    for _ in range(4):  # chunk boundaries: reassert, then run
+        for injector in injectors:
+            injector.reassert_persistent()
+        r0 = interp.run_fast(6_000)
+        r1 = compiled.run_fast(6_000)
+        assert (r1.instructions, r1.cycles, r1.pc) == \
+            (r0.instructions, r0.cycles, r0.pc)
+        _assert_pair_equal(_observables(interp, interp_sink),
+                           _observables(compiled, compiled_sink))
+
+
+# -- campaign-level identity ---------------------------------------------------
+
+
+def _comparable(results):
+    out = []
+    for result in results:
+        fields = dataclasses.asdict(result)
+        fields.pop("wall_seconds")
+        out.append(fields)
+    return out
+
+
+@pytest.mark.parametrize("model", ["seu", "stuck-at-1", "sefi"])
+def test_campaign_results_jit_invariant(model, monkeypatch):
+    """Full campaigns -- scheduled beam strikes, golden grading, early
+    exits -- report byte-identical results with the JIT on and off."""
+    configs = expand_runs(CampaignConfig(program="iutest", seed=5,
+                                         fault_model=model, **FAST), runs=2)
+    monkeypatch.setenv("REPRO_JIT", "0")
+    off = CampaignExecutor(1).run_many(configs)
+    monkeypatch.setenv("REPRO_JIT", "1")
+    on = CampaignExecutor(1).run_many(configs)
+    assert _comparable(on) == _comparable(off)
+
+
+# -- run_fast edges ------------------------------------------------------------
+
+
+def _warm_system(jit):
+    config = LeonConfig.fault_tolerant()
+    system = LeonSystem(config, jit=jit)
+    program, _ = build_iutest(config, iterations=1_000_000)
+    ProgramHarness(system, program)
+    system.run_fast(40_000)
+    return system
+
+
+@pytest.mark.parametrize("jit", [False, True])
+def test_run_fast_entry_pc_equals_stop_pc_is_zero_progress(jit):
+    """A run whose entry PC already equals ``stop_pc`` (batched grading
+    landing exactly on a boundary) must terminate immediately with
+    zero-progress semantics -- no wedge, no miscount, no state change."""
+    system = _warm_system(jit)
+    before = system.state_digest()
+    perf = system.perf.capture()
+    result = system.run_fast(1_000, stop_pc=system.special.pc)
+    assert result.stop_reason == "stop-pc"
+    assert result.instructions == 0
+    assert result.steps == 0
+    assert result.pc == system.special.pc
+    assert system.state_digest() == before
+    assert system.perf.capture() == perf
+    # The budget check precedes the stop compare: a zero budget reports
+    # "budget", still with zero progress.
+    zero = system.run_fast(0, stop_pc=system.special.pc)
+    assert zero.stop_reason == "budget"
+    assert zero.instructions == 0
+
+
+def test_run_fast_stop_pc_inside_compiled_block():
+    """A stop_pc covered by a hot compiled block must stop exactly there:
+    the engine refuses bursts whose footprint contains it."""
+    scout = _warm_system(False)
+    visited = set()
+    for _ in range(4_000):  # where the patrol loop goes next
+        scout.step()
+        visited.add(scout.special.pc)
+    compiled = _warm_system(True)
+    inner = {addr
+             for block in compiled.jit.blocks.values() if block is not False
+             for addr in block.addresses - {block.pc}} & visited
+    assert inner, "no compiled block interior on the upcoming path"
+    inner = min(inner)
+    interp = _warm_system(False)
+    r0 = interp.run_fast(30_000, stop_pc=inner)
+    r1 = compiled.run_fast(30_000, stop_pc=inner)
+    assert (r1.instructions, r1.cycles, r1.stop_reason, r1.pc) == \
+        (r0.instructions, r0.cycles, r0.stop_reason, r0.pc)
+    assert r1.stop_reason == "stop-pc" and r1.pc == inner
+    assert compiled.state_digest() == interp.state_digest()
+
+
+def test_snapshot_restore_invalidates_compiled_blocks():
+    """Restore rebinds component internals; stale closures must never
+    run.  After a restore the system re-detects its hot loops and still
+    matches interpreted execution."""
+    compiled = _warm_system(True)
+    assert compiled.jit.blocks
+    snap = compiled.snapshot()
+    compiled.run_fast(10_000)
+    compiled.restore(snap)
+    assert compiled.jit.blocks == {} and compiled.jit.counts == {}
+    interp = _warm_system(False)
+    r0 = interp.run_fast(30_000)
+    r1 = compiled.run_fast(30_000)
+    assert (r1.instructions, r1.cycles) == (r0.instructions, r0.cycles)
+    assert compiled.state_digest() == interp.state_digest()
+
+
+def test_repro_jit_env_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert LeonSystem(LeonConfig.fault_tolerant()).jit is None
+    monkeypatch.delenv("REPRO_JIT")
+    assert LeonSystem(LeonConfig.fault_tolerant()).jit is not None
