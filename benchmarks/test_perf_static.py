@@ -1,0 +1,163 @@
+"""Perf -- static pre-classification vs the PR-6 early-exit baseline.
+
+Near the SEU threshold, most strikes that matter land in state the
+program will never read: the static analyzer proves 117 of random:7's
+136 register-file words (and the whole FP file) dead, and the campaign
+grades such runs without executing them.  The early-exit baseline cannot
+help there -- a latent upset in a dead word keeps the architectural
+digest off the golden trajectory forever, so the baseline runs the full
+observation tail for exactly the runs static grading classifies for
+free.
+
+Paper-scale fluence (1e5 ions/cm2), near-threshold LET pair, on a
+small-cache express device where the claimable arrays (regfile + FP
+file) dominate the fault space.  Records ``BENCH_static.json`` (repo
+root) for CI regression tracking.
+
+Two assertions:
+
+  * correctness is unconditional: statically-graded results must be
+    byte-identical to the analyzer-disabled baseline, run for run, at
+    ``jobs=1`` and ``jobs=4``;
+  * throughput: static grading must be at least 1.5x faster than the
+    early-exit grading baseline (PR 6) over the same campaign.
+"""
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from conftest import write_artifact
+from repro.core.config import CacheConfig, LeonConfig
+from repro.fault.campaign import CampaignConfig, prepare_warm_start
+from repro.fault.executor import CampaignExecutor, expand_runs
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_static.json"
+
+#: Near-threshold LETs on a device whose claimable arrays dominate: a
+#: typical run draws one or two strikes, mostly into provably-dead
+#: register-file words.  The early-exit baseline must execute those runs
+#: to the end (the latent upset never leaves the digest); static grading
+#: claims them without a restore.
+CONFIG = CampaignConfig(
+    program="random:7",
+    let=4.5,
+    flux=400.0,
+    fluence=1.0e5,  # the paper's fluence: 250 beam-s window
+    seed=1102,
+    instructions_per_second=100.0,
+    beam_delay_s=40.0,  # 4k-instruction fault-free prefix
+    beam_tail_s=6_000.0,  # 600k-instruction observation tail
+    flush_period_instructions=4_000,
+    leon=LeonConfig.leon_express(
+        icache=CacheConfig(size_bytes=64),
+        dcache=CacheConfig(size_bytes=64),
+    ),
+)
+
+LETS = (4.4, 4.6)
+REPLICAS = 8
+CHECKPOINTS = 64
+
+
+def _configs():
+    configs = []
+    for let in LETS:
+        configs.extend(expand_runs(replace(CONFIG, let=let), REPLICAS))
+    return configs
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    configs = _configs()
+
+    started = time.perf_counter()
+    warm = prepare_warm_start(CONFIG, checkpoints=CHECKPOINTS)
+    prepare_wall = time.perf_counter() - started
+
+    # The PR-6 baseline: early-exit grading with the analyzer disabled.
+    # Also the identity oracle for the static path.
+    baseline_configs = [replace(config, static_grading=False)
+                        for config in configs]
+    started = time.perf_counter()
+    baseline = CampaignExecutor(1).run_many(baseline_configs, warm=warm)
+    baseline_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast1 = CampaignExecutor(1).run_many(configs, warm=warm)
+    fast1_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast4 = CampaignExecutor(4, chunksize=1).run_many(configs, warm=warm)
+    fast4_wall = time.perf_counter() - started
+
+    return (warm, prepare_wall, baseline, baseline_wall,
+            fast1, fast1_wall, fast4, fast4_wall)
+
+
+def test_static_speedup(benchmark, measurements):
+    (warm, prepare_wall, baseline, baseline_wall,
+     fast1, fast1_wall, fast4, fast4_wall) = measurements
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    expected = [result.comparable() for result in baseline]
+    identical_jobs1 = [r.comparable() for r in fast1] == expected
+    identical_jobs4 = [r.comparable() for r in fast4] == expected
+    speedup = baseline_wall / fast1_wall if fast1_wall > 0 else 0.0
+    statics = [r for r in fast1 if r.exit_reason == "static_masked"]
+    struck = sum(1 for r in statics if r.upsets > 0)
+    skipped = sum(r.instructions for r in statics)
+    benchmark.extra_info["static_speedup"] = speedup
+
+    prefix, window, tail = CONFIG.phase_instructions()
+    record = {
+        "runs": len(fast1),
+        "lets": list(LETS),
+        "fluence": CONFIG.fluence,
+        "prefix_instructions": prefix,
+        "window_instructions": window,
+        "tail_instructions": tail,
+        "ace_fraction": round(warm.ace.ace_fraction(), 4),
+        "claimable_words": warm.ace.claimable_words,
+        "regfile_words": warm.ace.regfile_words,
+        "prepare_wall_s": round(prepare_wall, 3),
+        "baseline_wall_s": round(baseline_wall, 3),
+        "fast_jobs1_wall_s": round(fast1_wall, 3),
+        "fast_jobs4_wall_s": round(fast4_wall, 3),
+        "speedup": round(speedup, 3),
+        "static_masked_runs": len(statics),
+        "static_masked_struck_runs": struck,
+        "skipped_instructions": skipped,
+        "results_identical": identical_jobs1 and identical_jobs4,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    text = (
+        "Static pre-classification throughput\n\n"
+        f"shape:            {prefix:,}-instr prefix, {window:,}-instr "
+        f"window, {tail:,}-instr tail, {len(fast1)} runs\n"
+        f"analysis:         ACE fraction {record['ace_fraction']} "
+        f"({record['claimable_words']}/{record['regfile_words']} words "
+        f"claimed dead)\n"
+        f"baseline (PR 6):  {baseline_wall:.2f} s\n"
+        f"static grading:   {fast1_wall:.2f} s (jobs=1), "
+        f"{fast4_wall:.2f} s (jobs=4)\n"
+        f"speedup:          {speedup:.2f}x   static-masked: "
+        f"{len(statics)}/{len(fast1)} ({struck} struck)   "
+        f"skipped: {skipped:,} instr\n"
+        f"identical:        jobs=1 {identical_jobs1}, "
+        f"jobs=4 {identical_jobs4}\n"
+        f"[record: {BENCH_PATH.name}]"
+    )
+    write_artifact("perf_static.txt", text)
+
+    assert identical_jobs1, "static grading diverged from the baseline " \
+        "at jobs=1"
+    assert identical_jobs4, "static grading diverged from the baseline " \
+        "at jobs=4"
+    assert statics, "no run was statically graded"
+    assert struck > 0, "only strike-free runs were statically graded"
+    assert speedup >= 1.5

@@ -46,7 +46,7 @@ def _built():
     from repro.fault.campaign import Campaign, CampaignConfig
 
     campaign = Campaign(CampaignConfig(program="iutest"))
-    system, spin, _base = campaign._build_program()
+    system, spin, _base, _program = campaign._build_program()
     return system, spin
 
 

@@ -1,6 +1,7 @@
 """Rule registration: importing this package registers every rule."""
 
 from repro.analysis.rules import (
+    ace,
     counters,
     determinism,
     faults,
@@ -10,5 +11,5 @@ from repro.analysis.rules import (
     telemetry,
 )
 
-__all__ = ["counters", "determinism", "faults", "jit", "state", "storage",
-           "telemetry"]
+__all__ = ["ace", "counters", "determinism", "faults", "jit", "state",
+           "storage", "telemetry"]

@@ -1,0 +1,106 @@
+"""ACE-map rules: static dead-site claims only apply to transient faults.
+
+``ace-transient-gate`` (FT701)
+    The static analyzer's ACE map (:mod:`repro.analysis.program`) claims
+    register-file words *dead*: a transient strike there is architecturally
+    invisible.  That claim is only sound for one-shot corruption -- a
+    persistent fault (stuck-at, re-asserted SEFI) keeps forcing the cell
+    for the rest of the run, so "dead at strike time" proves nothing about
+    the run's future.  Fault-layer code that consults the map (reads an
+    ``.ace`` attribute or calls ``classify`` on it) must therefore gate on
+    the fault model's ``transient`` flag: either the consuming function
+    references ``transient`` directly, or its enclosing class declares
+    ``transient`` in the class body (fault models declare their contract
+    there).  Producers of the map (the warm-start builder) suppress the
+    rule with a recorded reason.  Scoped to ``repro/fault/`` -- reporting
+    code (CLI, dashboard) renders the map but makes no grading decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+from repro.analysis.model import ProjectModel
+
+
+def _mentions_transient(node: ast.AST) -> bool:
+    """Does *node* reference ``transient`` (name or attribute) anywhere?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "transient":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "transient":
+            return True
+    return False
+
+
+def _declares_transient(cls: ast.ClassDef) -> bool:
+    """Does the class body assign ``transient`` (the model contract)?"""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "transient"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "transient"):
+                return True
+    return False
+
+
+def _ace_consumption(func: ast.AST) -> Optional[ast.AST]:
+    """The first ACE-map consumption inside *func*, if any.
+
+    Consumption = reading an ``.ace`` attribute, or calling
+    ``<receiver>.classify(...)`` where the receiver names the map.
+    """
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Attribute) and sub.attr == "ace":
+            return sub
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "classify"
+                and "ace" in ast.unparse(sub.func.value).lower()):
+            return sub
+    return None
+
+
+@register_rule
+class AceTransientGateRule(Rule):
+    name = "ace-transient-gate"
+    code = "FT701"
+    protects = "static dead-site claims are only applied to transient faults"
+
+    def check(self, module: SourceModule,
+              model: ProjectModel) -> Iterator[Finding]:
+        if module.subpackage() != "fault":
+            return
+        functions = []  # (function node, enclosing class or None)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.append((node, None))
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        functions.append((item, node))
+        for func, cls in functions:
+            use = _ace_consumption(func)
+            if use is None:
+                continue
+            if _mentions_transient(func):
+                continue
+            if cls is not None and _declares_transient(cls):
+                continue
+            where = f"{cls.name}.{func.name}" if cls is not None \
+                else func.name
+            yield Finding(
+                rule=self.name, code=self.code, path=module.path,
+                line=getattr(use, "lineno", func.lineno),
+                message=f"{where} consumes the ACE map without gating on "
+                        f"the fault model's 'transient' flag; a persistent "
+                        f"fault re-asserts into its 'dead' word, so static "
+                        f"claims must never be applied to it (reference "
+                        f"model.transient, or declare 'transient' in the "
+                        f"class body)")

@@ -4,7 +4,12 @@ Subcommands:
 
     run          assemble and run a SPARC V8 source file on a LEON system
     campaign     heavy-ion campaign runs (Table 2 style rows)
-    sweep        cross-section vs LET sweep (Figure 6/7 style curves)
+    sweep        cross-section vs LET sweep (Figure 6/7 style curves);
+                 ``--importance`` oversamples statically-live sites with
+                 Horvitz-Thompson reweighting and per-point CIs
+    analyze      static analysis of a test program: CFG with delay
+                 slots, liveness, the ACE map campaigns pre-classify
+                 against
     trace        pretty-print a campaign telemetry trace (per-upset
                  lifecycle view)
     stats        fold a telemetry trace into Table-2 counters, per-site
@@ -172,6 +177,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                "and checkpoint-shared strike batches: run "
                                "every campaign to program end (the slow "
                                "oracle path; results are identical)")
+    campaign.add_argument("--no-static", action="store_true",
+                          help="disable static pre-classification of "
+                               "provably-dead transient strikes (the "
+                               "executed oracle path; results are "
+                               "identical)")
     campaign.add_argument("--results", metavar="FILE", default=None,
                           help="append completed runs to a JSONL result log")
     campaign.add_argument("--resume", metavar="FILE", default=None,
@@ -249,7 +259,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="cross-section vs LET sweep")
     sweep.add_argument("--program", default="iutest",
-                       choices=["iutest", "paranoia", "cncf"])
+                       help="test program: iutest, paranoia, cncf or "
+                            "random:<seed> (default: iutest)")
     sweep.add_argument("--lets", type=_let_list, default=None,
                        help="comma-separated LET points "
                             "(default: the paper's 6..110 ladder)")
@@ -272,6 +283,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-early-exit", action="store_true",
                        help="disable golden-timeline early-exit grading "
                             "(the slow oracle path; curve unchanged)")
+    sweep.add_argument("--importance", action="store_true",
+                       help="importance-sample the sweep: strikes land "
+                            "only on statically-live sites (the seu-live "
+                            "model), counts are Horvitz-Thompson "
+                            "reweighted, points carry 95%% CIs")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="static analysis of an assembled test program: "
+                        "CFG, liveness, ACE map")
+    analyze.add_argument("program", nargs="?", default="iutest",
+                         help="test program: iutest, paranoia, cncf or "
+                              "random:<seed> (default: iutest)")
+    analyze.add_argument("--device", choices=sorted(_CONFIGS),
+                         default="express",
+                         help="device configuration analyzed against "
+                              "(default: express, the campaign default)")
+    analyze.add_argument("--boot", type=int, default=2000, metavar="N",
+                         help="execute N instructions before reading the "
+                              "entry state (default: 2000, past the "
+                              "trap-table/window setup -- the state a "
+                              "warmed campaign analyzes; 0 analyzes the "
+                              "load-time entry, which degrades on the "
+                              "boot code's wrwim)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the full analysis as JSON instead of "
+                              "the text report")
+    analyze.add_argument("--report", metavar="FILE", default=None,
+                         help="also write the JSON analysis to FILE")
 
     state = subparsers.add_parser(
         "state", help="save or inspect a device snapshot")
@@ -395,6 +434,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         beam_delay_s=args.beam_delay, beam_tail_s=args.beam_tail,
         recovery=args.recovery, leon=leon,
         early_exit=not args.no_early_exit,
+        static_grading=not args.no_static,
         fault_model=args.fault_model,
     )
     configs = expand_runs(config, args.runs)
@@ -478,6 +518,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                       if result.graded_at_instruction is not None)
         print(f"early-exit: {reconverged}/{len(fresh)} run(s) reconverged "
               f"to the golden timeline, {skipped:,} instruction(s) skipped")
+        static = sum(1 for result in fresh
+                     if result.exit_reason == "static_masked")
+        if warm.ace is not None:
+            print(f"static: ACE fraction "
+                  f"{warm.ace.ace_fraction():.3f} "
+                  f"({warm.ace.claimable_words}/{warm.ace.regfile_words} "
+                  f"words claimed dead); {static}/{len(fresh)} run(s) "
+                  f"graded without execution")
     return 0 if failures == 0 else 1
 
 
@@ -560,11 +608,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed, instructions_per_second=args.ips, jobs=args.jobs,
         warm_start=args.warm_start, beam_delay_s=args.beam_delay,
         beam_tail_s=args.beam_tail, early_exit=not args.no_early_exit,
+        importance=args.importance,
     )
     wall = time.perf_counter() - started
     print(render_curve(curve))
+    if args.importance:
+        print("\nimportance sampling (seu-live; device totals, per bit):")
+        for point in curve.points["Total"]:
+            print(f"  LET {point.let:6.1f}  rho {point.weight:.3f}  "
+                  f"sigma {point.sigma_per_bit:.2e}  95% CI "
+                  f"[{point.ci_low:.2e}, {point.ci_high:.2e}]  "
+                  f"({point.count} event(s))")
     print(f"\n{len(lets)} LET points in {wall:.1f}s wall "
           f"(--jobs {args.jobs})")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.program import analyze_system, render_report
+
+    leon = None if args.device == "express" else _CONFIGS[args.device]()
+    campaign = Campaign(CampaignConfig(program=args.program, leon=leon))
+    system, spin, _base, program = campaign._build_program()
+    if args.boot:
+        system.run(args.boot, stop_pc=spin)
+    analysis = analyze_system(system, program, name=args.program)
+    report = json.dumps(analysis.as_dict(), indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+    if args.json:
+        print(report)
+    else:
+        print(render_report(analysis))
     return 0
 
 
@@ -579,7 +657,7 @@ def _cmd_state(args: argparse.Namespace) -> int:
         return 0
     campaign = Campaign(CampaignConfig(program=args.program,
                                        leon=_CONFIGS[args.config]()))
-    system, spin, _base = campaign._build_program()
+    system, spin, _base, _program = campaign._build_program()
     run = system.run(args.instructions, stop_pc=spin)
     data = system.snapshot().to_bytes()
     with open(args.file, "wb") as handle:
@@ -810,6 +888,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "sweep": _cmd_sweep,
+    "analyze": _cmd_analyze,
     "state": _cmd_state,
     "table1": _cmd_table1,
     "figure2": _cmd_figure2,

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.analysis.program import AceMap, analyze_program, entry_context
 from repro.core.config import LeonConfig
 from repro.core.system import LeonSystem
 from repro.errors import ConfigurationError
@@ -125,6 +126,15 @@ class CampaignConfig:
     #: :func:`warm_start_key`, the result-store key, and
     #: :meth:`CampaignResult.comparable`.
     early_exit: bool = True
+    #: Static ACE-map pre-classification (``--no-static`` clears it): a
+    #: transient strike landing in a register word the static analyzer
+    #: proved dead is graded ``masked`` with the golden readouts *without
+    #: executing the run at all* (``exit_reason="static_masked"``).
+    #: Requires ``early_exit`` (one oracle switch disables every
+    #: shortcut).  Like ``early_exit``, an execution-strategy knob:
+    #: byte-identical results, excluded from the warm-start key, the
+    #: result-store key, and :meth:`CampaignResult.comparable`.
+    static_grading: bool = True
     #: Fault model (:data:`repro.fault.models.MODELS`): ``"seu"`` is the
     #: paper's transient bit-flip beam, byte-identical to the
     #: pre-model-layer campaign; see the module docs for ``stuck-at-0/1``,
@@ -280,6 +290,7 @@ class CampaignResult:
         out.pop("graded_at_instruction", None)
         out.pop("trace", None)
         out["config"].pop("early_exit", None)
+        out["config"].pop("static_grading", None)
         return out
 
 
@@ -325,6 +336,12 @@ class WarmStart:
     #: Golden digest timeline for early-exit grading and strike batching
     #: (None when the golden run failed before the window closed).
     timeline: Optional[GoldenTimeline] = None
+    #: Static ACE map of the program from the snapshot state
+    #: (:mod:`repro.analysis.program`), for strike pre-classification.
+    #: Only attached when the golden run completed trap-free -- the
+    #: soundness witness the static claims require -- and None for
+    #: pre-static warm starts.
+    ace: Optional[AceMap] = None
 
 
 class Campaign:
@@ -349,9 +366,9 @@ class Campaign:
     def build_system(self) -> LeonSystem:
         return LeonSystem(self.leon_config, telemetry=self.telemetry)
 
-    def _build_program(self) -> "tuple[LeonSystem, int, int]":
+    def _build_program(self):
         """Fresh system with the test program loaded; returns
-        (system, spin pc, result-area base)."""
+        (system, spin pc, result-area base, program image)."""
         config = self.config
         system = self.build_system()
         builder = self._builder
@@ -361,7 +378,8 @@ class Campaign:
         kwargs = {"iterations": 1_000_000, **config.program_kwargs}
         program, _expected = builder(self.leon_config, **kwargs)
         harness = ProgramHarness(system, program)
-        return system, program.symbols["_trap_spin"], harness.layout.result
+        return (system, program.symbols["_trap_spin"],
+                harness.layout.result, program)
 
     def _run_until(self, system: LeonSystem, spin: int, state: Dict,
                    target_instructions: int) -> None:
@@ -415,7 +433,7 @@ class Campaign:
             else:
                 checkpoint = system.snapshot()
         if RecoveryLevel.COLD_REBOOT in policy.ladder:
-            boot, _spin, _rb = self._build_program()
+            boot, _spin, _rb, _program = self._build_program()
             boot = boot.snapshot()
 
         def harvest(sys_: LeonSystem) -> None:
@@ -483,11 +501,29 @@ class Campaign:
                 "a start checkpoint requires a warm start and a golden "
                 "snapshot at the checkpoint")
 
+        model = build_model(config.fault_model, config)
+
         if warm is not None:
             if warm.key != warm_start_key(config):
                 raise ConfigurationError(
                     "warm start was prepared for an incompatible campaign "
                     "configuration")
+            # Static pre-classification: when every scheduled strike lands
+            # in a register word the ACE map proved dead, the faulted
+            # trajectory *is* the golden trajectory and the run's readouts
+            # are the golden readouts -- report them without restoring or
+            # executing anything.  Gated on ``model.transient``: a
+            # persistent stuck-at/SEFI fault keeps re-asserting, so a
+            # "dead at strike time" word is not dead for the rest of the
+            # run and must never be statically pre-classified (lint rule
+            # FT701 enforces this gate on every ACE-map consumer).
+            if (config.early_exit and config.static_grading
+                    and model.transient and warm.ace is not None
+                    and warm.timeline is not None and not warm.failed
+                    and self.recovery_policy is None):
+                result = self._static_grade(warm, model, started)
+                if result is not None:
+                    return result
             system = self.build_system()
             if start is not None:
                 # Batched strike scheduling: resume from the golden state
@@ -506,12 +542,19 @@ class Campaign:
                          "failed": warm.failed}
             spin, result_base = warm.spin_pc, warm.result_base
             golden = warm.golden
+            if (warm.ace is not None and warm.ace.loop_heads
+                    and system.jit is not None):
+                # Statically-recovered loop headers are the JIT's candidate
+                # superblock entries: prime them so the first visit
+                # compiles (restore() just invalidated the block cache).
+                system.jit.prime(warm.ace.loop_heads)
             if traced:
                 telemetry.note("span", phase="setup",
                                wall_s=time.perf_counter() - started,
                                instr=state["executed"])
+                self._note_ace(warm)
         else:
-            system, spin, result_base = self._build_program()
+            system, spin, result_base, _program = self._build_program()
             state = {"executed": 0, "since_flush": 0, "failed": False}
             golden = None
             if traced:
@@ -525,7 +568,6 @@ class Campaign:
                                wall_s=time.perf_counter() - prefix_started,
                                instr=state["executed"])
 
-        model = build_model(config.fault_model, config)
         # The golden-digest argument ("state match => identical future")
         # only holds for one-shot corruption: a persistent fault keeps
         # re-asserting past any matching boundary, so grading degrades to
@@ -761,6 +803,127 @@ class Campaign:
             self._finish_trace(injector, result, instr=executed)
         return result
 
+    def _note_ace(self, warm: WarmStart) -> None:
+        """Record the warm start's ACE-map summary in the trace.
+
+        Emitted on every traced warm run that carries a map -- whether or
+        not static grading consumed it -- so static and oracle traces
+        describe the analysis identically and ``repro stats`` can report
+        the program's ACE fraction.  A summary of the *analysis*, not a
+        grading decision, so FT701's transient gate does not apply.
+        """
+        telemetry = self.telemetry
+        ace = warm.ace  # lint: ok=ace-transient-gate -- reporting only; no grading decision
+        if ace is None:
+            return
+        if not telemetry.enabled:
+            return
+        telemetry.note(
+            "ace", fraction=round(ace.ace_fraction(), 6),
+            claimable_words=ace.claimable_words,
+            regfile_words=ace.regfile_words,
+            fpregs_dead=ace.fpregs_dead,
+            window_claims=ace.window_claims)
+
+    def _static_grade(self, warm: WarmStart, model,
+                      started: float) -> Optional[CampaignResult]:
+        """Grade the run statically, without executing it, if possible.
+
+        Called before the snapshot restore with a *transient* model (the
+        caller gates on ``model.transient``; persistent faults re-assert
+        and are never pre-classified).  Schedules the run's strikes on a
+        throwaway same-geometry system -- schedules are a pure function of
+        the beam parameters and the device geometry, so they are identical
+        to the ones the executed run would draw -- and consults the ACE
+        map for every strike site.  Returns None (execute normally) unless
+        *every* strike is provably dead; with lifecycle tracing enabled,
+        write-only ("ambiguous") sites also fall back to execution so the
+        traced close states stay byte-identical to the oracle's.
+
+        A successful static grade reports the golden readouts verbatim:
+        the faulted trajectory equals the golden one instruction for
+        instruction -- same instructions, cycles, counters, result-area
+        writes -- and every struck word stays resident (suspect), which is
+        exactly the ``latent`` close state the full run would log.
+        """
+        if not model.transient:
+            # Defense in depth: the caller gates on this already, but the
+            # static claims are unsound for re-asserting faults -- never
+            # pre-classify them (lint rule FT701).
+            return None
+        config = self.config
+        ace = warm.ace
+        timeline = warm.timeline
+        golden = timeline.final
+        if golden.counts is None:  # pre-static warm start
+            return None
+        traced = self.telemetry.enabled
+        probe = self.build_system()
+        injector = FaultInjector(probe)
+        strikes = model.schedule(injector)
+        located = []
+        for strike in strikes:
+            word = model.locate(strike, injector)
+            claim = ace.classify(strike.target, word)
+            if claim is None or (traced and claim != "latent"):
+                return None
+            located.append(strike)
+
+        prefix, window, _tail = config.phase_instructions()
+        upsets_by_target: Dict[str, int] = {}
+        for strike in located:
+            upsets_by_target[strike.target] = \
+                upsets_by_target.get(strike.target, 0) + 1
+            if strike.mbu:
+                upsets_by_target[strike.target + "+mbu"] = \
+                    upsets_by_target.get(strike.target + "+mbu", 0) + 1
+        result = CampaignResult(
+            config=config,
+            counts=dict(golden.counts),
+            upsets=sum(count for name, count in upsets_by_target.items()
+                       if not name.endswith("+mbu")),
+            upsets_by_target=upsets_by_target,
+            sw_errors=golden.sw_errors,
+            error_traps=golden.error_traps,
+            halted=golden.halted,
+            iterations=golden.iterations,
+            instructions=golden.executed,
+            wall_seconds=time.perf_counter() - started,
+            effaced=True,
+            cycles=timeline.end_cycles,
+            exit_reason="static_masked",
+            graded_at_instruction=warm.executed,
+        )
+        if traced:
+            telemetry = self.telemetry
+            telemetry.note("span", phase="setup",
+                           wall_s=time.perf_counter() - started,
+                           instr=warm.executed)
+            self._note_ace(warm)
+            for strike in located:
+                strike_at = prefix + min(
+                    int(strike.time_s * config.instructions_per_second),
+                    window)
+                telemetry.strike(
+                    strike.target, strike.flat_bit,
+                    word=model.locate(strike, injector),
+                    time_s=strike.time_s, let=config.let, mbu=strike.mbu,
+                    instr=strike_at, kind=strike.kind)
+            telemetry.note("early-exit", reason="static-masked",
+                           at=warm.executed,
+                           skipped=golden.executed - warm.executed)
+            telemetry.close_open(lambda target, word: "latent",
+                                 instr=golden.executed)
+            telemetry.note("run-end", counts=dict(result.counts),
+                           upsets=result.upsets, sw_errors=result.sw_errors,
+                           error_traps=result.error_traps,
+                           halted=result.halted,
+                           iterations=result.iterations,
+                           instructions=result.instructions,
+                           effaced=result.effaced,
+                           wall_s=round(result.wall_seconds, 6))
+        return result
+
     def _grade(self, system: LeonSystem, spin: int, state: Dict,
                timeline: GoldenTimeline,
                recovery: Optional[RecoveryController],
@@ -862,10 +1025,14 @@ def prepare_warm_start(config: CampaignConfig, *,
     prefix, window, tail = config.phase_instructions()
     window_close = prefix + window
 
-    system, spin, result_base = campaign._build_program()
+    system, spin, result_base, program = campaign._build_program()
     state = {"executed": 0, "since_flush": 0, "failed": False}
     campaign._run_until(system, spin, state, prefix)
     snapshot = system.snapshot().to_bytes()
+    # The analyzer's entry state is the snapshot state: every warm run
+    # restores these bytes, so the static CFG walk starts exactly where
+    # execution will.
+    entry = entry_context(system)
     executed, since_flush = state["executed"], state["since_flush"]
     failed = state["failed"]
 
@@ -907,6 +1074,7 @@ def prepare_warm_start(config: CampaignConfig, *,
             halted=system.iu.halted is not HaltReason.RUNNING,
             executed=state["executed"],
             tail_cycles=system.perf.cycles - window_cycles,
+            counts=dict(system.errors.as_dict()),
         )
         timeline = GoldenTimeline(
             window_close=window_close,
@@ -915,6 +1083,18 @@ def prepare_warm_start(config: CampaignConfig, *,
             checkpoints=tuple(marks),
             final=golden,
         )
+
+    # Static ACE map, computed once per warm start and shipped to every
+    # run.  Attached only when the golden run completed *trap-free*
+    # (``perf.traps == 0``): the CFG walk treats trap-raising paths as
+    # terminal on the strength of that witness -- the golden run proves
+    # the program never takes them, and a strike in a dead register
+    # cannot steer control onto one (dead means no instruction ever
+    # reads the word).  A parked golden run necessarily trapped, so the
+    # witness also implies the timeline is complete.
+    ace: Optional[AceMap] = None
+    if timeline is not None and system.perf.traps == 0:
+        ace = analyze_program(program, entry).ace  # lint: ok=ace-transient-gate -- producer; consumers gate per FT701
 
     return WarmStart(
         key=warm_start_key(config),
@@ -926,4 +1106,5 @@ def prepare_warm_start(config: CampaignConfig, *,
         result_base=result_base,
         golden=golden,
         timeline=timeline,
+        ace=ace,
     )

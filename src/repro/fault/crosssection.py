@@ -34,11 +34,24 @@ DEFAULT_LETS = (6.0, 10.0, 15.0, 25.0, 40.0, 60.0, 80.0, 110.0)
 
 @dataclass
 class CrossSectionPoint:
-    """One (LET, sigma) measurement for one RAM type."""
+    """One (LET, sigma) measurement for one RAM type.
+
+    ``count`` is always the *raw* observed event count.  Importance-sampled
+    points (``measure_curve(..., importance=True)``) carry ``weight < 1``
+    -- the Horvitz-Thompson factor already folded into ``sigma_per_bit`` --
+    and a normal-approximation 95 % confidence interval; plain points keep
+    the defaults (weight 1, zero-width interval markers).
+    """
 
     let: float
     sigma_per_bit: float
     count: int
+    #: Horvitz-Thompson reweighting factor (sigma_live / sigma_device)
+    #: applied to the counts; 1.0 for plain (non-importance) sweeps.
+    weight: float = 1.0
+    #: 95 % CI bounds on ``sigma_per_bit`` (0.0/0.0 in plain sweeps).
+    ci_low: float = 0.0
+    ci_high: float = 0.0
 
 
 @dataclass
@@ -62,7 +75,9 @@ class CrossSectionCurve:
             "program": self.program,
             "points": {
                 kind: [{"let": p.let, "sigma_per_bit": p.sigma_per_bit,
-                        "count": p.count} for p in points]
+                        "count": p.count, "weight": p.weight,
+                        "ci_low": p.ci_low, "ci_high": p.ci_high}
+                       for p in points]
                 for kind, points in self.points.items()
             },
         }
@@ -94,6 +109,7 @@ def measure_curve(
     beam_delay_s: float = 0.0,
     beam_tail_s: float = 0.0,
     early_exit: bool = True,
+    importance: bool = False,
 ) -> CrossSectionCurve:
     """Run one campaign per LET point and build the per-bit sigma curves.
 
@@ -107,6 +123,15 @@ def measure_curve(
     not involve LET or seed).  ``early_exit=False`` disables golden-timeline
     grading and strike batching (the slow full-execution oracle; the curve
     is identical either way).
+
+    ``importance=True`` runs the sweep under the ``seu-live`` model
+    (:mod:`repro.fault.sampling`): strikes land only on statically-live
+    sites, counts are reweighted by the per-LET Horvitz-Thompson factor
+    ``rho = sigma_live / sigma_device``, and every point carries a 95 %
+    confidence interval.  The estimates are unbiased in the single-strike
+    regime but come from a *different* strike population, so importance
+    curves are statistically -- not bit-for-bit -- comparable to plain
+    ones.
     """
     bits = target_bits(leon)
     curve = CrossSectionCurve(program, {kind: [] for kind in COUNTER_TARGETS})
@@ -125,22 +150,49 @@ def measure_curve(
             beam_delay_s=beam_delay_s,
             beam_tail_s=beam_tail_s,
             early_exit=early_exit,
+            fault_model="seu-live" if importance else "seu",
         )
         for index, let in enumerate(lets)
     ]
     if executor is None:
         executor = CampaignExecutor(jobs)
     warm = prepare_warm_start(configs[0]) if warm_start and configs else None
-    for let, result in zip(lets, executor.run_many(configs, warm=warm,
-                                                   batch=early_exit)):
+    rhos = None
+    if importance:
+        from repro.fault.sampling import live_fraction
+        rhos = [live_fraction(config) for config in configs]
+    for index, (let, result) in enumerate(
+            zip(lets, executor.run_many(configs, warm=warm,
+                                        batch=early_exit))):
+        rho = rhos[index] if rhos is not None else 1.0
         for kind in COUNTER_TARGETS:
             count = result.counts[kind]
-            sigma = count / fluence / bits[kind]
-            curve.points[kind].append(CrossSectionPoint(let, sigma, count))
+            scale = rho / fluence / bits[kind]
+            curve.points[kind].append(_point(let, count, scale, rho,
+                                             importance))
         total = result.counts["Total"]
-        curve.points["Total"].append(
-            CrossSectionPoint(let, total / fluence / total_bits, total))
+        curve.points["Total"].append(_point(let, total,
+                                            rho / fluence / total_bits,
+                                            rho, importance))
     return curve
+
+
+def _point(let: float, count: int, scale: float, rho: float,
+           importance: bool) -> CrossSectionPoint:
+    """One curve point; importance points carry their weight and 95 % CI.
+
+    The CI is the normal approximation to the Poisson count,
+    ``count +- 1.96 * sqrt(count)``, scaled like the estimate; a
+    zero-count point reports the rule-of-three upper bound (3 events).
+    """
+    sigma = count * scale
+    if not importance:
+        return CrossSectionPoint(let, sigma, count)
+    half = 1.96 * math.sqrt(count)
+    ci_low = max(count - half, 0.0) * scale
+    ci_high = (count + half if count else 3.0) * scale
+    return CrossSectionPoint(let, sigma, count, weight=rho,
+                             ci_low=ci_low, ci_high=ci_high)
 
 
 #: The sweep entry point the CLI and benchmarks use; ``measure_curve`` is

@@ -73,6 +73,12 @@ class GoldenRun:
     #: a pure function of the (matching) architectural state, so effaced
     #: runs can report exact end-of-run cycle counts without executing it.
     tail_cycles: int = 0
+    #: Golden end-of-run error-monitor counters
+    #: (:meth:`~repro.core.system.LeonSystem` ``errors.as_dict()``).  A
+    #: statically-masked run reports these verbatim: a provably-dead strike
+    #: never reaches an operand check, so the monitor counts exactly what
+    #: the strike-free run counts.  None in pre-static warm starts.
+    counts: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)

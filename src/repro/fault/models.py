@@ -489,3 +489,9 @@ def security_fold(results) -> Dict[str, Dict[str, int]]:
             model, {outcome: 0 for outcome in OUTCOMES})
         bucket[classify_outcome(result)] += 1
     return fold
+
+
+# Registered last: the importance-sampling model lives in its own module
+# (it pulls in the static-analysis layer) but must be in MODELS whenever
+# the registry is imported.
+from repro.fault import sampling as _sampling  # noqa: E402,F401

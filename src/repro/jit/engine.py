@@ -112,6 +112,22 @@ class JitEngine:
         self.blocks.clear()
         self.counts.clear()
 
+    def prime(self, pcs) -> None:
+        """Pre-seed hot counters for statically-discovered loop heads.
+
+        The static analyzer (:mod:`repro.analysis.program`) recovers the
+        program's natural loops; their headers are exactly the PCs the
+        hot-counting would eventually discover.  Priming them to the
+        threshold makes the first visit compile immediately instead of
+        waiting out ``HOT_THRESHOLD`` interpreted iterations.  Purely a
+        warm-up hint: compiled bursts are byte-identical to
+        interpretation, so priming never changes results.
+        """
+        counts = self.counts
+        for pc in pcs:
+            if pc not in self.blocks:
+                counts[pc] = HOT_THRESHOLD
+
     def try_burst(self, budget: int,
                   stop_pc: Optional[int]) -> Optional[Tuple[int, int]]:
         """Run one compiled burst if every guard passes.

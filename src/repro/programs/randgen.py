@@ -8,11 +8,16 @@ SPARC semantics computes at build time.  Same discipline as IUTEST
 (re-initialize, compute, compare, tally SW_ERRORS/ITERATIONS), so random
 programs drop into campaigns unchanged via ``--program random:<seed>``.
 
-Two differential validations guard the generator:
+Three differential validations guard the generator:
 
 * **round-trip**: every generated instruction word is disassembled and
   re-assembled at build time; a mismatch against the original encoding
   fails the build (the assembler and disassembler check each other);
+* **def/use intent**: the generator records which architectural registers
+  each emitted operation reads and writes; the decoder's ``sources`` /
+  ``defs`` metadata -- the exact facts the static analyzer
+  (:mod:`repro.analysis.program`) builds its liveness on -- must agree
+  instruction for instruction, or the build fails;
 * **mirror-vs-machine**: the build-time expected checksum must match what
   the simulated processor computes -- any divergence shows up as
   ``SW_ERRORS`` in a fault-free run (asserted by the test suite).
@@ -27,6 +32,7 @@ from repro.core.config import LeonConfig
 from repro.errors import ConfigurationError
 from repro.programs.builder import build_test_program
 from repro.sparc.asm import Program, assemble
+from repro.sparc.decode import decode
 from repro.sparc.disasm import disassemble
 
 _M = 0xFFFFFFFF
@@ -38,6 +44,12 @@ _REGS = [f"%l{i}" for i in range(8)] + [f"%o{i}" for i in range(3, 6)]
 
 def _signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _reg_number(name: str) -> int:
+    """Architectural register number of ``%g/o/l/i<n>``."""
+    base = {"g": 0, "o": 8, "l": 16, "i": 24}[name[1]]
+    return base + int(name[2:])
 
 
 #: Trap-free ALU operations and their Python mirrors.  Division is
@@ -64,15 +76,25 @@ _SHIFT_MIRROR: Dict[str, Callable[[int, int], int]] = {
 _OP_NAMES = tuple(sorted(_ALU_MIRROR)) + tuple(sorted(_SHIFT_MIRROR))
 
 
+#: Per-instruction def/use intent: (uses, defs) architectural register
+#: numbers, in emission order (one entry per generated line).
+DefUse = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
 def _generate_ops(rng: random.Random, count: int,
-                  state: Dict[str, int]) -> Tuple[List[str], int]:
-    """Random op lines plus the per-iteration checksum they produce.
+                  state: Dict[str, int]) -> Tuple[List[str], int,
+                                                  List[DefUse]]:
+    """Random op lines, their checksum, and per-line def/use intent.
 
     *state* maps register names to their initialized values; the mirror
     updates it op by op, folding each destination value into the
-    checksum exactly like the emitted ``xor %g6, rd, %g6``.
+    checksum exactly like the emitted ``xor %g6, rd, %g6``.  The intent
+    list records, line for line, which architectural registers the
+    generator *meant* each instruction to read and write --
+    :func:`validate_defuse` holds the decoder to it.
     """
     lines: List[str] = []
+    intent: List[DefUse] = []
     checksum = 0
     for _ in range(count):
         op = rng.choice(_OP_NAMES)
@@ -81,19 +103,24 @@ def _generate_ops(rng: random.Random, count: int,
         if op in _SHIFT_MIRROR:
             shift = rng.randrange(32)
             lines.append(f"    {op} {rs1}, {shift}, {rd}")
+            intent.append(((_reg_number(rs1),), (_reg_number(rd),)))
             result = _SHIFT_MIRROR[op](state[rs1], shift)
         elif rng.random() < 0.5:
             imm = rng.randrange(4096)  # non-negative simm13
             lines.append(f"    {op} {rs1}, {imm}, {rd}")
+            intent.append(((_reg_number(rs1),), (_reg_number(rd),)))
             result = _ALU_MIRROR[op](state[rs1], imm)
         else:
             rs2 = rng.choice(_REGS)
             lines.append(f"    {op} {rs1}, {rs2}, {rd}")
+            intent.append(((_reg_number(rs1), _reg_number(rs2)),
+                           (_reg_number(rd),)))
             result = _ALU_MIRROR[op](state[rs1], state[rs2])
         state[rd] = result
         lines.append(f"    xor %g6, {rd}, %g6")
+        intent.append(((6, _reg_number(rd)), (6,)))
         checksum ^= result
-    return lines, checksum
+    return lines, checksum, intent
 
 
 def validate_roundtrip(op_lines: List[str], *,
@@ -118,6 +145,34 @@ def validate_roundtrip(op_lines: List[str], *,
     return block
 
 
+def validate_defuse(op_lines: List[str], intent: List[DefUse], *,
+                    base: int = 0x40000000) -> None:
+    """Hold the decoder's def/use metadata to the generator's intent.
+
+    The static analyzer's liveness is built on ``Instr.sources`` /
+    ``Instr.defs``; the generator knows independently which registers
+    each emitted op reads and writes.  Any disagreement means one side
+    mis-models an instruction, and the program cannot be trusted as a
+    campaign workload -- the build fails.  Register *sets* are compared
+    (``add %l1, %l1, %l2`` reads one register however it is drawn).
+    """
+    block = assemble("\n".join(op_lines), base, name="randgen-block")
+    if len(block.words) != len(intent):
+        raise ConfigurationError(
+            f"randgen def/use intent covers {len(intent)} instructions "
+            f"but the block assembled to {len(block.words)}")
+    for index, (word, (uses, defs)) in enumerate(zip(block.words, intent)):
+        instr = decode(word)
+        if (set(instr.sources) != set(uses)
+                or set(instr.defs) != set(defs)):
+            raise ConfigurationError(
+                f"randgen def/use mismatch at +{4 * index:#x} "
+                f"({op_lines[index].strip()!r}): generator intended "
+                f"uses={sorted(set(uses))} defs={sorted(set(defs))}, "
+                f"decoder reports uses={sorted(set(instr.sources))} "
+                f"defs={sorted(set(instr.defs))}")
+
+
 def build_random(
     config: Optional[LeonConfig] = None,
     *,
@@ -137,8 +192,9 @@ def build_random(
         raise ConfigurationError("randgen needs at least one operation")
     rng = random.Random(seed)
     init = {reg: rng.getrandbits(32) for reg in _REGS}
-    op_lines, expected = _generate_ops(rng, ops, dict(init))
+    op_lines, expected, intent = _generate_ops(rng, ops, dict(init))
     validate_roundtrip(op_lines)
+    validate_defuse(op_lines, intent)
 
     lines: List[str] = []
     lines.append("main:")

@@ -119,6 +119,9 @@ async function refresh() {
 async function showCampaign(id, name) {
   const fold = await getJSON(`/api/campaigns/${id}/table2`);
   const curve = await getJSON(`/api/campaigns/${id}/curve`);
+  let stats = null;
+  try { stats = await getJSON(`/api/campaigns/${id}/stats`); }
+  catch (error) { /* campaign without a stored trace */ }
   $("#detail-title").textContent = `campaign ${name} (#${id})`;
   $("#detail-title").hidden = false;
   const totals = JSON.stringify(fold.totals, null, 2);
@@ -132,9 +135,19 @@ async function showCampaign(id, name) {
         `${model}: detected ${fold_.detected}  silent ${fold_.silent}` +
         `  masked ${fold_.masked}`).join("\\n")
     : "";
+  let ace = "";
+  if (stats && stats.ace) {
+    ace = `\\n\\nstatic analysis: ACE fraction ` +
+      `${stats.ace.fraction.toFixed(3)} ` +
+      `(${stats.ace.claimable_words}/${stats.ace.regfile_words} ` +
+      `register-file words claimed dead)`;
+    const masked = (stats.early_exits || {})["static-masked"];
+    if (masked) ace += `\\n${masked} run(s) statically graded ` +
+      `without execution`;
+  }
   $("#detail").textContent =
     (fold.rendered || "(no runs)") + "\\n\\ntotals = " + totals + security +
-    "\\n\\ncross-section per bit\\n" + points;
+    "\\n\\ncross-section per bit\\n" + points + ace;
   $("#detail").hidden = false;
 }
 

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AssemblerError
 from repro.sparc import encode
 from repro.sparc.isa import (
     BRANCH_CONDS,
+    CBRANCH_CONDS,
     FBRANCH_CONDS,
     REGISTER_ALIASES,
     TRAP_CONDS,
@@ -49,6 +50,10 @@ class Program:
     words: List[int]
     symbols: Dict[str, int] = field(default_factory=dict)
     name: str = "program"
+    #: Word offsets emitted by data directives (``.word``, ``.skip``) or
+    #: gap padding -- NOT instructions, even when the bit pattern happens
+    #: to decode as one (FP constants routinely alias branches).
+    data_words: Set[int] = field(default_factory=set)
 
     @property
     def size(self) -> int:
@@ -378,6 +383,7 @@ class _Item:
     encoder: Callable[[int, Dict[str, int]], List[int]]
     line: int
     source: str
+    data: bool = False
 
 
 class Assembler:
@@ -397,11 +403,13 @@ class Assembler:
         table = dict(symbols or {})
         table.update(labels)
         words: List[int] = []
+        data_words: Set[int] = set()
         address = self.base
         for item in items:
             if item.address != address:
                 # .org / .align created a gap; pad with zeros (unimp).
                 gap = (item.address - address) // 4
+                data_words.update(range(len(words), len(words) + gap))
                 words.extend([0] * gap)
                 address = item.address
             try:
@@ -412,9 +420,12 @@ class Assembler:
                 raise AssemblerError(
                     f"internal: size mismatch on line {item.line}", line=item.line
                 )
+            if item.data:
+                data_words.update(range(len(words), len(words) + len(encoded)))
             words.extend(word & 0xFFFFFFFF for word in encoded)
             address += 4 * item.size_words
-        return Program(self.base, words, table, name=name)
+        return Program(self.base, words, table, name=name,
+                       data_words=data_words)
 
     # -- pass 1 ------------------------------------------------------------
 
@@ -471,7 +482,8 @@ class Assembler:
                              exprs: Sequence[str] = tuple(exprs)) -> List[int]:
                 return [_evaluate(expr, table) & 0xFFFFFFFF for expr in exprs]
 
-            items.append(_Item(address, len(exprs), encode_words, lineno, source))
+            items.append(_Item(address, len(exprs), encode_words, lineno,
+                               source, data=True))
             return address + 4 * len(exprs)
         if mnemonic == ".align":
             boundary = _evaluate(rest or "4", equates)
@@ -488,7 +500,8 @@ class Assembler:
                             words: int = count // 4) -> List[int]:
                 return [0] * words
 
-            items.append(_Item(address, count // 4, encode_skip, lineno, source))
+            items.append(_Item(address, count // 4, encode_skip, lineno,
+                               source, data=True))
             return address + count
         if mnemonic in (".equ", ".set"):
             name_part, _, value_part = rest.partition(",")
@@ -524,6 +537,9 @@ class Assembler:
         if mnemonic in FBRANCH_CONDS:
             cond = FBRANCH_CONDS[mnemonic]
             return 1, _make_branch(Op2.FBFCC, cond, annul, operands, lineno)
+        if mnemonic in CBRANCH_CONDS:
+            cond = CBRANCH_CONDS[mnemonic]
+            return 1, _make_branch(Op2.CBCCC, cond, annul, operands, lineno)
         if mnemonic in TRAP_CONDS:
             return 1, _make_ticc(TRAP_CONDS[mnemonic], operands, lineno)
         if mnemonic == "call":

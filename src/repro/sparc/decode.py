@@ -24,6 +24,17 @@ _STORE_OP3 = {Op3Mem.ST, Op3Mem.STB, Op3Mem.STH, Op3Mem.STD,
               Op3Mem.STA, Op3Mem.STBA, Op3Mem.STHA, Op3Mem.STDA}
 _DOUBLE_STORE_OP3 = {Op3Mem.STD, Op3Mem.STDA}
 
+#: Arithmetic-format op3 values whose ``rd`` field is not an integer
+#: destination (state writes go to %y/%psr/%wim/%tbr, a trap, or nowhere).
+_NO_RD_ARITH_OP3 = {Op3.WRASR, Op3.WRPSR, Op3.WRWIM, Op3.WRTBR,
+                    Op3.RETT, Op3.TICC, Op3.FLUSH}
+#: Memory-format op3 values that write a single integer destination.
+_INTEGER_LOAD_OP3 = {Op3Mem.LD, Op3Mem.LDUB, Op3Mem.LDUH, Op3Mem.LDSB,
+                     Op3Mem.LDSH, Op3Mem.LDSTUB, Op3Mem.SWAP,
+                     Op3Mem.LDA, Op3Mem.LDUBA, Op3Mem.LDUHA, Op3Mem.LDSBA,
+                     Op3Mem.LDSHA, Op3Mem.LDSTUBA, Op3Mem.SWAPA}
+_DOUBLE_LOAD_OP3 = {Op3Mem.LDD, Op3Mem.LDDA}
+
 #: Size of the decode memo.  Programs are decoded once per distinct word,
 #: so the cache must never evict within a program run; see
 #: :func:`decode_cache_holds`.
@@ -64,6 +75,13 @@ class Instr:
     #: FT pipeline checks, section 4.4).  Precomputed here so the hot
     #: per-step operand check never rebuilds the tuple.
     sources: Tuple[int, ...] = ()
+    #: Architectural integer registers *written* by the instruction
+    #: (``%g0`` excluded -- writes to it are discarded, so it is not a
+    #: definition).  Static-analysis metadata: the per-instruction def set
+    #: the CFG/liveness analyzer (:mod:`repro.analysis.program`) pairs
+    #: with ``sources``.  ``save``/``restore`` write their ``rd`` in the
+    #: *new* window; the analyzer owns that depth shift.
+    defs: Tuple[int, ...] = ()
 
     @property
     def is_branch(self) -> bool:
@@ -83,7 +101,7 @@ def _decode_uncached(word: int) -> Instr:
     op = word >> 30
     if op == Op.CALL:
         disp30 = sign_extend(word, 30) * 4
-        return Instr(word, op, "call", disp=disp30, rd=15)
+        return Instr(word, op, "call", disp=disp30, rd=15, defs=(15,))
     if op == Op.FORMAT2:
         return _decode_format2(word)
     return _decode_format3(word, op)
@@ -95,7 +113,8 @@ def _decode_format2(word: int) -> Instr:
     if op2 == Op2.SETHI:
         imm22 = (word & 0x3FFFFF) << 10
         mnemonic = "nop" if rd == 0 and imm22 == 0 else "sethi"
-        return Instr(word, Op.FORMAT2, mnemonic, op2=op2, rd=rd, imm22=imm22)
+        return Instr(word, Op.FORMAT2, mnemonic, op2=op2, rd=rd, imm22=imm22,
+                     defs=(rd,) if rd else ())
     if op2 in (Op2.BICC, Op2.FBFCC, Op2.CBCCC):
         cond = (word >> 25) & 0xF
         annul = bool((word >> 29) & 1)
@@ -138,8 +157,9 @@ def _decode_format3(word: int, op: int) -> Instr:
             cond = (word >> 25) & 0xF
             return Instr(word, op, "ticc", op3=op3, cond=cond, rs1=rs1, rs2=rs2,
                          imm=imm, sources=sources)
+        defs = (rd,) if rd and op3 not in _NO_RD_ARITH_OP3 else ()
         return Instr(word, op, mnemonic, op3=op3, rd=rd, rs1=rs1, rs2=rs2,
-                     imm=imm, sources=sources)
+                     imm=imm, sources=sources, defs=defs)
 
     # op == Op.MEM
     if op3 not in _MEM_OP3:
@@ -152,9 +172,15 @@ def _decode_format3(word: int, op: int) -> Instr:
         regs.append(rd)
         if op3 in _DOUBLE_STORE_OP3:
             regs.append(rd | 1)
+    if op3 in _INTEGER_LOAD_OP3:
+        defs = (rd,) if rd else ()
+    elif op3 in _DOUBLE_LOAD_OP3:
+        defs = tuple(reg for reg in (rd, rd | 1) if reg)
+    else:
+        defs = ()
     return Instr(
         word, op, _MEM_NAMES[op3], op3=op3, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
-        asi=asi, sources=tuple(regs)
+        asi=asi, sources=tuple(regs), defs=defs
     )
 
 

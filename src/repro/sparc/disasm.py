@@ -9,6 +9,7 @@ from __future__ import annotations
 from repro.sparc.decode import Instr, decode
 from repro.sparc.isa import (
     BRANCH_CONDS,
+    CBRANCH_CONDS,
     FBRANCH_CONDS,
     TRAP_CONDS,
     Op,
@@ -30,6 +31,7 @@ _BRANCH_BY_COND = {cond: name for name, cond in BRANCH_CONDS.items() if name != 
 _BRANCH_BY_COND.update({BRANCH_CONDS["be"]: "be", BRANCH_CONDS["bne"]: "bne",
                         BRANCH_CONDS["bcs"]: "bcs", BRANCH_CONDS["bcc"]: "bcc"})
 _FBRANCH_BY_COND = {cond: name for name, cond in FBRANCH_CONDS.items()}
+_CBRANCH_BY_COND = {cond: name for name, cond in CBRANCH_CONDS.items()}
 _TRAP_BY_COND = {cond: name for name, cond in TRAP_CONDS.items()}
 
 _LOAD_NAMES = {
@@ -87,7 +89,9 @@ def _disasm_format2(instr: Instr, pc: int) -> str:
         return f"sethi %hi({instr.imm22:#x}), {_reg(instr.rd)}"
     if instr.op2 == Op2.UNIMP:
         return f"unimp {instr.imm22:#x}"
-    table = _BRANCH_BY_COND if instr.op2 == Op2.BICC else _FBRANCH_BY_COND
+    table = {Op2.BICC: _BRANCH_BY_COND,
+             Op2.FBFCC: _FBRANCH_BY_COND,
+             Op2.CBCCC: _CBRANCH_BY_COND}[instr.op2]
     name = table.get(instr.cond, f"b<{instr.cond}>")
     suffix = ",a" if instr.annul else ""
     return f"{name}{suffix} {pc + instr.disp:#x}"

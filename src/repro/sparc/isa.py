@@ -312,6 +312,31 @@ FBRANCH_CONDS = {
     "fbo": FCond.O,
 }
 
+#: Co-processor branch mnemonic -> condition field value (CBccc).
+#:
+#: LEON attaches no co-processor, so any *executed* CBccc traps
+#: (cp_disabled) -- but the words still decode, and data constants can
+#: alias them (e.g. the float ``1.5`` is ``cb012,a``), so the
+#: assembler/disassembler pair must round-trip them faithfully.
+CBRANCH_CONDS = {
+    "cbn": 0,
+    "cb123": 1,
+    "cb12": 2,
+    "cb13": 3,
+    "cb1": 4,
+    "cb23": 5,
+    "cb2": 6,
+    "cb3": 7,
+    "cba": 8,
+    "cb0": 9,
+    "cb03": 10,
+    "cb02": 11,
+    "cb023": 12,
+    "cb01": 13,
+    "cb013": 14,
+    "cb012": 15,
+}
+
 
 def sign_extend(value: int, bits: int) -> int:
     """Interpret the low ``bits`` of ``value`` as a two's-complement number."""

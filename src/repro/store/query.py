@@ -226,4 +226,6 @@ def trace_stats(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "consistent": stats.consistent,
         "states": dict(stats.states),
         "recoveries": dict(stats.recoveries),
+        "early_exits": dict(stats.early_exits),
+        "ace": dict(stats.ace) if stats.ace is not None else None,
     }

@@ -158,6 +158,12 @@ class TraceStats:
     trap_counts: Dict[str, int] = field(default_factory=dict)
     watchdog_resets: int = 0
     compare_errors: int = 0
+    #: Early-exit notes folded by reason (reconverged / diverged /
+    #: static-masked); empty for full-execution traces.
+    early_exits: Dict[str, int] = field(default_factory=dict)
+    #: The static analyzer's ACE summary, from the warm start's ``ace``
+    #: note (None when the trace carries none).
+    ace: Optional[Dict[str, object]] = None
 
     @property
     def consistent(self) -> bool:
@@ -244,6 +250,13 @@ def fold_stats(events: Sequence[Dict[str, object]]) -> TraceStats:
                 int(event.get("downtime_cycles", 0))
         elif kind == "watchdog-reset":
             stats.watchdog_resets += 1
+        elif kind == "early-exit":
+            reason = str(event.get("reason"))
+            stats.early_exits[reason] = stats.early_exits.get(reason, 0) + 1
+        elif kind == "ace":
+            # Every run of a warm campaign notes the same map; keep one.
+            stats.ace = {name: value for name, value in event.items()
+                         if name not in ("ev", "run")}
         elif kind == "compare":
             stats.compare_errors += 1
         elif kind == "run-end":
@@ -343,6 +356,21 @@ def render_stats(stats: TraceStats) -> str:
         lines.append("terminal states: " + "  ".join(
             f"{state} {count}" for state, count
             in sorted(stats.states.items())))
+    if stats.ace is not None:
+        lines.append("")
+        lines.append(
+            f"static analysis: ACE fraction "
+            f"{float(stats.ace.get('fraction', 1.0)):.3f} "
+            f"({stats.ace.get('claimable_words', 0)}/"
+            f"{stats.ace.get('regfile_words', 0)} register-file words "
+            f"claimed dead"
+            + (", fpregs dead" if stats.ace.get("fpregs_dead") else "")
+            + ("" if stats.ace.get("window_claims")
+               else ", degraded to globals") + ")")
+    if stats.early_exits:
+        lines.append("early exits: " + "  ".join(
+            f"{reason} {count}" for reason, count
+            in sorted(stats.early_exits.items())))
     if stats.spans:
         lines.append("")
         lines.append("phase timers: " + "  ".join(

@@ -1,0 +1,76 @@
+"""FT701: ACE-map consumers must gate on the fault model's transience."""
+
+from repro.analysis import analyze_source
+
+#: Virtual path inside the fault package, where the rule is scoped.
+MODULE = "repro/fault/fixture.py"
+
+
+def _codes(findings, *, active_only=True):
+    return [f.code for f in findings
+            if not (active_only and f.suppressed)]
+
+
+def test_ungated_consumer_is_flagged():
+    source = (
+        "def grade(warm, target, word):\n"
+        "    claim = warm.ace.classify(target, word)\n"
+        "    return claim == 'latent'\n"
+    )
+    findings = analyze_source(source, MODULE)
+    assert _codes(findings) == ["FT701"]
+    assert "grade" in findings[0].message
+    assert "transient" in findings[0].message
+
+
+def test_classify_call_on_ace_receiver_is_consumption():
+    """Calling ``classify`` on something named like the map counts even
+    without an ``.ace`` attribute read."""
+    source = (
+        "def grade(ace_map, target, word):\n"
+        "    return ace_map.classify(target, word)\n"
+    )
+    assert _codes(analyze_source(source, MODULE)) == ["FT701"]
+
+
+def test_transient_gate_passes():
+    source = (
+        "def grade(warm, model, target, word):\n"
+        "    if not model.transient:\n"
+        "        return None\n"
+        "    return warm.ace.classify(target, word)\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_class_declaring_transient_passes():
+    """Fault models state their contract in the class body; methods of a
+    class that declares ``transient`` are trusted."""
+    source = (
+        "class LiveSiteUpset:\n"
+        "    transient = True\n"
+        "    def space(self, warm):\n"
+        "        return warm.ace.claimable_words\n"
+    )
+    assert analyze_source(source, MODULE) == []
+
+
+def test_suppression_records_a_reason():
+    source = (
+        "def report(warm):\n"
+        "    ace = warm.ace  "
+        "# lint: ok=ace-transient-gate -- reporting only\n"
+        "    return ace\n"
+    )
+    findings = analyze_source(source, MODULE)
+    assert _codes(findings) == []
+    assert [f.code for f in findings if f.suppressed] == ["FT701"]
+
+
+def test_rule_is_scoped_to_the_fault_package():
+    """Reporting code renders the map but makes no grading decision."""
+    source = (
+        "def render(warm):\n"
+        "    return warm.ace.ace_fraction()\n"
+    )
+    assert analyze_source(source, "repro/service/fixture.py") == []

@@ -1,0 +1,223 @@
+"""Unit tests for the static program analyzer (CFG, liveness, ACE map).
+
+Small hand-assembled programs pin the CFG walk's delay-slot/annul
+semantics and the liveness lattice; the built-in programs pin the
+system-level entry points and the degradation ladder.
+"""
+
+import pytest
+
+from repro.analysis.program import (
+    EntryContext,
+    _physical_index,
+    analyze_program,
+    analyze_system,
+    render_report,
+)
+from repro.core.config import LeonConfig
+from repro.core.system import LeonSystem
+from repro.programs import build_paranoia, build_random
+from repro.sparc.asm import assemble
+
+BASE = 0x40000000
+
+#: A bare entry for hand-written fragments: window 0, no FPU, the
+#: express-sized register file (8 windows -> 136 words).
+ENTRY = EntryContext(pc=BASE, npc=BASE + 4, cwp=0, wim=0,
+                     nwindows=8, regfile_words=136, has_fpu=False)
+
+
+def _analyze(source):
+    return analyze_program(assemble(source, base=BASE), ENTRY)
+
+
+def _word(reg, cwp=0, nwindows=8):
+    return _physical_index(cwp, reg, nwindows)
+
+
+# -- delay slots and the annul bit in the CFG walk ----------------------------
+
+
+def test_annulled_ba_slot_is_unreachable():
+    """``ba,a`` never executes its delay slot, so a def there must not
+    appear in the explored def/use map (nor poison liveness)."""
+    analysis = _analyze("\n".join([
+        "main:",
+        "    ba,a done",
+        "    add %l1, 1, %l2",  # annulled: never executes
+        "done:",
+        "    ta 0",
+    ]))
+    assert BASE + 4 not in analysis.arch_defuse
+    # %l2 was never written on any reachable path -> never word.
+    assert _word(18) in analysis.ace.never_words
+
+
+def test_plain_ba_slot_is_reachable():
+    analysis = _analyze("\n".join([
+        "main:",
+        "    ba done",
+        "    add %l1, 1, %l2",  # delay slot executes
+        "done:",
+        "    ta 0",
+    ]))
+    assert BASE + 4 in analysis.arch_defuse
+    uses, defs = analysis.arch_defuse[BASE + 4]
+    assert 17 in uses and 18 in defs
+    assert _word(18) in analysis.ace.writeonly_words
+
+
+def test_conditional_annul_keeps_both_paths():
+    """``bne,a`` executes the slot on the taken path and annuls it on the
+    fall-through -- both the slot and pc+8 must be explored."""
+    analysis = _analyze("\n".join([
+        "main:",
+        "    bne done",
+        "    nop",
+        "done:",
+        "    ta 0",
+    ]))
+    annulled = _analyze("\n".join([
+        "main:",
+        "    bne,a done",
+        "    add %l1, 1, %l2",  # only on the taken path
+        "done:",
+        "    ta 0",
+    ]))
+    assert BASE + 4 in annulled.arch_defuse   # taken path runs the slot
+    assert BASE + 8 in annulled.arch_defuse   # fall-through lands past it
+    assert BASE + 4 in analysis.arch_defuse
+
+
+def test_loop_is_recovered_with_its_head():
+    analysis = _analyze("\n".join([
+        "main:",
+        "    mov 3, %l1",
+        "loop:",
+        "    subcc %l1, 1, %l1",
+        "    bne loop",
+        "    nop",
+        "    ta 0",
+    ]))
+    assert analysis.loops
+    assert BASE + 4 in analysis.ace.loop_heads
+
+
+# -- liveness / ACE classification --------------------------------------------
+
+
+def test_dead_def_is_writeonly_and_read_def_is_not():
+    analysis = _analyze("\n".join([
+        "main:",
+        "    mov 5, %l5",
+        "    add %l5, 1, %l6",   # reads %l5, %l6 is never read
+        "    ta 0",
+    ]))
+    ace = analysis.ace
+    assert _word(22) in ace.writeonly_words        # %l6: written, dead
+    assert _word(21) not in ace.writeonly_words    # %l5 is read back
+    assert _word(21) not in ace.never_words
+    assert _word(23) in ace.never_words            # %l7: untouched
+    assert ace.classify("regfile", _word(23)) == "latent"
+    assert ace.classify("regfile", _word(22)) == "ambiguous"
+    assert ace.classify("regfile", _word(21)) is None
+    assert analysis.dead_def_sites >= 1
+
+
+def test_g0_is_always_claimed_dead():
+    analysis = _analyze("main:\n    ta 0\n")
+    assert 0 in analysis.ace.never_words
+    assert analysis.ace.classify("regfile", 0) == "latent"
+
+
+def test_no_claims_outside_the_register_file():
+    ace = _analyze("main:\n    ta 0\n").ace
+    assert ace.classify("icache", 3) is None
+    assert ace.classify("flipflops", 0) is None
+    assert ace.classify("regfile", None) is None
+    # No FPU at this entry -> no whole-file FP claim either.
+    assert ace.classify("fpregs", 0) is None
+
+
+def test_ace_fraction_tracks_claims():
+    ace = _analyze("main:\n    ta 0\n").ace
+    assert ace.ace_fraction() == pytest.approx(
+        1.0 - ace.claimable_words / 136)
+    assert 0.0 <= ace.ace_fraction() <= 1.0
+
+
+# -- degradation ladder -------------------------------------------------------
+
+
+def test_wrwim_degrades_to_global_claims():
+    analysis = _analyze("\n".join([
+        "main:",
+        "    wr %g1, %g2, %wim",
+        "    ta 0",
+    ]))
+    ace = analysis.ace
+    assert not ace.window_claims
+    assert "wrwim" in ace.degraded_reason
+    assert not analysis.blocks           # no CFG survives degradation
+    # Global-only claims never include windowed words.
+    assert all(word < 8 for word in ace.never_words)
+
+
+def test_return_register_writer_degrades():
+    analysis = _analyze("\n".join([
+        "main:",
+        "    mov 1, %o7",
+        "    ta 0",
+    ]))
+    assert not analysis.ace.window_claims
+    assert "return" in analysis.ace.degraded_reason
+
+
+# -- system-level entry points ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def random7():
+    config = LeonConfig.leon_express()
+    program, _expected = build_random(config, seed=7)
+    system = LeonSystem(config)
+    system.load_program(program)
+    system.run(2000)  # past boot: trap table, window init
+    return analyze_system(system, program, name="random:7")
+
+
+def test_random_program_analyzes_window_accurately(random7):
+    ace = random7.ace
+    assert ace.window_claims
+    assert ace.degraded_reason == ""
+    assert random7.blocks and random7.loops
+    assert 0 in ace.never_words
+    # Random programs touch a handful of windows; most words stay dead.
+    assert len(ace.never_words) > 50
+    assert ace.ace_fraction() < 0.5
+    assert ace.fpregs_dead  # randgen emits no FP ops
+    assert ace.classify("fpregs", 17) == "latent"
+
+
+def test_analysis_report_and_dict_are_consistent(random7):
+    payload = random7.as_dict()
+    assert payload["cfg"]["blocks"] == len(random7.blocks)
+    assert payload["ace"]["never_words"] == sorted(random7.ace.never_words)
+    report = render_report(random7)
+    assert "ACE fraction" in report
+    assert random7.program_name in report
+
+
+def test_paranoia_degrades_but_keeps_global_claims():
+    config = LeonConfig.leon_express()
+    program, _expected = build_paranoia(config)
+    system = LeonSystem(config)
+    system.load_program(program)
+    system.run(2000)
+    analysis = analyze_system(system, program, name="paranoia")
+    ace = analysis.ace
+    assert not ace.window_claims
+    assert ace.degraded_reason
+    assert ace.never_words  # globals are still provable image-wide
+    assert all(word < 8 for word in ace.never_words)
+    assert not ace.fpregs_dead  # paranoia exercises the FPU

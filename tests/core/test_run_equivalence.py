@@ -12,7 +12,7 @@ from repro.fault.campaign import Campaign, CampaignConfig
 
 def _built(program="iutest"):
     campaign = Campaign(CampaignConfig(program=program))
-    system, spin, _base = campaign._build_program()
+    system, spin, _base, _program = campaign._build_program()
     return system, spin
 
 

@@ -73,7 +73,7 @@ def _comparable(result):
 
 def test_registry_names_every_model():
     assert model_names() == ("instruction-skip", "opcode", "sefi",
-                             "seu", "stuck-at-0", "stuck-at-1")
+                             "seu", "seu-live", "stuck-at-0", "stuck-at-1")
     assert set(model_names()) == set(MODELS)
 
 

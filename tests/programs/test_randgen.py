@@ -6,7 +6,7 @@ from repro.core.config import LeonConfig
 from repro.errors import ConfigurationError
 from repro.fault.campaign import Campaign, CampaignConfig, resolve_builder
 from repro.programs import build_random
-from repro.programs.randgen import validate_roundtrip
+from repro.programs.randgen import validate_defuse, validate_roundtrip
 
 
 def test_same_seed_same_program():
@@ -39,6 +39,37 @@ def test_roundtrip_rejects_encoding_mismatch():
     # identically, so use the degenerate op-count guard instead.
     with pytest.raises(ConfigurationError):
         build_random(seed=1, ops=0)
+
+
+def test_defuse_intent_matches_decoder():
+    """The generator's recorded def/use intent agrees with the decoder
+    metadata the static analyzer's liveness is built on -- for every op
+    of several seeds (build_random runs this check; here it is explicit)."""
+    import random
+
+    from repro.programs.randgen import _generate_ops, _REGS
+
+    for seed in (0, 7, 123):
+        rng = random.Random(seed)
+        state = {reg: rng.getrandbits(32) for reg in _REGS}
+        op_lines, _checksum, intent = _generate_ops(rng, 96, state)
+        validate_defuse(op_lines, intent)  # must not raise
+
+
+def test_defuse_mismatch_fails_the_build():
+    """A wrong intent entry names the line and both register sets."""
+    lines = ["    add %l1, %l2, %l3"]
+    with pytest.raises(ConfigurationError) as err:
+        validate_defuse(lines, [((17,), (20,))])  # defs should be 19
+    message = str(err.value)
+    assert "add %l1, %l2, %l3" in message
+    assert "generator intended" in message
+    assert "decoder reports" in message
+
+
+def test_defuse_length_mismatch_fails_the_build():
+    with pytest.raises(ConfigurationError):
+        validate_defuse(["    add %l1, %l2, %l3"], [])
 
 
 def test_mirror_matches_machine_fault_free():

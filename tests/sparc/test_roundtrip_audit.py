@@ -1,0 +1,181 @@
+"""Round-trip + semantics audit of every opcode the campaigns execute.
+
+The static analyzer (:mod:`repro.analysis.program`) trusts the decoder
+and disassembler pair: its CFG is recovered from decoded words, and the
+randgen builder validates its emissions by disassemble -> re-assemble
+round trips.  This audit pins that trust down program by program: every
+instruction word of the three paper programs and of generated random
+programs must disassemble to text the assembler maps back to the
+*identical* word, and the annul-bit / delay-slot encodings the CFG walk
+interprets must decode exactly as SPARC V8 defines them.
+"""
+
+import pytest
+
+from repro.core.config import LeonConfig
+from repro.programs import (
+    build_cncf,
+    build_iutest,
+    build_paranoia,
+    build_random,
+)
+from repro.sparc.asm import assemble
+from repro.sparc.decode import decode
+from repro.sparc.disasm import disassemble
+
+BASE = 0x40000000
+
+
+def _builders():
+    config = LeonConfig.leon_express()  # has the FPU paranoia needs
+    return [
+        ("iutest", build_iutest(config)[0]),
+        ("paranoia", build_paranoia(config)[0]),
+        ("cncf", build_cncf(config)[0]),
+        ("random:7", build_random(config, seed=7)[0]),
+        ("random:123", build_random(config, seed=123)[0]),
+    ]
+
+
+@pytest.mark.parametrize("name,program",
+                         _builders(), ids=lambda value: value
+                         if isinstance(value, str) else "")
+def test_every_program_instruction_round_trips(name, program):
+    """disassemble -> re-assemble is byte-identical for every decodable
+    word of the image (data words that do not decode are exempt -- the
+    CFG walk never interprets them as instructions)."""
+    mnemonics = set()
+    for offset, word in enumerate(program.words):
+        if offset in program.data_words:
+            # .word constants can alias valid encodings with non-canonical
+            # reserved fields (FP literals decode as branches); the CFG
+            # walk never reaches them, so they are out of audit scope.
+            continue
+        instr = decode(word)
+        if not instr.valid:
+            continue
+        pc = program.base + 4 * offset
+        text = disassemble(word, pc)
+        assert not text.startswith(".word"), \
+            f"{name}+{4 * offset:#x}: valid word {word:#010x} has no " \
+            f"disassembly"
+        again = assemble(text, pc, name="audit")
+        assert again.words == [word], \
+            f"{name}+{4 * offset:#x}: {word:#010x} -> {text!r} -> " \
+            f"{again.words[0]:#010x}"
+        mnemonics.add(instr.mnemonic)
+    # The audit is only meaningful if it covered a real instruction mix.
+    assert len(mnemonics) > 10, f"{name}: suspiciously few opcodes"
+
+
+def test_data_words_are_tracked():
+    """The assembler marks ``.word``/``.skip`` emissions so audits (and
+    anyone decoding an image) can tell data aliasing from instructions."""
+    program = assemble("main:\n nop\npool:\n .word 0x3fc00000, 1\n"
+                       " .skip 8\n nop", base=BASE)
+    assert program.data_words == {1, 2, 3, 4}
+    assert 0 not in program.data_words  # the nops are code
+    assert 5 not in program.data_words
+
+
+def test_coprocessor_branch_round_trips():
+    """CBccc words get cb mnemonics, not fb ones: the float 1.5 bit
+    pattern is ``cb012,a`` and must survive the round trip (it used to
+    come back as an FBfcc word)."""
+    word = 0x3FC00000  # float 1.5 == cb012,a .
+    text = disassemble(word, BASE)
+    assert text.startswith("cb012,a")
+    assert assemble(text, BASE, name="audit").words == [word]
+    instr = decode(word)
+    assert instr.is_branch and instr.annul
+
+
+# -- annul bit -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source,annul", [
+    ("ba target", False),
+    ("ba,a target", True),
+    ("bne target", False),
+    ("bne,a target", True),
+    ("be,a target", True),
+    ("bn,a target", True),
+])
+def test_annul_bit_decodes(source, annul):
+    program = assemble(f"target:\n nop\n {source}\n nop", base=BASE)
+    instr = decode(program.words[1])
+    assert instr.is_branch
+    assert instr.annul is annul
+    # Bit 29 is the annul bit in the Format-2 encoding.
+    assert bool((program.words[1] >> 29) & 1) is annul
+
+
+def test_annul_bit_round_trips():
+    taken = assemble("target:\n nop\n ba,a target\n nop", base=BASE)
+    text = disassemble(taken.words[1], BASE + 4)
+    assert ",a" in text
+    again = assemble(text, BASE + 4, name="audit")
+    assert again.words == [taken.words[1]]
+
+
+def test_annulled_delay_slot_is_not_executed():
+    """``ba,a`` skips its delay slot; plain ``ba`` executes it."""
+    from repro.core.system import LeonSystem
+
+    def run(branch):
+        source = "\n".join([
+            "main:",
+            "    clr %l1",
+            f"    {branch} done",
+            "    add %l1, 1, %l1",  # the delay slot
+            "done:",
+            "    nop",
+        ])
+        system = LeonSystem(LeonConfig.fault_tolerant())
+        program = assemble(source, base=BASE)
+        system.load_program(program)
+        system.run(16, stop_pc=BASE + 16)
+        return system.regfile.read_raw(system.special.psr.cwp, 17)[0]  # %l1
+
+    assert run("ba") == 1     # delay slot executed
+    assert run("ba,a") == 0   # delay slot annulled
+
+
+# -- delay slot of a branch ----------------------------------------------------
+
+
+def test_branch_displacement_is_relative_to_branch_pc():
+    """The branch target is branch-pc + disp -- NOT delay-slot + disp.
+    This is the exact arithmetic the CFG builder replays."""
+    program = assemble("target:\n nop\n nop\n ba target\n nop", base=BASE)
+    branch_pc = BASE + 8
+    instr = decode(program.words[2])
+    assert (branch_pc + instr.disp) & 0xFFFFFFFF == BASE
+
+
+def test_delay_slot_executes_before_branch_target():
+    """The instruction after a taken branch still executes (delayed
+    control transfer), so a def in the slot is visible at the target."""
+    from repro.core.system import LeonSystem
+
+    source = "\n".join([
+        "main:",
+        "    clr %l1",
+        "    ba done",
+        "    mov 7, %l1",  # delay slot: lands before 'done' runs
+        "done:",
+        "    nop",
+    ])
+    system = LeonSystem(LeonConfig.fault_tolerant())
+    system.load_program(assemble(source, base=BASE))
+    system.run(16, stop_pc=BASE + 16)
+    assert system.regfile.read_raw(system.special.psr.cwp, 17)[0] == 7
+
+
+def test_call_records_return_address_def():
+    """``call`` defines %o7 = the call pc (decode metadata the analyzer's
+    virtual call stack depends on)."""
+    program = assemble("call sub\n nop\nsub:\n nop", base=BASE)
+    instr = decode(program.words[0])
+    assert instr.defs == (15,)
+    assert (BASE + instr.disp) & 0xFFFFFFFF == BASE + 8

@@ -18,7 +18,7 @@ from repro.state.snapshot import Snapshot
 def _built(program="iutest", leon=None):
     """A fresh system with the test program loaded; returns (system, spin)."""
     campaign = Campaign(CampaignConfig(program=program, leon=leon))
-    system, spin, _base = campaign._build_program()
+    system, spin, _base, _program = campaign._build_program()
     return system, spin
 
 

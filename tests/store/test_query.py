@@ -139,4 +139,7 @@ def test_trace_stats_identical_across_backends(tmp_path):
             "consistent": stats_file.consistent,
             "states": dict(stats_file.states),
             "recoveries": dict(stats_file.recoveries),
+            "early_exits": dict(stats_file.early_exits),
+            "ace": (dict(stats_file.ace)
+                    if stats_file.ace is not None else None),
         }
